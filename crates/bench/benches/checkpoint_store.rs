@@ -1,0 +1,64 @@
+//! Microbenchmark: checkpoint store backends and the proxy's two
+//! transport modes (bulk vs per-value).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ftproxy::{Backend, Checkpoint, DiskBackend, MemBackend};
+use std::hint::black_box;
+
+fn ckpt(size: usize) -> Checkpoint {
+    Checkpoint {
+        object_id: "bench-object".into(),
+        epoch: 1,
+        state: vec![0xAB; size],
+        stamp_ns: 42,
+    }
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint_backend");
+    for size in [512usize, 8192] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("mem_store_retrieve_{size}B"), |b| {
+            let mut backend = MemBackend::new();
+            b.iter(|| {
+                backend.store(black_box(ckpt(size))).unwrap();
+                black_box(backend.retrieve("bench-object").unwrap())
+            })
+        });
+    }
+    let dir = std::env::temp_dir().join(format!("ckpt-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut disk = DiskBackend::new(&dir).unwrap();
+    g.throughput(Throughput::Bytes(8192));
+    g.bench_function("disk_store_retrieve_8192B", |b| {
+        b.iter(|| {
+            disk.store(black_box(ckpt(8192))).unwrap();
+            black_box(disk.retrieve("bench-object").unwrap())
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Serialization cost of checkpoints themselves.
+    let mut g = c.benchmark_group("checkpoint_codec");
+    let big = ckpt(8192);
+    g.throughput(Throughput::Bytes(8192));
+    g.bench_function("encode_8192B", |b| {
+        b.iter(|| black_box(cdr::to_bytes(black_box(&big))))
+    });
+    let bytes = cdr::to_bytes(&big);
+    g.bench_function("decode_8192B", |b| {
+        b.iter(|| black_box(cdr::from_bytes::<Checkpoint>(black_box(&bytes)).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_backends
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Microbenchmark: end-to-end ORB invocation cost (wall-clock cost of
+//! simulating typed CORBA calls, including GIOP framing and CDR bodies).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use orb::{reply, CallCtx, CostModel, Exception, Orb, OrbConfig, Poa, Servant, SystemException};
+use simnet::{HostConfig, Kernel, SimDuration};
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+
+struct Echo;
+impl Servant for Echo {
+    fn dispatch(
+        &mut self,
+        _call: &mut CallCtx<'_>,
+        _op: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, Exception> {
+        let (v,): (Vec<f64>,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+        reply(&v)
+    }
+}
+
+fn calls(rounds: u32, payload: usize) -> f64 {
+    let ior_cell: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+    let mut sim = Kernel::with_seed(1);
+    let a = sim.add_host(HostConfig::new("a"));
+    let b = sim.add_host(HostConfig::new("b"));
+    let pub_ior = ior_cell.clone();
+    sim.spawn(b, "server", move |ctx| {
+        let mut orb = Orb::init(ctx);
+        orb.listen(ctx).unwrap();
+        let poa = Poa::new();
+        let key = poa.activate("IDL:Echo:1.0", Rc::new(RefCell::new(Echo)));
+        *pub_ior.lock().unwrap() = Some(orb.ior("IDL:Echo:1.0", key).stringify());
+        let _ = orb.serve_forever(ctx, &poa);
+    });
+    let out: Arc<Mutex<f64>> = Arc::new(Mutex::new(0.0));
+    let o = out.clone();
+    let client = sim.spawn(a, "client", move |ctx| {
+        ctx.sleep(SimDuration::from_millis(1)).unwrap();
+        let mut orb = Orb::new(
+            ctx,
+            OrbConfig {
+                cost: CostModel::default(),
+                ..OrbConfig::default()
+            },
+        );
+        let s = ior_cell.lock().unwrap().clone().unwrap();
+        let obj = orb::ObjectRef::new(orb::Ior::destringify(&s).unwrap());
+        let payload: Vec<f64> = vec![1.5; payload];
+        let mut acc = 0.0;
+        for _ in 0..rounds {
+            let r: Vec<f64> = obj
+                .call(&mut orb, ctx, "echo", &(&payload,))
+                .unwrap()
+                .unwrap();
+            acc += r[0];
+        }
+        *o.lock().unwrap() = acc;
+    });
+    sim.run_until_exit(client);
+    let acc = *out.lock().unwrap();
+    acc
+}
+
+fn bench_orb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("orb_call");
+    g.throughput(Throughput::Elements(200));
+    for payload in [4usize, 256] {
+        g.bench_function(format!("echo_200_calls_{payload}_doubles"), |b| {
+            b.iter(|| black_box(calls(200, payload)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_orb
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Microbenchmark: simulator throughput — wall-clock cost of events,
+//! message passing, and CPU scheduling in the DES kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use simnet::{Addr, HostConfig, Kernel, Port, SimDuration};
+use std::hint::black_box;
+
+fn ping_pong(rounds: u32) -> simnet::KernelStats {
+    let mut sim = Kernel::with_seed(1);
+    let a = sim.add_host(HostConfig::new("a"));
+    let b = sim.add_host(HostConfig::new("b"));
+    sim.spawn(b, "server", move |ctx| {
+        ctx.bind_port_exact(Port(7)).unwrap().unwrap();
+        loop {
+            let Ok(m) = ctx.recv() else { return };
+            if ctx
+                .send(Addr::Pid(m.from), m.data().unwrap().to_vec())
+                .is_err()
+            {
+                return;
+            }
+        }
+    });
+    let client = sim.spawn(a, "client", move |ctx| {
+        for _ in 0..rounds {
+            ctx.send(Addr::Endpoint(b, Port(7)), vec![0u8; 64]).unwrap();
+            ctx.recv().unwrap();
+        }
+    });
+    sim.run_until_exit(client);
+    sim.stats()
+}
+
+fn timers(n: u32) -> simnet::KernelStats {
+    let mut sim = Kernel::with_seed(1);
+    let a = sim.add_host(HostConfig::new("a"));
+    let p = sim.spawn(a, "sleeper", move |ctx| {
+        for _ in 0..n {
+            ctx.sleep(SimDuration::from_micros(10)).unwrap();
+        }
+    });
+    sim.run_until_exit(p);
+    sim.stats()
+}
+
+fn cpu_sharing(jobs: usize) -> simnet::KernelStats {
+    let mut sim = Kernel::with_seed(1);
+    let a = sim.add_host(HostConfig::new("a"));
+    for i in 0..jobs {
+        sim.spawn(a, format!("j{i}"), move |ctx| {
+            for _ in 0..50 {
+                ctx.compute(0.001).unwrap();
+            }
+        });
+    }
+    sim.run_until_idle();
+    sim.stats()
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simnet");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("ping_pong_1000_rounds", |b| {
+        b.iter(|| black_box(ping_pong(1000)))
+    });
+    g.bench_function("timers_1000", |b| b.iter(|| black_box(timers(1000))));
+    g.bench_function("cpu_sharing_8_jobs", |b| {
+        b.iter(|| black_box(cpu_sharing(8)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_kernel
+);
+criterion_main!(benches);

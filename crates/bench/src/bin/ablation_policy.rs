@@ -1,0 +1,70 @@
+//! Ablation: which Winner **selection policy** the naming service should
+//! use. The paper's system manager picks "the machine with the currently
+//! best performance"; this study compares that against least-loaded,
+//! weighted-random, uniform-random and the plain (load-oblivious) service
+//! under a fixed partial load.
+//!
+//! Usage: `cargo run --release -p ldft-bench --bin ablation_policy [--quick] [--seeds N]`
+
+use corba_runtime::{averaged_runtime, ExperimentSpec, NamingMode, WinnerPolicy};
+use ldft_bench::{Csv, RunArgs, Table};
+
+fn main() {
+    let args = RunArgs::parse();
+    let loaded = 3usize;
+    eprintln!(
+        "ablation_policy: 5 policies × {} seeds (loaded={loaded}) …",
+        args.seeds.len()
+    );
+
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    let policies = [
+        (
+            "best-performance (paper)",
+            Some(WinnerPolicy::BestPerformance),
+        ),
+        ("least-loaded", Some(WinnerPolicy::LeastLoaded)),
+        ("weighted-random", Some(WinnerPolicy::WeightedRandom)),
+        ("uniform-random", Some(WinnerPolicy::Uniform)),
+        ("plain naming (round-robin)", None),
+    ];
+    for (label, policy) in policies {
+        let mut spec = match policy {
+            Some(p) => {
+                let mut s = ExperimentSpec::dim100(NamingMode::Winner);
+                s.policy = p;
+                s
+            }
+            None => ExperimentSpec::dim100(NamingMode::Plain),
+        };
+        spec.worker_iters = args.scaled(spec.worker_iters);
+        spec = spec.loaded(loaded);
+        let (mean, _) = averaged_runtime(&spec, &args.seeds);
+        rows.push((label.to_string(), mean));
+        eprint!(".");
+    }
+    eprintln!();
+
+    println!(
+        "Policy ablation — 100-dim / 7 workers, {loaded}/10 hosts loaded, \
+         runtime in virtual seconds\n"
+    );
+    let best = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+    let mut table = Table::new(vec!["policy", "runtime [s]", "vs best"]);
+    for (label, mean) in &rows {
+        table.row(vec![
+            label.clone(),
+            format!("{mean:.2}"),
+            format!("+{:.0}%", 100.0 * (mean - best) / best),
+        ]);
+    }
+    println!("{}", table.render());
+
+    if args.csv {
+        let csv_rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|(l, m)| vec![l.clone(), format!("{m:.4}")])
+            .collect();
+        print!("{}", Csv::render(&["policy", "runtime_s"], &csv_rows));
+    }
+}

@@ -1,0 +1,66 @@
+//! Shared harness code for the experiment binaries: argument parsing,
+//! table/CSV rendering, and the sweep drivers for the paper's figures.
+
+pub mod report;
+pub mod sweeps;
+
+pub use report::{Csv, Table};
+pub use sweeps::{fig3_sweep, table1_sweep, Fig3Row, Table1Row};
+
+/// Common command-line options for experiment binaries.
+#[derive(Clone, Debug)]
+pub struct RunArgs {
+    /// Seeds to average over.
+    pub seeds: Vec<u64>,
+    /// Scale factor on iteration counts (use `--quick` = 0.1 for smoke
+    /// runs).
+    pub scale: f64,
+    /// Emit CSV after the human-readable table.
+    pub csv: bool,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            seeds: vec![1, 2, 3],
+            scale: 1.0,
+            csv: true,
+        }
+    }
+}
+
+impl RunArgs {
+    /// Parse from `std::env::args`: `[--quick] [--scale F] [--seeds N] [--no-csv]`.
+    pub fn parse() -> RunArgs {
+        let mut out = RunArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => out.scale = 0.1,
+                "--scale" => {
+                    out.scale = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scale takes a float");
+                }
+                "--seeds" => {
+                    let n: u64 = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seeds takes a count");
+                    out.seeds = (1..=n).collect();
+                }
+                "--no-csv" => out.csv = false,
+                other => {
+                    eprintln!("ignoring unknown argument {other:?}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Scale an iteration count.
+    pub fn scaled(&self, iters: u64) -> u64 {
+        ((iters as f64 * self.scale) as u64).max(100)
+    }
+}

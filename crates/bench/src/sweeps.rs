@@ -1,0 +1,105 @@
+//! The parameter sweeps behind the paper's Figure 3 and Table 1.
+
+use corba_runtime::{averaged_runtime, ExperimentSpec, NamingMode};
+use optim::FtSettings;
+
+use crate::RunArgs;
+
+/// One Figure 3 data point: a (scenario, naming, load) cell.
+#[derive(Clone, Debug)]
+pub struct Fig3Row {
+    /// Curve label, e.g. `CORBA/Winner 100/7`.
+    pub curve: String,
+    /// Problem dimension.
+    pub n: usize,
+    /// Workers.
+    pub workers: usize,
+    /// Naming mode.
+    pub naming: NamingMode,
+    /// Loaded hosts (x-axis).
+    pub loaded: usize,
+    /// Mean runtime in virtual seconds (y-axis).
+    pub runtime: f64,
+    /// Per-seed runtimes.
+    pub samples: Vec<f64>,
+}
+
+/// Run the full Figure 3 sweep: {plain, Winner} × {30/3, 100/7} ×
+/// loaded ∈ {0, 2, 4, 6, 8}.
+pub fn fig3_sweep(args: &RunArgs) -> Vec<Fig3Row> {
+    let mut rows = Vec::new();
+    type SpecMaker = fn(NamingMode) -> ExperimentSpec;
+    let scenarios: [(&str, SpecMaker); 2] = [
+        ("30/3", ExperimentSpec::dim30),
+        ("100/7", ExperimentSpec::dim100),
+    ];
+    for (label, make) in scenarios {
+        for naming in [NamingMode::Plain, NamingMode::Winner] {
+            for loaded in [0usize, 2, 4, 6, 8] {
+                let mut spec = make(naming.clone()).loaded(loaded);
+                spec.worker_iters = args.scaled(spec.worker_iters);
+                let (mean, runs) = averaged_runtime(&spec, &args.seeds);
+                let curve = match naming {
+                    NamingMode::Plain => format!("CORBA {label}"),
+                    NamingMode::Winner => format!("CORBA/Winner {label}"),
+                };
+                rows.push(Fig3Row {
+                    curve,
+                    n: spec.n,
+                    workers: spec.workers,
+                    naming: naming.clone(),
+                    loaded,
+                    runtime: mean,
+                    samples: runs
+                        .iter()
+                        .map(|r| r.report.elapsed.as_secs_f64())
+                        .collect(),
+                });
+                eprint!(".");
+            }
+        }
+    }
+    eprintln!();
+    rows
+}
+
+/// One Table 1 row: an iteration count with plain and proxy runtimes.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Worker iterations (the paper's sweep variable).
+    pub iterations: u64,
+    /// Runtime without proxies (s).
+    pub without_proxy: f64,
+    /// Runtime with fault-tolerant proxies (s).
+    pub with_proxy: f64,
+}
+
+impl Table1Row {
+    /// Relative overhead in percent, as the paper reports it.
+    pub fn overhead_pct(&self) -> f64 {
+        100.0 * (self.with_proxy - self.without_proxy) / self.without_proxy
+    }
+}
+
+/// Run the Table 1 sweep: the 100-dim / 7-worker problem, unloaded, with
+/// and without fault-tolerance proxies, across worker iteration counts.
+pub fn table1_sweep(args: &RunArgs, ft: FtSettings) -> Vec<Table1Row> {
+    let mut rows = Vec::new();
+    for iters in [10_000u64, 20_000, 30_000, 40_000, 50_000] {
+        let iters = args.scaled(iters);
+        let mut plain = ExperimentSpec::dim100(NamingMode::Winner);
+        plain.worker_iters = iters;
+        let (without_proxy, _) = averaged_runtime(&plain, &args.seeds);
+        let mut proxied = plain.clone();
+        proxied.ft = Some(ft.clone());
+        let (with_proxy, _) = averaged_runtime(&proxied, &args.seeds);
+        rows.push(Table1Row {
+            iterations: iters,
+            without_proxy,
+            with_proxy,
+        });
+        eprint!(".");
+    }
+    eprintln!();
+    rows
+}

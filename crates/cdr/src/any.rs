@@ -1,0 +1,312 @@
+//! `Any`: a self-describing value — a [`TypeCode`] plus a [`Value`] encoded
+//! under it. The Dynamic Invocation Interface traffics in `Any`s.
+
+use crate::decode::CdrDecoder;
+use crate::encode::CdrEncoder;
+use crate::error::{CdrError, CdrResult};
+use crate::traits::{CdrRead, CdrWrite};
+use crate::typecode::TypeCode;
+
+/// A dynamically-typed CORBA value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// No value.
+    Void,
+    /// Boolean.
+    Boolean(bool),
+    /// Unsigned octet.
+    Octet(u8),
+    /// `short`.
+    Short(i16),
+    /// `long`.
+    Long(i32),
+    /// `long long`.
+    LongLong(i64),
+    /// `unsigned short`.
+    UShort(u16),
+    /// `unsigned long`.
+    ULong(u32),
+    /// `unsigned long long`.
+    ULongLong(u64),
+    /// `float`.
+    Float(f32),
+    /// `double`.
+    Double(f64),
+    /// String.
+    String(String),
+    /// Sequence of homogeneous values.
+    Sequence(Vec<Value>),
+    /// Struct members in declaration order.
+    Struct(Vec<Value>),
+    /// Enum discriminant.
+    Enum(u32),
+}
+
+/// A `TypeCode` + `Value` pair: the unit of dynamic typing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Any {
+    /// The runtime type.
+    pub tc: TypeCode,
+    /// The value, which must conform to `tc`.
+    pub value: Value,
+}
+
+impl Any {
+    /// Wrap a `double`.
+    pub fn double(v: f64) -> Any {
+        Any {
+            tc: TypeCode::Double,
+            value: Value::Double(v),
+        }
+    }
+
+    /// Wrap a `long`.
+    pub fn long(v: i32) -> Any {
+        Any {
+            tc: TypeCode::Long,
+            value: Value::Long(v),
+        }
+    }
+
+    /// Wrap an `unsigned long`.
+    pub fn ulong(v: u32) -> Any {
+        Any {
+            tc: TypeCode::ULong,
+            value: Value::ULong(v),
+        }
+    }
+
+    /// Wrap a string.
+    pub fn string(v: impl Into<String>) -> Any {
+        Any {
+            tc: TypeCode::String,
+            value: Value::String(v.into()),
+        }
+    }
+
+    /// Wrap a boolean.
+    pub fn boolean(v: bool) -> Any {
+        Any {
+            tc: TypeCode::Boolean,
+            value: Value::Boolean(v),
+        }
+    }
+
+    /// Wrap a homogeneous `double` sequence (the checkpoint payload shape
+    /// used by the paper's proof-of-concept store).
+    pub fn double_seq(vs: &[f64]) -> Any {
+        Any {
+            tc: TypeCode::Sequence(Box::new(TypeCode::Double)),
+            value: Value::Sequence(vs.iter().copied().map(Value::Double).collect()),
+        }
+    }
+
+    /// Extract a `double`, if that is what this holds.
+    pub fn as_double(&self) -> Option<f64> {
+        match self.value {
+            Value::Double(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Extract a string slice, if that is what this holds.
+    pub fn as_str(&self) -> Option<&str> {
+        match &self.value {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extract a `long`, if that is what this holds.
+    pub fn as_long(&self) -> Option<i32> {
+        match self.value {
+            Value::Long(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Encode only the value, without the leading TypeCode. This is how the
+    /// Dynamic Invocation Interface puts arguments on the wire: a DII
+    /// request must produce the exact same bytes as a static stub would.
+    pub fn write_value(&self, enc: &mut CdrEncoder) {
+        write_value(&self.tc, &self.value, enc);
+    }
+
+    /// Decode a value under a known TypeCode (no leading TypeCode in the
+    /// stream) — the inverse of [`Any::write_value`].
+    pub fn read_value_with(tc: &TypeCode, dec: &mut CdrDecoder<'_>) -> CdrResult<Any> {
+        let value = read_value(tc, dec)?;
+        Ok(Any {
+            tc: tc.clone(),
+            value,
+        })
+    }
+}
+
+fn write_value(tc: &TypeCode, v: &Value, enc: &mut CdrEncoder) {
+    match (tc, v) {
+        (TypeCode::Void, Value::Void) => {}
+        (TypeCode::Boolean, Value::Boolean(b)) => enc.write_bool(*b),
+        (TypeCode::Octet, Value::Octet(x)) => enc.write_u8(*x),
+        (TypeCode::Short, Value::Short(x)) => enc.write_i16(*x),
+        (TypeCode::Long, Value::Long(x)) => enc.write_i32(*x),
+        (TypeCode::LongLong, Value::LongLong(x)) => enc.write_i64(*x),
+        (TypeCode::UShort, Value::UShort(x)) => enc.write_u16(*x),
+        (TypeCode::ULong, Value::ULong(x)) => enc.write_u32(*x),
+        (TypeCode::ULongLong, Value::ULongLong(x)) => enc.write_u64(*x),
+        (TypeCode::Float, Value::Float(x)) => enc.write_f32(*x),
+        (TypeCode::Double, Value::Double(x)) => enc.write_f64(*x),
+        (TypeCode::String, Value::String(s)) => enc.write_string(s),
+        (TypeCode::Sequence(elem), Value::Sequence(items)) => {
+            enc.write_len(items.len());
+            for item in items {
+                write_value(elem, item, enc);
+            }
+        }
+        (TypeCode::Struct { members, .. }, Value::Struct(fields)) => {
+            assert_eq!(
+                members.len(),
+                fields.len(),
+                "struct value does not match its TypeCode"
+            );
+            for ((_, mtc), fv) in members.iter().zip(fields) {
+                write_value(mtc, fv, enc);
+            }
+        }
+        (TypeCode::Enum { .. }, Value::Enum(d)) => enc.write_u32(*d),
+        (tc, v) => panic!("Any value {v:?} does not conform to TypeCode {tc:?}"),
+    }
+}
+
+fn read_value(tc: &TypeCode, dec: &mut CdrDecoder<'_>) -> CdrResult<Value> {
+    Ok(match tc {
+        TypeCode::Void => Value::Void,
+        TypeCode::Boolean => Value::Boolean(dec.read_bool()?),
+        TypeCode::Octet => Value::Octet(dec.read_u8()?),
+        TypeCode::Short => Value::Short(dec.read_i16()?),
+        TypeCode::Long => Value::Long(dec.read_i32()?),
+        TypeCode::LongLong => Value::LongLong(dec.read_i64()?),
+        TypeCode::UShort => Value::UShort(dec.read_u16()?),
+        TypeCode::ULong => Value::ULong(dec.read_u32()?),
+        TypeCode::ULongLong => Value::ULongLong(dec.read_u64()?),
+        TypeCode::Float => Value::Float(dec.read_f32()?),
+        TypeCode::Double => Value::Double(dec.read_f64()?),
+        TypeCode::String => Value::String(dec.read_string()?),
+        TypeCode::Sequence(elem) => {
+            let n = dec.read_len(1)?;
+            let mut items = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                items.push(read_value(elem, dec)?);
+            }
+            Value::Sequence(items)
+        }
+        TypeCode::Struct { members, .. } => {
+            let mut fields = Vec::with_capacity(members.len());
+            for (_, mtc) in members {
+                fields.push(read_value(mtc, dec)?);
+            }
+            Value::Struct(fields)
+        }
+        TypeCode::Enum { members, .. } => {
+            let d = dec.read_u32()?;
+            if d as usize >= members.len() {
+                return Err(CdrError::InvalidEnumTag(d));
+            }
+            Value::Enum(d)
+        }
+    })
+}
+
+impl CdrWrite for Any {
+    fn write(&self, enc: &mut CdrEncoder) {
+        self.tc.write(enc);
+        write_value(&self.tc, &self.value, enc);
+    }
+}
+
+impl CdrRead for Any {
+    fn read(dec: &mut CdrDecoder<'_>) -> CdrResult<Self> {
+        let tc = TypeCode::read(dec)?;
+        let value = read_value(&tc, dec)?;
+        Ok(Any { tc, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{from_bytes, to_bytes};
+
+    #[test]
+    fn primitive_any_round_trip() {
+        for any in [
+            Any::double(1.25),
+            Any::long(-7),
+            Any::ulong(42),
+            Any::string("hello"),
+            Any::boolean(true),
+        ] {
+            let back: Any = from_bytes(&to_bytes(&any)).unwrap();
+            assert_eq!(any, back);
+        }
+    }
+
+    #[test]
+    fn sequence_any_round_trip() {
+        let any = Any::double_seq(&[1.0, 2.5, -3.75]);
+        let back: Any = from_bytes(&to_bytes(&any)).unwrap();
+        assert_eq!(any, back);
+    }
+
+    #[test]
+    fn struct_any_round_trip() {
+        let tc = TypeCode::Struct {
+            name: "Pair".into(),
+            members: vec![("a".into(), TypeCode::Long), ("b".into(), TypeCode::String)],
+        };
+        let any = Any {
+            tc,
+            value: Value::Struct(vec![Value::Long(3), Value::String("x".into())]),
+        };
+        let back: Any = from_bytes(&to_bytes(&any)).unwrap();
+        assert_eq!(any, back);
+    }
+
+    #[test]
+    fn enum_any_rejects_out_of_range() {
+        let tc = TypeCode::Enum {
+            name: "E".into(),
+            members: vec!["A".into()],
+        };
+        let any = Any {
+            tc: tc.clone(),
+            value: Value::Enum(0),
+        };
+        let mut bytes = to_bytes(&any);
+        // Corrupt the discriminant (last 4 bytes) to 5.
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&5u32.to_be_bytes());
+        assert_eq!(
+            from_bytes::<Any>(&bytes).unwrap_err(),
+            CdrError::InvalidEnumTag(5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not conform")]
+    fn mismatched_any_panics_on_encode() {
+        let any = Any {
+            tc: TypeCode::Long,
+            value: Value::String("oops".into()),
+        };
+        let _ = to_bytes(&any);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Any::double(2.0).as_double(), Some(2.0));
+        assert_eq!(Any::double(2.0).as_long(), None);
+        assert_eq!(Any::string("s").as_str(), Some("s"));
+        assert_eq!(Any::long(3).as_long(), Some(3));
+    }
+}

@@ -1,0 +1,262 @@
+//! The CDR decoder: a cursor over a byte slice applying the same alignment
+//! rules as the encoder.
+
+use crate::encode::ByteOrder;
+use crate::error::{CdrError, CdrResult};
+
+/// A decoder over one CDR stream.
+#[derive(Debug)]
+pub struct CdrDecoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+    order: ByteOrder,
+}
+
+macro_rules! read_prim {
+    ($name:ident, $ty:ty, $n:expr) => {
+        /// Read a primitive with its natural CDR alignment.
+        pub fn $name(&mut self) -> CdrResult<$ty> {
+            self.align($n)?;
+            let bytes: [u8; $n] = self.take($n)?.try_into().expect("sized take");
+            Ok(match self.order {
+                ByteOrder::Big => <$ty>::from_be_bytes(bytes),
+                ByteOrder::Little => <$ty>::from_le_bytes(bytes),
+            })
+        }
+    };
+}
+
+impl<'a> CdrDecoder<'a> {
+    /// Decode `data` in the given byte order.
+    pub fn new(data: &'a [u8], order: ByteOrder) -> Self {
+        CdrDecoder {
+            data,
+            pos: 0,
+            order,
+        }
+    }
+
+    /// Decode big-endian data (the canonical order).
+    pub fn big_endian(data: &'a [u8]) -> Self {
+        CdrDecoder::new(data, ByteOrder::Big)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether the stream is fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Fail if any bytes remain (whole-message decodes).
+    pub fn finish(&self) -> CdrResult<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CdrError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    fn align(&mut self, n: usize) -> CdrResult<()> {
+        debug_assert!(n.is_power_of_two());
+        let rem = self.pos % n;
+        if rem != 0 {
+            let pad = n - rem;
+            if self.remaining() < pad {
+                return Err(CdrError::UnexpectedEof {
+                    needed: pad,
+                    remaining: self.remaining(),
+                });
+            }
+            self.pos += pad;
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> CdrResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CdrError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a single octet.
+    pub fn read_u8(&mut self) -> CdrResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a signed octet.
+    pub fn read_i8(&mut self) -> CdrResult<i8> {
+        Ok(self.take(1)?[0] as i8)
+    }
+
+    /// Read a boolean octet, rejecting anything but 0 or 1.
+    pub fn read_bool(&mut self) -> CdrResult<bool> {
+        match self.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CdrError::InvalidBool(b)),
+        }
+    }
+
+    read_prim!(read_u16, u16, 2);
+    read_prim!(read_i16, i16, 2);
+    read_prim!(read_u32, u32, 4);
+    read_prim!(read_i32, i32, 4);
+    read_prim!(read_u64, u64, 8);
+    read_prim!(read_i64, i64, 8);
+
+    /// Read an IEEE-754 single float.
+    pub fn read_f32(&mut self) -> CdrResult<f32> {
+        Ok(f32::from_bits(self.read_u32()?))
+    }
+
+    /// Read an IEEE-754 double float.
+    pub fn read_f64(&mut self) -> CdrResult<f64> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+
+    /// Read a CDR string (length includes the NUL terminator).
+    pub fn read_string(&mut self) -> CdrResult<String> {
+        let len = self.read_u32()? as usize;
+        if len == 0 {
+            // Not produced by our encoder, but tolerated: an empty string
+            // without terminator.
+            return Ok(String::new());
+        }
+        let bytes = self.take(len)?;
+        let (body, nul) = bytes.split_at(len - 1);
+        if nul != [0] {
+            return Err(CdrError::MissingNul);
+        }
+        String::from_utf8(body.to_vec()).map_err(|_| CdrError::InvalidUtf8)
+    }
+
+    /// Read an octet sequence (u32 count + raw bytes).
+    pub fn read_bytes(&mut self) -> CdrResult<Vec<u8>> {
+        let len = self.read_u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Read a sequence length prefix, validating it against the remaining
+    /// stream so corrupt input cannot trigger huge allocations. `min_elem`
+    /// is the smallest possible encoding of one element.
+    pub fn read_len(&mut self, min_elem: usize) -> CdrResult<usize> {
+        let n = self.read_u32()? as usize;
+        if n.saturating_mul(min_elem.max(1)) > self.remaining() {
+            return Err(CdrError::LengthOverrun(n as u64));
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::CdrEncoder;
+
+    #[test]
+    fn round_trip_primitives() {
+        let mut e = CdrEncoder::big_endian();
+        e.write_u8(7);
+        e.write_u16(513);
+        e.write_u32(70_000);
+        e.write_u64(1 << 40);
+        e.write_i32(-5);
+        e.write_f64(3.25);
+        e.write_bool(true);
+        let bytes = e.into_bytes();
+        let mut d = CdrDecoder::big_endian(&bytes);
+        assert_eq!(d.read_u8().unwrap(), 7);
+        assert_eq!(d.read_u16().unwrap(), 513);
+        assert_eq!(d.read_u32().unwrap(), 70_000);
+        assert_eq!(d.read_u64().unwrap(), 1 << 40);
+        assert_eq!(d.read_i32().unwrap(), -5);
+        assert_eq!(d.read_f64().unwrap(), 3.25);
+        assert!(d.read_bool().unwrap());
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn little_endian_round_trip() {
+        let mut e = CdrEncoder::new(ByteOrder::Little);
+        e.write_u32(0xDEADBEEF);
+        let bytes = e.into_bytes();
+        let mut d = CdrDecoder::new(&bytes, ByteOrder::Little);
+        assert_eq!(d.read_u32().unwrap(), 0xDEADBEEF);
+    }
+
+    #[test]
+    fn eof_is_reported() {
+        let mut d = CdrDecoder::big_endian(&[0, 0]);
+        let err = d.read_u32().unwrap_err();
+        assert!(matches!(err, CdrError::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn invalid_bool_is_rejected() {
+        let mut d = CdrDecoder::big_endian(&[7]);
+        assert_eq!(d.read_bool().unwrap_err(), CdrError::InvalidBool(7));
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let mut e = CdrEncoder::big_endian();
+        e.write_string("grüße");
+        let bytes = e.into_bytes();
+        let mut d = CdrDecoder::big_endian(&bytes);
+        assert_eq!(d.read_string().unwrap(), "grüße");
+    }
+
+    #[test]
+    fn string_missing_nul_is_rejected() {
+        // length 2, bytes "ab" (no NUL)
+        let raw = [0, 0, 0, 2, b'a', b'b'];
+        let mut d = CdrDecoder::big_endian(&raw);
+        assert_eq!(d.read_string().unwrap_err(), CdrError::MissingNul);
+    }
+
+    #[test]
+    fn string_invalid_utf8_is_rejected() {
+        let raw = [0, 0, 0, 2, 0xFF, 0];
+        let mut d = CdrDecoder::big_endian(&raw);
+        assert_eq!(d.read_string().unwrap_err(), CdrError::InvalidUtf8);
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut d = CdrDecoder::big_endian(&[1, 2]);
+        d.read_u8().unwrap();
+        assert_eq!(d.finish().unwrap_err(), CdrError::TrailingBytes(1));
+    }
+
+    #[test]
+    fn hostile_length_does_not_allocate() {
+        // A sequence claiming u32::MAX elements in a 6-byte stream.
+        let raw = [0xFF, 0xFF, 0xFF, 0xFF, 0, 0];
+        let mut d = CdrDecoder::big_endian(&raw);
+        assert!(matches!(
+            d.read_len(1).unwrap_err(),
+            CdrError::LengthOverrun(_)
+        ));
+    }
+
+    #[test]
+    fn alignment_skips_padding_on_read() {
+        let mut e = CdrEncoder::big_endian();
+        e.write_u8(1);
+        e.write_u32(2);
+        let bytes = e.into_bytes();
+        let mut d = CdrDecoder::big_endian(&bytes);
+        assert_eq!(d.read_u8().unwrap(), 1);
+        assert_eq!(d.read_u32().unwrap(), 2);
+    }
+}

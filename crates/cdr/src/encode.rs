@@ -1,0 +1,222 @@
+//! The CDR encoder: an append-only byte stream with CORBA alignment rules.
+//!
+//! CDR aligns every primitive to its natural size, measured from the start
+//! of the stream (in GIOP, from the start of the message body). Padding
+//! bytes are zero.
+
+/// Byte order of an encoded stream. GIOP carries a flag so either order is
+/// legal on the wire; receivers byte-swap when needed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ByteOrder {
+    /// Big-endian, the CORBA "canonical" order.
+    #[default]
+    Big,
+    /// Little-endian.
+    Little,
+}
+
+/// An encoder for a single CDR stream.
+#[derive(Debug, Default)]
+pub struct CdrEncoder {
+    buf: Vec<u8>,
+    order: ByteOrder,
+}
+
+macro_rules! write_prim {
+    ($name:ident, $ty:ty, $align:expr) => {
+        /// Write a primitive with its natural CDR alignment.
+        pub fn $name(&mut self, v: $ty) {
+            self.align($align);
+            let bytes = match self.order {
+                ByteOrder::Big => v.to_be_bytes(),
+                ByteOrder::Little => v.to_le_bytes(),
+            };
+            self.buf.extend_from_slice(&bytes);
+        }
+    };
+}
+
+impl CdrEncoder {
+    /// A new encoder in the given byte order.
+    pub fn new(order: ByteOrder) -> Self {
+        CdrEncoder {
+            buf: Vec::new(),
+            order,
+        }
+    }
+
+    /// A new big-endian encoder (the canonical order).
+    pub fn big_endian() -> Self {
+        CdrEncoder::new(ByteOrder::Big)
+    }
+
+    /// The byte order in effect.
+    pub fn order(&self) -> ByteOrder {
+        self.order
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the encoder, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Insert zero padding so the next write lands on an `n`-byte boundary
+    /// relative to the start of the stream.
+    pub fn align(&mut self, n: usize) {
+        debug_assert!(n.is_power_of_two());
+        let rem = self.buf.len() % n;
+        if rem != 0 {
+            self.buf.resize(self.buf.len() + (n - rem), 0);
+        }
+    }
+
+    /// Write a single octet (no alignment).
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a signed octet.
+    pub fn write_i8(&mut self, v: i8) {
+        self.buf.push(v as u8);
+    }
+
+    /// Write a boolean as an octet (1 = true, 0 = false).
+    pub fn write_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    write_prim!(write_u16, u16, 2);
+    write_prim!(write_i16, i16, 2);
+    write_prim!(write_u32, u32, 4);
+    write_prim!(write_i32, i32, 4);
+    write_prim!(write_u64, u64, 8);
+    write_prim!(write_i64, i64, 8);
+
+    /// Write an IEEE-754 single float (4-byte aligned).
+    pub fn write_f32(&mut self, v: f32) {
+        self.align(4);
+        let bytes = match self.order {
+            ByteOrder::Big => v.to_be_bytes(),
+            ByteOrder::Little => v.to_le_bytes(),
+        };
+        self.buf.extend_from_slice(&bytes);
+    }
+
+    /// Write an IEEE-754 double float (8-byte aligned).
+    pub fn write_f64(&mut self, v: f64) {
+        self.align(8);
+        let bytes = match self.order {
+            ByteOrder::Big => v.to_be_bytes(),
+            ByteOrder::Little => v.to_le_bytes(),
+        };
+        self.buf.extend_from_slice(&bytes);
+    }
+
+    /// Write a CDR string: u32 length *including* the NUL terminator,
+    /// the UTF-8 bytes, then the NUL.
+    pub fn write_string(&mut self, s: &str) {
+        self.write_u32(s.len() as u32 + 1);
+        self.buf.extend_from_slice(s.as_bytes());
+        self.buf.push(0);
+    }
+
+    /// Write an octet sequence: u32 count then raw bytes.
+    pub fn write_bytes(&mut self, b: &[u8]) {
+        self.write_u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Write a sequence length prefix (for non-octet element types the
+    /// caller then writes each element).
+    pub fn write_len(&mut self, n: usize) {
+        self.write_u32(u32::try_from(n).expect("sequence too long for CDR"));
+    }
+
+    /// Append pre-encoded bytes verbatim (no length prefix, no alignment).
+    /// Only sound when the bytes were encoded at a compatible alignment —
+    /// e.g. appending a whole encoded parameter list to an empty stream.
+    pub fn write_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u8_has_no_padding() {
+        let mut e = CdrEncoder::big_endian();
+        e.write_u8(1);
+        e.write_u8(2);
+        assert_eq!(e.as_bytes(), &[1, 2]);
+    }
+
+    #[test]
+    fn u32_aligns_to_four() {
+        let mut e = CdrEncoder::big_endian();
+        e.write_u8(0xAA);
+        e.write_u32(0x01020304);
+        assert_eq!(e.as_bytes(), &[0xAA, 0, 0, 0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn f64_aligns_to_eight() {
+        let mut e = CdrEncoder::big_endian();
+        e.write_u8(1);
+        e.write_f64(1.0);
+        assert_eq!(e.len(), 16);
+        assert_eq!(&e.as_bytes()[..8], &[1, 0, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn little_endian_orders_bytes() {
+        let mut e = CdrEncoder::new(ByteOrder::Little);
+        e.write_u16(0x0102);
+        assert_eq!(e.as_bytes(), &[2, 1]);
+    }
+
+    #[test]
+    fn string_is_nul_terminated_with_counted_length() {
+        let mut e = CdrEncoder::big_endian();
+        e.write_string("hi");
+        assert_eq!(e.as_bytes(), &[0, 0, 0, 3, b'h', b'i', 0]);
+    }
+
+    #[test]
+    fn empty_string() {
+        let mut e = CdrEncoder::big_endian();
+        e.write_string("");
+        assert_eq!(e.as_bytes(), &[0, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn bytes_sequence() {
+        let mut e = CdrEncoder::big_endian();
+        e.write_bytes(&[9, 8]);
+        assert_eq!(e.as_bytes(), &[0, 0, 0, 2, 9, 8]);
+    }
+
+    #[test]
+    fn alignment_is_relative_to_stream_start() {
+        let mut e = CdrEncoder::big_endian();
+        e.write_u16(1); // bytes 0..2
+        e.write_u16(2); // bytes 2..4, no padding
+        assert_eq!(e.len(), 4);
+    }
+}

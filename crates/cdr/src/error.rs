@@ -1,0 +1,55 @@
+//! Marshalling errors.
+
+use std::fmt;
+
+/// An error raised while decoding a CDR stream. Encoding is infallible.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CdrError {
+    /// The stream ended before the value was complete.
+    UnexpectedEof {
+        /// Bytes needed by the read that failed.
+        needed: usize,
+        /// Bytes remaining in the stream.
+        remaining: usize,
+    },
+    /// A string was not valid UTF-8.
+    InvalidUtf8,
+    /// A string was not NUL-terminated as CDR requires.
+    MissingNul,
+    /// A boolean octet was neither 0 nor 1.
+    InvalidBool(u8),
+    /// An enum discriminant did not match any variant.
+    InvalidEnumTag(u32),
+    /// A TypeCode kind octet was not recognised.
+    BadTypeCode(u32),
+    /// A length field exceeded the remaining stream (guards against
+    /// allocating pathological sizes from corrupt input).
+    LengthOverrun(u64),
+    /// Trailing bytes remained after a whole-message decode.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CdrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdrError::UnexpectedEof { needed, remaining } => {
+                write!(
+                    f,
+                    "unexpected end of CDR stream: needed {needed} bytes, {remaining} left"
+                )
+            }
+            CdrError::InvalidUtf8 => f.write_str("CDR string is not valid UTF-8"),
+            CdrError::MissingNul => f.write_str("CDR string is missing its NUL terminator"),
+            CdrError::InvalidBool(b) => write!(f, "invalid boolean octet {b:#x}"),
+            CdrError::InvalidEnumTag(t) => write!(f, "invalid enum discriminant {t}"),
+            CdrError::BadTypeCode(k) => write!(f, "unknown TypeCode kind {k}"),
+            CdrError::LengthOverrun(n) => write!(f, "length field {n} exceeds stream"),
+            CdrError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
+        }
+    }
+}
+
+impl std::error::Error for CdrError {}
+
+/// Result alias for decode operations.
+pub type CdrResult<T> = Result<T, CdrError>;

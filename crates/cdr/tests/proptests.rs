@@ -1,0 +1,132 @@
+//! Property-based tests: every encodable value round-trips, alignment is
+//! invariant under prefixing, and decoders never panic on arbitrary bytes.
+
+use cdr::{from_bytes, to_bytes, Any, CdrDecoder, CdrEncoder, TypeCode, Value};
+use proptest::prelude::*;
+
+cdr::cdr_struct!(Sample {
+    a: u8,
+    b: i16,
+    c: u32,
+    d: i64,
+    e: f64,
+    f: bool,
+    g: String,
+    h: Vec<u32>,
+    i: Option<f64>,
+});
+
+fn sample_strategy() -> impl Strategy<Value = Sample> {
+    (
+        any::<u8>(),
+        any::<i16>(),
+        any::<u32>(),
+        any::<i64>(),
+        any::<f64>().prop_filter("NaN breaks equality", |v| !v.is_nan()),
+        any::<bool>(),
+        "\\PC*",
+        proptest::collection::vec(any::<u32>(), 0..20),
+        proptest::option::of(any::<f64>().prop_filter("NaN", |v| !v.is_nan())),
+    )
+        .prop_map(|(a, b, c, d, e, f, g, h, i)| Sample {
+            a,
+            b,
+            c,
+            d,
+            e,
+            f,
+            g,
+            h,
+            i,
+        })
+}
+
+fn value_strategy() -> impl Strategy<Value = Any> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Any::boolean),
+        any::<i32>().prop_map(Any::long),
+        any::<u32>().prop_map(Any::ulong),
+        any::<f64>()
+            .prop_filter("NaN", |v| !v.is_nan())
+            .prop_map(Any::double),
+        "\\PC{0,32}".prop_map(Any::string),
+    ];
+    leaf.prop_recursive(3, 32, 8, |inner| {
+        proptest::collection::vec(inner, 0..6).prop_map(|items| {
+            // Heterogeneous items become a struct; keep it simple and make
+            // a struct TypeCode from the item TypeCodes.
+            let members = items
+                .iter()
+                .enumerate()
+                .map(|(i, a)| (format!("m{i}"), a.tc.clone()))
+                .collect();
+            let fields = items.into_iter().map(|a| a.value).collect();
+            Any {
+                tc: TypeCode::Struct {
+                    name: "T".into(),
+                    members,
+                },
+                value: Value::Struct(fields),
+            }
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn struct_round_trips(v in sample_strategy()) {
+        let bytes = to_bytes(&v);
+        let back: Sample = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(v, back);
+    }
+
+    #[test]
+    fn any_round_trips(v in value_strategy()) {
+        let bytes = to_bytes(&v);
+        let back: Any = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(v, back);
+    }
+
+    #[test]
+    fn round_trip_survives_prefix_alignment(v in sample_strategy(), prefix in 0usize..8) {
+        // Encoding after a prefix of octets must still round-trip, because
+        // alignment is relative to the stream start on both sides.
+        let mut enc = CdrEncoder::big_endian();
+        for _ in 0..prefix {
+            enc.write_u8(0xEE);
+        }
+        cdr::CdrWrite::write(&v, &mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = CdrDecoder::big_endian(&bytes);
+        for _ in 0..prefix {
+            dec.read_u8().unwrap();
+        }
+        let back = <Sample as cdr::CdrRead>::read(&mut dec).unwrap();
+        dec.finish().unwrap();
+        prop_assert_eq!(v, back);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Decoding arbitrary bytes may fail, but must never panic or
+        // over-allocate.
+        let _ = from_bytes::<Sample>(&bytes);
+        let _ = from_bytes::<Any>(&bytes);
+        let _ = from_bytes::<Vec<String>>(&bytes);
+        let _ = from_bytes::<TypeCode>(&bytes);
+    }
+
+    #[test]
+    fn f64_bit_exact(v in any::<f64>()) {
+        let bytes = to_bytes(&v);
+        let back: f64 = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(v.to_bits(), back.to_bits());
+    }
+
+    #[test]
+    fn strings_round_trip(s in "\\PC*") {
+        let bytes = to_bytes(&s);
+        let back: String = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,277 @@
+//! Cluster boot: wires the whole runtime together on a simulated NOW.
+//!
+//! One call to [`Cluster::build`] reproduces the paper's deployment:
+//!
+//! * the **Winner** system manager and per-host node managers (when the
+//!   load-distributing naming mode is selected),
+//! * the **naming service** (plain or Winner-integrated) on the infra
+//!   host's port 2809,
+//! * the **checkpoint service**, registered as `"CheckpointService"`,
+//! * a **service factory** per worker host (able to instantiate
+//!   optimization workers), and
+//! * one **optimization worker** server per worker host, registered in
+//!   the `Workers` group.
+
+use std::sync::{Arc, Mutex};
+
+use ftproxy::{run_factory, CheckpointService, StoreCosts};
+use optim::{run_worker_server, worker_builder, WorkerCosts};
+use orb::{Ior, Orb};
+use simnet::{Ctx, HostConfig, HostId, Kernel, KernelConfig, SimDuration};
+use winner::{
+    run_node_manager, run_system_manager, NodeManagerConfig, SelectionPolicy, SystemManagerConfig,
+};
+
+/// Which naming service to deploy — the paper's comparison axis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NamingMode {
+    /// The unmodified, load-oblivious naming service (round-robin over
+    /// group members).
+    Plain,
+    /// The paper's contribution: resolution driven by Winner load data.
+    Winner,
+}
+
+/// Which selection policy the Winner system manager runs (the policy
+/// ablation's axis). [`WinnerPolicy::BestPerformance`] is the paper's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WinnerPolicy {
+    /// Maximize expected delivered speed (the paper's policy).
+    BestPerformance,
+    /// Minimize effective load, ignoring speed.
+    LeastLoaded,
+    /// Random, weighted by the performance score.
+    WeightedRandom,
+    /// Uniform random (load-oblivious, but still liveness-aware).
+    Uniform,
+}
+
+impl WinnerPolicy {
+    fn instantiate(self, seed: u64) -> Box<dyn SelectionPolicy> {
+        match self {
+            WinnerPolicy::BestPerformance => Box::new(winner::BestPerformance),
+            WinnerPolicy::LeastLoaded => Box::new(winner::LeastLoaded),
+            WinnerPolicy::WeightedRandom => Box::new(winner::WeightedRandom::new(seed)),
+            WinnerPolicy::Uniform => Box::new(winner::Uniform::new(seed)),
+        }
+    }
+}
+
+/// Cluster configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Total number of workstations (the paper's NOW had 10).
+    pub hosts: usize,
+    /// Per-host CPU speeds; length 1 = homogeneous.
+    pub speeds: Vec<f64>,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Naming service flavour.
+    pub naming: NamingMode,
+    /// Hosts (by index, excluding 0) that run worker servers + factories.
+    /// Empty = all hosts except the infra host. This models the paper's
+    /// "6 workstations were available" restriction.
+    pub worker_hosts: Vec<usize>,
+    /// Worker CPU cost model.
+    pub worker_costs: WorkerCosts,
+    /// Checkpoint store cost model.
+    pub store_costs: StoreCosts,
+    /// Winner node-manager report interval.
+    pub report_interval: SimDuration,
+    /// Winner selection policy.
+    pub policy: WinnerPolicy,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            hosts: 10,
+            speeds: vec![1.0],
+            seed: 0xBEEF,
+            naming: NamingMode::Winner,
+            worker_hosts: Vec::new(),
+            worker_costs: WorkerCosts::default(),
+            store_costs: StoreCosts::default(),
+            report_interval: SimDuration::from_secs(1),
+            policy: WinnerPolicy::BestPerformance,
+        }
+    }
+}
+
+/// A booted cluster: the kernel plus the handles experiments need.
+pub struct Cluster {
+    /// The simulation kernel.
+    pub kernel: Kernel,
+    /// All hosts; `hosts[0]` is the infrastructure host.
+    pub hosts: Vec<HostId>,
+    /// The infrastructure host (naming, Winner, checkpoint service).
+    pub infra: HostId,
+    /// Hosts running worker servers and factories.
+    pub worker_hosts: Vec<HostId>,
+    /// Stringified IOR of the Winner system manager (None in plain mode
+    /// until published; always None when Winner is not deployed).
+    pub sysmgr_ior: Arc<Mutex<Option<String>>>,
+    /// The configuration the cluster was built with.
+    pub config: ClusterConfig,
+}
+
+impl Cluster {
+    /// Boot a cluster per the configuration. Infrastructure lives on host
+    /// 0; worker services live on `worker_hosts` (default: all others).
+    pub fn build(config: ClusterConfig) -> Cluster {
+        assert!(config.hosts >= 2, "need an infra host and ≥1 worker host");
+        let mut kernel = Kernel::new(KernelConfig {
+            seed: config.seed,
+            ..KernelConfig::default()
+        });
+        let hosts: Vec<HostId> = (0..config.hosts)
+            .map(|i| {
+                let speed = config.speeds[i % config.speeds.len().max(1)];
+                kernel.add_host(HostConfig::new(format!("ws{i}")).speed(speed))
+            })
+            .collect();
+        let infra = hosts[0];
+        let worker_hosts: Vec<HostId> = if config.worker_hosts.is_empty() {
+            hosts[1..].to_vec()
+        } else {
+            config
+                .worker_hosts
+                .iter()
+                .map(|&i| {
+                    assert!(i != 0 && i < config.hosts, "bad worker host index {i}");
+                    hosts[i]
+                })
+                .collect()
+        };
+
+        let sysmgr_ior: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+
+        // ---- Winner (only with the load-distributing naming service) ---
+        if config.naming == NamingMode::Winner {
+            let publish = sysmgr_ior.clone();
+            let policy_kind = config.policy;
+            let seed = config.seed;
+            kernel.spawn(infra, "winner-sysmgr", move |ctx| {
+                let policy = policy_kind.instantiate(seed);
+                let _ = run_system_manager(ctx, SystemManagerConfig::default(), policy, |ior| {
+                    *publish.lock().unwrap() = Some(ior.stringify());
+                });
+            });
+            for &h in &hosts {
+                let cell = sysmgr_ior.clone();
+                let interval = config.report_interval;
+                kernel.spawn(h, format!("winner-nm-{h}"), move |ctx| {
+                    let Ok(ior) = wait_for_ior(ctx, &cell) else {
+                        return;
+                    };
+                    let mut cfg = NodeManagerConfig::new(ior);
+                    cfg.interval = interval;
+                    let _ = run_node_manager(ctx, cfg);
+                });
+            }
+        }
+
+        // ---- naming service --------------------------------------------
+        {
+            let cell = sysmgr_ior.clone();
+            let winner_mode = config.naming == NamingMode::Winner;
+            kernel.spawn(infra, "naming", move |ctx| {
+                let mode = if winner_mode {
+                    let Ok(ior) = wait_for_ior(ctx, &cell) else {
+                        return;
+                    };
+                    cosnaming::LbMode::Winner {
+                        system_manager: ior,
+                    }
+                } else {
+                    cosnaming::LbMode::Plain
+                };
+                let _ = cosnaming::run_naming_service(ctx, mode);
+            });
+        }
+
+        // ---- checkpoint service ----------------------------------------
+        {
+            let store_costs = config.store_costs;
+            kernel.spawn(infra, "checkpoint-service", move |ctx| {
+                let service =
+                    CheckpointService::new(Box::new(ftproxy::MemBackend::new()), store_costs);
+                let _ = serve_registered(ctx, service);
+            });
+        }
+
+        // ---- factories + workers on the worker hosts -------------------
+        for &h in &worker_hosts {
+            let costs = config.worker_costs;
+            kernel.spawn(h, format!("factory-{h}"), move |ctx| {
+                let _ = run_factory(ctx, infra, worker_builder(costs));
+            });
+            let costs = config.worker_costs;
+            kernel.spawn(h, format!("opt-worker-{h}"), move |ctx| {
+                let _ = run_worker_server(ctx, infra, costs);
+            });
+        }
+
+        Cluster {
+            kernel,
+            hosts,
+            infra,
+            worker_hosts,
+            sysmgr_ior,
+            config,
+        }
+    }
+
+    /// Add a background load process (an infinite CPU spinner) on `host`.
+    pub fn add_background_load(&mut self, host: HostId) {
+        self.kernel.spawn(host, format!("bgload-{host}"), |ctx| {
+            let _ = ctx.spin_forever();
+        });
+    }
+
+    /// Add a background load process starting at absolute time `at`.
+    pub fn add_background_load_at(&mut self, host: HostId, at: simnet::SimTime) {
+        self.kernel.spawn_at(
+            at,
+            host,
+            format!("bgload-{host}"),
+            Box::new(|ctx: &mut Ctx| {
+                let _ = ctx.spin_forever();
+            }),
+        );
+    }
+}
+
+/// Wait (with polling) until the Winner system manager has published its
+/// IOR.
+fn wait_for_ior(ctx: &mut Ctx, cell: &Arc<Mutex<Option<String>>>) -> Result<Ior, simnet::Killed> {
+    loop {
+        if let Some(s) = cell.lock().unwrap().clone() {
+            return Ok(Ior::destringify(&s).expect("published IOR is valid"));
+        }
+        ctx.sleep(SimDuration::from_millis(5))?;
+    }
+}
+
+/// Serve a checkpoint service, registered in the naming service under its
+/// well-known name (retrying while naming boots).
+fn serve_registered(ctx: &mut Ctx, service: CheckpointService) -> simnet::SimResult<()> {
+    let naming_host = ctx.host();
+    let mut orb = Orb::init(ctx);
+    orb.listen(ctx)?;
+    let poa = orb::Poa::new();
+    let key = poa.activate(
+        ftproxy::CHECKPOINT_SERVICE_TYPE,
+        std::rc::Rc::new(std::cell::RefCell::new(service)),
+    );
+    let ior = orb.ior(ftproxy::CHECKPOINT_SERVICE_TYPE, key);
+    let ns = cosnaming::NamingClient::root(naming_host);
+    let name = cosnaming::Name::simple(ftproxy::CHECKPOINT_SERVICE_NAME);
+    loop {
+        match ns.rebind(&mut orb, ctx, &name, &ior)? {
+            Ok(()) => break,
+            Err(_) => ctx.sleep(SimDuration::from_millis(50))?,
+        }
+    }
+    orb.serve_forever(ctx, &poa)
+}

@@ -1,0 +1,299 @@
+//! Checkpoint data model and storage backends.
+//!
+//! The paper's checkpoint service is "a simple service for storing
+//! checkpointing data … functions to store/retrieve arbitrary values",
+//! with "no real persistency like storing checkpoints on disk media"
+//! ([`MemBackend`]). The disk persistence the paper lists as future work
+//! is implemented too ([`DiskBackend`]).
+
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+
+use cdr::{cdr_struct, Any};
+
+cdr_struct!(
+    /// One stored checkpoint of a service object's state.
+    Checkpoint {
+        /// Logical identity of the service (stable across restarts).
+        object_id: String,
+        /// Monotone version: a recovery restores the highest epoch.
+        epoch: u64,
+        /// Opaque CDR-encoded service state.
+        state: Vec<u8>,
+        /// Virtual time (ns) at which the checkpoint was taken.
+        stamp_ns: u64,
+    }
+);
+
+/// Storage backend for the checkpoint service.
+pub trait Backend {
+    /// Store (replace) the bulk checkpoint for an object.
+    fn store(&mut self, ckpt: Checkpoint) -> io::Result<()>;
+    /// Fetch the bulk checkpoint for an object.
+    fn retrieve(&mut self, object_id: &str) -> io::Result<Option<Checkpoint>>;
+    /// Delete everything stored for an object (bulk and values). Returns
+    /// whether anything was deleted.
+    fn delete(&mut self, object_id: &str) -> io::Result<bool>;
+    /// All object ids with a bulk checkpoint, sorted.
+    fn list(&mut self) -> io::Result<Vec<String>>;
+    /// Store one named value for an object (the paper's proof-of-concept
+    /// interface).
+    fn store_value(&mut self, object_id: &str, key: &str, value: Any) -> io::Result<()>;
+    /// Fetch one named value.
+    fn retrieve_value(&mut self, object_id: &str, key: &str) -> io::Result<Option<Any>>;
+    /// Number of values stored for an object.
+    fn value_count(&mut self, object_id: &str) -> io::Result<u32>;
+}
+
+/// The paper's in-memory proof-of-concept store.
+#[derive(Default)]
+pub struct MemBackend {
+    bulk: HashMap<String, Checkpoint>,
+    values: HashMap<String, HashMap<String, Any>>,
+}
+
+impl MemBackend {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Backend for MemBackend {
+    fn store(&mut self, ckpt: Checkpoint) -> io::Result<()> {
+        self.bulk.insert(ckpt.object_id.clone(), ckpt);
+        Ok(())
+    }
+
+    fn retrieve(&mut self, object_id: &str) -> io::Result<Option<Checkpoint>> {
+        Ok(self.bulk.get(object_id).cloned())
+    }
+
+    fn delete(&mut self, object_id: &str) -> io::Result<bool> {
+        let a = self.bulk.remove(object_id).is_some();
+        let b = self.values.remove(object_id).is_some();
+        Ok(a || b)
+    }
+
+    fn list(&mut self) -> io::Result<Vec<String>> {
+        let mut ids: Vec<String> = self.bulk.keys().cloned().collect();
+        ids.sort();
+        Ok(ids)
+    }
+
+    fn store_value(&mut self, object_id: &str, key: &str, value: Any) -> io::Result<()> {
+        self.values
+            .entry(object_id.to_string())
+            .or_default()
+            .insert(key.to_string(), value);
+        Ok(())
+    }
+
+    fn retrieve_value(&mut self, object_id: &str, key: &str) -> io::Result<Option<Any>> {
+        Ok(self.values.get(object_id).and_then(|m| m.get(key)).cloned())
+    }
+
+    fn value_count(&mut self, object_id: &str) -> io::Result<u32> {
+        Ok(self.values.get(object_id).map_or(0, |m| m.len() as u32))
+    }
+}
+
+/// Disk-backed store: one file per object under a spool directory
+/// (CDR-encoded), values in a sibling file. Implements the persistence
+/// the paper deferred to future work.
+pub struct DiskBackend {
+    dir: PathBuf,
+}
+
+impl DiskBackend {
+    /// Open (creating) a spool directory.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskBackend { dir })
+    }
+
+    fn sanitize(object_id: &str) -> String {
+        object_id
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect()
+    }
+
+    fn bulk_path(&self, object_id: &str) -> PathBuf {
+        self.dir.join(format!("{}.ckpt", Self::sanitize(object_id)))
+    }
+
+    fn values_path(&self, object_id: &str) -> PathBuf {
+        self.dir
+            .join(format!("{}.values", Self::sanitize(object_id)))
+    }
+
+    fn load_values(&self, object_id: &str) -> io::Result<Vec<(String, Any)>> {
+        match std::fs::read(self.values_path(object_id)) {
+            Ok(bytes) => cdr::from_bytes(&bytes)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn save_values(&self, object_id: &str, values: &Vec<(String, Any)>) -> io::Result<()> {
+        std::fs::write(self.values_path(object_id), cdr::to_bytes(values))
+    }
+}
+
+impl Backend for DiskBackend {
+    fn store(&mut self, ckpt: Checkpoint) -> io::Result<()> {
+        let path = self.bulk_path(&ckpt.object_id);
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, cdr::to_bytes(&ckpt))?;
+        std::fs::rename(tmp, path)
+    }
+
+    fn retrieve(&mut self, object_id: &str) -> io::Result<Option<Checkpoint>> {
+        match std::fs::read(self.bulk_path(object_id)) {
+            Ok(bytes) => cdr::from_bytes(&bytes)
+                .map(Some)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn delete(&mut self, object_id: &str) -> io::Result<bool> {
+        let mut any = false;
+        for path in [self.bulk_path(object_id), self.values_path(object_id)] {
+            match std::fs::remove_file(path) {
+                Ok(()) => any = true,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(any)
+    }
+
+    fn list(&mut self) -> io::Result<Vec<String>> {
+        let mut ids = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_suffix(".ckpt") {
+                // Recover the original id from the file: read it.
+                if let Ok(Some(c)) = self.retrieve(stem) {
+                    ids.push(c.object_id);
+                } else {
+                    ids.push(stem.to_string());
+                }
+            }
+        }
+        ids.sort();
+        Ok(ids)
+    }
+
+    fn store_value(&mut self, object_id: &str, key: &str, value: Any) -> io::Result<()> {
+        let mut values = self.load_values(object_id)?;
+        match values.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => values.push((key.to_string(), value)),
+        }
+        self.save_values(object_id, &values)
+    }
+
+    fn retrieve_value(&mut self, object_id: &str, key: &str) -> io::Result<Option<Any>> {
+        Ok(self
+            .load_values(object_id)?
+            .into_iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v))
+    }
+
+    fn value_count(&mut self, object_id: &str) -> io::Result<u32> {
+        Ok(self.load_values(object_id)?.len() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ckpt(id: &str, epoch: u64) -> Checkpoint {
+        Checkpoint {
+            object_id: id.to_string(),
+            epoch,
+            state: vec![1, 2, 3],
+            stamp_ns: 99,
+        }
+    }
+
+    fn exercise(backend: &mut dyn Backend) {
+        assert!(backend.retrieve("w1").unwrap().is_none());
+        backend.store(ckpt("w1", 1)).unwrap();
+        backend.store(ckpt("w2", 1)).unwrap();
+        backend.store(ckpt("w1", 2)).unwrap(); // replace
+        let got = backend.retrieve("w1").unwrap().unwrap();
+        assert_eq!(got.epoch, 2);
+        assert_eq!(backend.list().unwrap(), vec!["w1", "w2"]);
+
+        backend.store_value("w1", "x0", Any::double(1.5)).unwrap();
+        backend.store_value("w1", "x1", Any::double(2.5)).unwrap();
+        backend.store_value("w1", "x0", Any::double(9.0)).unwrap(); // replace
+        assert_eq!(backend.value_count("w1").unwrap(), 2);
+        assert_eq!(
+            backend.retrieve_value("w1", "x0").unwrap().unwrap(),
+            Any::double(9.0)
+        );
+        assert!(backend.retrieve_value("w1", "nope").unwrap().is_none());
+
+        assert!(backend.delete("w1").unwrap());
+        assert!(!backend.delete("w1").unwrap());
+        assert!(backend.retrieve("w1").unwrap().is_none());
+        assert_eq!(backend.value_count("w1").unwrap(), 0);
+        assert_eq!(backend.list().unwrap(), vec!["w2"]);
+    }
+
+    #[test]
+    fn mem_backend_contract() {
+        exercise(&mut MemBackend::new());
+    }
+
+    #[test]
+    fn disk_backend_contract() {
+        let dir = std::env::temp_dir().join(format!("ftproxy-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        exercise(&mut DiskBackend::new(&dir).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_backend_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("ftproxy-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut b = DiskBackend::new(&dir).unwrap();
+            b.store(ckpt("svc/1", 7)).unwrap();
+        }
+        {
+            let mut b = DiskBackend::new(&dir).unwrap();
+            let got = b.retrieve("svc/1").unwrap().unwrap();
+            assert_eq!(got.epoch, 7);
+            assert_eq!(got.object_id, "svc/1");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_cdr_round_trip() {
+        let c = ckpt("a", 3);
+        let back: Checkpoint = cdr::from_bytes(&cdr::to_bytes(&c)).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,199 @@
+//! Per-host service factories.
+//!
+//! The paper's proxies "start a new server (using the checkpoint) in case
+//! of a failure". Something must be able to start server objects on a
+//! chosen host: the **service factory**, one per workstation. Recovery and
+//! migration resolve the factory group through the load-distributing
+//! naming service, so replacement instances land on the currently
+//! best-performing host.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cosnaming::{Name, NamingClient};
+use orb::{
+    forward_to, reply, CallCtx, Exception, Ior, ObjectKey, ObjectRef, Orb, Poa, Servant,
+    SystemException,
+};
+use simnet::{Ctx, HostId, SimResult};
+
+/// Repository id of the factory interface.
+pub const FACTORY_TYPE: &str = "IDL:FT/ServiceFactory:1.0";
+
+/// The group name all factories register under (resolved load-balanced).
+pub fn factory_group() -> Name {
+    Name::simple("Factories")
+}
+
+/// The per-host name of a factory (resolved when a specific host is
+/// wanted).
+pub fn factory_name(host: HostId) -> Name {
+    Name::simple(format!("Factory-h{}", host.0))
+}
+
+/// Operation names.
+pub mod ops {
+    /// `boolean create(in string service_type, out Object obj)`.
+    pub const CREATE: &str = "create";
+    /// `boolean retire_forward(in unsigned long long key, in Object new_location)`
+    /// — replace a local object with a forwarding agent (migration).
+    pub const RETIRE_FORWARD: &str = "retire_forward";
+    /// `unsigned long instances()` — number of live instances created here.
+    pub const INSTANCES: &str = "instances";
+}
+
+/// Builds servants by service-type string. Returns the servant and its
+/// repository type id.
+pub type ServantBuilder =
+    Box<dyn FnMut(&mut CallCtx<'_>, &str) -> Option<(Rc<RefCell<dyn Servant>>, String)>>;
+
+/// The factory servant.
+pub struct ServiceFactory {
+    make: ServantBuilder,
+    /// Instances created by this factory.
+    pub created: u64,
+}
+
+impl ServiceFactory {
+    /// A factory using the given builder.
+    pub fn new(make: ServantBuilder) -> Self {
+        ServiceFactory { make, created: 0 }
+    }
+}
+
+/// A servant that forwards every operation to a new location — what a
+/// migrated service leaves behind so outstanding references keep working.
+pub struct ForwardingAgent {
+    /// Where the object lives now.
+    pub to: Ior,
+}
+
+impl Servant for ForwardingAgent {
+    fn dispatch(
+        &mut self,
+        _call: &mut CallCtx<'_>,
+        _op: &str,
+        _args: &[u8],
+    ) -> Result<Vec<u8>, Exception> {
+        Err(forward_to(&self.to))
+    }
+}
+
+impl Servant for ServiceFactory {
+    fn dispatch(
+        &mut self,
+        call: &mut CallCtx<'_>,
+        op: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, Exception> {
+        match op {
+            ops::CREATE => {
+                let (service_type,): (String,) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                match (self.make)(call, &service_type) {
+                    Some((servant, type_id)) => {
+                        self.created += 1;
+                        let key = call.poa.activate(type_id.clone(), servant);
+                        let ior = call.orb.ior(type_id, key);
+                        reply(&(true, ior))
+                    }
+                    None => reply(&(
+                        false,
+                        Ior::new("", simnet::HostId(0), simnet::Port(0), ObjectKey(0)),
+                    )),
+                }
+            }
+            ops::RETIRE_FORWARD => {
+                let (key, new_location): (u64, Ior) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let ok = call.poa.replace(
+                    ObjectKey(key),
+                    new_location.type_id.clone(),
+                    Rc::new(RefCell::new(ForwardingAgent { to: new_location })),
+                );
+                reply(&ok)
+            }
+            ops::INSTANCES => {
+                cdr::from_bytes::<()>(args).map_err(SystemException::marshal)?;
+                reply(&(self.created as u32))
+            }
+            other => Err(SystemException::bad_operation(other).into()),
+        }
+    }
+}
+
+/// Typed client for a service factory.
+#[derive(Clone, Debug)]
+pub struct FactoryClient {
+    /// The factory reference.
+    pub obj: ObjectRef,
+}
+
+impl FactoryClient {
+    /// Wrap a reference.
+    pub fn new(obj: ObjectRef) -> Self {
+        FactoryClient { obj }
+    }
+
+    /// Create a new instance of `service_type` on the factory's host.
+    pub fn create(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        service_type: &str,
+    ) -> SimResult<Result<Option<Ior>, Exception>> {
+        let r: Result<(bool, Ior), Exception> =
+            self.obj
+                .call(orb, ctx, ops::CREATE, &(service_type.to_string(),))?;
+        Ok(r.map(|(ok, ior)| ok.then_some(ior)))
+    }
+
+    /// Replace a local object with a forwarder to `new_location`.
+    pub fn retire_forward(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        key: ObjectKey,
+        new_location: &Ior,
+    ) -> SimResult<Result<bool, Exception>> {
+        self.obj
+            .call(orb, ctx, ops::RETIRE_FORWARD, &(key.0, new_location))
+    }
+
+    /// Number of instances created by this factory.
+    pub fn instances(&self, orb: &mut Orb, ctx: &mut Ctx) -> SimResult<Result<u32, Exception>> {
+        self.obj.call(orb, ctx, ops::INSTANCES, &())
+    }
+}
+
+/// The body of a factory process: serve `create` requests and register the
+/// factory in the naming service (per-host name + the `Factories` group).
+pub fn run_factory(ctx: &mut Ctx, naming_host: HostId, make: ServantBuilder) -> SimResult<()> {
+    let mut orb = Orb::init(ctx);
+    orb.listen(ctx)?;
+    let poa = Poa::new();
+    let servant = Rc::new(RefCell::new(ServiceFactory::new(make)));
+    let key = poa.activate(FACTORY_TYPE, servant);
+    let ior = orb.ior(FACTORY_TYPE, key);
+
+    let ns = NamingClient::root(naming_host);
+    let host = ctx.host();
+    // Register with the naming service, retrying while it boots. The
+    // per-host binding uses rebind to replace any stale registration from
+    // a previous incarnation of this host.
+    let retry = simnet::SimDuration::from_millis(100);
+    loop {
+        match ns.rebind(&mut orb, ctx, &factory_name(host), &ior)? {
+            Ok(()) => break,
+            Err(_) => ctx.sleep(retry)?,
+        }
+    }
+    loop {
+        match ns.bind_group_member(&mut orb, ctx, &factory_group(), &ior)? {
+            Ok(()) => break,
+            Err(e) if cosnaming::AlreadyBound::matches(&e) => break,
+            Err(_) => ctx.sleep(retry)?,
+        }
+    }
+    orb.serve_forever(ctx, &poa)
+}

@@ -1,0 +1,743 @@
+//! End-to-end fault-tolerance tests on the simulated cluster: proxy
+//! checkpoint/recovery, DII request proxies, the failure detector, and
+//! load-triggered migration.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+
+use cosnaming::{LbMode, Name, NamingClient};
+use orb::{reply, CallCtx, Exception, Ior, ObjectRef, Orb, Servant, SystemException};
+use simnet::{HostConfig, HostId, Kernel, SimDuration};
+
+use crate::detector::{run_detector, DetectorConfig, DetectorStats};
+use crate::factory::{factory_name, run_factory, FactoryClient};
+use crate::migration::{run_migration_manager, MigrationConfig, MigrationStats};
+use crate::proxy::{CheckpointMode, FtProxy, FtProxyConfig, ProxyEnv};
+use crate::request_proxy::FtRequest;
+use crate::service::{CheckpointClient, CheckpointService};
+
+type Cell<T> = Arc<Mutex<T>>;
+
+fn cell<T: Default>() -> Cell<T> {
+    Arc::new(Mutex::new(T::default()))
+}
+
+fn secs(s: f64) -> SimDuration {
+    SimDuration::from_secs_f64(s)
+}
+
+// ---------------------------------------------------------------------
+// A stateful test service: an accumulating counter with optional padding
+// state (to give checkpoints size) and a slow operation (to kill servers
+// mid-call).
+// ---------------------------------------------------------------------
+
+const COUNTER_TYPE: &str = "IDL:Test/Counter:1.0";
+
+#[derive(Default)]
+struct Counter {
+    value: i64,
+    pad: Vec<f64>,
+}
+
+impl Servant for Counter {
+    fn dispatch(
+        &mut self,
+        call: &mut CallCtx<'_>,
+        op: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, Exception> {
+        match op {
+            "inc" => {
+                let (delta,): (i64,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                self.value += delta;
+                reply(&self.value)
+            }
+            "slow_inc" => {
+                let (delta, work): (i64, f64) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                call.ctx
+                    .compute(work)
+                    .map_err(|_| SystemException::comm_failure("killed"))?;
+                self.value += delta;
+                reply(&self.value)
+            }
+            "get" => {
+                cdr::from_bytes::<()>(args).map_err(SystemException::marshal)?;
+                reply(&self.value)
+            }
+            "set_pad" => {
+                let (n,): (u32,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                self.pad = vec![0.5; n as usize];
+                reply(&())
+            }
+            "get_checkpoint" => {
+                cdr::from_bytes::<()>(args).map_err(SystemException::marshal)?;
+                reply(&cdr::to_bytes(&(self.value, self.pad.clone())))
+            }
+            "restore_checkpoint" => {
+                let (state,): (Vec<u8>,) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let (value, pad): (i64, Vec<f64>) =
+                    cdr::from_bytes(&state).map_err(SystemException::marshal)?;
+                self.value = value;
+                self.pad = pad;
+                reply(&())
+            }
+            other => Err(SystemException::bad_operation(other).into()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Test-bed boot
+// ---------------------------------------------------------------------
+
+/// Spawn the checkpoint service and register it under "CheckpointService".
+fn spawn_ckpt(sim: &mut Kernel, host: HostId) {
+    sim.spawn(host, "ckpt-svc", move |ctx| {
+        // Register with the naming service before serving, so clients can
+        // resolve "CheckpointService" (run_checkpoint_service itself does
+        // not register; the runtime layer owns that policy).
+        let mut orb = Orb::init(ctx);
+        orb.listen(ctx).unwrap();
+        let poa = orb::Poa::new();
+        let key = poa.activate(
+            crate::service::CHECKPOINT_SERVICE_TYPE,
+            Rc::new(RefCell::new(CheckpointService::in_memory())),
+        );
+        let ior = orb.ior(crate::service::CHECKPOINT_SERVICE_TYPE, key);
+        let ns = NamingClient::root(host);
+        loop {
+            match ns.rebind(&mut orb, ctx, &Name::simple("CheckpointService"), &ior) {
+                Ok(Ok(())) => break,
+                Ok(Err(_)) => {
+                    if ctx.sleep(secs(0.05)).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        let _ = orb.serve_forever(ctx, &poa);
+    });
+}
+
+fn spawn_factories(sim: &mut Kernel, hosts: &[HostId], naming_host: HostId) {
+    for &h in hosts {
+        sim.spawn(h, format!("factory-{h}"), move |ctx| {
+            let builder: crate::factory::ServantBuilder = Box::new(|_call, ty| {
+                (ty == "Counter").then(|| {
+                    (
+                        Rc::new(RefCell::new(Counter::default())) as Rc<RefCell<dyn Servant>>,
+                        COUNTER_TYPE.to_string(),
+                    )
+                })
+            });
+            let _ = run_factory(ctx, naming_host, builder);
+        });
+    }
+}
+
+/// Build the standard cluster: plain naming + checkpoint svc + factories.
+fn standard_bed(sim: &mut Kernel, n_hosts: usize) -> Vec<HostId> {
+    let hosts: Vec<_> = (0..n_hosts)
+        .map(|i| sim.add_host(HostConfig::new(format!("ws{i}"))))
+        .collect();
+    let h0 = hosts[0];
+    sim.spawn(h0, "naming", move |ctx| {
+        let _ = cosnaming::run_naming_service(ctx, LbMode::Plain);
+    });
+    spawn_ckpt(sim, h0);
+    // Factories on the worker hosts only: the infra host (naming,
+    // checkpoint service) does not run application services.
+    spawn_factories(sim, &hosts[1..], h0);
+    hosts
+}
+
+/// Resolve the checkpoint client from the naming service (driver side).
+fn ckpt_client(orb: &mut Orb, ctx: &mut simnet::Ctx, naming_host: HostId) -> CheckpointClient {
+    let ns = NamingClient::root(naming_host);
+    loop {
+        match ns
+            .resolve(orb, ctx, &Name::simple("CheckpointService"))
+            .unwrap()
+        {
+            Ok(obj) => return CheckpointClient::new(obj),
+            Err(_) => ctx.sleep(secs(0.05)).unwrap(),
+        }
+    }
+}
+
+fn proxy_for(
+    naming_host: HostId,
+    orb: &mut Orb,
+    ctx: &mut simnet::Ctx,
+    mode: CheckpointMode,
+) -> FtProxy {
+    let ckpt = ckpt_client(orb, ctx, naming_host);
+    let mut cfg = FtProxyConfig::new(Name::simple("Counters"), "Counter", "counter-1");
+    cfg.mode = mode;
+    FtProxy::new(cfg, NamingClient::root(naming_host), ckpt)
+}
+
+// ---------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------
+
+#[test]
+fn proxy_creates_instance_calls_and_checkpoints() {
+    let mut sim = Kernel::with_seed(5);
+    let hosts = standard_bed(&mut sim, 3);
+    let out = cell::<Vec<i64>>();
+    let o = out.clone();
+    let stats_out = cell::<Option<(u64, u64, u64)>>();
+    let so = stats_out.clone();
+    let h0 = hosts[0];
+    let driver = sim.spawn(hosts[1], "driver", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap(); // services boot
+        let mut orb = Orb::init(ctx);
+        let mut proxy = proxy_for(h0, &mut orb, ctx, CheckpointMode::PerValue);
+        let mut env = ProxyEnv { orb: &mut orb, ctx };
+        for _ in 0..3 {
+            let v: i64 = proxy.call(&mut env, "inc", &(2i64,)).unwrap().unwrap();
+            o.lock().unwrap().push(v);
+        }
+        let s = proxy.stats;
+        *so.lock().unwrap() = Some((s.calls, s.checkpoints, s.factory_creates));
+    });
+    sim.run_until_exit(driver);
+    assert_eq!(*out.lock().unwrap(), vec![2, 4, 6]);
+    let (calls, ckpts, creates) = stats_out.lock().unwrap().unwrap();
+    assert_eq!(calls, 3);
+    assert_eq!(ckpts, 3); // after every call (the paper)
+    assert_eq!(creates, 1); // one factory instantiation
+}
+
+#[test]
+fn proxy_recovers_state_after_host_crash() {
+    let mut sim = Kernel::with_seed(5);
+    let hosts = standard_bed(&mut sim, 3);
+    let out = cell::<Vec<i64>>();
+    let o = out.clone();
+    let stats_out = cell::<Option<crate::proxy::FtProxyStats>>();
+    let so = stats_out.clone();
+    let h0 = hosts[0];
+    let crash_cell = cell::<Option<u32>>(); // host to crash, chosen at runtime
+    let cc = crash_cell.clone();
+    let driver = sim.spawn(hosts[0], "driver", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let mut proxy = proxy_for(h0, &mut orb, ctx, CheckpointMode::PerValue);
+        let mut env = ProxyEnv { orb: &mut orb, ctx };
+        for i in 0..5i64 {
+            let v: i64 = proxy.call(&mut env, "inc", &(1i64,)).unwrap().unwrap();
+            o.lock().unwrap().push(v);
+            if i == 2 {
+                // Crash the host the counter lives on (never h0, where all
+                // the infrastructure lives — exclude it from creation by
+                // crashing whatever host the proxy actually picked).
+                let victim = proxy.current_target().unwrap().ior.host;
+                assert_ne!(victim, h0, "no factory runs on the infra host");
+                *cc.lock().unwrap() = Some(victim.0);
+                env.ctx.crash_host(victim).unwrap();
+            }
+        }
+        *so.lock().unwrap() = Some(proxy.stats);
+    });
+    sim.run_until_exit(driver);
+    // Counter continuity: 1,2,3 then crash; restored state 3 → 4,5.
+    assert_eq!(*out.lock().unwrap(), vec![1, 2, 3, 4, 5]);
+    let s = stats_out.lock().unwrap().unwrap();
+    assert!(s.recoveries >= 1, "{s:?}");
+    assert_eq!(s.factory_creates, 2, "{s:?}");
+    assert!(s.restores >= 1, "{s:?}");
+    assert!(crash_cell.lock().unwrap().is_some());
+}
+
+#[test]
+fn bulk_mode_recovers_identically() {
+    let mut sim = Kernel::with_seed(6);
+    let hosts = standard_bed(&mut sim, 3);
+    let out = cell::<Vec<i64>>();
+    let o = out.clone();
+    let h0 = hosts[0];
+    let driver = sim.spawn(hosts[0], "driver", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let mut proxy = proxy_for(h0, &mut orb, ctx, CheckpointMode::Bulk);
+        let mut env = ProxyEnv { orb: &mut orb, ctx };
+        // Give the state some size.
+        let _: () = proxy.call(&mut env, "set_pad", &(64u32,)).unwrap().unwrap();
+        for i in 0..4i64 {
+            let v: i64 = proxy.call(&mut env, "inc", &(10i64,)).unwrap().unwrap();
+            o.lock().unwrap().push(v);
+            if i == 1 {
+                let victim = proxy.current_target().unwrap().ior.host;
+                assert_ne!(victim, h0, "counter must not land on infra host");
+                env.ctx.crash_host(victim).unwrap();
+            }
+        }
+        // Pad must survive the recovery too.
+        let v: i64 = proxy.call(&mut env, "get", &()).unwrap().unwrap();
+        o.lock().unwrap().push(v);
+    });
+    sim.run_until_exit(driver);
+    assert_eq!(*out.lock().unwrap(), vec![10, 20, 30, 40, 40]);
+}
+
+#[test]
+fn stateless_mode_takes_no_checkpoints() {
+    let mut sim = Kernel::with_seed(5);
+    let hosts = standard_bed(&mut sim, 2);
+    let stats_out = cell::<Option<crate::proxy::FtProxyStats>>();
+    let so = stats_out.clone();
+    let h0 = hosts[0];
+    let driver = sim.spawn(hosts[1], "driver", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let mut proxy = proxy_for(h0, &mut orb, ctx, CheckpointMode::None);
+        let mut env = ProxyEnv { orb: &mut orb, ctx };
+        for _ in 0..3 {
+            let _: i64 = proxy.call(&mut env, "inc", &(1i64,)).unwrap().unwrap();
+        }
+        *so.lock().unwrap() = Some(proxy.stats);
+    });
+    sim.run_until_exit(driver);
+    let s = stats_out.lock().unwrap().unwrap();
+    assert_eq!(s.checkpoints, 0);
+    assert_eq!(s.calls, 3);
+}
+
+#[test]
+fn checkpoint_every_k_reduces_checkpoints() {
+    let mut sim = Kernel::with_seed(5);
+    let hosts = standard_bed(&mut sim, 2);
+    let stats_out = cell::<Option<u64>>();
+    let so = stats_out.clone();
+    let h0 = hosts[0];
+    let driver = sim.spawn(hosts[1], "driver", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let ckpt = ckpt_client(&mut orb, ctx, h0);
+        let cfg = FtProxyConfig::new(Name::simple("Counters"), "Counter", "counter-k")
+            .bulk()
+            .checkpoint_every(3);
+        let mut proxy = FtProxy::new(cfg, NamingClient::root(h0), ckpt);
+        let mut env = ProxyEnv { orb: &mut orb, ctx };
+        for _ in 0..7 {
+            let _: i64 = proxy.call(&mut env, "inc", &(1i64,)).unwrap().unwrap();
+        }
+        *so.lock().unwrap() = Some(proxy.stats.checkpoints);
+    });
+    sim.run_until_exit(driver);
+    assert_eq!(stats_out.lock().unwrap().unwrap(), 2); // after calls 3 and 6
+}
+
+#[test]
+fn request_proxy_recovers_deferred_call() {
+    let mut sim = Kernel::with_seed(7);
+    let hosts = standard_bed(&mut sim, 3);
+    let out = cell::<Vec<i64>>();
+    let o = out.clone();
+    let h0 = hosts[0];
+    let driver = sim.spawn(hosts[0], "driver", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        // The timeout must exceed the 2s server computation, otherwise
+        // even healthy calls "fail"; detection is timeout-based here.
+        let mut orb = Orb::new(
+            ctx,
+            orb::OrbConfig {
+                request_timeout: secs(5.0),
+                ..orb::OrbConfig::default()
+            },
+        );
+        let mut proxy = proxy_for(h0, &mut orb, ctx, CheckpointMode::PerValue);
+        let mut env = ProxyEnv { orb: &mut orb, ctx };
+        // Establish state: value = 5, checkpointed.
+        let v: i64 = proxy.call(&mut env, "inc", &(5i64,)).unwrap().unwrap();
+        o.lock().unwrap().push(v);
+        let victim = proxy.current_target().unwrap().ior.host;
+        assert_ne!(victim, h0);
+        // Fire a deferred slow call (2s of CPU), then crash the server
+        // mid-call: the reply never arrives, the request proxy recovers
+        // and re-executes against the restored replica.
+        let mut req = FtRequest::new("slow_inc");
+        req.add_typed(&3i64).add_typed(&2.0f64);
+        req.send_deferred(&mut proxy, &mut env).unwrap();
+        env.ctx.sleep(secs(0.5)).unwrap();
+        env.ctx.crash_host(victim).unwrap();
+        let v: i64 = req
+            .get_response_typed(&mut proxy, &mut env)
+            .unwrap()
+            .unwrap();
+        o.lock().unwrap().push(v);
+        o.lock().unwrap().push(req.attempts() as i64);
+    });
+    sim.run_until_exit(driver);
+    let log = out.lock().unwrap().clone();
+    // 5 (first inc), then 8 (restored 5 + 3), with ≥1 recovery attempt.
+    assert_eq!(log[0], 5);
+    assert_eq!(log[1], 8);
+    assert!(log[2] >= 1, "{log:?}");
+}
+
+#[test]
+fn request_proxy_poll_path() {
+    let mut sim = Kernel::with_seed(7);
+    let hosts = standard_bed(&mut sim, 2);
+    let out = cell::<Vec<bool>>();
+    let o = out.clone();
+    let h0 = hosts[0];
+    let driver = sim.spawn(hosts[1], "driver", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let mut proxy = proxy_for(h0, &mut orb, ctx, CheckpointMode::None);
+        let mut env = ProxyEnv { orb: &mut orb, ctx };
+        let mut req = FtRequest::new("slow_inc");
+        req.add_typed(&1i64).add_typed(&1.0f64);
+        req.send_deferred(&mut proxy, &mut env).unwrap();
+        o.lock()
+            .unwrap()
+            .push(req.poll_response(&mut proxy, &mut env).unwrap());
+        env.ctx.sleep(secs(3.0)).unwrap();
+        o.lock()
+            .unwrap()
+            .push(req.poll_response(&mut proxy, &mut env).unwrap());
+        let v: i64 = req
+            .get_response_typed(&mut proxy, &mut env)
+            .unwrap()
+            .unwrap();
+        assert_eq!(v, 1);
+    });
+    sim.run_until_exit(driver);
+    assert_eq!(*out.lock().unwrap(), vec![false, true]);
+}
+
+#[test]
+fn detector_evicts_dead_members() {
+    let mut sim = Kernel::with_seed(8);
+    let hosts = standard_bed(&mut sim, 3);
+    let h0 = hosts[0];
+    let stats = Arc::new(Mutex::new(DetectorStats::default()));
+    let st = stats.clone();
+    sim.spawn(h0, "detector", move |ctx| {
+        ctx.sleep(secs(1.5)).unwrap();
+        let _ = run_detector(
+            ctx,
+            h0,
+            DetectorConfig {
+                groups: vec![Name::simple("Counters")],
+                period: secs(0.5),
+                suspect_after: 2,
+            },
+            st,
+        );
+    });
+    let remaining = cell::<Option<usize>>();
+    let rem = remaining.clone();
+    let driver = sim.spawn(hosts[0], "driver", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        // Create two replicas directly through both non-infra factories.
+        let ns = NamingClient::root(h0);
+        let group = Name::simple("Counters");
+        for &h in &[hosts[1], hosts[2]] {
+            let f = ns
+                .resolve(&mut orb, ctx, &factory_name(h))
+                .unwrap()
+                .unwrap();
+            let ior = FactoryClient::new(f)
+                .create(&mut orb, ctx, "Counter")
+                .unwrap()
+                .unwrap()
+                .unwrap();
+            ns.bind_group_member(&mut orb, ctx, &group, &ior)
+                .unwrap()
+                .unwrap();
+        }
+        // Kill host 2: its replica becomes unreachable.
+        ctx.crash_host(hosts[2]).unwrap();
+        ctx.sleep(secs(5.0)).unwrap(); // detector rounds
+        let members = ns.group_members(&mut orb, ctx, &group).unwrap().unwrap();
+        *rem.lock().unwrap() = Some(members.len());
+    });
+    sim.run_until_exit(driver);
+    assert_eq!(*remaining.lock().unwrap(), Some(1));
+    let s = *stats.lock().unwrap();
+    assert!(s.evictions >= 1, "{s:?}");
+    assert!(s.probes > 0);
+}
+
+#[test]
+fn migration_moves_loaded_service_and_forwards_old_references() {
+    let mut sim = Kernel::with_seed(9);
+    // Winner-enabled bed: naming in Winner mode + system manager + node
+    // managers, so migration has load data.
+    let hosts: Vec<_> = (0..3)
+        .map(|i| sim.add_host(HostConfig::new(format!("ws{i}"))))
+        .collect();
+    let h0 = hosts[0];
+    let sysmgr_ior = cell::<Option<String>>();
+    let sm = sysmgr_ior.clone();
+    sim.spawn(h0, "winner-sysmgr", move |ctx| {
+        let _ = winner::run_system_manager(
+            ctx,
+            winner::SystemManagerConfig::default(),
+            Box::new(winner::BestPerformance),
+            |i| {
+                *sm.lock().unwrap() = Some(i.stringify());
+            },
+        );
+    });
+    for &h in &hosts {
+        let sm = sysmgr_ior.clone();
+        sim.spawn(h, "winner-nm", move |ctx| {
+            while sm.lock().unwrap().is_none() {
+                if ctx.sleep(secs(0.01)).is_err() {
+                    return;
+                }
+            }
+            let s = sm.lock().unwrap().clone().unwrap();
+            let _ = winner::run_node_manager(
+                ctx,
+                winner::NodeManagerConfig::new(Ior::destringify(&s).unwrap()),
+            );
+        });
+    }
+    sim.spawn(h0, "naming", move |ctx| {
+        let _ = cosnaming::run_naming_service(ctx, LbMode::Plain);
+    });
+    spawn_ckpt(&mut sim, h0);
+    spawn_factories(&mut sim, &hosts, h0);
+
+    let mig_stats = Arc::new(Mutex::new(MigrationStats::default()));
+    let ms = mig_stats.clone();
+    let sm = sysmgr_ior.clone();
+    sim.spawn(h0, "migration-mgr", move |ctx| {
+        while sm.lock().unwrap().is_none() {
+            if ctx.sleep(secs(0.01)).is_err() {
+                return;
+            }
+        }
+        ctx.sleep(secs(2.0)).unwrap();
+        let s = sm.lock().unwrap().clone().unwrap();
+        let cfg = MigrationConfig::new(Name::simple("Counters"), "Counter");
+        let _ = run_migration_manager(ctx, h0, Ior::destringify(&s).unwrap(), cfg, ms);
+    });
+
+    let out = cell::<Vec<String>>();
+    let o = out.clone();
+    let driver = sim.spawn(hosts[0], "driver", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let ns = NamingClient::root(h0);
+        let group = Name::simple("Counters");
+        // Create the counter explicitly on host 1.
+        let f = ns
+            .resolve(&mut orb, ctx, &factory_name(hosts[1]))
+            .unwrap()
+            .unwrap();
+        let old_ior = FactoryClient::new(f)
+            .create(&mut orb, ctx, "Counter")
+            .unwrap()
+            .unwrap()
+            .unwrap();
+        ns.bind_group_member(&mut orb, ctx, &group, &old_ior)
+            .unwrap()
+            .unwrap();
+        let old_obj = ObjectRef::new(old_ior.clone());
+        let _: i64 = old_obj
+            .call(&mut orb, ctx, "inc", &(7i64,))
+            .unwrap()
+            .unwrap();
+        // Load host 1 heavily; the migration manager should move the
+        // counter to an idle host.
+        let spin_host = hosts[1];
+        ctx.spawn(spin_host, "spinner", |c| {
+            let _ = c.spin_forever();
+        })
+        .unwrap();
+        ctx.sleep(secs(15.0)).unwrap();
+        let members = ns.group_members(&mut orb, ctx, &group).unwrap().unwrap();
+        o.lock().unwrap().push(format!(
+            "members:{}:host{}",
+            members.len(),
+            members[0].host.0
+        ));
+        // The OLD reference must still work, via the forwarding agent.
+        let v: i64 = old_obj.call(&mut orb, ctx, "get", &()).unwrap().unwrap();
+        o.lock().unwrap().push(format!("old-ref-value:{v}"));
+    });
+    sim.run_until_exit(driver);
+    let log = out.lock().unwrap().clone();
+    assert_eq!(log.len(), 2, "{log:?}");
+    assert!(
+        log[0] == "members:1:host0" || log[0] == "members:1:host2",
+        "service did not migrate away from the loaded host: {log:?}"
+    );
+    assert_eq!(log[1], "old-ref-value:7", "{log:?}");
+    assert!(mig_stats.lock().unwrap().migrations >= 1);
+}
+
+#[test]
+fn checkpoint_service_failure_degrades_gracefully() {
+    // If the checkpoint store dies, calls keep succeeding; the proxy
+    // counts checkpoint failures instead of failing the application.
+    let mut sim = Kernel::with_seed(10);
+    let hosts = standard_bed(&mut sim, 3);
+    let h0 = hosts[0];
+    let stats_out = cell::<Option<crate::proxy::FtProxyStats>>();
+    let so = stats_out.clone();
+    let values = cell::<Vec<i64>>();
+    let vo = values.clone();
+    let driver = sim.spawn(hosts[1], "driver", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::new(
+            ctx,
+            orb::OrbConfig {
+                request_timeout: secs(0.5), // fast checkpoint failure
+                ..orb::OrbConfig::default()
+            },
+        );
+        let mut proxy = proxy_for(h0, &mut orb, ctx, CheckpointMode::Bulk);
+        let mut env = ProxyEnv { orb: &mut orb, ctx };
+        let v: i64 = proxy.call(&mut env, "inc", &(1i64,)).unwrap().unwrap();
+        vo.lock().unwrap().push(v);
+        // Kill the checkpoint service process (spawned second on h0:
+        // naming is pid 0, ckpt-svc pid 1).
+        env.ctx.kill(simnet::Pid(1)).unwrap();
+        for _ in 0..2 {
+            let v: i64 = proxy.call(&mut env, "inc", &(1i64,)).unwrap().unwrap();
+            vo.lock().unwrap().push(v);
+        }
+        *so.lock().unwrap() = Some(proxy.stats);
+    });
+    sim.run_until_exit(driver);
+    assert_eq!(*values.lock().unwrap(), vec![1, 2, 3]);
+    let s = stats_out.lock().unwrap().unwrap();
+    assert_eq!(s.calls, 3);
+    assert_eq!(s.checkpoints, 1, "{s:?}");
+    assert_eq!(s.checkpoint_failures, 2, "{s:?}");
+}
+
+#[test]
+fn disk_backed_checkpoint_service_works_in_sim() {
+    let dir = std::env::temp_dir().join(format!("ft-disk-sim-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut sim = Kernel::with_seed(10);
+    let hosts: Vec<_> = (0..2)
+        .map(|i| sim.add_host(HostConfig::new(format!("ws{i}"))))
+        .collect();
+    let h0 = hosts[0];
+    sim.spawn(h0, "naming", move |ctx| {
+        let _ = cosnaming::run_naming_service(ctx, LbMode::Plain);
+    });
+    let dir2 = dir.clone();
+    sim.spawn(h0, "ckpt-disk", move |ctx| {
+        let mut orb = Orb::init(ctx);
+        orb.listen(ctx).unwrap();
+        let poa = orb::Poa::new();
+        let svc = CheckpointService::new(
+            Box::new(crate::checkpoint::DiskBackend::new(&dir2).unwrap()),
+            crate::service::StoreCosts::default(),
+        );
+        let key = poa.activate(
+            crate::service::CHECKPOINT_SERVICE_TYPE,
+            Rc::new(RefCell::new(svc)),
+        );
+        let ior = orb.ior(crate::service::CHECKPOINT_SERVICE_TYPE, key);
+        let ns = NamingClient::root(h0);
+        loop {
+            match ns.rebind(&mut orb, ctx, &Name::simple("CheckpointService"), &ior) {
+                Ok(Ok(())) => break,
+                Ok(Err(_)) => {
+                    if ctx.sleep(secs(0.05)).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        let _ = orb.serve_forever(ctx, &poa);
+    });
+    let done = cell::<bool>();
+    let d = done.clone();
+    let driver = sim.spawn(hosts[1], "driver", move |ctx| {
+        ctx.sleep(secs(0.5)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let ckpt = ckpt_client(&mut orb, ctx, h0);
+        let c = crate::checkpoint::Checkpoint {
+            object_id: "disk-test".into(),
+            epoch: 3,
+            state: vec![9; 100],
+            stamp_ns: ctx.now().as_nanos(),
+        };
+        ckpt.store(&mut orb, ctx, &c).unwrap().unwrap();
+        let back = ckpt.retrieve(&mut orb, ctx, "disk-test").unwrap().unwrap();
+        assert_eq!(back.unwrap().state, vec![9; 100]);
+        *d.lock().unwrap() = true;
+    });
+    sim.run_until_exit(driver);
+    assert!(*done.lock().unwrap());
+    // The checkpoint really is on disk.
+    assert!(dir.join("disk-test.ckpt").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn detector_tolerates_transient_misses() {
+    // suspect_after = 3: a single missed probe (brief partition) must not
+    // evict a healthy member.
+    let mut sim = Kernel::with_seed(12);
+    let hosts = standard_bed(&mut sim, 3);
+    let h0 = hosts[0];
+    let stats = Arc::new(Mutex::new(DetectorStats::default()));
+    let st = stats.clone();
+    sim.spawn(h0, "detector", move |ctx| {
+        ctx.sleep(secs(1.5)).unwrap();
+        let _ = run_detector(
+            ctx,
+            h0,
+            DetectorConfig {
+                groups: vec![Name::simple("Counters")],
+                period: secs(0.5),
+                suspect_after: 3,
+            },
+            st,
+        );
+    });
+    let remaining = cell::<Option<usize>>();
+    let rem = remaining.clone();
+    let driver = sim.spawn(hosts[0], "driver", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let ns = NamingClient::root(h0);
+        let group = Name::simple("Counters");
+        let f = ns
+            .resolve(&mut orb, ctx, &factory_name(hosts[1]))
+            .unwrap()
+            .unwrap();
+        let ior = FactoryClient::new(f)
+            .create(&mut orb, ctx, "Counter")
+            .unwrap()
+            .unwrap()
+            .unwrap();
+        ns.bind_group_member(&mut orb, ctx, &group, &ior)
+            .unwrap()
+            .unwrap();
+        // Briefly cut the detector's path to the member (one probe round).
+        ctx.set_partition(h0, hosts[1], true).unwrap();
+        ctx.sleep(secs(0.7)).unwrap();
+        ctx.set_partition(h0, hosts[1], false).unwrap();
+        ctx.sleep(secs(4.0)).unwrap();
+        let members = ns.group_members(&mut orb, ctx, &group).unwrap().unwrap();
+        *rem.lock().unwrap() = Some(members.len());
+    });
+    sim.run_until_exit(driver);
+    assert_eq!(*remaining.lock().unwrap(), Some(1), "member was evicted");
+    let s = *stats.lock().unwrap();
+    assert!(s.failed_probes >= 1, "{s:?}");
+    assert_eq!(s.evictions, 0, "{s:?}");
+}

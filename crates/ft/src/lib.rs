@@ -1,0 +1,47 @@
+//! # ftproxy — fault tolerance by checkpointing proxies
+//!
+//! The paper's second contribution (§3): fault tolerance for long-running
+//! parallel applications **without replication** — "it is a good
+//! compromise to restrict fault tolerance to checkpointing and
+//! restarting". The pieces:
+//!
+//! * [`CheckpointService`] — the paper's "simple service for storing
+//!   checkpointing data", with the in-memory proof-of-concept backend and
+//!   the disk persistence the paper deferred ([`MemBackend`],
+//!   [`DiskBackend`]).
+//! * [`FtProxy`] — the client-side proxy "derived from the stub class":
+//!   checkpoint after each successful call, catch `COMM_FAILURE`, resolve
+//!   a fresh replica through the (load-distributing) naming service or
+//!   create one via a [`ServiceFactory`], restore the checkpoint, retry.
+//! * [`FtRequest`] — the request proxy giving the same semantics to
+//!   asynchronous DII invocations (Fig. 2).
+//! * [`run_detector`] — a proactive heartbeat failure detector (extension;
+//!   the paper only detects failures via `COMM_FAILURE`).
+//! * [`migrate_member`] / [`run_migration_manager`] — load-triggered
+//!   migration, the paper's "in principle possible" remark, implemented
+//!   (old locations forward via GIOP `LocationForward`).
+
+pub mod checkpoint;
+pub mod detector;
+pub mod factory;
+pub mod migration;
+pub mod proxy;
+pub mod request_proxy;
+pub mod service;
+
+pub use checkpoint::{Backend, Checkpoint, DiskBackend, MemBackend};
+pub use detector::{run_detector, DetectorConfig, DetectorStats};
+pub use factory::{
+    factory_group, factory_name, run_factory, FactoryClient, ForwardingAgent, ServantBuilder,
+    ServiceFactory, FACTORY_TYPE,
+};
+pub use migration::{migrate_member, run_migration_manager, MigrationConfig, MigrationStats};
+pub use proxy::{CheckpointMode, FtProxy, FtProxyConfig, FtProxyStats, ProxyEnv};
+pub use request_proxy::FtRequest;
+pub use service::{
+    run_checkpoint_service, CheckpointClient, CheckpointService, StoreCosts,
+    CHECKPOINT_SERVICE_NAME, CHECKPOINT_SERVICE_TYPE,
+};
+
+#[cfg(test)]
+mod ft_tests;

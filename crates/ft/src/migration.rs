@@ -1,0 +1,184 @@
+//! Service migration driven by load changes.
+//!
+//! The paper observes (§3) that once a class can checkpoint and restore
+//! its state, "it is in principle possible to migrate a service from one
+//! host to another one not only when an error occured but also due to a
+//! changing load situation". This module implements that: a one-shot
+//! [`migrate_member`] primitive and a periodic [`run_migration_manager`]
+//! that watches Winner's load data and moves group members off overloaded
+//! hosts. The old location is left holding a [`ForwardingAgent`]
+//! (GIOP `LocationForward`), so stale references transparently follow.
+//!
+//! [`ForwardingAgent`]: crate::factory::ForwardingAgent
+
+use std::sync::{Arc, Mutex};
+
+use cosnaming::{Name, NamingClient};
+use orb::{Exception, Ior, ObjectRef, Orb, SystemException};
+use simnet::{Ctx, HostId, SimDuration, SimResult};
+use winner::SystemManagerClient;
+
+use crate::factory::{factory_name, FactoryClient};
+
+/// Migration manager tuning.
+#[derive(Clone, Debug)]
+pub struct MigrationConfig {
+    /// The service group to manage.
+    pub group: Name,
+    /// Service type to instantiate at the destination.
+    pub service_type: String,
+    /// Check period.
+    pub period: SimDuration,
+    /// Migrate when the best host's score exceeds the current host's by
+    /// this factor (hysteresis against thrashing).
+    pub improvement_factor: f64,
+    /// Operation fetching the service state.
+    pub checkpoint_op: String,
+    /// Operation restoring the service state.
+    pub restore_op: String,
+}
+
+impl MigrationConfig {
+    /// Defaults: 2 s period, migrate on 1.8× improvement.
+    pub fn new(group: Name, service_type: impl Into<String>) -> Self {
+        MigrationConfig {
+            group,
+            service_type: service_type.into(),
+            period: SimDuration::from_secs(2),
+            improvement_factor: 1.8,
+            checkpoint_op: "get_checkpoint".into(),
+            restore_op: "restore_checkpoint".into(),
+        }
+    }
+}
+
+/// Shared counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MigrationStats {
+    /// Successful migrations.
+    pub migrations: u64,
+    /// Migration attempts that failed.
+    pub failures: u64,
+}
+
+/// Move one group member to `dest_host`: checkpoint → create replacement
+/// via the destination factory → restore → swap naming bindings → leave a
+/// forwarding agent behind. Returns the new member's reference.
+#[allow(clippy::too_many_arguments)] // a one-shot orchestration primitive
+pub fn migrate_member(
+    orb: &mut Orb,
+    ctx: &mut Ctx,
+    naming_host: HostId,
+    group: &Name,
+    member: &Ior,
+    dest_host: HostId,
+    service_type: &str,
+    checkpoint_op: &str,
+    restore_op: &str,
+) -> SimResult<Result<Ior, Exception>> {
+    let ns = NamingClient::root(naming_host);
+    let old = ObjectRef::new(member.clone());
+
+    // 1. Freeze the service's state (the service keeps serving; the last
+    //    writer wins, as in the paper's prototype).
+    let state: Vec<u8> = match old.call(orb, ctx, checkpoint_op, &())? {
+        Ok(s) => s,
+        Err(e) => return Ok(Err(e)),
+    };
+
+    // 2. Create a replacement on the destination host via its factory.
+    let factory = match ns.resolve(orb, ctx, &factory_name(dest_host))? {
+        Ok(obj) => FactoryClient::new(obj),
+        Err(e) => return Ok(Err(e)),
+    };
+    let new_ior = match factory.create(orb, ctx, service_type)? {
+        Ok(Some(ior)) => ior,
+        Ok(None) => {
+            return Ok(Err(Exception::System(SystemException::transient(format!(
+                "factory on {dest_host} cannot create {service_type:?}"
+            )))))
+        }
+        Err(e) => return Ok(Err(e)),
+    };
+
+    // 3. Restore state into the replacement.
+    let new_obj = ObjectRef::new(new_ior.clone());
+    if let Err(e) = new_obj.call::<_, ()>(orb, ctx, restore_op, &(state,))? {
+        return Ok(Err(e));
+    }
+
+    // 4. Swap the naming bindings (new first, so the group never empties).
+    if let Err(e) = ns.bind_group_member(orb, ctx, group, &new_ior)? {
+        return Ok(Err(e));
+    }
+    let _ = ns.unbind_group_member(orb, ctx, group, member)?;
+
+    // 5. Leave a forwarder at the old location so outstanding references
+    //    keep working (via the old host's factory, which owns the POA).
+    if let Ok(old_factory) = ns.resolve(orb, ctx, &factory_name(member.host))? {
+        let _ = FactoryClient::new(old_factory).retire_forward(orb, ctx, member.key, &new_ior)?;
+    }
+
+    Ok(Ok(new_ior))
+}
+
+/// The migration manager process: periodically compare each member's host
+/// against the cluster's best host (per Winner) and migrate when the
+/// improvement exceeds the configured factor.
+#[allow(clippy::too_many_arguments)]
+pub fn run_migration_manager(
+    ctx: &mut Ctx,
+    naming_host: HostId,
+    system_manager: Ior,
+    cfg: MigrationConfig,
+    stats: Arc<Mutex<MigrationStats>>,
+) -> SimResult<()> {
+    let mut orb = Orb::init(ctx);
+    let ns = NamingClient::root(naming_host);
+    let winner = SystemManagerClient::from_ior(system_manager);
+    loop {
+        ctx.sleep(cfg.period)?;
+        let Ok(members) = ns.group_members(&mut orb, ctx, &cfg.group)? else {
+            continue;
+        };
+        let Ok(snapshot) = winner.snapshot(&mut orb, ctx)? else {
+            continue;
+        };
+        let score_of = |host: u32| -> Option<f64> {
+            snapshot
+                .iter()
+                .find(|s| s.host == host && s.alive)
+                .map(|s| s.score)
+        };
+        let best = snapshot
+            .iter()
+            .filter(|s| s.alive)
+            .max_by(|a, b| a.score.total_cmp(&b.score));
+        let Some(best) = best else { continue };
+        for member in members {
+            let Some(current_score) = score_of(member.host.0) else {
+                continue;
+            };
+            if best.host != member.host.0 && best.score > current_score * cfg.improvement_factor {
+                let r = migrate_member(
+                    &mut orb,
+                    ctx,
+                    naming_host,
+                    &cfg.group,
+                    &member,
+                    HostId(best.host),
+                    &cfg.service_type,
+                    &cfg.checkpoint_op,
+                    &cfg.restore_op,
+                )?;
+                let mut s = stats.lock().unwrap();
+                match r {
+                    Ok(_) => s.migrations += 1,
+                    Err(_) => s.failures += 1,
+                }
+                // At most one migration per round: let load reports settle.
+                break;
+            }
+        }
+    }
+}

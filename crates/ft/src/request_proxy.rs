@@ -1,0 +1,205 @@
+//! Fault-tolerant **request proxies** for the Dynamic Invocation
+//! Interface — the right-hand side of the paper's Fig. 2.
+//!
+//! A client using DII "does not call the server object's methods directly,
+//! but uses so-called request objects instead … To enable fault tolerance
+//! in this case, request proxies are used just like the object proxies."
+//! An [`FtRequest`] wraps a [`DiiRequest`] and shares an [`FtProxy`]'s
+//! recovery machinery: on a recoverable failure the request is re-sent to
+//! a freshly resolved (or factory-created, checkpoint-restored) replica;
+//! on success the proxy's checkpoint-after-call policy runs.
+
+use cdr::{Any, CdrEncoder, CdrRead, CdrWrite};
+use orb::{DiiRequest, Exception, SystemException};
+use simnet::SimResult;
+
+use crate::proxy::{FtProxy, ProxyEnv};
+
+/// A fault-tolerant deferred request.
+pub struct FtRequest {
+    operation: String,
+    body: Vec<u8>,
+    args: Option<CdrEncoder>,
+    inner: Option<DiiRequest>,
+    attempts: u32,
+    done: Option<Result<Vec<u8>, Exception>>,
+}
+
+impl FtRequest {
+    /// A new request for `operation`; add arguments, then `send_deferred`.
+    pub fn new(operation: impl Into<String>) -> Self {
+        FtRequest {
+            operation: operation.into(),
+            body: Vec::new(),
+            args: Some(CdrEncoder::big_endian()),
+            inner: None,
+            attempts: 0,
+            done: None,
+        }
+    }
+
+    /// Append a dynamically-typed argument.
+    ///
+    /// # Panics
+    /// If the request was already sent.
+    pub fn add_arg(&mut self, arg: &Any) -> &mut Self {
+        let enc = self.args.as_mut().expect("request already sent");
+        arg.write_value(enc);
+        self
+    }
+
+    /// Append a statically-typed argument.
+    ///
+    /// # Panics
+    /// If the request was already sent.
+    pub fn add_typed<T: CdrWrite>(&mut self, arg: &T) -> &mut Self {
+        let enc = self.args.as_mut().expect("request already sent");
+        arg.write(enc);
+        self
+    }
+
+    /// Fire the request at the proxy's current (or freshly acquired)
+    /// target without waiting.
+    pub fn send_deferred(&mut self, proxy: &mut FtProxy, env: &mut ProxyEnv<'_>) -> SimResult<()> {
+        if let Some(enc) = self.args.take() {
+            self.body = enc.into_bytes();
+        }
+        self.resend(proxy, env)
+    }
+
+    fn resend(&mut self, proxy: &mut FtProxy, env: &mut ProxyEnv<'_>) -> SimResult<()> {
+        loop {
+            match proxy.ensure_target(env)? {
+                Ok(target) => {
+                    let mut req = DiiRequest::new(target.ior.clone(), self.operation.clone());
+                    req.add_encoded(&self.body);
+                    req.send_deferred(env.orb, env.ctx)?;
+                    self.inner = Some(req);
+                    return Ok(());
+                }
+                // Acquiring a target can itself hit a dead replica or a
+                // dead factory; keep recovering while attempts remain.
+                Err(e)
+                    if e.is_recoverable()
+                        && self.attempts < proxy.config().max_recoveries_per_call =>
+                {
+                    self.attempts += 1;
+                    proxy.recover(env)?;
+                }
+                Err(e) => {
+                    self.done = Some(Err(e));
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Non-blocking completion check. A failed attempt triggers recovery
+    /// and an immediate re-send; the request then remains pending.
+    pub fn poll_response(
+        &mut self,
+        proxy: &mut FtProxy,
+        env: &mut ProxyEnv<'_>,
+    ) -> SimResult<bool> {
+        if self.done.is_some() {
+            return Ok(true);
+        }
+        let Some(inner) = self.inner.as_mut() else {
+            return Ok(false); // never sent
+        };
+        if !inner.poll_response(env.orb, env.ctx)? {
+            return Ok(false);
+        }
+        let outcome = inner
+            .result::<RawBody>()
+            .expect("poll_response returned true");
+        self.settle(outcome.map(|r| r.0), proxy, env)?;
+        Ok(self.done.is_some())
+    }
+
+    /// Block until the outcome is available, recovering as needed.
+    pub fn get_response(
+        &mut self,
+        proxy: &mut FtProxy,
+        env: &mut ProxyEnv<'_>,
+    ) -> SimResult<Result<Vec<u8>, Exception>> {
+        loop {
+            if let Some(done) = &self.done {
+                return Ok(done.clone());
+            }
+            let Some(inner) = self.inner.as_mut() else {
+                return Ok(Err(Exception::System(SystemException::transient(
+                    "get_response before send_deferred",
+                ))));
+            };
+            let outcome = inner.get_response(env.orb, env.ctx)?;
+            self.settle(outcome, proxy, env)?;
+        }
+    }
+
+    /// Typed variant of [`FtRequest::get_response`].
+    pub fn get_response_typed<R: CdrRead>(
+        &mut self,
+        proxy: &mut FtProxy,
+        env: &mut ProxyEnv<'_>,
+    ) -> SimResult<Result<R, Exception>> {
+        match self.get_response(proxy, env)? {
+            Ok(bytes) => {
+                Ok(cdr::from_bytes(&bytes)
+                    .map_err(|e| Exception::System(SystemException::marshal(e))))
+            }
+            Err(e) => Ok(Err(e)),
+        }
+    }
+
+    /// Whether the outcome is available.
+    pub fn is_done(&self) -> bool {
+        self.done.is_some()
+    }
+
+    /// Recovery attempts so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    fn settle(
+        &mut self,
+        outcome: Result<Vec<u8>, Exception>,
+        proxy: &mut FtProxy,
+        env: &mut ProxyEnv<'_>,
+    ) -> SimResult<()> {
+        match outcome {
+            Ok(bytes) => {
+                proxy.stats.calls += 1;
+                proxy.after_success(env)?;
+                self.done = Some(Ok(bytes));
+            }
+            Err(e)
+                if e.is_recoverable() && self.attempts < proxy.config().max_recoveries_per_call =>
+            {
+                self.attempts += 1;
+                proxy.recover(env)?;
+                self.inner = None;
+                self.resend(proxy, env)?;
+            }
+            Err(e) => {
+                self.done = Some(Err(e));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Helper to pull the raw reply body back out of a `DiiRequest`.
+struct RawBody(Vec<u8>);
+
+impl CdrRead for RawBody {
+    fn read(dec: &mut cdr::CdrDecoder<'_>) -> cdr::CdrResult<Self> {
+        // Consume the whole remaining stream as raw bytes.
+        let mut bytes = Vec::with_capacity(dec.remaining());
+        while !dec.is_empty() {
+            bytes.push(dec.read_u8()?);
+        }
+        Ok(RawBody(bytes))
+    }
+}

@@ -1,0 +1,293 @@
+//! The checkpoint service servant and its typed client.
+
+use cdr::Any;
+use orb::{reply, CallCtx, Exception, Ior, ObjectRef, Orb, Servant, SystemException};
+use simnet::{Ctx, SimResult};
+
+use crate::checkpoint::{Backend, Checkpoint, MemBackend};
+
+/// Repository id of the checkpoint service.
+pub const CHECKPOINT_SERVICE_TYPE: &str = "IDL:FT/CheckpointService:1.0";
+
+/// The well-known name the checkpoint service is registered under.
+pub const CHECKPOINT_SERVICE_NAME: &str = "CheckpointService";
+
+/// Operation names.
+pub mod ops {
+    /// `void store(in Checkpoint c)`.
+    pub const STORE: &str = "store";
+    /// `boolean retrieve(in string id, out Checkpoint c)`.
+    pub const RETRIEVE: &str = "retrieve";
+    /// `boolean delete(in string id)`.
+    pub const DELETE: &str = "delete";
+    /// `StringSeq list()`.
+    pub const LIST: &str = "list";
+    /// `void store_value(in string id, in string key, in any value)`.
+    pub const STORE_VALUE: &str = "store_value";
+    /// `boolean retrieve_value(in string id, in string key, out any value)`.
+    pub const RETRIEVE_VALUE: &str = "retrieve_value";
+    /// `unsigned long value_count(in string id)`.
+    pub const VALUE_COUNT: &str = "value_count";
+}
+
+/// Cost model of the store: the paper's implementation was "rather
+/// inefficient" and "not optimized for speed in any way"; these knobs
+/// reproduce that (and let the ablation benchmark show what optimizing
+/// buys).
+#[derive(Clone, Copy, Debug)]
+pub struct StoreCosts {
+    /// CPU work per bulk store/retrieve, plus per byte of state.
+    pub bulk_fixed: f64,
+    /// CPU work per state byte on the bulk path.
+    pub bulk_per_byte: f64,
+    /// CPU work per `store_value`/`retrieve_value` call. Deliberately
+    /// expensive: the proof-of-concept stores values one at a time.
+    pub value_fixed: f64,
+}
+
+impl Default for StoreCosts {
+    fn default() -> Self {
+        StoreCosts {
+            bulk_fixed: 100e-6,
+            bulk_per_byte: 5e-8, // ~20 MB/s
+            value_fixed: 500e-6,
+        }
+    }
+}
+
+/// The checkpoint service servant.
+pub struct CheckpointService {
+    backend: Box<dyn Backend>,
+    costs: StoreCosts,
+    /// Bulk stores served.
+    pub stores: u64,
+    /// Per-value stores served.
+    pub value_stores: u64,
+}
+
+impl CheckpointService {
+    /// A service over the given backend.
+    pub fn new(backend: Box<dyn Backend>, costs: StoreCosts) -> Self {
+        CheckpointService {
+            backend,
+            costs,
+            stores: 0,
+            value_stores: 0,
+        }
+    }
+
+    /// The paper's configuration: in-memory backend, default costs.
+    pub fn in_memory() -> Self {
+        CheckpointService::new(Box::new(MemBackend::new()), StoreCosts::default())
+    }
+}
+
+fn io_err(e: std::io::Error) -> Exception {
+    Exception::System(SystemException::new(
+        orb::SysKind::Internal,
+        orb::Completion::Maybe,
+        format!("checkpoint store I/O error: {e}"),
+    ))
+}
+
+impl Servant for CheckpointService {
+    fn dispatch(
+        &mut self,
+        call: &mut CallCtx<'_>,
+        op: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, Exception> {
+        match op {
+            ops::STORE => {
+                let (ckpt,): (Checkpoint,) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let work =
+                    self.costs.bulk_fixed + self.costs.bulk_per_byte * ckpt.state.len() as f64;
+                call.ctx
+                    .compute(work)
+                    .map_err(|_| SystemException::comm_failure("killed"))?;
+                self.stores += 1;
+                self.backend.store(ckpt).map_err(io_err)?;
+                reply(&())
+            }
+            ops::RETRIEVE => {
+                let (id,): (String,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let got = self.backend.retrieve(&id).map_err(io_err)?;
+                let work = self.costs.bulk_fixed
+                    + self.costs.bulk_per_byte * got.as_ref().map_or(0, |c| c.state.len()) as f64;
+                call.ctx
+                    .compute(work)
+                    .map_err(|_| SystemException::comm_failure("killed"))?;
+                match got {
+                    Some(c) => reply(&(true, c)),
+                    None => reply(&(
+                        false,
+                        Checkpoint {
+                            object_id: id,
+                            epoch: 0,
+                            state: Vec::new(),
+                            stamp_ns: 0,
+                        },
+                    )),
+                }
+            }
+            ops::DELETE => {
+                let (id,): (String,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let deleted = self.backend.delete(&id).map_err(io_err)?;
+                reply(&deleted)
+            }
+            ops::LIST => {
+                cdr::from_bytes::<()>(args).map_err(SystemException::marshal)?;
+                let ids = self.backend.list().map_err(io_err)?;
+                reply(&ids)
+            }
+            ops::STORE_VALUE => {
+                let (id, key, value): (String, String, Any) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                call.ctx
+                    .compute(self.costs.value_fixed)
+                    .map_err(|_| SystemException::comm_failure("killed"))?;
+                self.value_stores += 1;
+                self.backend.store_value(&id, &key, value).map_err(io_err)?;
+                reply(&())
+            }
+            ops::RETRIEVE_VALUE => {
+                let (id, key): (String, String) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                call.ctx
+                    .compute(self.costs.value_fixed)
+                    .map_err(|_| SystemException::comm_failure("killed"))?;
+                match self.backend.retrieve_value(&id, &key).map_err(io_err)? {
+                    Some(v) => reply(&(true, v)),
+                    None => reply(&(false, Any::boolean(false))),
+                }
+            }
+            ops::VALUE_COUNT => {
+                let (id,): (String,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let n = self.backend.value_count(&id).map_err(io_err)?;
+                reply(&n)
+            }
+            other => Err(SystemException::bad_operation(other).into()),
+        }
+    }
+}
+
+/// Typed client for the checkpoint service.
+#[derive(Clone, Debug)]
+pub struct CheckpointClient {
+    /// The service reference.
+    pub obj: ObjectRef,
+}
+
+impl CheckpointClient {
+    /// Wrap a reference.
+    pub fn new(obj: ObjectRef) -> Self {
+        CheckpointClient { obj }
+    }
+
+    /// Wrap an IOR.
+    pub fn from_ior(ior: Ior) -> Self {
+        CheckpointClient {
+            obj: ObjectRef::new(ior),
+        }
+    }
+
+    /// Store a bulk checkpoint.
+    pub fn store(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        ckpt: &Checkpoint,
+    ) -> SimResult<Result<(), Exception>> {
+        self.obj.call(orb, ctx, ops::STORE, &(ckpt,))
+    }
+
+    /// Retrieve a bulk checkpoint.
+    pub fn retrieve(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        id: &str,
+    ) -> SimResult<Result<Option<Checkpoint>, Exception>> {
+        let r: Result<(bool, Checkpoint), Exception> =
+            self.obj.call(orb, ctx, ops::RETRIEVE, &(id.to_string(),))?;
+        Ok(r.map(|(found, c)| found.then_some(c)))
+    }
+
+    /// Delete everything stored for an object.
+    pub fn delete(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        id: &str,
+    ) -> SimResult<Result<bool, Exception>> {
+        self.obj.call(orb, ctx, ops::DELETE, &(id.to_string(),))
+    }
+
+    /// List object ids with a bulk checkpoint.
+    pub fn list(&self, orb: &mut Orb, ctx: &mut Ctx) -> SimResult<Result<Vec<String>, Exception>> {
+        self.obj.call(orb, ctx, ops::LIST, &())
+    }
+
+    /// Store one named value (the paper's proof-of-concept path).
+    pub fn store_value(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        id: &str,
+        key: &str,
+        value: &Any,
+    ) -> SimResult<Result<(), Exception>> {
+        self.obj.call(
+            orb,
+            ctx,
+            ops::STORE_VALUE,
+            &(id.to_string(), key.to_string(), value),
+        )
+    }
+
+    /// Retrieve one named value.
+    pub fn retrieve_value(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        id: &str,
+        key: &str,
+    ) -> SimResult<Result<Option<Any>, Exception>> {
+        let r: Result<(bool, Any), Exception> = self.obj.call(
+            orb,
+            ctx,
+            ops::RETRIEVE_VALUE,
+            &(id.to_string(), key.to_string()),
+        )?;
+        Ok(r.map(|(found, v)| found.then_some(v)))
+    }
+
+    /// Number of values stored for an object.
+    pub fn value_count(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        id: &str,
+    ) -> SimResult<Result<u32, Exception>> {
+        self.obj
+            .call(orb, ctx, ops::VALUE_COUNT, &(id.to_string(),))
+    }
+}
+
+/// The body of a checkpoint server process: activate, publish, serve.
+pub fn run_checkpoint_service(
+    ctx: &mut Ctx,
+    service: CheckpointService,
+    publish: impl FnOnce(Ior),
+) -> SimResult<()> {
+    let mut orb = Orb::init(ctx);
+    orb.listen(ctx)?;
+    let poa = orb::Poa::new();
+    let key = poa.activate(
+        CHECKPOINT_SERVICE_TYPE,
+        std::rc::Rc::new(std::cell::RefCell::new(service)),
+    );
+    publish(orb.ior(CHECKPOINT_SERVICE_TYPE, key));
+    orb.serve_forever(ctx, &poa)
+}

@@ -1,0 +1,188 @@
+//! Abstract syntax tree for the IDL subset.
+
+/// A parsed IDL specification (one file).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Spec {
+    /// Top-level definitions.
+    pub defs: Vec<Def>,
+}
+
+/// A definition at module or top level.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Def {
+    /// `module M { ... };`
+    Module(Module),
+    /// `interface I [: Base] { ... };`
+    Interface(Interface),
+    /// `struct S { ... };`
+    Struct(StructDef),
+    /// `enum E { A, B };`
+    Enum(EnumDef),
+    /// `typedef sequence<double> Vec;`
+    Typedef(Typedef),
+    /// `exception E { ... };`
+    Exception(ExceptionDef),
+}
+
+/// A named scope of definitions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Contained definitions.
+    pub defs: Vec<Def>,
+}
+
+/// An interface declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Interface {
+    /// Interface name.
+    pub name: String,
+    /// Single inheritance base, as a (possibly scoped) name.
+    pub base: Option<String>,
+    /// Operations in declaration order.
+    pub ops: Vec<Operation>,
+    /// Attributes in declaration order.
+    pub attrs: Vec<Attribute>,
+}
+
+/// An operation declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Operation {
+    /// Operation name.
+    pub name: String,
+    /// Whether declared `oneway` (no reply; must return void, have no
+    /// out/inout parameters, and raise nothing).
+    pub oneway: bool,
+    /// Return type (`Type::Void` for void).
+    pub ret: Type,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Exception names from the `raises(...)` clause.
+    pub raises: Vec<String>,
+}
+
+/// A parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Param {
+    /// Direction.
+    pub dir: Direction,
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: Type,
+}
+
+/// Parameter passing direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → server.
+    In,
+    /// Server → client.
+    Out,
+    /// Both ways.
+    InOut,
+}
+
+/// An `attribute` declaration (maps to `_get_x` / `_set_x` operations).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Attribute {
+    /// Whether `readonly` (no setter).
+    pub readonly: bool,
+    /// Attribute name.
+    pub name: String,
+    /// Attribute type.
+    pub ty: Type,
+}
+
+/// A struct declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Members in declaration order.
+    pub members: Vec<(String, Type)>,
+}
+
+/// An enum declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// Enumerator names; discriminants are indices.
+    pub members: Vec<String>,
+}
+
+/// A typedef.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Typedef {
+    /// New name.
+    pub name: String,
+    /// Aliased type.
+    pub ty: Type,
+}
+
+/// An exception declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExceptionDef {
+    /// Exception name.
+    pub name: String,
+    /// Members in declaration order.
+    pub members: Vec<(String, Type)>,
+}
+
+/// An IDL type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Type {
+    /// `void` (return type only).
+    Void,
+    /// `boolean`
+    Boolean,
+    /// `octet`
+    Octet,
+    /// `short`
+    Short,
+    /// `unsigned short`
+    UShort,
+    /// `long`
+    Long,
+    /// `unsigned long`
+    ULong,
+    /// `long long`
+    LongLong,
+    /// `unsigned long long`
+    ULongLong,
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+    /// `string`
+    String,
+    /// `sequence<T>`
+    Sequence(Box<Type>),
+    /// A (possibly scoped, `A::B`) reference to a named type.
+    Named(String),
+}
+
+impl Type {
+    /// The Rust spelling of this type (named types keep their IDL name,
+    /// with `::` mapped to Rust path separators).
+    pub fn rust(&self) -> String {
+        match self {
+            Type::Void => "()".into(),
+            Type::Boolean => "bool".into(),
+            Type::Octet => "u8".into(),
+            Type::Short => "i16".into(),
+            Type::UShort => "u16".into(),
+            Type::Long => "i32".into(),
+            Type::ULong => "u32".into(),
+            Type::LongLong => "i64".into(),
+            Type::ULongLong => "u64".into(),
+            Type::Float => "f32".into(),
+            Type::Double => "f64".into(),
+            Type::String => "String".into(),
+            Type::Sequence(t) => format!("Vec<{}>", t.rust()),
+            Type::Named(n) => n.clone(),
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! `idlc` command-line interface: compile an IDL file to Rust source.
+//!
+//! Usage: `idlc INPUT.idl [-o OUTPUT.rs] [--no-ft-proxies]`
+
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut opts = idlc::GenOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-o" | "--output" => match args.next() {
+                Some(p) => output = Some(p),
+                None => {
+                    eprintln!("idlc: -o requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-ft-proxies" => opts.ft_proxies = false,
+            "-h" | "--help" => {
+                println!("usage: idlc INPUT.idl [-o OUTPUT.rs] [--no-ft-proxies]");
+                return ExitCode::SUCCESS;
+            }
+            other if input.is_none() => input = Some(other.to_string()),
+            other => {
+                eprintln!("idlc: unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("usage: idlc INPUT.idl [-o OUTPUT.rs] [--no-ft-proxies]");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("idlc: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    opts.source_name = input.clone();
+    let rust = match idlc::compile(&src, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("idlc: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, rust) {
+                eprintln!("idlc: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => {
+            let _ = std::io::stdout().write_all(rust.as_bytes());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,213 @@
+//! Typed client for the naming service, plus the bootstrap helper that
+//! builds the initial root-context reference from just a host (the
+//! `corbaloc::host:2809/NameService` convention).
+
+use orb::{Exception, Ior, ObjectRef, Orb};
+use simnet::{Ctx, HostId, SimResult};
+
+use crate::name::Name;
+use crate::protocol::{ops, Binding, NAMING_CONTEXT_TYPE, NAMING_PORT, ROOT_CONTEXT_KEY};
+
+/// The initial reference to the root context of the naming service on
+/// `host` — what `resolve_initial_references("NameService")` would return.
+pub fn initial_naming_ior(host: HostId) -> Ior {
+    Ior::new(NAMING_CONTEXT_TYPE, host, NAMING_PORT, ROOT_CONTEXT_KEY)
+}
+
+/// Typed client for a naming context.
+#[derive(Clone, Debug)]
+pub struct NamingClient {
+    /// The context this client talks to.
+    pub obj: ObjectRef,
+}
+
+impl NamingClient {
+    /// Wrap a context reference.
+    pub fn new(obj: ObjectRef) -> Self {
+        NamingClient { obj }
+    }
+
+    /// Client for the root context of the naming service on `host`.
+    pub fn root(host: HostId) -> Self {
+        NamingClient {
+            obj: ObjectRef::new(initial_naming_ior(host)),
+        }
+    }
+
+    /// `void bind(in Name n, in Object obj)`.
+    pub fn bind(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        name: &Name,
+        ior: &Ior,
+    ) -> SimResult<Result<(), Exception>> {
+        self.obj.call(orb, ctx, ops::BIND, &(name, ior))
+    }
+
+    /// `void rebind(in Name n, in Object obj)`.
+    pub fn rebind(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        name: &Name,
+        ior: &Ior,
+    ) -> SimResult<Result<(), Exception>> {
+        self.obj.call(orb, ctx, ops::REBIND, &(name, ior))
+    }
+
+    /// `void bind_context(in Name n, in NamingContext nc)`.
+    pub fn bind_context(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        name: &Name,
+        context: &Ior,
+    ) -> SimResult<Result<(), Exception>> {
+        self.obj.call(orb, ctx, ops::BIND_CONTEXT, &(name, context))
+    }
+
+    /// `Object resolve(in Name n)`.
+    pub fn resolve(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        name: &Name,
+    ) -> SimResult<Result<ObjectRef, Exception>> {
+        let r: Result<Ior, Exception> = self.obj.call(orb, ctx, ops::RESOLVE, &(name,))?;
+        Ok(r.map(ObjectRef::new))
+    }
+
+    /// Resolve a stringified name like `"apps/Workers"`.
+    pub fn resolve_str(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        name: &str,
+    ) -> SimResult<Result<ObjectRef, Exception>> {
+        match Name::parse(name) {
+            Ok(n) => self.resolve(orb, ctx, &n),
+            Err(_) => Ok(Err(crate::protocol::InvalidName.raise())),
+        }
+    }
+
+    /// `void unbind(in Name n)`.
+    pub fn unbind(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        name: &Name,
+    ) -> SimResult<Result<(), Exception>> {
+        self.obj.call(orb, ctx, ops::UNBIND, &(name,))
+    }
+
+    /// `NamingContext bind_new_context(in Name n)`: create a child context
+    /// and return a client for it.
+    pub fn bind_new_context(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        name: &Name,
+    ) -> SimResult<Result<NamingClient, Exception>> {
+        let r: Result<Ior, Exception> = self.obj.call(orb, ctx, ops::BIND_NEW_CONTEXT, &(name,))?;
+        Ok(r.map(|ior| NamingClient::new(ObjectRef::new(ior))))
+    }
+
+    /// `void destroy()`.
+    pub fn destroy(&self, orb: &mut Orb, ctx: &mut Ctx) -> SimResult<Result<(), Exception>> {
+        self.obj.call(orb, ctx, ops::DESTROY, &())
+    }
+
+    /// `list(how_many)`: the first bindings plus an iterator for the rest.
+    pub fn list(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        how_many: u32,
+    ) -> SimResult<Result<ListReply, Exception>> {
+        let r: Result<(Vec<Binding>, Option<Ior>), Exception> =
+            self.obj.call(orb, ctx, ops::LIST, &(how_many,))?;
+        Ok(r.map(|(bl, it)| {
+            (
+                bl,
+                it.map(|ior| BindingIteratorClient {
+                    obj: ObjectRef::new(ior),
+                }),
+            )
+        }))
+    }
+
+    /// Extension: add a replica to a service group (creating the group).
+    /// This is how servers register with the load-distributing service.
+    pub fn bind_group_member(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        name: &Name,
+        ior: &Ior,
+    ) -> SimResult<Result<(), Exception>> {
+        self.obj
+            .call(orb, ctx, ops::BIND_GROUP_MEMBER, &(name, ior))
+    }
+
+    /// Extension: remove a replica from a service group.
+    pub fn unbind_group_member(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        name: &Name,
+        ior: &Ior,
+    ) -> SimResult<Result<(), Exception>> {
+        self.obj
+            .call(orb, ctx, ops::UNBIND_GROUP_MEMBER, &(name, ior))
+    }
+
+    /// Extension: all replicas of a group.
+    pub fn group_members(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        name: &Name,
+    ) -> SimResult<Result<Vec<Ior>, Exception>> {
+        self.obj.call(orb, ctx, ops::GROUP_MEMBERS, &(name,))
+    }
+}
+
+/// What `list` returns: the first page plus an iterator over the rest.
+pub type ListReply = (Vec<Binding>, Option<BindingIteratorClient>);
+
+/// Typed client for a `BindingIterator`.
+#[derive(Clone, Debug)]
+pub struct BindingIteratorClient {
+    /// The iterator reference.
+    pub obj: ObjectRef,
+}
+
+impl BindingIteratorClient {
+    /// `boolean next_one(out Binding b)`.
+    pub fn next_one(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+    ) -> SimResult<Result<Option<Binding>, Exception>> {
+        let r: Result<(bool, Binding), Exception> = self.obj.call(orb, ctx, ops::NEXT_ONE, &())?;
+        Ok(r.map(|(more, b)| more.then_some(b)))
+    }
+
+    /// `boolean next_n(in unsigned long how_many, out BindingList bl)`.
+    pub fn next_n(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        how_many: u32,
+    ) -> SimResult<Result<Vec<Binding>, Exception>> {
+        let r: Result<(bool, Vec<Binding>), Exception> =
+            self.obj.call(orb, ctx, ops::NEXT_N, &(how_many,))?;
+        Ok(r.map(|(_, bl)| bl))
+    }
+
+    /// `void destroy()`.
+    pub fn destroy(&self, orb: &mut Orb, ctx: &mut Ctx) -> SimResult<Result<(), Exception>> {
+        self.obj.call(orb, ctx, ops::DESTROY, &())
+    }
+}

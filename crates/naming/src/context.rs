@@ -1,0 +1,457 @@
+//! The naming context servant and the shared naming tree.
+//!
+//! One naming server process holds one [`NamingTree`]; every context
+//! (root and children created by `bind_new_context`) is a servant sharing
+//! that tree. Besides the standard COS Naming operations, a context
+//! supports **group bindings**: several object references registered under
+//! one name. `resolve` on a group picks one member — using the Winner
+//! system manager's load information when configured ([`LbMode::Winner`]),
+//! or round-robin otherwise ([`LbMode::Plain`]). This is the paper's §2
+//! design: load distribution inside the naming service, fully transparent
+//! to clients, falling back to plain behaviour (and thus "at least the
+//! same results as the unmodified naming service") when Winner is
+//! unavailable.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use orb::{reply, CallCtx, Exception, Ior, ObjectKey, Servant, SystemException};
+use winner::SystemManagerClient;
+
+use crate::iterator::BindingIterator;
+use crate::name::{Name, NameComponent};
+use crate::protocol::{
+    ops, AlreadyBound, Binding, BindingType, EmptyGroup, InvalidName, NotEmpty, NotFound,
+    NotFoundReason, BINDING_ITERATOR_TYPE, NAMING_CONTEXT_TYPE,
+};
+
+/// How group resolution picks a member.
+#[derive(Clone, Debug)]
+pub enum LbMode {
+    /// Load-oblivious round-robin — the behaviour of an unmodified naming
+    /// service with multiple registrations.
+    Plain,
+    /// Ask the Winner system manager for the best host among the group
+    /// members' hosts; fall back to round-robin if Winner is unreachable.
+    Winner {
+        /// Reference to `Winner::SystemManager`.
+        system_manager: Ior,
+    },
+}
+
+/// A binding in a context.
+#[derive(Clone, Debug)]
+enum Entry {
+    /// A plain object binding.
+    Object(Ior),
+    /// A child context. `node` is set for contexts local to this server
+    /// (traversable); foreign contexts are stored but cannot be traversed.
+    Context { node: Option<u64>, ior: Ior },
+    /// A service group: multiple replicas under one name.
+    Group { members: Vec<Ior>, rr: usize },
+}
+
+struct Node {
+    entries: HashMap<NameComponent, Entry>,
+}
+
+/// The naming tree shared by all context servants of one server process.
+pub struct NamingTree {
+    nodes: HashMap<u64, Node>,
+    /// Local context object keys → tree nodes (for `bind_context`).
+    by_key: HashMap<ObjectKey, u64>,
+    next_node: u64,
+    /// Resolution statistics (read by tests and the demo).
+    pub resolves: u64,
+    /// Group resolves that used Winner successfully.
+    pub winner_picks: u64,
+    /// Group resolves that fell back to round-robin.
+    pub fallback_picks: u64,
+}
+
+impl NamingTree {
+    /// A tree with a root node (id 0).
+    pub fn new() -> Rc<RefCell<NamingTree>> {
+        let mut nodes = HashMap::new();
+        nodes.insert(
+            0,
+            Node {
+                entries: HashMap::new(),
+            },
+        );
+        Rc::new(RefCell::new(NamingTree {
+            nodes,
+            by_key: HashMap::new(),
+            next_node: 1,
+            resolves: 0,
+            winner_picks: 0,
+            fallback_picks: 0,
+        }))
+    }
+}
+
+/// A naming context servant: a view onto one node of the shared tree.
+pub struct NamingContext {
+    tree: Rc<RefCell<NamingTree>>,
+    node: u64,
+    mode: LbMode,
+}
+
+impl NamingContext {
+    /// The root context of a tree.
+    pub fn root(tree: Rc<RefCell<NamingTree>>, mode: LbMode) -> Self {
+        NamingContext {
+            tree,
+            node: 0,
+            mode,
+        }
+    }
+
+    fn child(&self, node: u64) -> Self {
+        NamingContext {
+            tree: self.tree.clone(),
+            node,
+            mode: self.mode.clone(),
+        }
+    }
+
+    /// Follow all but the last component from this node through local
+    /// child contexts; returns the parent node and the final component.
+    fn walk(&self, name: &Name) -> Result<(u64, NameComponent), Exception> {
+        if name.is_empty() {
+            return Err(InvalidName.raise());
+        }
+        let tree = self.tree.borrow();
+        let mut node = self.node;
+        let comps = &name.0;
+        for (i, comp) in comps[..comps.len() - 1].iter().enumerate() {
+            let n = tree.nodes.get(&node).expect("valid node");
+            match n.entries.get(comp) {
+                Some(Entry::Context {
+                    node: Some(child), ..
+                }) => node = *child,
+                Some(Entry::Context { node: None, .. }) | Some(_) => {
+                    return Err(NotFound {
+                        why: NotFoundReason::NotContext,
+                        rest_of_name: Name(comps[i..].to_vec()),
+                    }
+                    .raise())
+                }
+                None => {
+                    return Err(NotFound {
+                        why: NotFoundReason::MissingNode,
+                        rest_of_name: Name(comps[i..].to_vec()),
+                    }
+                    .raise())
+                }
+            }
+        }
+        Ok((node, comps[comps.len() - 1].clone()))
+    }
+
+    fn bind(&self, name: &Name, entry: Entry) -> Result<(), Exception> {
+        let (node, last) = self.walk(name)?;
+        let mut tree = self.tree.borrow_mut();
+        let entries = &mut tree.nodes.get_mut(&node).expect("valid node").entries;
+        if entries.contains_key(&last) {
+            return Err(AlreadyBound.raise());
+        }
+        entries.insert(last, entry);
+        Ok(())
+    }
+
+    fn rebind(&self, name: &Name, entry: Entry) -> Result<(), Exception> {
+        let (node, last) = self.walk(name)?;
+        let mut tree = self.tree.borrow_mut();
+        let entries = &mut tree.nodes.get_mut(&node).expect("valid node").entries;
+        match entries.get(&last) {
+            Some(Entry::Context { .. }) => Err(NotFound {
+                why: NotFoundReason::NotObject,
+                rest_of_name: Name(vec![last]),
+            }
+            .raise()),
+            _ => {
+                entries.insert(last, entry);
+                Ok(())
+            }
+        }
+    }
+
+    /// The heart of the paper: pick a group member, preferring the
+    /// best-performing host as reported by Winner.
+    fn pick_member(
+        &self,
+        call: &mut CallCtx<'_>,
+        name: &NameComponent,
+        node: u64,
+    ) -> Result<Ior, Exception> {
+        // Snapshot the member list without holding the borrow across the
+        // nested Winner call.
+        let members: Vec<Ior> = {
+            let tree = self.tree.borrow();
+            match tree.nodes[&node].entries.get(name) {
+                Some(Entry::Group { members, .. }) => members.clone(),
+                _ => unreachable!("caller checked the entry is a group"),
+            }
+        };
+        if members.is_empty() {
+            return Err(EmptyGroup.raise());
+        }
+        if let LbMode::Winner { system_manager } = &self.mode {
+            let mut hosts: Vec<u32> = members.iter().map(|m| m.host.0).collect();
+            hosts.sort_unstable();
+            hosts.dedup();
+            let client = SystemManagerClient::from_ior(system_manager.clone());
+            match client.select(call.orb, call.ctx, &hosts) {
+                Ok(Ok(Some(host))) => {
+                    if let Some(m) = members.iter().find(|m| m.host.0 == host) {
+                        self.tree.borrow_mut().winner_picks += 1;
+                        return Ok(m.clone());
+                    }
+                }
+                Ok(Ok(None)) | Ok(Err(_)) => {
+                    // No fresh load data or Winner down: fall through to
+                    // round-robin — never worse than the plain service.
+                }
+                Err(killed) => return Err(SystemException::comm_failure(killed.to_string()).into()),
+            }
+        }
+        // Plain mode, or Winner fallback: round-robin over members in
+        // host order. The order is sorted (not registration order) so the
+        // plain service is genuinely load-oblivious — registration order
+        // can correlate with load, which would smuggle load-awareness
+        // into the baseline.
+        let mut tree = self.tree.borrow_mut();
+        tree.fallback_picks += 1;
+        let Some(Entry::Group { members, rr }) = tree
+            .nodes
+            .get_mut(&node)
+            .expect("valid node")
+            .entries
+            .get_mut(name)
+        else {
+            unreachable!("entry type cannot change mid-dispatch");
+        };
+        let mut order: Vec<usize> = (0..members.len()).collect();
+        order.sort_by_key(|&i| (members[i].host, members[i].port, members[i].key));
+        let pick = members[order[*rr % members.len()]].clone();
+        *rr += 1;
+        Ok(pick)
+    }
+
+    fn resolve(&self, call: &mut CallCtx<'_>, name: &Name) -> Result<Ior, Exception> {
+        let (node, last) = self.walk(name)?;
+        self.tree.borrow_mut().resolves += 1;
+        {
+            let tree = self.tree.borrow();
+            match tree.nodes[&node].entries.get(&last) {
+                None => {
+                    return Err(NotFound {
+                        why: NotFoundReason::MissingNode,
+                        rest_of_name: Name(vec![last]),
+                    }
+                    .raise())
+                }
+                Some(Entry::Object(ior)) => return Ok(ior.clone()),
+                Some(Entry::Context { ior, .. }) => return Ok(ior.clone()),
+                Some(Entry::Group { .. }) => {}
+            }
+        }
+        self.pick_member(call, &last, node)
+    }
+}
+
+impl Servant for NamingContext {
+    fn dispatch(
+        &mut self,
+        call: &mut CallCtx<'_>,
+        op: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, Exception> {
+        match op {
+            ops::BIND => {
+                let (name, ior): (Name, Ior) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                self.bind(&name, Entry::Object(ior))?;
+                reply(&())
+            }
+            ops::REBIND => {
+                let (name, ior): (Name, Ior) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                self.rebind(&name, Entry::Object(ior))?;
+                reply(&())
+            }
+            ops::BIND_CONTEXT => {
+                let (name, ior): (Name, Ior) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let node = self.tree.borrow().by_key.get(&ior.key).copied();
+                self.bind(&name, Entry::Context { node, ior })?;
+                reply(&())
+            }
+            ops::RESOLVE => {
+                let (name,): (Name,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let ior = self.resolve(call, &name)?;
+                reply(&ior)
+            }
+            ops::UNBIND => {
+                let (name,): (Name,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let (node, last) = self.walk(&name)?;
+                let mut tree = self.tree.borrow_mut();
+                let entries = &mut tree.nodes.get_mut(&node).expect("valid node").entries;
+                if entries.remove(&last).is_none() {
+                    return Err(NotFound {
+                        why: NotFoundReason::MissingNode,
+                        rest_of_name: Name(vec![last]),
+                    }
+                    .raise());
+                }
+                reply(&())
+            }
+            ops::BIND_NEW_CONTEXT => {
+                let (name,): (Name,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let (node, last) = self.walk(&name)?;
+                // Create the child node.
+                let child_node = {
+                    let mut tree = self.tree.borrow_mut();
+                    if tree.nodes[&node].entries.contains_key(&last) {
+                        return Err(AlreadyBound.raise());
+                    }
+                    let id = tree.next_node;
+                    tree.next_node += 1;
+                    tree.nodes.insert(
+                        id,
+                        Node {
+                            entries: HashMap::new(),
+                        },
+                    );
+                    id
+                };
+                // Activate a servant for it and bind.
+                let servant = Rc::new(RefCell::new(self.child(child_node)));
+                let key = call.poa.activate(NAMING_CONTEXT_TYPE, servant);
+                let ior = call.orb.ior(NAMING_CONTEXT_TYPE, key);
+                {
+                    let mut tree = self.tree.borrow_mut();
+                    tree.by_key.insert(key, child_node);
+                    tree.nodes.get_mut(&node).expect("valid").entries.insert(
+                        last,
+                        Entry::Context {
+                            node: Some(child_node),
+                            ior: ior.clone(),
+                        },
+                    );
+                }
+                reply(&ior)
+            }
+            ops::DESTROY => {
+                cdr::from_bytes::<()>(args).map_err(SystemException::marshal)?;
+                {
+                    let tree = self.tree.borrow();
+                    if !tree.nodes[&self.node].entries.is_empty() {
+                        return Err(NotEmpty.raise());
+                    }
+                }
+                let mut tree = self.tree.borrow_mut();
+                tree.nodes.remove(&self.node);
+                tree.by_key.remove(&call.key);
+                call.poa.deactivate(call.key);
+                reply(&())
+            }
+            ops::LIST => {
+                let (how_many,): (u32,) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let mut bindings: Vec<Binding> = {
+                    let tree = self.tree.borrow();
+                    tree.nodes[&self.node]
+                        .entries
+                        .iter()
+                        .map(|(comp, entry)| Binding {
+                            name: Name(vec![comp.clone()]),
+                            binding_type: match entry {
+                                Entry::Context { .. } => BindingType::Context,
+                                _ => BindingType::Object,
+                            },
+                        })
+                        .collect()
+                };
+                bindings.sort_by_key(|a| a.name.stringify());
+                let rest = bindings.split_off((how_many as usize).min(bindings.len()));
+                let iterator = if rest.is_empty() {
+                    None
+                } else {
+                    let servant = Rc::new(RefCell::new(BindingIterator::new(rest)));
+                    let key = call.poa.activate(BINDING_ITERATOR_TYPE, servant);
+                    Some(call.orb.ior(BINDING_ITERATOR_TYPE, key))
+                };
+                reply(&(bindings, iterator))
+            }
+            ops::BIND_GROUP_MEMBER => {
+                let (name, ior): (Name, Ior) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let (node, last) = self.walk(&name)?;
+                let mut tree = self.tree.borrow_mut();
+                let entries = &mut tree.nodes.get_mut(&node).expect("valid").entries;
+                match entries.get_mut(&last) {
+                    None => {
+                        entries.insert(
+                            last,
+                            Entry::Group {
+                                members: vec![ior],
+                                rr: 0,
+                            },
+                        );
+                    }
+                    Some(Entry::Group { members, .. }) => {
+                        if members.contains(&ior) {
+                            return Err(AlreadyBound.raise());
+                        }
+                        members.push(ior);
+                    }
+                    Some(_) => return Err(AlreadyBound.raise()),
+                }
+                reply(&())
+            }
+            ops::UNBIND_GROUP_MEMBER => {
+                let (name, ior): (Name, Ior) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let (node, last) = self.walk(&name)?;
+                let mut tree = self.tree.borrow_mut();
+                let entries = &mut tree.nodes.get_mut(&node).expect("valid").entries;
+                match entries.get_mut(&last) {
+                    Some(Entry::Group { members, .. }) => {
+                        let before = members.len();
+                        members.retain(|m| m != &ior);
+                        if members.len() == before {
+                            return Err(NotFound {
+                                why: NotFoundReason::MissingNode,
+                                rest_of_name: Name(vec![last]),
+                            }
+                            .raise());
+                        }
+                        reply(&())
+                    }
+                    _ => Err(NotFound {
+                        why: NotFoundReason::MissingNode,
+                        rest_of_name: Name(vec![last]),
+                    }
+                    .raise()),
+                }
+            }
+            ops::GROUP_MEMBERS => {
+                let (name,): (Name,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let (node, last) = self.walk(&name)?;
+                let tree = self.tree.borrow();
+                match tree.nodes[&node].entries.get(&last) {
+                    Some(Entry::Group { members, .. }) => reply(&members.clone()),
+                    _ => Err(NotFound {
+                        why: NotFoundReason::MissingNode,
+                        rest_of_name: Name(vec![last]),
+                    }
+                    .raise()),
+                }
+            }
+            other => Err(SystemException::bad_operation(other).into()),
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! The `BindingIterator` servant: pages through the remainder of a `list`
+//! result.
+
+use std::collections::VecDeque;
+
+use orb::{reply, CallCtx, Exception, Servant, SystemException};
+
+use crate::name::Name;
+use crate::protocol::{ops, Binding, BindingType};
+
+/// Iterator over bindings not returned directly by `list`.
+pub struct BindingIterator {
+    items: VecDeque<Binding>,
+}
+
+impl BindingIterator {
+    /// Wrap the remaining bindings.
+    pub fn new(items: Vec<Binding>) -> Self {
+        BindingIterator {
+            items: items.into(),
+        }
+    }
+}
+
+fn placeholder() -> Binding {
+    Binding {
+        name: Name::default(),
+        binding_type: BindingType::Object,
+    }
+}
+
+impl Servant for BindingIterator {
+    fn dispatch(
+        &mut self,
+        call: &mut CallCtx<'_>,
+        op: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, Exception> {
+        match op {
+            ops::NEXT_ONE => {
+                cdr::from_bytes::<()>(args).map_err(SystemException::marshal)?;
+                match self.items.pop_front() {
+                    Some(b) => reply(&(true, b)),
+                    None => reply(&(false, placeholder())),
+                }
+            }
+            ops::NEXT_N => {
+                let (how_many,): (u32,) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let n = (how_many as usize).min(self.items.len());
+                let batch: Vec<Binding> = self.items.drain(..n).collect();
+                reply(&(!batch.is_empty(), batch))
+            }
+            ops::DESTROY => {
+                cdr::from_bytes::<()>(args).map_err(SystemException::marshal)?;
+                call.poa.deactivate(call.key);
+                reply(&())
+            }
+            other => Err(SystemException::bad_operation(other).into()),
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # cosnaming — COS Naming with integrated load distribution
+//!
+//! The paper's first contribution (§2): a CORBA naming service that is
+//! wire-compatible with the OMG COS Naming interface but performs **load
+//! distribution inside `resolve`**. Servers register replicas of a service
+//! under one name (*group bindings*); when a client resolves that name,
+//! the service asks the Winner system manager for the host with the best
+//! current performance and returns the replica living there. Clients keep
+//! using the standard `resolve` call — the mechanism is fully transparent
+//! and works with any ORB, because the naming service "is not an integral
+//! part of a CORBA ORB but is always implemented as a CORBA service".
+//!
+//! When Winner is unreachable (or in [`LbMode::Plain`]), resolution falls
+//! back to round-robin — matching the paper's observation that the
+//! modified service is never worse than the unmodified one.
+//!
+//! * [`run_naming_service`] — server process body (port 2809, root key 1).
+//! * [`NamingClient`] — typed client (standard ops + group extensions).
+//! * [`Name`] — `id.kind/id.kind` stringified names.
+
+pub mod client;
+pub mod context;
+pub mod iterator;
+pub mod name;
+pub mod protocol;
+pub mod server;
+pub mod trader;
+
+pub use client::{initial_naming_ior, BindingIteratorClient, NamingClient};
+pub use context::{LbMode, NamingContext, NamingTree};
+pub use name::{Name, NameComponent, NameParseError};
+pub use protocol::{
+    AlreadyBound, Binding, BindingType, EmptyGroup, InvalidName, NotEmpty, NotFound,
+    NotFoundReason, NAMING_CONTEXT_TYPE, NAMING_PORT, ROOT_CONTEXT_KEY,
+};
+pub use server::run_naming_service;
+pub use trader::{run_trader, select_best_offer, Trader, TraderClient, TRADER_TYPE};
+
+#[cfg(test)]
+mod naming_tests;

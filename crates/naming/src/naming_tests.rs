@@ -1,0 +1,637 @@
+//! In-simulation tests of the naming service: standard COS Naming
+//! behaviour, group bindings, and Winner-driven load-distributing resolve.
+
+use std::sync::{Arc, Mutex};
+
+use orb::{Ior, ObjectKey, Orb};
+use simnet::{Fault, HostConfig, HostId, Kernel, Pid, Port, SimDuration, SimTime};
+use winner::{BestPerformance, NodeManagerConfig, SystemManagerConfig};
+
+use crate::client::NamingClient;
+use crate::context::LbMode;
+use crate::name::Name;
+use crate::protocol::{AlreadyBound, EmptyGroup, NotFound};
+use crate::server::run_naming_service;
+
+type Cell<T> = Arc<Mutex<T>>;
+
+fn cell<T: Default>() -> Cell<T> {
+    Arc::new(Mutex::new(T::default()))
+}
+
+fn secs(s: f64) -> SimDuration {
+    SimDuration::from_secs_f64(s)
+}
+
+/// A dummy object reference living on `host` (no live server needed for
+/// pure naming tests).
+fn fake_ior(host: HostId, key: u64) -> Ior {
+    Ior::new("IDL:Test/Svc:1.0", host, Port(4000), ObjectKey(key))
+}
+
+/// Boot hosts with a plain naming service on host 0.
+fn boot_plain(sim: &mut Kernel, n: usize) -> Vec<HostId> {
+    let hosts: Vec<_> = (0..n)
+        .map(|i| sim.add_host(HostConfig::new(format!("ws{i}"))))
+        .collect();
+    let h0 = hosts[0];
+    sim.spawn(h0, "naming", move |ctx| {
+        let _ = run_naming_service(ctx, LbMode::Plain);
+    });
+    hosts
+}
+
+#[test]
+fn bind_resolve_unbind_round_trip() {
+    let mut sim = Kernel::with_seed(2);
+    let hosts = boot_plain(&mut sim, 2);
+    let out = cell::<Vec<String>>();
+    let o = out.clone();
+    let target = fake_ior(hosts[1], 7);
+    let driver = sim.spawn(hosts[1], "driver", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let ns = NamingClient::root(hosts[0]);
+        let name = Name::simple("Calc");
+        ns.bind(&mut orb, ctx, &name, &target).unwrap().unwrap();
+        let obj = ns.resolve(&mut orb, ctx, &name).unwrap().unwrap();
+        o.lock()
+            .unwrap()
+            .push(format!("resolved:{}", obj.ior == target));
+        ns.unbind(&mut orb, ctx, &name).unwrap().unwrap();
+        let gone = ns.resolve(&mut orb, ctx, &name).unwrap();
+        o.lock().unwrap().push(format!(
+            "gone:{}",
+            NotFound::extract(&gone.unwrap_err()).is_some()
+        ));
+    });
+    sim.run_until_exit(driver);
+    assert_eq!(
+        *out.lock().unwrap(),
+        vec!["resolved:true".to_string(), "gone:true".to_string()]
+    );
+}
+
+#[test]
+fn bind_twice_raises_already_bound_and_rebind_replaces() {
+    let mut sim = Kernel::with_seed(2);
+    let hosts = boot_plain(&mut sim, 2);
+    let out = cell::<Vec<bool>>();
+    let o = out.clone();
+    let a = fake_ior(hosts[1], 1);
+    let b = fake_ior(hosts[1], 2);
+    let driver = sim.spawn(hosts[1], "driver", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let ns = NamingClient::root(hosts[0]);
+        let name = Name::simple("Svc");
+        ns.bind(&mut orb, ctx, &name, &a).unwrap().unwrap();
+        let again = ns.bind(&mut orb, ctx, &name, &b).unwrap();
+        o.lock()
+            .unwrap()
+            .push(AlreadyBound::matches(&again.unwrap_err()));
+        ns.rebind(&mut orb, ctx, &name, &b).unwrap().unwrap();
+        let got = ns.resolve(&mut orb, ctx, &name).unwrap().unwrap();
+        o.lock().unwrap().push(got.ior == b);
+    });
+    sim.run_until_exit(driver);
+    assert_eq!(*out.lock().unwrap(), vec![true, true]);
+}
+
+#[test]
+fn nested_contexts_and_listing() {
+    let mut sim = Kernel::with_seed(2);
+    let hosts = boot_plain(&mut sim, 2);
+    let out = cell::<Vec<String>>();
+    let o = out.clone();
+    let svc = fake_ior(hosts[1], 5);
+    let driver = sim.spawn(hosts[1], "driver", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let ns = NamingClient::root(hosts[0]);
+        // Create apps/opt and bind apps/opt/solver.
+        let apps = ns
+            .bind_new_context(&mut orb, ctx, &Name::simple("apps"))
+            .unwrap()
+            .unwrap();
+        apps.bind_new_context(&mut orb, ctx, &Name::simple("opt"))
+            .unwrap()
+            .unwrap();
+        ns.bind(
+            &mut orb,
+            ctx,
+            &Name::parse("apps/opt/solver").unwrap(),
+            &svc,
+        )
+        .unwrap()
+        .unwrap();
+        // Multi-component resolve from the root.
+        let got = ns
+            .resolve_str(&mut orb, ctx, "apps/opt/solver")
+            .unwrap()
+            .unwrap();
+        o.lock().unwrap().push(format!("deep:{}", got.ior == svc));
+        // Listing the root: one binding ("apps", context).
+        let (bl, it) = ns.list(&mut orb, ctx, 10).unwrap().unwrap();
+        o.lock().unwrap().push(format!(
+            "list:{}:{:?}:{}",
+            bl.len(),
+            bl[0].binding_type,
+            it.is_none()
+        ));
+        // Destroy of a non-empty context fails.
+        let denied = apps.destroy(&mut orb, ctx).unwrap();
+        o.lock().unwrap().push(format!(
+            "notempty:{}",
+            crate::protocol::NotEmpty::matches(&denied.unwrap_err())
+        ));
+    });
+    sim.run_until_exit(driver);
+    assert_eq!(
+        *out.lock().unwrap(),
+        vec![
+            "deep:true".to_string(),
+            "list:1:Context:true".to_string(),
+            "notempty:true".to_string()
+        ]
+    );
+}
+
+#[test]
+fn list_pagination_via_iterator() {
+    let mut sim = Kernel::with_seed(2);
+    let hosts = boot_plain(&mut sim, 2);
+    let out = cell::<Vec<usize>>();
+    let o = out.clone();
+    let driver = sim.spawn(hosts[1], "driver", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let ns = NamingClient::root(hosts[0]);
+        for i in 0..5 {
+            ns.bind(
+                &mut orb,
+                ctx,
+                &Name::simple(format!("svc{i}")),
+                &fake_ior(hosts[1], i),
+            )
+            .unwrap()
+            .unwrap();
+        }
+        let (bl, it) = ns.list(&mut orb, ctx, 2).unwrap().unwrap();
+        o.lock().unwrap().push(bl.len());
+        let it = it.expect("iterator for the remaining 3");
+        let batch = it.next_n(&mut orb, ctx, 2).unwrap().unwrap();
+        o.lock().unwrap().push(batch.len());
+        let one = it.next_one(&mut orb, ctx).unwrap().unwrap();
+        o.lock().unwrap().push(one.is_some() as usize);
+        let done = it.next_one(&mut orb, ctx).unwrap().unwrap();
+        o.lock().unwrap().push(done.is_some() as usize);
+        it.destroy(&mut orb, ctx).unwrap().unwrap();
+        // After destroy the iterator is gone.
+        let dead = it.next_one(&mut orb, ctx).unwrap();
+        o.lock().unwrap().push(dead.is_err() as usize);
+    });
+    sim.run_until_exit(driver);
+    assert_eq!(*out.lock().unwrap(), vec![2, 2, 1, 0, 1]);
+}
+
+#[test]
+fn plain_group_resolution_round_robins() {
+    let mut sim = Kernel::with_seed(2);
+    let hosts = boot_plain(&mut sim, 4);
+    let out = cell::<Vec<u32>>();
+    let o = out.clone();
+    let members: Vec<Ior> = (1..4).map(|i| fake_ior(hosts[i], i as u64)).collect();
+    let driver = sim.spawn(hosts[1], "driver", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let ns = NamingClient::root(hosts[0]);
+        let name = Name::simple("Workers");
+        for m in &members {
+            ns.bind_group_member(&mut orb, ctx, &name, m)
+                .unwrap()
+                .unwrap();
+        }
+        for _ in 0..6 {
+            let got = ns.resolve(&mut orb, ctx, &name).unwrap().unwrap();
+            o.lock().unwrap().push(got.ior.host.0);
+        }
+    });
+    sim.run_until_exit(driver);
+    let picks = out.lock().unwrap().clone();
+    assert_eq!(picks, vec![1, 2, 3, 1, 2, 3]);
+}
+
+#[test]
+fn group_member_management() {
+    let mut sim = Kernel::with_seed(2);
+    let hosts = boot_plain(&mut sim, 3);
+    let out = cell::<Vec<String>>();
+    let o = out.clone();
+    let m1 = fake_ior(hosts[1], 1);
+    let m2 = fake_ior(hosts[2], 2);
+    let driver = sim.spawn(hosts[1], "driver", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let ns = NamingClient::root(hosts[0]);
+        let name = Name::simple("G");
+        ns.bind_group_member(&mut orb, ctx, &name, &m1)
+            .unwrap()
+            .unwrap();
+        ns.bind_group_member(&mut orb, ctx, &name, &m2)
+            .unwrap()
+            .unwrap();
+        // Duplicate member registration is rejected.
+        let dup = ns.bind_group_member(&mut orb, ctx, &name, &m1).unwrap();
+        o.lock()
+            .unwrap()
+            .push(format!("dup:{}", AlreadyBound::matches(&dup.unwrap_err())));
+        let members = ns.group_members(&mut orb, ctx, &name).unwrap().unwrap();
+        o.lock().unwrap().push(format!("n:{}", members.len()));
+        ns.unbind_group_member(&mut orb, ctx, &name, &m1)
+            .unwrap()
+            .unwrap();
+        let members = ns.group_members(&mut orb, ctx, &name).unwrap().unwrap();
+        o.lock().unwrap().push(format!("after:{}", members.len()));
+        // Remove the last member: resolve now raises EmptyGroup.
+        ns.unbind_group_member(&mut orb, ctx, &name, &m2)
+            .unwrap()
+            .unwrap();
+        let r = ns.resolve(&mut orb, ctx, &name).unwrap();
+        o.lock()
+            .unwrap()
+            .push(format!("empty:{}", EmptyGroup::matches(&r.unwrap_err())));
+    });
+    sim.run_until_exit(driver);
+    assert_eq!(
+        *out.lock().unwrap(),
+        vec!["dup:true", "n:2", "after:1", "empty:true"]
+    );
+}
+
+/// Full-stack test of the paper's mechanism: Winner-backed resolution
+/// avoids hosts with background load, transparently to the client.
+#[test]
+fn winner_resolution_avoids_loaded_hosts() {
+    let mut sim = Kernel::with_seed(3);
+    let hosts: Vec<_> = (0..5)
+        .map(|i| sim.add_host(HostConfig::new(format!("ws{i}"))))
+        .collect();
+    // Winner system manager on host 0.
+    let sysmgr_ior = cell::<Option<String>>();
+    let sm = sysmgr_ior.clone();
+    sim.spawn(hosts[0], "winner-sysmgr", move |ctx| {
+        let _ = winner::run_system_manager(
+            ctx,
+            SystemManagerConfig::default(),
+            Box::new(BestPerformance),
+            |i| {
+                *sm.lock().unwrap() = Some(i.stringify());
+            },
+        );
+    });
+    // Node managers everywhere.
+    for &h in &hosts {
+        let sm = sysmgr_ior.clone();
+        sim.spawn(h, "winner-nm", move |ctx| {
+            while sm.lock().unwrap().is_none() {
+                if ctx.sleep(secs(0.005)).is_err() {
+                    return;
+                }
+            }
+            let s = sm.lock().unwrap().clone().unwrap();
+            let _ = winner::run_node_manager(
+                ctx,
+                NodeManagerConfig::new(Ior::destringify(&s).unwrap()),
+            );
+        });
+    }
+    // Load-distributing naming service on host 0.
+    let sm = sysmgr_ior.clone();
+    sim.spawn(hosts[0], "naming", move |ctx| {
+        while sm.lock().unwrap().is_none() {
+            if ctx.sleep(secs(0.005)).is_err() {
+                return;
+            }
+        }
+        let s = sm.lock().unwrap().clone().unwrap();
+        let _ = run_naming_service(
+            ctx,
+            LbMode::Winner {
+                system_manager: Ior::destringify(&s).unwrap(),
+            },
+        );
+    });
+    // Background load on hosts 1 and 2.
+    for &h in &hosts[1..3] {
+        sim.spawn(h, "spinner", |ctx| {
+            let _ = ctx.spin_forever();
+        });
+    }
+    let out = cell::<Vec<u32>>();
+    let o = out.clone();
+    let group_hosts = hosts.clone();
+    let driver = sim.spawn(hosts[0], "driver", move |ctx| {
+        ctx.sleep(secs(5.0)).unwrap(); // let Winner gather load reports
+        let mut orb = Orb::init(ctx);
+        let ns = NamingClient::root(group_hosts[0]);
+        let name = Name::simple("Workers");
+        // One replica per host 1..=4.
+        for (i, &h) in group_hosts[1..].iter().enumerate() {
+            ns.bind_group_member(&mut orb, ctx, &name, &fake_ior(h, i as u64))
+                .unwrap()
+                .unwrap();
+        }
+        // Two resolves: both must land on the idle hosts 3 and 4, spread
+        // by the reservation mechanism.
+        for _ in 0..2 {
+            let got = ns.resolve(&mut orb, ctx, &name).unwrap().unwrap();
+            o.lock().unwrap().push(got.ior.host.0);
+        }
+    });
+    sim.run_until_exit(driver);
+    let picks = out.lock().unwrap().clone();
+    assert_eq!(picks.len(), 2);
+    assert!(picks.iter().all(|&h| h == 3 || h == 4), "{picks:?}");
+    assert_ne!(picks[0], picks[1], "{picks:?}");
+}
+
+/// The paper's robustness claim: with Winner unreachable, the modified
+/// naming service degrades to plain behaviour instead of failing.
+#[test]
+fn winner_fallback_when_system_manager_dies() {
+    let mut sim = Kernel::with_seed(3);
+    let hosts: Vec<_> = (0..3)
+        .map(|i| sim.add_host(HostConfig::new(format!("ws{i}"))))
+        .collect();
+    let sysmgr_ior = cell::<Option<String>>();
+    let sm = sysmgr_ior.clone();
+    sim.spawn(hosts[0], "winner-sysmgr", move |ctx| {
+        let _ = winner::run_system_manager(
+            ctx,
+            SystemManagerConfig::default(),
+            Box::new(BestPerformance),
+            |i| {
+                *sm.lock().unwrap() = Some(i.stringify());
+            },
+        );
+    });
+    let sm = sysmgr_ior.clone();
+    sim.spawn(hosts[0], "naming", move |ctx| {
+        while sm.lock().unwrap().is_none() {
+            if ctx.sleep(secs(0.005)).is_err() {
+                return;
+            }
+        }
+        let s = sm.lock().unwrap().clone().unwrap();
+        let _ = run_naming_service(
+            ctx,
+            LbMode::Winner {
+                system_manager: Ior::destringify(&s).unwrap(),
+            },
+        );
+    });
+    // Kill the system manager early (pid 0).
+    sim.schedule_fault(SimTime::ZERO + secs(0.5), Fault::KillProcess(Pid(0)));
+    let out = cell::<Vec<u32>>();
+    let o = out.clone();
+    let hs = hosts.clone();
+    let driver = sim.spawn(hosts[1], "driver", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let ns = NamingClient::root(hs[0]);
+        let name = Name::simple("Workers");
+        for (i, &h) in hs[1..].iter().enumerate() {
+            ns.bind_group_member(&mut orb, ctx, &name, &fake_ior(h, i as u64))
+                .unwrap()
+                .unwrap();
+        }
+        for _ in 0..4 {
+            let got = ns.resolve(&mut orb, ctx, &name).unwrap().unwrap();
+            o.lock().unwrap().push(got.ior.host.0);
+        }
+    });
+    sim.run_until_exit(driver);
+    // Round-robin fallback over hosts 1,2.
+    assert_eq!(*out.lock().unwrap(), vec![1, 2, 1, 2]);
+}
+
+#[test]
+fn resolve_str_rejects_invalid_names() {
+    let mut sim = Kernel::with_seed(2);
+    let hosts = boot_plain(&mut sim, 2);
+    let out = cell::<Option<bool>>();
+    let o = out.clone();
+    let driver = sim.spawn(hosts[1], "driver", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let ns = NamingClient::root(hosts[0]);
+        let r = ns.resolve_str(&mut orb, ctx, "a//b").unwrap();
+        *o.lock().unwrap() = Some(crate::protocol::InvalidName::matches(&r.unwrap_err()));
+    });
+    sim.run_until_exit(driver);
+    assert_eq!(*out.lock().unwrap(), Some(true));
+}
+
+#[test]
+fn foreign_context_cannot_be_traversed_but_resolves_directly() {
+    // Bind a context reference from a *different* naming server: it can be
+    // resolved (returning the reference), but multi-component traversal
+    // through it fails with NotFound{NotContext} — a documented limit.
+    let mut sim = Kernel::with_seed(2);
+    let hosts = boot_plain(&mut sim, 2);
+    let out = cell::<Vec<String>>();
+    let o = out.clone();
+    // A made-up foreign context reference (no such server needed for the
+    // binding itself).
+    let foreign = Ior::new(
+        crate::protocol::NAMING_CONTEXT_TYPE,
+        hosts[1],
+        Port(2809),
+        ObjectKey(1),
+    );
+    let driver = sim.spawn(hosts[1], "driver", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let ns = NamingClient::root(hosts[0]);
+        ns.bind_context(&mut orb, ctx, &Name::simple("remote"), &foreign)
+            .unwrap()
+            .unwrap();
+        // Direct resolve returns the foreign reference.
+        let got = ns.resolve_str(&mut orb, ctx, "remote").unwrap().unwrap();
+        o.lock()
+            .unwrap()
+            .push(format!("direct:{}", got.ior == foreign));
+        // Traversal through it is refused.
+        let r = ns.resolve_str(&mut orb, ctx, "remote/deeper").unwrap();
+        let nf = NotFound::extract(&r.unwrap_err()).expect("NotFound");
+        o.lock().unwrap().push(format!("traverse:{:?}", nf.why));
+    });
+    sim.run_until_exit(driver);
+    assert_eq!(
+        *out.lock().unwrap(),
+        vec!["direct:true".to_string(), "traverse:NotContext".to_string()]
+    );
+}
+
+#[test]
+fn rebind_refuses_to_replace_a_context() {
+    let mut sim = Kernel::with_seed(2);
+    let hosts = boot_plain(&mut sim, 2);
+    let out = cell::<Option<bool>>();
+    let o = out.clone();
+    let obj = fake_ior(hosts[1], 9);
+    let driver = sim.spawn(hosts[1], "driver", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let ns = NamingClient::root(hosts[0]);
+        ns.bind_new_context(&mut orb, ctx, &Name::simple("ctx"))
+            .unwrap()
+            .unwrap();
+        let r = ns
+            .rebind(&mut orb, ctx, &Name::simple("ctx"), &obj)
+            .unwrap();
+        *o.lock().unwrap() = Some(NotFound::extract(&r.unwrap_err()).is_some());
+    });
+    sim.run_until_exit(driver);
+    assert_eq!(*out.lock().unwrap(), Some(true));
+}
+
+#[test]
+fn destroyed_context_raises_object_not_exist() {
+    let mut sim = Kernel::with_seed(2);
+    let hosts = boot_plain(&mut sim, 2);
+    let out = cell::<Vec<bool>>();
+    let o = out.clone();
+    let driver = sim.spawn(hosts[1], "driver", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let ns = NamingClient::root(hosts[0]);
+        let child = ns
+            .bind_new_context(&mut orb, ctx, &Name::simple("tmp"))
+            .unwrap()
+            .unwrap();
+        // Unbind the entry, then destroy the (now empty, unreferenced)
+        // context object itself.
+        ns.unbind(&mut orb, ctx, &Name::simple("tmp"))
+            .unwrap()
+            .unwrap();
+        child.destroy(&mut orb, ctx).unwrap().unwrap();
+        o.lock().unwrap().push(true);
+        // Any further call on the destroyed context fails with a system
+        // exception (OBJECT_NOT_EXIST).
+        let r = child.list(&mut orb, ctx, 5).unwrap();
+        let is_one = matches!(
+            r.unwrap_err(),
+            orb::Exception::System(orb::SystemException {
+                kind: orb::SysKind::ObjectNotExist,
+                ..
+            })
+        );
+        o.lock().unwrap().push(is_one);
+    });
+    sim.run_until_exit(driver);
+    assert_eq!(*out.lock().unwrap(), vec![true, true]);
+}
+
+/// The §2 trader baseline: offers are exported per type, `query` returns
+/// all of them, and the *client* performs the load-aware selection — the
+/// code-intrusive alternative the paper's naming integration avoids.
+#[test]
+fn trader_baseline_with_decentralized_selection() {
+    let mut sim = Kernel::with_seed(4);
+    let hosts: Vec<_> = (0..4)
+        .map(|i| sim.add_host(HostConfig::new(format!("ws{i}"))))
+        .collect();
+    let h0 = hosts[0];
+    // Winner stack (the decentralized client needs the snapshot).
+    let sysmgr_ior = cell::<Option<String>>();
+    let sm = sysmgr_ior.clone();
+    sim.spawn(h0, "winner-sysmgr", move |ctx| {
+        let _ = winner::run_system_manager(
+            ctx,
+            SystemManagerConfig::default(),
+            Box::new(BestPerformance),
+            |i| {
+                *sm.lock().unwrap() = Some(i.stringify());
+            },
+        );
+    });
+    for &h in &hosts {
+        let sm = sysmgr_ior.clone();
+        sim.spawn(h, "winner-nm", move |ctx| {
+            while sm.lock().unwrap().is_none() {
+                if ctx.sleep(secs(0.005)).is_err() {
+                    return;
+                }
+            }
+            let s = sm.lock().unwrap().clone().unwrap();
+            let _ = winner::run_node_manager(
+                ctx,
+                NodeManagerConfig::new(Ior::destringify(&s).unwrap()),
+            );
+        });
+    }
+    // The trader itself.
+    let trader_ior = cell::<Option<String>>();
+    let t = trader_ior.clone();
+    sim.spawn(h0, "trader", move |ctx| {
+        let _ = crate::trader::run_trader(ctx, |i| {
+            *t.lock().unwrap() = Some(i.stringify());
+        });
+    });
+    // Background load on ws1.
+    sim.spawn(hosts[1], "spinner", |ctx| {
+        let _ = ctx.spin_forever();
+    });
+
+    let out = cell::<Vec<String>>();
+    let o = out.clone();
+    let (ti, si) = (trader_ior.clone(), sysmgr_ior.clone());
+    let offer_hosts = hosts.clone();
+    let driver = sim.spawn(hosts[2], "client", move |ctx| {
+        ctx.sleep(secs(5.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let trader = crate::trader::TraderClient::new(orb::ObjectRef::new(
+            Ior::destringify(&ti.lock().unwrap().clone().unwrap()).unwrap(),
+        ));
+        // Export one offer per host 1..=3.
+        for (i, &h) in offer_hosts[1..].iter().enumerate() {
+            trader
+                .export(&mut orb, ctx, "Solver", &fake_ior(h, i as u64))
+                .unwrap()
+                .unwrap();
+        }
+        let offers = trader.query(&mut orb, ctx, "Solver").unwrap().unwrap();
+        o.lock().unwrap().push(format!("offers:{}", offers.len()));
+        // Decentralized selection: the client evaluates the load itself.
+        let sysmgr = winner::SystemManagerClient::from_ior(
+            Ior::destringify(&si.lock().unwrap().clone().unwrap()).unwrap(),
+        );
+        let pick = crate::trader::select_best_offer(&mut orb, ctx, &offers, &sysmgr)
+            .unwrap()
+            .unwrap()
+            .unwrap();
+        o.lock().unwrap().push(format!("pick:ws{}", pick.host.0));
+        // Withdraw and re-query.
+        trader
+            .withdraw(&mut orb, ctx, "Solver", &offers[0])
+            .unwrap()
+            .unwrap();
+        let offers = trader.query(&mut orb, ctx, "Solver").unwrap().unwrap();
+        o.lock().unwrap().push(format!("after:{}", offers.len()));
+        // Unknown type: empty, selection yields None.
+        let none = trader.query(&mut orb, ctx, "Nope").unwrap().unwrap();
+        let sel = crate::trader::select_best_offer(&mut orb, ctx, &none, &sysmgr)
+            .unwrap()
+            .unwrap();
+        o.lock().unwrap().push(format!("none:{}", sel.is_none()));
+    });
+    sim.run_until_exit(driver);
+    let log = out.lock().unwrap().clone();
+    assert_eq!(log[0], "offers:3");
+    // The loaded host ws1 must not be picked (ws2/ws3 are idle).
+    assert!(log[1] == "pick:ws2" || log[1] == "pick:ws3", "{log:?}");
+    assert_eq!(log[2], "after:2");
+    assert_eq!(log[3], "none:true");
+}

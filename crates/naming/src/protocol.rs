@@ -1,0 +1,198 @@
+//! Wire protocol of the naming service: operation names, user exceptions,
+//! and binding types, following the OMG COS Naming specification (plus the
+//! group-binding extension that carries the paper's load distribution).
+
+use cdr::{cdr_enum, cdr_struct};
+use orb::{Exception, UserException};
+
+use crate::name::Name;
+
+/// Repository id of the (load-distributing) naming context interface.
+pub const NAMING_CONTEXT_TYPE: &str = "IDL:CosNaming/NamingContext:1.0";
+/// Repository id of the binding iterator interface.
+pub const BINDING_ITERATOR_TYPE: &str = "IDL:CosNaming/BindingIterator:1.0";
+
+/// The conventional port of the naming service (CORBA's IANA-registered
+/// 2809), so clients can bootstrap with nothing but a host name.
+pub const NAMING_PORT: simnet::Port = simnet::Port(2809);
+
+/// Object key of the root context in a freshly booted naming server (the
+/// first object activated in its adapter).
+pub const ROOT_CONTEXT_KEY: orb::ObjectKey = orb::ObjectKey(1);
+
+/// Operation names.
+pub mod ops {
+    /// `void bind(in Name n, in Object obj)`.
+    pub const BIND: &str = "bind";
+    /// `void rebind(in Name n, in Object obj)`.
+    pub const REBIND: &str = "rebind";
+    /// `void bind_context(in Name n, in NamingContext nc)`.
+    pub const BIND_CONTEXT: &str = "bind_context";
+    /// `Object resolve(in Name n)`.
+    pub const RESOLVE: &str = "resolve";
+    /// `void unbind(in Name n)`.
+    pub const UNBIND: &str = "unbind";
+    /// `NamingContext bind_new_context(in Name n)`.
+    pub const BIND_NEW_CONTEXT: &str = "bind_new_context";
+    /// `void destroy()`.
+    pub const DESTROY: &str = "destroy";
+    /// `void list(in unsigned long how_many, out BindingList bl, out BindingIterator bi)`.
+    pub const LIST: &str = "list";
+    /// Extension: `void bind_group_member(in Name n, in Object obj)` —
+    /// adds a replica to a service group (creating the group).
+    pub const BIND_GROUP_MEMBER: &str = "bind_group_member";
+    /// Extension: `void unbind_group_member(in Name n, in Object obj)`.
+    pub const UNBIND_GROUP_MEMBER: &str = "unbind_group_member";
+    /// Extension: `IorSeq group_members(in Name n)`.
+    pub const GROUP_MEMBERS: &str = "group_members";
+    /// BindingIterator: `boolean next_one(out Binding b)`.
+    pub const NEXT_ONE: &str = "next_one";
+    /// BindingIterator: `boolean next_n(in unsigned long how_many, out BindingList bl)`.
+    pub const NEXT_N: &str = "next_n";
+}
+
+cdr_enum!(
+    /// Why a `resolve`/`bind` failed with `NotFound`.
+    NotFoundReason {
+        /// A component was missing entirely.
+        MissingNode = 0,
+        /// An intermediate component was bound to an object, not a context.
+        NotContext = 1,
+        /// The final component was a context where an object was expected.
+        NotObject = 2,
+    }
+);
+
+cdr_enum!(
+    /// What a binding denotes.
+    BindingType {
+        /// An application object (or a service group).
+        Object = 0,
+        /// A child naming context.
+        Context = 1,
+    }
+);
+
+cdr_struct!(
+    /// One entry in a `list` result.
+    Binding {
+        /// The binding's name relative to the listed context (one component).
+        name: crate::name::Name,
+        /// Object or context.
+        binding_type: BindingType,
+    }
+);
+
+/// `NotFound` user exception.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NotFound {
+    /// Failure reason.
+    pub why: NotFoundReason,
+    /// The part of the name that could not be followed.
+    pub rest_of_name: Name,
+}
+
+impl NotFound {
+    /// Repository id.
+    pub const REPO_ID: &'static str = "IDL:CosNaming/NamingContext/NotFound:1.0";
+
+    /// Raise as an ORB exception.
+    pub fn raise(self) -> Exception {
+        Exception::User(UserException::new(
+            Self::REPO_ID,
+            &(self.why, self.rest_of_name),
+        ))
+    }
+
+    /// Extract from an ORB exception.
+    pub fn extract(e: &Exception) -> Option<NotFound> {
+        match e {
+            Exception::User(u) if u.id == Self::REPO_ID => {
+                let (why, rest_of_name) = u.members().ok()?;
+                Some(NotFound { why, rest_of_name })
+            }
+            _ => None,
+        }
+    }
+}
+
+macro_rules! tag_exception {
+    ($(#[$meta:meta])* $name:ident, $id:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+        pub struct $name;
+
+        impl $name {
+            /// Repository id.
+            pub const REPO_ID: &'static str = $id;
+
+            /// Raise as an ORB exception.
+            pub fn raise(self) -> Exception {
+                Exception::User(UserException::tag(Self::REPO_ID))
+            }
+
+            /// Whether `e` is this exception.
+            pub fn matches(e: &Exception) -> bool {
+                matches!(e, Exception::User(u) if u.id == Self::REPO_ID)
+            }
+        }
+    };
+}
+
+tag_exception!(
+    /// The name is already bound.
+    AlreadyBound,
+    "IDL:CosNaming/NamingContext/AlreadyBound:1.0"
+);
+tag_exception!(
+    /// `destroy` on a non-empty context.
+    NotEmpty,
+    "IDL:CosNaming/NamingContext/NotEmpty:1.0"
+);
+tag_exception!(
+    /// A structurally invalid name.
+    InvalidName,
+    "IDL:CosNaming/NamingContext/InvalidName:1.0"
+);
+tag_exception!(
+    /// Extension: the group has no live members to resolve to.
+    EmptyGroup,
+    "IDL:CosNaming/LoadBalancedContext/EmptyGroup:1.0"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::NameComponent;
+
+    #[test]
+    fn not_found_round_trip() {
+        let nf = NotFound {
+            why: NotFoundReason::NotContext,
+            rest_of_name: Name(vec![NameComponent::id("x")]),
+        };
+        let e = nf.clone().raise();
+        assert_eq!(NotFound::extract(&e), Some(nf));
+        assert!(!AlreadyBound::matches(&e));
+    }
+
+    #[test]
+    fn tag_exceptions_match() {
+        let e = AlreadyBound.raise();
+        assert!(AlreadyBound::matches(&e));
+        assert!(NotFound::extract(&e).is_none());
+        assert!(NotEmpty::matches(&NotEmpty.raise()));
+        assert!(InvalidName::matches(&InvalidName.raise()));
+        assert!(EmptyGroup::matches(&EmptyGroup.raise()));
+    }
+
+    #[test]
+    fn binding_round_trip() {
+        let b = Binding {
+            name: Name::simple("svc"),
+            binding_type: BindingType::Object,
+        };
+        let back: Binding = cdr::from_bytes(&cdr::to_bytes(&b)).unwrap();
+        assert_eq!(b, back);
+    }
+}

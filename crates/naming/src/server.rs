@@ -1,0 +1,34 @@
+//! The naming server process body.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use orb::{Orb, Poa};
+use simnet::{Ctx, SimResult};
+
+use crate::context::{LbMode, NamingContext, NamingTree};
+use crate::protocol::{NAMING_CONTEXT_TYPE, NAMING_PORT, ROOT_CONTEXT_KEY};
+
+/// Run a naming service on the current process: binds the conventional
+/// port 2809, activates the root context (object key 1, so
+/// [`initial_naming_ior`](crate::client::initial_naming_ior) works), and
+/// serves forever.
+///
+/// `mode` selects the paper's load-distributing behaviour
+/// ([`LbMode::Winner`]) or the plain baseline ([`LbMode::Plain`]).
+///
+/// # Panics
+/// If port 2809 is already bound on this host.
+pub fn run_naming_service(ctx: &mut Ctx, mode: LbMode) -> SimResult<()> {
+    let mut orb = Orb::init(ctx);
+    let port = orb
+        .listen_on(ctx, NAMING_PORT)?
+        .expect("naming port 2809 already in use on this host");
+    debug_assert_eq!(port, NAMING_PORT);
+    let poa = Poa::new();
+    let tree = NamingTree::new();
+    let root = Rc::new(RefCell::new(NamingContext::root(tree, mode)));
+    let key = poa.activate(NAMING_CONTEXT_TYPE, root);
+    debug_assert_eq!(key, ROOT_CONTEXT_KEY);
+    orb.serve_forever(ctx, &poa)
+}

@@ -1,0 +1,190 @@
+//! A trader service — the §2 alternative the paper argues **against**.
+//!
+//! "Implementation of an explicit service (e.g. a 'trader') which returns
+//! an object reference for the requested service on an available host
+//! (centralized load distribution strategy) or references for all
+//! available service objects. In the latter case, the client has to
+//! evaluate the load information for all of the returned references and
+//! has to make a selection by itself (decentralized load distribution
+//! strategy). … The drawback … is that the source code of clients has to
+//! be changed."
+//!
+//! This module implements exactly that baseline so the trade-off can be
+//! measured: offers are exported per service type; `query` returns all of
+//! them; [`select_best_offer`] is the decentralized client-side selection
+//! the paper criticizes — note how much machinery leaks into the client
+//! compared with a plain `resolve` on the load-distributing naming
+//! service.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use orb::{reply, CallCtx, Exception, Ior, ObjectRef, Orb, Poa, Servant, SystemException};
+use simnet::{Ctx, SimResult};
+use winner::{performance_score_of, SystemManagerClient};
+
+/// Repository id of the trader lookup interface.
+pub const TRADER_TYPE: &str = "IDL:CosTrading/Lookup:1.0";
+
+/// Operation names.
+pub mod trader_ops {
+    /// `void export(in string service_type, in Object offer)`.
+    pub const EXPORT: &str = "export";
+    /// `void withdraw(in string service_type, in Object offer)`.
+    pub const WITHDRAW: &str = "withdraw";
+    /// `IorSeq query(in string service_type)`.
+    pub const QUERY: &str = "query";
+}
+
+/// The trader servant: a flat multimap from service type to offers.
+#[derive(Default)]
+pub struct Trader {
+    offers: HashMap<String, Vec<Ior>>,
+    /// Queries served (for tests).
+    pub queries: u64,
+}
+
+impl Trader {
+    /// An empty trader.
+    pub fn new() -> Self {
+        Trader::default()
+    }
+}
+
+impl Servant for Trader {
+    fn dispatch(
+        &mut self,
+        _call: &mut CallCtx<'_>,
+        op: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, Exception> {
+        match op {
+            trader_ops::EXPORT => {
+                let (ty, ior): (String, Ior) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let offers = self.offers.entry(ty).or_default();
+                if !offers.contains(&ior) {
+                    offers.push(ior);
+                }
+                reply(&())
+            }
+            trader_ops::WITHDRAW => {
+                let (ty, ior): (String, Ior) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                if let Some(offers) = self.offers.get_mut(&ty) {
+                    offers.retain(|o| o != &ior);
+                }
+                reply(&())
+            }
+            trader_ops::QUERY => {
+                let (ty,): (String,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                self.queries += 1;
+                let offers = self.offers.get(&ty).cloned().unwrap_or_default();
+                reply(&offers)
+            }
+            other => Err(SystemException::bad_operation(other).into()),
+        }
+    }
+}
+
+/// Typed client for the trader.
+#[derive(Clone, Debug)]
+pub struct TraderClient {
+    /// The trader reference.
+    pub obj: ObjectRef,
+}
+
+impl TraderClient {
+    /// Wrap a reference.
+    pub fn new(obj: ObjectRef) -> Self {
+        TraderClient { obj }
+    }
+
+    /// Export an offer.
+    pub fn export(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        service_type: &str,
+        offer: &Ior,
+    ) -> SimResult<Result<(), Exception>> {
+        self.obj.call(
+            orb,
+            ctx,
+            trader_ops::EXPORT,
+            &(service_type.to_string(), offer),
+        )
+    }
+
+    /// Withdraw an offer.
+    pub fn withdraw(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        service_type: &str,
+        offer: &Ior,
+    ) -> SimResult<Result<(), Exception>> {
+        self.obj.call(
+            orb,
+            ctx,
+            trader_ops::WITHDRAW,
+            &(service_type.to_string(), offer),
+        )
+    }
+
+    /// Query all offers of a type.
+    pub fn query(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        service_type: &str,
+    ) -> SimResult<Result<Vec<Ior>, Exception>> {
+        self.obj
+            .call(orb, ctx, trader_ops::QUERY, &(service_type.to_string(),))
+    }
+}
+
+/// The decentralized client-side selection of §2: fetch Winner's whole
+/// load snapshot and score every offer's host locally. This is the code
+/// every client would have to carry — the paper's argument for putting the
+/// logic into the naming service instead.
+pub fn select_best_offer(
+    orb: &mut Orb,
+    ctx: &mut Ctx,
+    offers: &[Ior],
+    system_manager: &SystemManagerClient,
+) -> SimResult<Result<Option<Ior>, Exception>> {
+    if offers.is_empty() {
+        return Ok(Ok(None));
+    }
+    let snapshot = match system_manager.snapshot(orb, ctx)? {
+        Ok(s) => s,
+        // Winner down: first offer (the client must handle this, too).
+        Err(_) => return Ok(Ok(Some(offers[0].clone()))),
+    };
+    let mut best: Option<(&Ior, f64)> = None;
+    for offer in offers {
+        let Some(status) = snapshot.iter().find(|h| h.host == offer.host.0 && h.alive) else {
+            continue;
+        };
+        let score = performance_score_of(status.speed, status.load_avg + status.reservations);
+        match &best {
+            Some((_, b)) if *b >= score => {}
+            _ => best = Some((offer, score)),
+        }
+    }
+    Ok(Ok(best
+        .map(|(o, _)| o.clone())
+        .or_else(|| Some(offers[0].clone()))))
+}
+
+/// The body of a trader server process: activate, publish, serve.
+pub fn run_trader(ctx: &mut Ctx, publish: impl FnOnce(Ior)) -> SimResult<()> {
+    let mut orb = Orb::init(ctx);
+    orb.listen(ctx)?;
+    let poa = Poa::new();
+    let key = poa.activate(TRADER_TYPE, Rc::new(RefCell::new(Trader::new())));
+    publish(orb.ior(TRADER_TYPE, key));
+    orb.serve_forever(ctx, &poa)
+}

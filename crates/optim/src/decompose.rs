@@ -1,0 +1,262 @@
+//! The decomposed formulation of the Rosenbrock function (§4): "several
+//! (sub-)problems with a smaller dimension than the original n-dimensional
+//! problem are solved by workers, and the subproblems are then combined
+//! for the solution of the original problem in a manager."
+//!
+//! The variable chain is split into `W` blocks separated by `W−1`
+//! **coordination variables** owned by the manager. For the paper's 30-dim
+//! case with 3 workers this yields sub-dimensions 10, 9 and 9 plus a
+//! 2-dimensional manager problem — exactly the paper's configuration. Each
+//! Rosenbrock chain term is assigned to exactly one block (terms touching
+//! a coordination variable go to the adjacent block, with the coordination
+//! value passed as a fixed parameter), so the sum of block objectives at
+//! the block optima equals the original objective at the combined point.
+
+use crate::functions::Rosenbrock;
+use crate::problem::{Bounds, Problem};
+
+/// How an `n`-dimensional chain splits into worker blocks and manager
+/// variables.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Partition {
+    /// Total dimension.
+    pub n: usize,
+    /// Block index ranges (disjoint, in order).
+    pub blocks: Vec<std::ops::Range<usize>>,
+    /// Indices of the coordination variables (between the blocks).
+    pub coordinators: Vec<usize>,
+}
+
+impl Partition {
+    /// Split `n` variables into `workers` blocks with `workers − 1`
+    /// coordination variables between them, blocks as even as possible
+    /// with earlier blocks one larger — reproducing the paper's
+    /// `30 = 10 + 1 + 9 + 1 + 9` split for 3 workers.
+    pub fn even(n: usize, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        let coord = workers - 1;
+        assert!(
+            n >= workers * 2 + coord,
+            "dimension {n} too small for {workers} workers"
+        );
+        let var_total = n - coord;
+        let base = var_total / workers;
+        let extra = var_total % workers;
+        let mut blocks = Vec::with_capacity(workers);
+        let mut coordinators = Vec::with_capacity(coord);
+        let mut at = 0;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            blocks.push(at..at + len);
+            at += len;
+            if w + 1 < workers {
+                coordinators.push(at);
+                at += 1;
+            }
+        }
+        debug_assert_eq!(at, n);
+        Partition {
+            n,
+            blocks,
+            coordinators,
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Dimension of the manager problem.
+    pub fn manager_dim(&self) -> usize {
+        self.coordinators.len()
+    }
+
+    /// Sub-dimensions, e.g. `[10, 9, 9]` for `even(30, 3)`.
+    pub fn sub_dims(&self) -> Vec<usize> {
+        self.blocks.iter().map(|b| b.len()).collect()
+    }
+}
+
+/// One worker's subproblem: minimize the block's share of the Rosenbrock
+/// chain with the adjacent coordination values fixed.
+///
+/// Term assignment for block `[s, e)`:
+/// * interior terms `i ∈ [s, e−1)` (couple `x_i`, `x_{i+1}`),
+/// * the left coordination terms, if a coordinator `c = s−1` exists:
+///   term `c` (couples `x_c`, `x_s`) — and term `c−1` belongs to the
+///   *previous* block,
+/// * the right coordination term `e−1 → e` if `x_e` is a coordinator
+///   (couples the block's last variable to the fixed right value).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubRosenbrock {
+    /// Block dimension.
+    pub dim: usize,
+    /// Fixed left coordination value (`x_{s−1}`), if the block has one.
+    pub left: Option<f64>,
+    /// Fixed right coordination value (`x_e`), if the block has one.
+    pub right: Option<f64>,
+    bounds: Bounds,
+}
+
+impl SubRosenbrock {
+    /// A block subproblem on the standard Rosenbrock box.
+    pub fn new(dim: usize, left: Option<f64>, right: Option<f64>) -> Self {
+        assert!(dim >= 1);
+        SubRosenbrock {
+            dim,
+            left,
+            right,
+            bounds: Bounds::uniform(dim, -2.048, 2.048),
+        }
+    }
+}
+
+impl Problem for SubRosenbrock {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn bounds(&self) -> Bounds {
+        self.bounds.clone()
+    }
+
+    fn eval(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.dim);
+        let mut sum = 0.0;
+        if let Some(l) = self.left {
+            sum += Rosenbrock::term(l, x[0]);
+        }
+        sum += x
+            .windows(2)
+            .map(|w| Rosenbrock::term(w[0], w[1]))
+            .sum::<f64>();
+        if let Some(r) = self.right {
+            sum += Rosenbrock::term(x[self.dim - 1], r);
+        }
+        sum
+    }
+}
+
+/// The manager-side view: given coordination values, build each worker's
+/// subproblem, and recombine results.
+#[derive(Clone, Debug)]
+pub struct DecomposedRosenbrock {
+    /// The partition in use.
+    pub partition: Partition,
+}
+
+impl DecomposedRosenbrock {
+    /// Decompose `n` variables across `workers` blocks.
+    pub fn new(n: usize, workers: usize) -> Self {
+        DecomposedRosenbrock {
+            partition: Partition::even(n, workers),
+        }
+    }
+
+    /// Bounds of the manager problem (the coordination variables).
+    pub fn manager_bounds(&self) -> Bounds {
+        Bounds::uniform(self.partition.manager_dim(), -2.048, 2.048)
+    }
+
+    /// The subproblem of worker `w` under coordination values `coords`.
+    pub fn subproblem(&self, w: usize, coords: &[f64]) -> SubRosenbrock {
+        assert_eq!(coords.len(), self.partition.manager_dim());
+        let left = (w > 0).then(|| coords[w - 1]);
+        let right = (w < self.partition.workers() - 1).then(|| coords[w]);
+        SubRosenbrock::new(self.partition.blocks[w].len(), left, right)
+    }
+
+    /// Assemble a full `n`-dimensional point from block solutions and
+    /// coordination values.
+    pub fn assemble(&self, coords: &[f64], block_points: &[Vec<f64>]) -> Vec<f64> {
+        assert_eq!(block_points.len(), self.partition.workers());
+        let mut x = vec![0.0; self.partition.n];
+        for (w, range) in self.partition.blocks.iter().enumerate() {
+            x[range.clone()].copy_from_slice(&block_points[w]);
+        }
+        for (c, &idx) in self.partition.coordinators.iter().enumerate() {
+            x[idx] = coords[c];
+        }
+        x
+    }
+
+    /// The combined objective: the sum of block objectives equals the full
+    /// Rosenbrock value of the assembled point (validated in tests).
+    pub fn combine(&self, block_values: &[f64]) -> f64 {
+        block_values.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_30_dim_partition() {
+        let p = Partition::even(30, 3);
+        assert_eq!(p.sub_dims(), vec![10, 9, 9]);
+        assert_eq!(p.manager_dim(), 2);
+        assert_eq!(p.coordinators, vec![10, 20]);
+    }
+
+    #[test]
+    fn paper_100_dim_partition() {
+        let p = Partition::even(100, 7);
+        assert_eq!(p.manager_dim(), 6);
+        assert_eq!(p.sub_dims().iter().sum::<usize>(), 94);
+        // Blocks are balanced within one variable.
+        let dims = p.sub_dims();
+        let min = dims.iter().min().unwrap();
+        let max = dims.iter().max().unwrap();
+        assert!(max - min <= 1, "{dims:?}");
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_full_problem() {
+        let p = Partition::even(12, 1);
+        assert_eq!(p.sub_dims(), vec![12]);
+        assert_eq!(p.manager_dim(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn overdecomposition_rejected() {
+        let _ = Partition::even(5, 3);
+    }
+
+    /// The load-bearing identity: block objectives sum to the original
+    /// Rosenbrock objective of the assembled point, for any point.
+    #[test]
+    fn decomposition_preserves_objective() {
+        use crate::functions::Rosenbrock;
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+        for &(n, w) in &[(30usize, 3usize), (100, 7), (12, 2), (9, 1)] {
+            let d = DecomposedRosenbrock::new(n, w);
+            let full = Rosenbrock::new(n);
+            for _ in 0..10 {
+                let x: Vec<f64> = (0..n).map(|_| rng.random_range(-2.0..2.0)).collect();
+                let coords: Vec<f64> = d.partition.coordinators.iter().map(|&i| x[i]).collect();
+                let blocks: Vec<Vec<f64>> = d
+                    .partition
+                    .blocks
+                    .iter()
+                    .map(|r| x[r.clone()].to_vec())
+                    .collect();
+                let parts: Vec<f64> = (0..w)
+                    .map(|wi| d.subproblem(wi, &coords).eval(&blocks[wi]))
+                    .collect();
+                let combined = d.combine(&parts);
+                let assembled = d.assemble(&coords, &blocks);
+                assert_eq!(assembled, x);
+                let direct = full.eval(&x);
+                assert!(
+                    (combined - direct).abs() < 1e-9 * (1.0 + direct.abs()),
+                    "n={n} w={w}: {combined} vs {direct}"
+                );
+            }
+        }
+    }
+}

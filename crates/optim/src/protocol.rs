@@ -1,0 +1,154 @@
+//! Wire protocol between the optimization manager and its workers.
+//!
+//! Corresponding IDL (kept compilable with `idlc`; see the test):
+//!
+//! ```idl
+//! module Optim {
+//!   typedef sequence<double> DoubleSeq;
+//!   struct SolveSpec {
+//!     unsigned long problem_id;
+//!     unsigned long dim;
+//!     boolean has_left;   double left;
+//!     boolean has_right;  double right;
+//!     unsigned long long iters;
+//!     unsigned long long seed;
+//!     boolean reset;
+//!   };
+//!   struct SolveResult {
+//!     double best_value;
+//!     DoubleSeq best_point;
+//!     unsigned long long iterations;
+//!     unsigned long long evals;
+//!   };
+//!   typedef sequence<octet> OctetSeq;
+//!   interface Worker {
+//!     readonly attribute unsigned long solve_count;
+//!     SolveResult solve(in SolveSpec spec);
+//!     OctetSeq get_checkpoint();
+//!     void restore_checkpoint(in OctetSeq state);
+//!   };
+//! };
+//! ```
+
+use cdr::cdr_struct;
+use cosnaming::Name;
+
+/// Repository id of the worker interface.
+pub const WORKER_TYPE: &str = "IDL:Optim/Worker:1.0";
+
+/// Service-type string factories use to instantiate workers.
+pub const WORKER_SERVICE_TYPE: &str = "OptimWorker";
+
+/// The group name workers register under.
+pub fn worker_group() -> Name {
+    Name::simple("Workers")
+}
+
+/// Operation names.
+pub mod ops {
+    /// `SolveResult solve(in SolveSpec spec)`.
+    pub const SOLVE: &str = "solve";
+    /// `OctetSeq get_checkpoint()` — the FT proxy's state fetch.
+    pub const GET_CHECKPOINT: &str = "get_checkpoint";
+    /// `void restore_checkpoint(in OctetSeq state)`.
+    pub const RESTORE_CHECKPOINT: &str = "restore_checkpoint";
+    /// `readonly attribute unsigned long solve_count`.
+    pub const GET_SOLVE_COUNT: &str = "_get_solve_count";
+}
+
+cdr_struct!(
+    /// One subproblem-solving assignment.
+    SolveSpec {
+        /// Block index (also the worker's state key for this subproblem).
+        problem_id: u32,
+        /// Block dimension.
+        dim: u32,
+        /// Fixed left coordination value, if any.
+        left: Option<f64>,
+        /// Fixed right coordination value, if any.
+        right: Option<f64>,
+        /// Complex Box iterations to run — the paper's stopping criterion
+        /// and Table 1's sweep variable.
+        iters: u64,
+        /// Seed for a fresh population.
+        seed: u64,
+        /// Ignore any cached population and start fresh.
+        reset: bool,
+    }
+);
+
+cdr_struct!(
+    /// A worker's answer.
+    SolveResult {
+        /// Best objective value found.
+        best_value: f64,
+        /// Best point found (block variables).
+        best_point: Vec<f64>,
+        /// Total iterations this worker has run on this subproblem.
+        iterations: u64,
+        /// Total objective evaluations on this subproblem.
+        evals: u64,
+    }
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trip() {
+        let s = SolveSpec {
+            problem_id: 2,
+            dim: 9,
+            left: Some(0.5),
+            right: None,
+            iters: 10_000,
+            seed: 7,
+            reset: false,
+        };
+        let back: SolveSpec = cdr::from_bytes(&cdr::to_bytes(&s)).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn result_round_trip() {
+        let r = SolveResult {
+            best_value: 1.25,
+            best_point: vec![0.1, 0.2],
+            iterations: 100,
+            evals: 140,
+        };
+        let back: SolveResult = cdr::from_bytes(&cdr::to_bytes(&r)).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn worker_idl_compiles_with_idlc() {
+        let idl = r#"
+            module Optim {
+              typedef sequence<double> DoubleSeq;
+              struct SolveSpec {
+                unsigned long problem_id; unsigned long dim;
+                boolean has_left; double left;
+                boolean has_right; double right;
+                unsigned long long iters; unsigned long long seed;
+                boolean reset;
+              };
+              struct SolveResult {
+                double best_value; DoubleSeq best_point;
+                unsigned long long iterations; unsigned long long evals;
+              };
+              typedef sequence<octet> OctetSeq;
+              interface Worker {
+                readonly attribute unsigned long solve_count;
+                SolveResult solve(in SolveSpec spec);
+                OctetSeq get_checkpoint();
+                void restore_checkpoint(in OctetSeq state);
+              };
+            };
+        "#;
+        let code = idlc::compile(idl, &idlc::GenOptions::default()).unwrap();
+        assert!(code.contains("pub struct WorkerStub"));
+        assert!(code.contains("pub struct WorkerFtProxy"));
+    }
+}

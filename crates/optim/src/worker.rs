@@ -1,0 +1,230 @@
+//! The optimization **worker** servant: a stateful CORBA service running
+//! the sequential Complex Box algorithm on assigned subproblems.
+//!
+//! State (the per-subproblem populations) persists across `solve` calls —
+//! the manager's successive calls warm-start from the previous population
+//! — which is exactly why the paper needs checkpointing proxies: losing a
+//! worker loses accumulated optimization progress unless its state was
+//! saved. The servant therefore implements the checkpoint convention
+//! (`get_checkpoint` / `restore_checkpoint`).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use cosnaming::NamingClient;
+use orb::{reply, CallCtx, Exception, Orb, Poa, Servant, SystemException};
+use simnet::{Ctx, HostId, SimResult};
+
+use crate::complex_box::{ComplexBox, ComplexBoxConfig, ComplexState};
+use crate::decompose::SubRosenbrock;
+use crate::protocol::{ops, worker_group, SolveResult, SolveSpec, WORKER_TYPE};
+
+/// CPU cost model of a worker (translates algorithm work into simulated
+/// time; the algorithm itself runs for real).
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerCosts {
+    /// CPU work units per Complex Box iteration per problem dimension.
+    /// Default calibrated so a 14-dim subproblem runs ≈10 ms of CPU per
+    /// 1000 iterations — the right order for a late-90s workstation
+    /// evaluating an O(dim) objective a couple of times per iteration.
+    pub per_iter_per_dim: f64,
+}
+
+impl Default for WorkerCosts {
+    fn default() -> Self {
+        WorkerCosts {
+            per_iter_per_dim: 7.0e-7,
+        }
+    }
+}
+
+/// The worker servant.
+pub struct WorkerServant {
+    costs: WorkerCosts,
+    /// Cached optimizer state per subproblem id.
+    state: HashMap<u32, ComplexState>,
+    solve_count: u32,
+}
+
+impl WorkerServant {
+    /// A fresh worker.
+    pub fn new(costs: WorkerCosts) -> Self {
+        WorkerServant {
+            costs,
+            state: HashMap::new(),
+            solve_count: 0,
+        }
+    }
+
+    fn solve(
+        &mut self,
+        call: &mut CallCtx<'_>,
+        spec: &SolveSpec,
+    ) -> Result<SolveResult, Exception> {
+        if spec.dim == 0 {
+            return Err(SystemException::new(
+                orb::SysKind::BadParam,
+                orb::Completion::No,
+                "zero-dimensional subproblem",
+            )
+            .into());
+        }
+        let problem = SubRosenbrock::new(spec.dim as usize, spec.left, spec.right);
+        let cfg = ComplexBoxConfig {
+            seed: spec.seed ^ u64::from(spec.problem_id).wrapping_mul(0x9E37_79B9),
+            ..ComplexBoxConfig::default()
+        };
+        // Model the CPU cost of the whole solve (iterations × dimension).
+        let work = spec.iters as f64 * spec.dim as f64 * self.costs.per_iter_per_dim;
+        call.ctx
+            .compute(work)
+            .map_err(|_| SystemException::comm_failure("killed mid-solve"))?;
+
+        let cached = (!spec.reset)
+            .then(|| self.state.get(&spec.problem_id))
+            .flatten()
+            .filter(|s| s.points.len() % spec.dim as usize == 0 && !s.points.is_empty());
+        let mut opt = match cached {
+            Some(s) => {
+                // Warm start: keep the population, re-evaluate under the
+                // new coordination values.
+                let points: Vec<Vec<f64>> = s
+                    .points
+                    .chunks(spec.dim as usize)
+                    .map(|c| c.to_vec())
+                    .collect();
+                ComplexBox::from_points(&problem, cfg, points, s.iterations, s.evals)
+            }
+            None => ComplexBox::new(&problem, cfg),
+        };
+        let best_value = opt.run(spec.iters);
+        let (best_point, _) = opt.best();
+        let result = SolveResult {
+            best_value,
+            best_point: best_point.to_vec(),
+            iterations: opt.iterations(),
+            evals: opt.evals(),
+        };
+        self.state.insert(spec.problem_id, opt.state());
+        self.solve_count += 1;
+        Ok(result)
+    }
+
+    /// Serialize the full worker state (checkpoint payload).
+    fn checkpoint(&self) -> Vec<u8> {
+        let mut entries: Vec<(u32, ComplexState)> =
+            self.state.iter().map(|(k, v)| (*k, v.clone())).collect();
+        entries.sort_by_key(|(k, _)| *k);
+        cdr::to_bytes(&(self.solve_count, entries))
+    }
+
+    /// Replace the whole worker state from a checkpoint. Note: if several
+    /// logical services were recovered into one physical instance, the last
+    /// restore wins; a clobbered subproblem merely loses its warm-start
+    /// population (correctness is unaffected — the next `solve` starts
+    /// fresh).
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), Exception> {
+        let (solve_count, entries): (u32, Vec<(u32, ComplexState)>) =
+            cdr::from_bytes(bytes).map_err(SystemException::marshal)?;
+        self.solve_count = solve_count;
+        self.state = entries.into_iter().collect();
+        Ok(())
+    }
+}
+
+impl Servant for WorkerServant {
+    fn dispatch(
+        &mut self,
+        call: &mut CallCtx<'_>,
+        op: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, Exception> {
+        match op {
+            ops::SOLVE => {
+                let (spec,): (SolveSpec,) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let r = self.solve(call, &spec)?;
+                reply(&r)
+            }
+            ops::GET_CHECKPOINT => {
+                cdr::from_bytes::<()>(args).map_err(SystemException::marshal)?;
+                reply(&self.checkpoint())
+            }
+            ops::RESTORE_CHECKPOINT => {
+                let (state,): (Vec<u8>,) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                self.restore(&state)?;
+                reply(&())
+            }
+            ops::GET_SOLVE_COUNT => {
+                cdr::from_bytes::<()>(args).map_err(SystemException::marshal)?;
+                reply(&self.solve_count)
+            }
+            other => Err(SystemException::bad_operation(other).into()),
+        }
+    }
+}
+
+/// Typed client stub for a worker (what `idlc` generates).
+#[derive(Clone, Debug)]
+pub struct WorkerStub {
+    /// The worker reference.
+    pub obj: orb::ObjectRef,
+}
+
+impl WorkerStub {
+    /// Wrap a reference.
+    pub fn new(obj: orb::ObjectRef) -> Self {
+        WorkerStub { obj }
+    }
+
+    /// `SolveResult solve(in SolveSpec spec)`.
+    pub fn solve(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        spec: &SolveSpec,
+    ) -> SimResult<Result<SolveResult, Exception>> {
+        self.obj.call(orb, ctx, ops::SOLVE, &(spec,))
+    }
+
+    /// `unsigned long solve_count()`.
+    pub fn solve_count(&self, orb: &mut Orb, ctx: &mut Ctx) -> SimResult<Result<u32, Exception>> {
+        self.obj.call(orb, ctx, ops::GET_SOLVE_COUNT, &())
+    }
+}
+
+/// A factory builder that can instantiate workers (register under the
+/// service type [`WORKER_SERVICE_TYPE`](crate::protocol::WORKER_SERVICE_TYPE)).
+pub fn worker_builder(costs: WorkerCosts) -> ftproxy::ServantBuilder {
+    Box::new(move |_call, ty| {
+        (ty == crate::protocol::WORKER_SERVICE_TYPE).then(|| {
+            (
+                Rc::new(RefCell::new(WorkerServant::new(costs))) as Rc<RefCell<dyn Servant>>,
+                WORKER_TYPE.to_string(),
+            )
+        })
+    })
+}
+
+/// The body of a standalone worker server process: activate one worker,
+/// register it in the `Workers` group, serve forever.
+pub fn run_worker_server(ctx: &mut Ctx, naming_host: HostId, costs: WorkerCosts) -> SimResult<()> {
+    let mut orb = Orb::init(ctx);
+    orb.listen(ctx)?;
+    let poa = Poa::new();
+    let servant = Rc::new(RefCell::new(WorkerServant::new(costs)));
+    let key = poa.activate(WORKER_TYPE, servant);
+    let ior = orb.ior(WORKER_TYPE, key);
+    let ns = NamingClient::root(naming_host);
+    let retry = simnet::SimDuration::from_millis(100);
+    loop {
+        match ns.bind_group_member(&mut orb, ctx, &worker_group(), &ior)? {
+            Ok(()) => break,
+            Err(e) if cosnaming::AlreadyBound::matches(&e) => break,
+            Err(_) => ctx.sleep(retry)?,
+        }
+    }
+    orb.serve_forever(ctx, &poa)
+}

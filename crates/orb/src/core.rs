@@ -1,0 +1,584 @@
+//! The ORB itself: client invocation path, server dispatch loop, and the
+//! message pump connecting both to the simulated network.
+//!
+//! One [`Orb`] lives in each process that speaks CORBA. A pure client never
+//! listens; a server calls [`Orb::listen`] and then [`Orb::serve_forever`]
+//! (or [`Orb::serve_one`]). A process can be both — a servant may make
+//! nested outgoing calls through [`CallCtx::orb`](crate::poa::CallCtx)
+//! while inbound requests queue behind it, exactly like a single-threaded
+//! ORB mainloop.
+//!
+//! # Failure semantics
+//!
+//! * Request to a **dead server process** (host up): the simulated network
+//!   bounces an RST and the client raises `COMM_FAILURE` after one RTT.
+//! * Request to a **crashed host** or across a partition: silence; the
+//!   client raises `COMM_FAILURE` when the request timeout expires.
+//! * Stale object key on a live server (e.g. after a service was
+//!   deactivated): `OBJECT_NOT_EXIST`.
+//!
+//! These are exactly the error surfaces the paper's fault-tolerant proxies
+//! are built against.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use simnet::{Addr, Ctx, HostId, Pid, Port, SimDuration, SimResult, SimTime};
+
+use crate::exceptions::{Exception, SystemException};
+use crate::giop::{FrameError, Message, ReplyBody};
+use crate::interceptor::Interceptor;
+use crate::ior::{Ior, ObjectKey};
+use crate::poa::{CallCtx, Poa};
+
+/// CPU cost model for marshalling and ORB dispatch, in work units
+/// (seconds on a speed-1.0 host).
+///
+/// The paper observes that the proxy/checkpoint "overhead is constant for
+/// each method call"; that constant is made explicit here.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Fixed CPU work per marshal or demarshal step (one per message end).
+    pub marshal_fixed: f64,
+    /// CPU work per payload byte (inverse of marshalling throughput).
+    pub marshal_per_byte: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // ~60 us fixed per step and ~50 MB/s marshalling throughput,
+        // plausible for a late-90s ORB on a late-90s workstation.
+        CostModel {
+            marshal_fixed: 60e-6,
+            marshal_per_byte: 2e-8,
+        }
+    }
+}
+
+impl CostModel {
+    /// Work units for one marshal/demarshal step of `bytes` payload bytes.
+    pub fn step(&self, bytes: usize) -> f64 {
+        self.marshal_fixed + self.marshal_per_byte * bytes as f64
+    }
+
+    /// A zero-cost model (useful in unit tests that assert exact timings).
+    pub fn free() -> Self {
+        CostModel {
+            marshal_fixed: 0.0,
+            marshal_per_byte: 0.0,
+        }
+    }
+}
+
+/// ORB configuration.
+#[derive(Clone, Debug)]
+pub struct OrbConfig {
+    /// How long a synchronous call waits for a reply before raising
+    /// `COMM_FAILURE`. (CORBA 2 had no TIMEOUT exception; timeouts surface
+    /// as communication failures, which is what the paper's proxies catch.)
+    pub request_timeout: SimDuration,
+    /// Maximum `LocationForward` hops per logical invocation.
+    pub forward_limit: u32,
+    /// Marshalling cost model.
+    pub cost: CostModel,
+}
+
+impl Default for OrbConfig {
+    fn default() -> Self {
+        OrbConfig {
+            request_timeout: SimDuration::from_millis(2000),
+            forward_limit: 8,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// Counters the ORB accumulates; used by benchmarks and tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OrbStats {
+    /// Synchronous/deferred requests sent.
+    pub requests_sent: u64,
+    /// Oneway requests sent.
+    pub oneways_sent: u64,
+    /// Replies received and consumed.
+    pub replies_received: u64,
+    /// `COMM_FAILURE`s raised on the client path.
+    pub comm_failures: u64,
+    /// Requests dispatched to servants.
+    pub requests_served: u64,
+    /// Locate (ping) requests answered.
+    pub locates_served: u64,
+    /// Frames that failed to parse.
+    pub protocol_errors: u64,
+}
+
+/// Reserved user-exception id a servant raises (via [`forward_to`]) to make
+/// the ORB send a GIOP `LocationForward` reply. Used by migration: the old
+/// location leaves a forwarding agent behind.
+pub const FORWARD_ID: &str = "_orb:LocationForward";
+
+/// Build the dispatch error that turns into a `LocationForward` reply
+/// pointing clients at `new_location`.
+pub fn forward_to(new_location: &Ior) -> Exception {
+    Exception::User(crate::exceptions::UserException::new(
+        FORWARD_ID,
+        new_location,
+    ))
+}
+
+struct Pending {
+    endpoint: (HostId, Port),
+    deadline: SimTime,
+    operation: String,
+}
+
+/// The Object Request Broker for one simulated process.
+pub struct Orb {
+    cfg: OrbConfig,
+    host: HostId,
+    port: Option<Port>,
+    next_req: u64,
+    /// Inbound server-bound messages awaiting `serve_one`.
+    backlog: VecDeque<(Pid, Message)>,
+    /// Replies that arrived for requests other than the one being awaited.
+    replies: HashMap<u64, ReplyBody>,
+    /// Requests in flight (synchronous or deferred).
+    pending: HashMap<u64, Pending>,
+    /// Endpoints that bounced an RST.
+    rsts: HashSet<(HostId, Port)>,
+    stats: OrbStats,
+    interceptors: Vec<Box<dyn Interceptor>>,
+}
+
+pub(crate) enum Outcome {
+    Done(Result<Vec<u8>, Exception>),
+    Forward(Ior),
+}
+
+impl Orb {
+    /// Create an ORB for the current process.
+    pub fn new(ctx: &Ctx, cfg: OrbConfig) -> Self {
+        Orb {
+            cfg,
+            host: ctx.host(),
+            port: None,
+            next_req: 1,
+            backlog: VecDeque::new(),
+            replies: HashMap::new(),
+            pending: HashMap::new(),
+            rsts: HashSet::new(),
+            stats: OrbStats::default(),
+            interceptors: Vec::new(),
+        }
+    }
+
+    /// Create an ORB with default configuration.
+    pub fn init(ctx: &Ctx) -> Self {
+        Orb::new(ctx, OrbConfig::default())
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &OrbConfig {
+        &self.cfg
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> OrbStats {
+        self.stats
+    }
+
+    /// Register a request interceptor.
+    pub fn add_interceptor(&mut self, i: Box<dyn Interceptor>) {
+        self.interceptors.push(i);
+    }
+
+    // ------------------------------------------------------------------
+    // Server side
+    // ------------------------------------------------------------------
+
+    /// Bind an ephemeral listening port. Required before building IORs or
+    /// serving.
+    pub fn listen(&mut self, ctx: &mut Ctx) -> SimResult<Port> {
+        let port = ctx.bind_port()?;
+        self.port = Some(port);
+        Ok(port)
+    }
+
+    /// Bind a well-known listening port (e.g. 2809 for the naming
+    /// service). Returns `None` if the port is taken.
+    pub fn listen_on(&mut self, ctx: &mut Ctx, port: Port) -> SimResult<Option<Port>> {
+        let got = ctx.bind_port_exact(port)?;
+        if let Some(p) = got {
+            self.port = Some(p);
+        }
+        Ok(got)
+    }
+
+    /// The bound listening endpoint, if any.
+    pub fn endpoint(&self) -> Option<(HostId, Port)> {
+        self.port.map(|p| (self.host, p))
+    }
+
+    /// Build a reference to an object activated in this process.
+    ///
+    /// # Panics
+    /// If the ORB is not listening.
+    pub fn ior(&self, type_id: impl Into<String>, key: ObjectKey) -> Ior {
+        let port = self.port.expect("Orb::ior requires listen() first");
+        Ior::new(type_id, self.host, port, key)
+    }
+
+    /// Serve inbound requests until killed. The usual tail of a server
+    /// process body.
+    pub fn serve_forever(&mut self, ctx: &mut Ctx, poa: &Poa) -> SimResult<()> {
+        loop {
+            self.serve_one(ctx, poa)?;
+        }
+    }
+
+    /// Block for one inbound message and handle it.
+    pub fn serve_one(&mut self, ctx: &mut Ctx, poa: &Poa) -> SimResult<()> {
+        loop {
+            if let Some((from, msg)) = self.backlog.pop_front() {
+                self.handle_inbound(ctx, poa, from, msg)?;
+                return Ok(());
+            }
+            let msg = ctx.recv()?;
+            self.absorb(msg);
+        }
+    }
+
+    /// Handle one inbound message if one is queued or immediately
+    /// available; returns whether anything was handled. Does not block.
+    pub fn try_serve(&mut self, ctx: &mut Ctx, poa: &Poa) -> SimResult<bool> {
+        loop {
+            if let Some((from, msg)) = self.backlog.pop_front() {
+                self.handle_inbound(ctx, poa, from, msg)?;
+                return Ok(true);
+            }
+            match ctx.try_recv()? {
+                Some(msg) => self.absorb(msg),
+                None => return Ok(false),
+            }
+        }
+    }
+
+    fn handle_inbound(
+        &mut self,
+        ctx: &mut Ctx,
+        poa: &Poa,
+        from: Pid,
+        msg: Message,
+    ) -> SimResult<()> {
+        match msg {
+            Message::Request {
+                request_id,
+                response_expected,
+                object_key,
+                operation,
+                body,
+            } => {
+                // Demarshal cost for the request body.
+                ctx.compute(self.cfg.cost.step(body.len()))?;
+                self.stats.requests_served += 1;
+                for i in &mut self.interceptors {
+                    i.server_recv(&operation, object_key);
+                }
+                let result = match poa.lookup(object_key) {
+                    None => Err(Exception::System(SystemException::object_not_exist(
+                        format!("{object_key:?}"),
+                    ))),
+                    Some((servant, _tid)) => {
+                        let mut call = CallCtx {
+                            ctx,
+                            orb: self,
+                            poa,
+                            from,
+                            key: object_key,
+                        };
+                        let mut s = servant.borrow_mut();
+                        s.dispatch(&mut call, &operation, &body)
+                    }
+                };
+                if response_expected {
+                    let status = match result {
+                        Ok(body) => ReplyBody::NoException(body),
+                        Err(Exception::User(u)) if u.id == FORWARD_ID => match u.members::<Ior>() {
+                            Ok(ior) => ReplyBody::LocationForward(ior),
+                            Err(e) => ReplyBody::SystemException(SystemException::marshal(e)),
+                        },
+                        Err(Exception::User(u)) => ReplyBody::UserException(u),
+                        Err(Exception::System(s)) => ReplyBody::SystemException(s),
+                    };
+                    let frame = Message::Reply { request_id, status }.encode();
+                    ctx.compute(self.cfg.cost.step(frame.len()))?;
+                    ctx.send(Addr::Pid(from), frame)?;
+                }
+                Ok(())
+            }
+            Message::LocateRequest {
+                request_id,
+                object_key,
+            } => {
+                self.stats.locates_served += 1;
+                let frame = Message::LocateReply {
+                    request_id,
+                    found: poa.contains(object_key),
+                }
+                .encode();
+                ctx.send(Addr::Pid(from), frame)?;
+                Ok(())
+            }
+            // Cancels and closes need no action in this ORB: requests are
+            // handled atomically.
+            Message::CancelRequest { .. } | Message::CloseConnection => Ok(()),
+            Message::Reply { .. } | Message::LocateReply { .. } => {
+                unreachable!("absorb() routes replies away from the backlog")
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Client side
+    // ------------------------------------------------------------------
+
+    /// Synchronously invoke `operation` on the object `ior` refers to,
+    /// following location forwards. The outer `Result` is the simulation
+    /// liveness (`Err(Killed)` when this process dies); the inner is the
+    /// CORBA outcome.
+    pub fn invoke(
+        &mut self,
+        ctx: &mut Ctx,
+        ior: &Ior,
+        operation: &str,
+        body: Vec<u8>,
+    ) -> SimResult<Result<Vec<u8>, Exception>> {
+        let mut target = ior.clone();
+        for _ in 0..=self.cfg.forward_limit {
+            match self.invoke_once(ctx, &target, operation, body.clone())? {
+                Outcome::Done(r) => return Ok(r),
+                Outcome::Forward(next) => target = next,
+            }
+        }
+        Ok(Err(Exception::System(SystemException::transient(
+            "too many location forwards",
+        ))))
+    }
+
+    fn invoke_once(
+        &mut self,
+        ctx: &mut Ctx,
+        target: &Ior,
+        operation: &str,
+        body: Vec<u8>,
+    ) -> SimResult<Outcome> {
+        let req_id = self.send_request(ctx, target, operation, body, true)?;
+        let outcome = self.await_reply(ctx, req_id)?;
+        Ok(outcome)
+    }
+
+    /// Send a request frame; registers it in `pending` when a response is
+    /// expected. Returns the request id.
+    pub(crate) fn send_request(
+        &mut self,
+        ctx: &mut Ctx,
+        target: &Ior,
+        operation: &str,
+        body: Vec<u8>,
+        response_expected: bool,
+    ) -> SimResult<u64> {
+        let endpoint = (target.host, target.port);
+        // About to find out whether the endpoint is alive: drop stale RSTs.
+        self.rsts.remove(&endpoint);
+        let req_id = self.next_req;
+        self.next_req += 1;
+        let frame = Message::Request {
+            request_id: req_id,
+            response_expected,
+            object_key: target.key,
+            operation: operation.to_string(),
+            body,
+        }
+        .encode();
+        for i in &mut self.interceptors {
+            i.client_send(operation, target);
+        }
+        ctx.compute(self.cfg.cost.step(frame.len()))?;
+        if response_expected {
+            self.stats.requests_sent += 1;
+            self.pending.insert(
+                req_id,
+                Pending {
+                    endpoint,
+                    deadline: ctx.now() + self.cfg.request_timeout,
+                    operation: operation.to_string(),
+                },
+            );
+        } else {
+            self.stats.oneways_sent += 1;
+        }
+        ctx.send(Addr::Endpoint(target.host, target.port), frame)?;
+        Ok(req_id)
+    }
+
+    /// Block until the reply for `req_id` arrives (or fails).
+    pub(crate) fn await_reply(&mut self, ctx: &mut Ctx, req_id: u64) -> SimResult<Outcome> {
+        loop {
+            if let Some(outcome) = self.check_pending(ctx, req_id)? {
+                return Ok(outcome);
+            }
+            let deadline = self
+                .pending
+                .get(&req_id)
+                .expect("await_reply on unknown request")
+                .deadline;
+            let now = ctx.now();
+            if now >= deadline {
+                return Ok(self.fail_pending(req_id, "request timed out"));
+            }
+            match ctx.recv_timeout(deadline.since(now))? {
+                Some(msg) => self.absorb(msg),
+                None => return Ok(self.fail_pending(req_id, "request timed out")),
+            }
+        }
+    }
+
+    /// Non-blocking: has the reply for `req_id` arrived (or its endpoint
+    /// failed)? Drains the mailbox without advancing time.
+    pub(crate) fn poll_reply(&mut self, ctx: &mut Ctx, req_id: u64) -> SimResult<Option<Outcome>> {
+        while let Some(msg) = ctx.try_recv()? {
+            self.absorb(msg);
+        }
+        if let Some(outcome) = self.check_pending(ctx, req_id)? {
+            return Ok(Some(outcome));
+        }
+        // A deferred request can also "complete" by timing out.
+        if let Some(p) = self.pending.get(&req_id) {
+            if ctx.now() >= p.deadline {
+                return Ok(Some(self.fail_pending(req_id, "request timed out")));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Check stashed replies and RSTs for a pending request.
+    fn check_pending(&mut self, ctx: &mut Ctx, req_id: u64) -> SimResult<Option<Outcome>> {
+        if let Some(status) = self.replies.remove(&req_id) {
+            let p = self.pending.remove(&req_id);
+            self.stats.replies_received += 1;
+            let outcome = match status {
+                ReplyBody::LocationForward(ior) => Outcome::Forward(ior),
+                ReplyBody::NoException(body) => {
+                    ctx.compute(self.cfg.cost.step(body.len()))?;
+                    for i in &mut self.interceptors {
+                        i.client_recv(p.as_ref().map_or("?", |p| &p.operation), true);
+                    }
+                    Outcome::Done(Ok(body))
+                }
+                other => {
+                    for i in &mut self.interceptors {
+                        i.client_recv(p.as_ref().map_or("?", |p| &p.operation), false);
+                    }
+                    Outcome::Done(other.into_result())
+                }
+            };
+            return Ok(Some(outcome));
+        }
+        if let Some(p) = self.pending.get(&req_id) {
+            if self.rsts.contains(&p.endpoint) {
+                return Ok(Some(self.fail_pending(req_id, "connection refused")));
+            }
+        }
+        Ok(None)
+    }
+
+    fn fail_pending(&mut self, req_id: u64, why: &str) -> Outcome {
+        let p = self.pending.remove(&req_id);
+        self.stats.comm_failures += 1;
+        for i in &mut self.interceptors {
+            i.client_recv(p.as_ref().map_or("?", |p| &p.operation), false);
+        }
+        Outcome::Done(Err(Exception::System(SystemException::comm_failure(why))))
+    }
+
+    /// Route one raw network message: replies and RSTs are recorded,
+    /// server-bound messages are queued for `serve_one`.
+    fn absorb(&mut self, msg: simnet::Msg) {
+        match msg.payload {
+            simnet::Payload::Rst { host, port } => {
+                self.rsts.insert((host, port));
+            }
+            simnet::Payload::Data(bytes) => match Message::decode(&bytes) {
+                Ok(Message::Reply { request_id, status }) => {
+                    self.replies.insert(request_id, status);
+                }
+                Ok(Message::LocateReply { request_id, found }) => {
+                    // Represent locate replies through the same reply table.
+                    let status = if found {
+                        ReplyBody::NoException(cdr::to_bytes(&true))
+                    } else {
+                        ReplyBody::SystemException(SystemException::object_not_exist(
+                            "locate: not here",
+                        ))
+                    };
+                    self.replies.insert(request_id, status);
+                }
+                Ok(server_msg) => {
+                    self.backlog.push_back((msg.from, server_msg));
+                }
+                Err(FrameError::BadMagic)
+                | Err(FrameError::BadVersion(..))
+                | Err(FrameError::BadMessageType(_))
+                | Err(FrameError::Cdr(_)) => {
+                    self.stats.protocol_errors += 1;
+                }
+            },
+        }
+    }
+
+    /// Send a `oneway` request: no reply, no failure report (fire and
+    /// forget, like the Winner node-manager load reports).
+    pub fn invoke_oneway(
+        &mut self,
+        ctx: &mut Ctx,
+        ior: &Ior,
+        operation: &str,
+        body: Vec<u8>,
+    ) -> SimResult<()> {
+        self.send_request(ctx, ior, operation, body, false)?;
+        Ok(())
+    }
+
+    /// Liveness probe via GIOP `LocateRequest`: `Ok(true)` if the object is
+    /// active at its endpoint, `Ok(false)` if the endpoint answers but the
+    /// object is gone, `Err(COMM_FAILURE)` if the endpoint is dead.
+    pub fn locate(&mut self, ctx: &mut Ctx, ior: &Ior) -> SimResult<Result<bool, Exception>> {
+        let endpoint = (ior.host, ior.port);
+        self.rsts.remove(&endpoint);
+        let req_id = self.next_req;
+        self.next_req += 1;
+        let frame = Message::LocateRequest {
+            request_id: req_id,
+            object_key: ior.key,
+        }
+        .encode();
+        self.stats.requests_sent += 1;
+        self.pending.insert(
+            req_id,
+            Pending {
+                endpoint,
+                deadline: ctx.now() + self.cfg.request_timeout,
+                operation: "_locate".to_string(),
+            },
+        );
+        ctx.send(Addr::Endpoint(ior.host, ior.port), frame)?;
+        match self.await_reply(ctx, req_id)? {
+            Outcome::Done(Ok(_)) => Ok(Ok(true)),
+            Outcome::Done(Err(Exception::System(SystemException {
+                kind: crate::exceptions::SysKind::ObjectNotExist,
+                ..
+            }))) => Ok(Ok(false)),
+            Outcome::Done(Err(e)) => Ok(Err(e)),
+            Outcome::Forward(_) => Ok(Ok(true)),
+        }
+    }
+}

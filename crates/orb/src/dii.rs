@@ -1,0 +1,252 @@
+//! The Dynamic Invocation Interface: request objects with deferred
+//! (asynchronous) invocation.
+//!
+//! The paper uses DII request objects for asynchronous method invocation
+//! and wraps them in *request proxies* for fault tolerance (§3, Fig. 2).
+//! The distributed optimization manager fans one `solve` request out to
+//! each worker via `send_deferred`, then collects results with
+//! `get_response` — that is where the application's parallelism comes from.
+//!
+//! Wire compatibility: a DII request produces exactly the bytes a static
+//! stub would, because `Any` arguments are marshalled value-only.
+
+use cdr::{Any, CdrEncoder, CdrRead, CdrWrite};
+use simnet::{Ctx, SimResult};
+
+use crate::core::{Orb, Outcome};
+use crate::exceptions::{Exception, SystemException};
+use crate::ior::Ior;
+
+/// The lifecycle of a DII request.
+#[derive(Debug, Clone, PartialEq)]
+enum State {
+    /// Arguments are still being added.
+    Building,
+    /// `send_deferred` has fired; the reply is outstanding.
+    Sent { req_id: u64, forwards: u32 },
+    /// The outcome is available.
+    Done(Result<Vec<u8>, Exception>),
+}
+
+/// A dynamic request object (CORBA `Request`).
+pub struct DiiRequest {
+    target: Ior,
+    operation: String,
+    args: CdrEncoder,
+    state: State,
+}
+
+impl DiiRequest {
+    /// Create a request against `target` for `operation`.
+    pub fn new(target: Ior, operation: impl Into<String>) -> Self {
+        DiiRequest {
+            target,
+            operation: operation.into(),
+            args: CdrEncoder::big_endian(),
+            state: State::Building,
+        }
+    }
+
+    /// The operation name.
+    pub fn operation(&self) -> &str {
+        &self.operation
+    }
+
+    /// The target reference.
+    pub fn target(&self) -> &Ior {
+        &self.target
+    }
+
+    /// Append a dynamically-typed argument (marshalled value-only, exactly
+    /// as a static stub would).
+    ///
+    /// # Panics
+    /// If the request was already sent.
+    pub fn add_arg(&mut self, arg: &Any) -> &mut Self {
+        assert_eq!(self.state, State::Building, "request already sent");
+        arg.write_value(&mut self.args);
+        self
+    }
+
+    /// Append a statically-typed argument.
+    ///
+    /// # Panics
+    /// If the request was already sent.
+    pub fn add_typed<T: CdrWrite>(&mut self, arg: &T) -> &mut Self {
+        assert_eq!(self.state, State::Building, "request already sent");
+        arg.write(&mut self.args);
+        self
+    }
+
+    /// Append an already-encoded parameter list. Only valid on an empty
+    /// argument buffer (used by the fault-tolerant request proxies, which
+    /// keep the encoded arguments around for re-sends).
+    ///
+    /// # Panics
+    /// If the request was already sent or arguments were already added.
+    pub fn add_encoded(&mut self, body: &[u8]) -> &mut Self {
+        assert_eq!(self.state, State::Building, "request already sent");
+        assert!(self.args.is_empty(), "add_encoded on non-empty arguments");
+        self.args.write_raw(body);
+        self
+    }
+
+    /// Fire the request without waiting (CORBA `send_deferred`).
+    pub fn send_deferred(&mut self, orb: &mut Orb, ctx: &mut Ctx) -> SimResult<()> {
+        assert_eq!(self.state, State::Building, "request already sent");
+        let body = self.args.as_bytes().to_vec();
+        let req_id = orb.send_request(ctx, &self.target, &self.operation, body, true)?;
+        self.state = State::Sent {
+            req_id,
+            forwards: 0,
+        };
+        Ok(())
+    }
+
+    /// Non-blocking check (CORBA `poll_response`): has the outcome
+    /// arrived? Never advances virtual time.
+    pub fn poll_response(&mut self, orb: &mut Orb, ctx: &mut Ctx) -> SimResult<bool> {
+        match self.state {
+            State::Building => Ok(false),
+            State::Done(_) => Ok(true),
+            State::Sent { req_id, forwards } => match orb.poll_reply(ctx, req_id)? {
+                None => Ok(false),
+                Some(Outcome::Done(r)) => {
+                    self.state = State::Done(r);
+                    Ok(true)
+                }
+                Some(Outcome::Forward(ior)) => {
+                    self.follow_forward(orb, ctx, ior, forwards)?;
+                    Ok(matches!(self.state, State::Done(_)))
+                }
+            },
+        }
+    }
+
+    /// Block for the outcome (CORBA `get_response`).
+    ///
+    /// # Panics
+    /// If the request was never sent.
+    pub fn get_response(
+        &mut self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+    ) -> SimResult<Result<Vec<u8>, Exception>> {
+        loop {
+            match std::mem::replace(&mut self.state, State::Building) {
+                State::Building => panic!("get_response before send_deferred"),
+                State::Done(r) => {
+                    self.state = State::Done(r.clone());
+                    return Ok(r);
+                }
+                State::Sent { req_id, forwards } => {
+                    self.state = State::Sent { req_id, forwards };
+                    match orb.await_reply(ctx, req_id)? {
+                        Outcome::Done(r) => {
+                            self.state = State::Done(r);
+                        }
+                        Outcome::Forward(ior) => {
+                            self.follow_forward(orb, ctx, ior, forwards)?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Convenience: send and wait (CORBA `invoke`).
+    pub fn invoke(
+        &mut self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+    ) -> SimResult<Result<Vec<u8>, Exception>> {
+        if matches!(self.state, State::Building) {
+            self.send_deferred(orb, ctx)?;
+        }
+        self.get_response(orb, ctx)
+    }
+
+    fn follow_forward(
+        &mut self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        new_target: Ior,
+        forwards: u32,
+    ) -> SimResult<()> {
+        if forwards >= orb.config().forward_limit {
+            self.state = State::Done(Err(Exception::System(SystemException::transient(
+                "too many location forwards",
+            ))));
+            return Ok(());
+        }
+        self.target = new_target;
+        let body = self.args.as_bytes().to_vec();
+        let req_id = orb.send_request(ctx, &self.target, &self.operation, body, true)?;
+        self.state = State::Sent {
+            req_id,
+            forwards: forwards + 1,
+        };
+        Ok(())
+    }
+
+    /// The outcome, decoded to a typed result, if it has arrived.
+    pub fn result<T: CdrRead>(&self) -> Option<Result<T, Exception>> {
+        match &self.state {
+            State::Done(Ok(bytes)) => Some(
+                cdr::from_bytes(bytes).map_err(|e| Exception::System(SystemException::marshal(e))),
+            ),
+            State::Done(Err(e)) => Some(Err(e.clone())),
+            _ => None,
+        }
+    }
+
+    /// Whether the outcome is available.
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, State::Done(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ior::ObjectKey;
+    use simnet::{HostId, Port};
+
+    fn target() -> Ior {
+        Ior::new("IDL:T:1.0", HostId(0), Port(1), ObjectKey(1))
+    }
+
+    #[test]
+    fn args_encode_value_only() {
+        let mut r = DiiRequest::new(target(), "f");
+        r.add_arg(&Any::double(2.0)).add_arg(&Any::long(3));
+        // A static stub writing (f64, i32) produces identical bytes.
+        let expected = cdr::to_bytes(&(2.0f64, 3i32));
+        assert_eq!(r.args.as_bytes(), &expected[..]);
+    }
+
+    #[test]
+    fn typed_args_match_any_args() {
+        let mut a = DiiRequest::new(target(), "f");
+        a.add_arg(&Any::string("xy"));
+        let mut b = DiiRequest::new(target(), "f");
+        b.add_typed(&"xy".to_string());
+        assert_eq!(a.args.as_bytes(), b.args.as_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "request already sent")]
+    fn add_arg_after_done_panics() {
+        let mut r = DiiRequest::new(target(), "f");
+        r.state = State::Done(Ok(vec![]));
+        r.add_arg(&Any::long(1));
+    }
+
+    #[test]
+    fn result_decodes_done_state() {
+        let mut r = DiiRequest::new(target(), "f");
+        r.state = State::Done(Ok(cdr::to_bytes(&7.5f64)));
+        assert_eq!(r.result::<f64>().unwrap().unwrap(), 7.5);
+        assert!(r.is_done());
+    }
+}

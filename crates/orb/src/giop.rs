@@ -1,0 +1,381 @@
+//! GIOP-lite: the General Inter-ORB Protocol message framing used on the
+//! simulated wire.
+//!
+//! Every frame starts with the GIOP magic, a version, a byte-order flag and
+//! a message type, exactly like GIOP 1.0; headers and bodies are CDR. The
+//! message set covers what the runtime needs: `Request`, `Reply`,
+//! `LocateRequest`/`LocateReply` (used by the failure detector),
+//! `CancelRequest` and `CloseConnection`.
+
+use cdr::{ByteOrder, CdrDecoder, CdrEncoder, CdrRead, CdrWrite};
+
+use crate::exceptions::{Exception, SystemException, UserException};
+use crate::ior::{Ior, ObjectKey};
+
+/// GIOP magic bytes.
+pub const MAGIC: [u8; 4] = *b"GIOP";
+/// Protocol version carried in each frame.
+pub const VERSION: (u8, u8) = (1, 0);
+
+const MSG_REQUEST: u8 = 0;
+const MSG_REPLY: u8 = 1;
+const MSG_CANCEL: u8 = 2;
+const MSG_LOCATE_REQUEST: u8 = 3;
+const MSG_LOCATE_REPLY: u8 = 4;
+const MSG_CLOSE: u8 = 5;
+
+/// A decoded GIOP message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// A client request.
+    Request {
+        /// Correlates the reply.
+        request_id: u64,
+        /// False for `oneway` operations: no reply will be sent.
+        response_expected: bool,
+        /// Target object within the receiving server.
+        object_key: ObjectKey,
+        /// Operation name.
+        operation: String,
+        /// CDR-encoded in-parameters.
+        body: Vec<u8>,
+    },
+    /// A server reply.
+    Reply {
+        /// Correlates the request.
+        request_id: u64,
+        /// Outcome.
+        status: ReplyBody,
+    },
+    /// The client abandoned a request (e.g. timed out).
+    CancelRequest {
+        /// The abandoned request.
+        request_id: u64,
+    },
+    /// "Does this object live here?" — also used as a liveness ping.
+    LocateRequest {
+        /// Correlates the locate reply.
+        request_id: u64,
+        /// Key being probed.
+        object_key: ObjectKey,
+    },
+    /// Answer to a locate request.
+    LocateReply {
+        /// Correlates the locate request.
+        request_id: u64,
+        /// Whether the object is active here.
+        found: bool,
+    },
+    /// The server is closing the (notional) connection.
+    CloseConnection,
+}
+
+/// The outcome part of a reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReplyBody {
+    /// Success; the CDR-encoded result follows.
+    NoException(Vec<u8>),
+    /// The servant raised an IDL-declared exception.
+    UserException(UserException),
+    /// The ORB or server runtime raised a system exception.
+    SystemException(SystemException),
+    /// The object now lives elsewhere; retry there.
+    LocationForward(Ior),
+}
+
+impl ReplyBody {
+    /// Convert into the client-visible result.
+    pub fn into_result(self) -> Result<Vec<u8>, Exception> {
+        match self {
+            ReplyBody::NoException(v) => Ok(v),
+            ReplyBody::UserException(u) => Err(Exception::User(u)),
+            ReplyBody::SystemException(s) => Err(Exception::System(s)),
+            ReplyBody::LocationForward(_) => {
+                unreachable!("forwards are consumed by the invocation loop")
+            }
+        }
+    }
+}
+
+const STATUS_NO_EXCEPTION: u32 = 0;
+const STATUS_USER_EXCEPTION: u32 = 1;
+const STATUS_SYSTEM_EXCEPTION: u32 = 2;
+const STATUS_LOCATION_FORWARD: u32 = 3;
+
+/// Errors raised while parsing a frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FrameError {
+    /// The magic bytes were wrong — not a GIOP frame.
+    BadMagic,
+    /// Unsupported protocol version.
+    BadVersion(u8, u8),
+    /// Unknown message type octet.
+    BadMessageType(u8),
+    /// The header or body failed to decode.
+    Cdr(cdr::CdrError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic => f.write_str("not a GIOP frame"),
+            FrameError::BadVersion(a, b) => write!(f, "unsupported GIOP version {a}.{b}"),
+            FrameError::BadMessageType(t) => write!(f, "unknown GIOP message type {t}"),
+            FrameError::Cdr(e) => write!(f, "frame decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<cdr::CdrError> for FrameError {
+    fn from(e: cdr::CdrError) -> Self {
+        FrameError::Cdr(e)
+    }
+}
+
+impl Message {
+    /// Encode this message as a wire frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = CdrEncoder::big_endian();
+        for b in MAGIC {
+            enc.write_u8(b);
+        }
+        enc.write_u8(VERSION.0);
+        enc.write_u8(VERSION.1);
+        // Flags octet: bit 0 = byte order (0 = big endian).
+        enc.write_u8(0);
+        match self {
+            Message::Request {
+                request_id,
+                response_expected,
+                object_key,
+                operation,
+                body,
+            } => {
+                enc.write_u8(MSG_REQUEST);
+                enc.write_u64(*request_id);
+                enc.write_bool(*response_expected);
+                object_key.write(&mut enc);
+                enc.write_string(operation);
+                enc.write_bytes(body);
+            }
+            Message::Reply { request_id, status } => {
+                enc.write_u8(MSG_REPLY);
+                enc.write_u64(*request_id);
+                match status {
+                    ReplyBody::NoException(body) => {
+                        enc.write_u32(STATUS_NO_EXCEPTION);
+                        enc.write_bytes(body);
+                    }
+                    ReplyBody::UserException(u) => {
+                        enc.write_u32(STATUS_USER_EXCEPTION);
+                        u.write(&mut enc);
+                    }
+                    ReplyBody::SystemException(s) => {
+                        enc.write_u32(STATUS_SYSTEM_EXCEPTION);
+                        s.write(&mut enc);
+                    }
+                    ReplyBody::LocationForward(ior) => {
+                        enc.write_u32(STATUS_LOCATION_FORWARD);
+                        ior.write(&mut enc);
+                    }
+                }
+            }
+            Message::CancelRequest { request_id } => {
+                enc.write_u8(MSG_CANCEL);
+                enc.write_u64(*request_id);
+            }
+            Message::LocateRequest {
+                request_id,
+                object_key,
+            } => {
+                enc.write_u8(MSG_LOCATE_REQUEST);
+                enc.write_u64(*request_id);
+                object_key.write(&mut enc);
+            }
+            Message::LocateReply { request_id, found } => {
+                enc.write_u8(MSG_LOCATE_REPLY);
+                enc.write_u64(*request_id);
+                enc.write_bool(*found);
+            }
+            Message::CloseConnection => {
+                enc.write_u8(MSG_CLOSE);
+            }
+        }
+        enc.into_bytes()
+    }
+
+    /// Decode a wire frame.
+    pub fn decode(frame: &[u8]) -> Result<Message, FrameError> {
+        let mut dec = CdrDecoder::new(frame, ByteOrder::Big);
+        let mut magic = [0u8; 4];
+        for b in &mut magic {
+            *b = dec.read_u8()?;
+        }
+        if magic != MAGIC {
+            return Err(FrameError::BadMagic);
+        }
+        let major = dec.read_u8()?;
+        let minor = dec.read_u8()?;
+        if (major, minor) != VERSION {
+            return Err(FrameError::BadVersion(major, minor));
+        }
+        let _flags = dec.read_u8()?;
+        let msg_type = dec.read_u8()?;
+        let msg = match msg_type {
+            MSG_REQUEST => Message::Request {
+                request_id: dec.read_u64()?,
+                response_expected: dec.read_bool()?,
+                object_key: ObjectKey::read(&mut dec)?,
+                operation: dec.read_string()?,
+                body: dec.read_bytes()?,
+            },
+            MSG_REPLY => {
+                let request_id = dec.read_u64()?;
+                let status = match dec.read_u32()? {
+                    STATUS_NO_EXCEPTION => ReplyBody::NoException(dec.read_bytes()?),
+                    STATUS_USER_EXCEPTION => {
+                        ReplyBody::UserException(UserException::read(&mut dec)?)
+                    }
+                    STATUS_SYSTEM_EXCEPTION => {
+                        ReplyBody::SystemException(SystemException::read(&mut dec)?)
+                    }
+                    STATUS_LOCATION_FORWARD => ReplyBody::LocationForward(Ior::read(&mut dec)?),
+                    other => return Err(FrameError::Cdr(cdr::CdrError::InvalidEnumTag(other))),
+                };
+                Message::Reply { request_id, status }
+            }
+            MSG_CANCEL => Message::CancelRequest {
+                request_id: dec.read_u64()?,
+            },
+            MSG_LOCATE_REQUEST => Message::LocateRequest {
+                request_id: dec.read_u64()?,
+                object_key: ObjectKey::read(&mut dec)?,
+            },
+            MSG_LOCATE_REPLY => Message::LocateReply {
+                request_id: dec.read_u64()?,
+                found: dec.read_bool()?,
+            },
+            MSG_CLOSE => Message::CloseConnection,
+            other => return Err(FrameError::BadMessageType(other)),
+        };
+        dec.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{HostId, Port};
+
+    #[test]
+    fn request_round_trip() {
+        let m = Message::Request {
+            request_id: 77,
+            response_expected: true,
+            object_key: ObjectKey(5),
+            operation: "solve".into(),
+            body: vec![1, 2, 3],
+        };
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn oneway_request_round_trip() {
+        let m = Message::Request {
+            request_id: 1,
+            response_expected: false,
+            object_key: ObjectKey(0),
+            operation: "report".into(),
+            body: vec![],
+        };
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn reply_variants_round_trip() {
+        let cases = [
+            ReplyBody::NoException(vec![9, 9]),
+            ReplyBody::UserException(UserException::tag("IDL:X/E:1.0")),
+            ReplyBody::SystemException(SystemException::comm_failure("down")),
+            ReplyBody::LocationForward(Ior::new("IDL:T:1.0", HostId(1), Port(99), ObjectKey(3))),
+        ];
+        for status in cases {
+            let m = Message::Reply {
+                request_id: 12,
+                status,
+            };
+            assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn locate_round_trip() {
+        let req = Message::LocateRequest {
+            request_id: 2,
+            object_key: ObjectKey(7),
+        };
+        assert_eq!(Message::decode(&req.encode()).unwrap(), req);
+        let rep = Message::LocateReply {
+            request_id: 2,
+            found: true,
+        };
+        assert_eq!(Message::decode(&rep.encode()).unwrap(), rep);
+    }
+
+    #[test]
+    fn cancel_and_close_round_trip() {
+        let c = Message::CancelRequest { request_id: 3 };
+        assert_eq!(Message::decode(&c.encode()).unwrap(), c);
+        assert_eq!(
+            Message::decode(&Message::CloseConnection.encode()).unwrap(),
+            Message::CloseConnection
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut frame = Message::CloseConnection.encode();
+        frame[0] = b'X';
+        assert_eq!(Message::decode(&frame).unwrap_err(), FrameError::BadMagic);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut frame = Message::CloseConnection.encode();
+        frame[4] = 9;
+        assert_eq!(
+            Message::decode(&frame).unwrap_err(),
+            FrameError::BadVersion(9, 0)
+        );
+    }
+
+    #[test]
+    fn bad_type_rejected() {
+        let mut frame = Message::CloseConnection.encode();
+        frame[7] = 42;
+        assert_eq!(
+            Message::decode(&frame).unwrap_err(),
+            FrameError::BadMessageType(42)
+        );
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let frame = Message::Request {
+            request_id: 1,
+            response_expected: true,
+            object_key: ObjectKey(1),
+            operation: "op".into(),
+            body: vec![0; 8],
+        }
+        .encode();
+        let cut = &frame[..frame.len() - 3];
+        assert!(matches!(
+            Message::decode(cut).unwrap_err(),
+            FrameError::Cdr(_)
+        ));
+    }
+}

@@ -1,0 +1,57 @@
+//! Request interceptors: lightweight hooks on the client and server request
+//! paths, in the spirit of CORBA Portable Interceptors. The load-balancing
+//! experiments use them to count calls per host; tests use them to observe
+//! retries.
+
+use crate::ior::{Ior, ObjectKey};
+
+/// Hooks invoked around requests. All methods default to no-ops so an
+/// interceptor implements only what it observes.
+pub trait Interceptor {
+    /// A request (or oneway) is about to be sent to `target`.
+    fn client_send(&mut self, _operation: &str, _target: &Ior) {}
+    /// A reply for `operation` was consumed; `ok` is false for exceptions
+    /// and communication failures.
+    fn client_recv(&mut self, _operation: &str, _ok: bool) {}
+    /// A request for `operation` arrived at this server.
+    fn server_recv(&mut self, _operation: &str, _key: ObjectKey) {}
+}
+
+/// A simple counting interceptor, handy in tests and benchmarks.
+#[derive(Default)]
+pub struct CallCounter {
+    /// Requests sent, by operation name.
+    pub sent: std::collections::HashMap<String, u64>,
+    /// Failed replies observed.
+    pub failures: u64,
+}
+
+impl Interceptor for CallCounter {
+    fn client_send(&mut self, operation: &str, _target: &Ior) {
+        *self.sent.entry(operation.to_string()).or_default() += 1;
+    }
+
+    fn client_recv(&mut self, _operation: &str, ok: bool) {
+        if !ok {
+            self.failures += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{HostId, Port};
+
+    #[test]
+    fn call_counter_counts() {
+        let mut c = CallCounter::default();
+        let ior = Ior::new("IDL:T:1.0", HostId(0), Port(1), ObjectKey(1));
+        c.client_send("solve", &ior);
+        c.client_send("solve", &ior);
+        c.client_recv("solve", true);
+        c.client_recv("solve", false);
+        assert_eq!(c.sent["solve"], 2);
+        assert_eq!(c.failures, 1);
+    }
+}

@@ -1,0 +1,794 @@
+//! End-to-end ORB tests running on the simulated network: request/reply,
+//! exceptions, DII parallelism, failure detection, forwarding, and cost
+//! accounting.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use simnet::{Fault, HostId, Kernel, SimDuration, SimTime};
+use std::sync::Mutex as StdMutex;
+
+use crate::{
+    forward_to, reply, CallCounter, CallCtx, CostModel, DiiRequest, Exception, Ior, ObjectRef, Orb,
+    OrbConfig, Poa, Servant, SysKind, SystemException, UserException,
+};
+
+type Cell<T> = Arc<StdMutex<T>>;
+
+fn cell<T: Default>() -> Cell<T> {
+    Arc::new(StdMutex::new(T::default()))
+}
+
+fn secs(s: f64) -> SimDuration {
+    SimDuration::from_secs_f64(s)
+}
+
+/// A calculator servant used throughout: `add(f64,f64)->f64`,
+/// `fail()` raises a user exception, `work(f64)` burns CPU.
+struct Calc;
+
+const CALC_TYPE: &str = "IDL:Test/Calc:1.0";
+const DIV_BY_ZERO: &str = "IDL:Test/Calc/DivByZero:1.0";
+
+impl Servant for Calc {
+    fn dispatch(
+        &mut self,
+        call: &mut CallCtx<'_>,
+        op: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, Exception> {
+        match op {
+            "add" => {
+                let (a, b): (f64, f64) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                reply(&(a + b))
+            }
+            "div" => {
+                let (a, b): (f64, f64) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                if b == 0.0 {
+                    return Err(UserException::tag(DIV_BY_ZERO).into());
+                }
+                reply(&(a / b))
+            }
+            "work" => {
+                let units: f64 = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                call.ctx.compute(units).expect("killed mid-dispatch");
+                reply(&units)
+            }
+            other => Err(SystemException::bad_operation(other).into()),
+        }
+    }
+}
+
+/// Spawn a calc server on `host`, publishing its stringified IOR into the
+/// cell (servers publish IORs out-of-band in these tests; higher layers use
+/// the naming service).
+fn spawn_calc(sim: &mut Kernel, host: HostId, ior_out: Cell<Option<String>>) {
+    spawn_calc_cfg(sim, host, ior_out, OrbConfig::default());
+}
+
+fn spawn_calc_cfg(sim: &mut Kernel, host: HostId, ior_out: Cell<Option<String>>, cfg: OrbConfig) {
+    sim.spawn(host, "calc-server", move |ctx| {
+        let mut orb = Orb::new(ctx, cfg);
+        orb.listen(ctx).unwrap();
+        let poa = Poa::new();
+        let key = poa.activate(CALC_TYPE, Rc::new(RefCell::new(Calc)));
+        *ior_out.lock().unwrap() = Some(orb.ior(CALC_TYPE, key).stringify());
+        let _ = orb.serve_forever(ctx, &poa);
+    });
+}
+
+fn resolve(ior_cell: &Cell<Option<String>>) -> ObjectRef {
+    let s = ior_cell
+        .lock()
+        .unwrap()
+        .clone()
+        .expect("server published IOR");
+    ObjectRef::new(Ior::destringify(&s).unwrap())
+}
+
+#[test]
+fn typed_call_round_trip() {
+    let mut sim = Kernel::with_seed(1);
+    let hs = sim.add_hosts(2);
+    let ior = cell();
+    spawn_calc(&mut sim, hs[1], ior.clone());
+    let out = cell::<Option<f64>>();
+    let o = out.clone();
+    let i = ior.clone();
+    let client = sim.spawn(hs[0], "client", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let obj = resolve(&i);
+        let r: f64 = obj
+            .call(&mut orb, ctx, "add", &(2.0, 3.5))
+            .unwrap()
+            .unwrap();
+        *o.lock().unwrap() = Some(r);
+    });
+    sim.run_until_exit(client);
+    assert_eq!(*out.lock().unwrap(), Some(5.5));
+}
+
+#[test]
+fn user_exception_propagates() {
+    let mut sim = Kernel::with_seed(1);
+    let hs = sim.add_hosts(2);
+    let ior = cell();
+    spawn_calc(&mut sim, hs[1], ior.clone());
+    let out = cell::<Option<String>>();
+    let o = out.clone();
+    let i = ior.clone();
+    let client = sim.spawn(hs[0], "client", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let obj = resolve(&i);
+        let r: Result<f64, _> = obj.call(&mut orb, ctx, "div", &(1.0, 0.0)).unwrap();
+        if let Err(Exception::User(u)) = r {
+            *o.lock().unwrap() = Some(u.id);
+        }
+    });
+    sim.run_until_exit(client);
+    assert_eq!(out.lock().unwrap().as_deref(), Some(DIV_BY_ZERO));
+}
+
+#[test]
+fn unknown_operation_raises_bad_operation() {
+    let mut sim = Kernel::with_seed(1);
+    let hs = sim.add_hosts(2);
+    let ior = cell();
+    spawn_calc(&mut sim, hs[1], ior.clone());
+    let out = cell::<Option<SysKind>>();
+    let o = out.clone();
+    let i = ior.clone();
+    let client = sim.spawn(hs[0], "client", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let obj = resolve(&i);
+        let r: Result<f64, _> = obj.call(&mut orb, ctx, "frobnicate", &()).unwrap();
+        if let Err(Exception::System(s)) = r {
+            *o.lock().unwrap() = Some(s.kind);
+        }
+    });
+    sim.run_until_exit(client);
+    assert_eq!(*out.lock().unwrap(), Some(SysKind::BadOperation));
+}
+
+#[test]
+fn stale_key_raises_object_not_exist() {
+    let mut sim = Kernel::with_seed(1);
+    let hs = sim.add_hosts(2);
+    let ior = cell();
+    spawn_calc(&mut sim, hs[1], ior.clone());
+    let out = cell::<Option<SysKind>>();
+    let o = out.clone();
+    let i = ior.clone();
+    let client = sim.spawn(hs[0], "client", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let mut obj = resolve(&i);
+        obj.ior.key = crate::ObjectKey(9999); // forge a stale key
+        let r: Result<f64, _> = obj.call(&mut orb, ctx, "add", &(1.0, 1.0)).unwrap();
+        if let Err(Exception::System(s)) = r {
+            *o.lock().unwrap() = Some(s.kind);
+        }
+    });
+    sim.run_until_exit(client);
+    assert_eq!(*out.lock().unwrap(), Some(SysKind::ObjectNotExist));
+}
+
+#[test]
+fn dead_server_process_gives_fast_comm_failure() {
+    let mut sim = Kernel::with_seed(1);
+    let hs = sim.add_hosts(2);
+    let ior = cell();
+    spawn_calc(&mut sim, hs[1], ior.clone());
+    // Kill the server process shortly after boot (host stays up → RST).
+    sim.schedule_fault(
+        SimTime::ZERO + secs(0.5),
+        Fault::KillProcess(simnet::Pid(0)),
+    );
+    let out = cell::<Option<(bool, f64)>>();
+    let o = out.clone();
+    let i = ior.clone();
+    let client = sim.spawn(hs[0], "client", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let obj = resolve(&i);
+        let t0 = ctx.now();
+        let r: Result<f64, _> = obj.call(&mut orb, ctx, "add", &(1.0, 1.0)).unwrap();
+        let dt = ctx.now().since(t0).as_secs_f64();
+        *o.lock().unwrap() = Some((r.unwrap_err().is_comm_failure(), dt));
+    });
+    sim.run_until_exit(client);
+    let (is_cf, dt) = out.lock().unwrap().unwrap();
+    assert!(is_cf);
+    // RST detection is fast: well under the 2s request timeout.
+    assert!(dt < 0.1, "dt={dt}");
+}
+
+#[test]
+fn crashed_host_gives_comm_failure_after_timeout() {
+    let mut sim = Kernel::with_seed(1);
+    let hs = sim.add_hosts(2);
+    let ior = cell();
+    spawn_calc(&mut sim, hs[1], ior.clone());
+    sim.schedule_fault(SimTime::ZERO + secs(0.5), Fault::CrashHost(hs[1]));
+    let out = cell::<Option<(bool, f64)>>();
+    let o = out.clone();
+    let i = ior.clone();
+    let client = sim.spawn(hs[0], "client", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let obj = resolve(&i);
+        let t0 = ctx.now();
+        let r: Result<f64, _> = obj.call(&mut orb, ctx, "add", &(1.0, 1.0)).unwrap();
+        let dt = ctx.now().since(t0).as_secs_f64();
+        *o.lock().unwrap() = Some((r.unwrap_err().is_comm_failure(), dt));
+    });
+    sim.run_until_exit(client);
+    let (is_cf, dt) = out.lock().unwrap().unwrap();
+    assert!(is_cf);
+    // Timeout-path detection: ~the 2s request timeout.
+    assert!((1.9..2.2).contains(&dt), "dt={dt}");
+}
+
+#[test]
+fn dii_deferred_requests_run_in_parallel() {
+    let mut sim = Kernel::with_seed(1);
+    let hs = sim.add_hosts(3);
+    let ior1 = cell();
+    let ior2 = cell();
+    // Zero-cost ORB so the timing assertion is exact-ish.
+    let cfg = OrbConfig {
+        cost: CostModel::free(),
+        request_timeout: secs(30.0),
+        ..OrbConfig::default()
+    };
+    spawn_calc_cfg(&mut sim, hs[1], ior1.clone(), cfg.clone());
+    spawn_calc_cfg(&mut sim, hs[2], ior2.clone(), cfg.clone());
+    let out = cell::<Option<(f64, f64, f64)>>();
+    let o = out.clone();
+    let (i1, i2) = (ior1.clone(), ior2.clone());
+    let client = sim.spawn(hs[0], "manager", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::new(ctx, cfg);
+        let w1 = resolve(&i1);
+        let w2 = resolve(&i2);
+        let t0 = ctx.now();
+        // Each worker burns 2 CPU-seconds; deferred fan-out should cost
+        // ~2s wall, not ~4s.
+        let mut r1 = DiiRequest::new(w1.ior.clone(), "work");
+        r1.add_typed(&2.0f64);
+        let mut r2 = DiiRequest::new(w2.ior.clone(), "work");
+        r2.add_typed(&2.0f64);
+        r1.send_deferred(&mut orb, ctx).unwrap();
+        r2.send_deferred(&mut orb, ctx).unwrap();
+        let v1 = r1.get_response(&mut orb, ctx).unwrap().unwrap();
+        let v2 = r2.get_response(&mut orb, ctx).unwrap().unwrap();
+        let dt = ctx.now().since(t0).as_secs_f64();
+        let v1: f64 = cdr::from_bytes(&v1).unwrap();
+        let v2: f64 = cdr::from_bytes(&v2).unwrap();
+        *o.lock().unwrap() = Some((v1, v2, dt));
+    });
+    sim.run_until_exit(client);
+    let (v1, v2, dt) = out.lock().unwrap().unwrap();
+    assert_eq!((v1, v2), (2.0, 2.0));
+    assert!(dt < 2.5, "deferred calls did not overlap: dt={dt}");
+    assert!(dt >= 2.0, "dt={dt}");
+}
+
+#[test]
+fn dii_poll_response_is_nonblocking() {
+    let mut sim = Kernel::with_seed(1);
+    let hs = sim.add_hosts(2);
+    let ior = cell();
+    spawn_calc(&mut sim, hs[1], ior.clone());
+    let out = cell::<Vec<bool>>();
+    let o = out.clone();
+    let i = ior.clone();
+    let client = sim.spawn(hs[0], "client", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let obj = resolve(&i);
+        let mut r = DiiRequest::new(obj.ior.clone(), "work");
+        r.add_typed(&1.0f64);
+        r.send_deferred(&mut orb, ctx).unwrap();
+        // Immediately after sending: not done.
+        o.lock()
+            .unwrap()
+            .push(r.poll_response(&mut orb, ctx).unwrap());
+        ctx.sleep(secs(2.0)).unwrap();
+        // After the work duration: done without blocking.
+        o.lock()
+            .unwrap()
+            .push(r.poll_response(&mut orb, ctx).unwrap());
+        let v = r.result::<f64>().unwrap().unwrap();
+        assert_eq!(v, 1.0);
+    });
+    sim.run_until_exit(client);
+    assert_eq!(*out.lock().unwrap(), vec![false, true]);
+}
+
+#[test]
+fn oneway_does_not_wait() {
+    let mut sim = Kernel::with_seed(1);
+    let hs = sim.add_hosts(2);
+    let ior = cell();
+    spawn_calc(&mut sim, hs[1], ior.clone());
+    let out = cell::<Option<f64>>();
+    let o = out.clone();
+    let i = ior.clone();
+    let client = sim.spawn(hs[0], "client", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let obj = resolve(&i);
+        let t0 = ctx.now();
+        // 5 CPU-seconds of server work, fired as oneway: client returns
+        // immediately (only its own marshal cost).
+        obj.oneway(&mut orb, ctx, "work", &5.0f64).unwrap();
+        *o.lock().unwrap() = Some(ctx.now().since(t0).as_secs_f64());
+    });
+    sim.run_until_exit(client);
+    assert!(out.lock().unwrap().unwrap() < 0.01);
+}
+
+#[test]
+fn ping_reports_liveness() {
+    let mut sim = Kernel::with_seed(1);
+    let hs = sim.add_hosts(2);
+    let ior = cell();
+    spawn_calc(&mut sim, hs[1], ior.clone());
+    let out = cell::<Vec<String>>();
+    let o = out.clone();
+    let i = ior.clone();
+    let client = sim.spawn(hs[0], "prober", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let obj = resolve(&i);
+        // Live object.
+        o.lock()
+            .unwrap()
+            .push(format!("{:?}", obj.ping(&mut orb, ctx).unwrap()));
+        // Live server, stale key.
+        let mut stale = obj.clone();
+        stale.ior.key = crate::ObjectKey(4242);
+        o.lock()
+            .unwrap()
+            .push(format!("{:?}", stale.ping(&mut orb, ctx).unwrap()));
+    });
+    sim.run_until_exit(client);
+    let log = out.lock().unwrap().clone();
+    assert_eq!(log, vec!["Ok(true)", "Ok(false)"]);
+}
+
+#[test]
+fn location_forward_is_followed() {
+    let mut sim = Kernel::with_seed(1);
+    let hs = sim.add_hosts(3);
+    let real_ior = cell();
+    spawn_calc(&mut sim, hs[2], real_ior.clone());
+
+    /// A forwarding agent: every operation forwards to the real location.
+    struct Forwarder {
+        to: Cell<Option<String>>,
+    }
+    impl Servant for Forwarder {
+        fn dispatch(
+            &mut self,
+            _call: &mut CallCtx<'_>,
+            _op: &str,
+            _args: &[u8],
+        ) -> Result<Vec<u8>, Exception> {
+            let s = self.to.lock().unwrap().clone().expect("real server up");
+            Err(forward_to(&Ior::destringify(&s).unwrap()))
+        }
+    }
+
+    let fwd_ior = cell();
+    let f = fwd_ior.clone();
+    let r = real_ior.clone();
+    sim.spawn(hs[1], "forwarder", move |ctx| {
+        let mut orb = Orb::init(ctx);
+        orb.listen(ctx).unwrap();
+        let poa = Poa::new();
+        let key = poa.activate(CALC_TYPE, Rc::new(RefCell::new(Forwarder { to: r })));
+        *f.lock().unwrap() = Some(orb.ior(CALC_TYPE, key).stringify());
+        let _ = orb.serve_forever(ctx, &poa);
+    });
+
+    let out = cell::<Option<f64>>();
+    let o = out.clone();
+    let i = fwd_ior.clone();
+    let client = sim.spawn(hs[0], "client", move |ctx| {
+        ctx.sleep(secs(0.05)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let obj = resolve(&i);
+        let v: f64 = obj
+            .call(&mut orb, ctx, "add", &(4.0, 4.0))
+            .unwrap()
+            .unwrap();
+        *o.lock().unwrap() = Some(v);
+    });
+    sim.run_until_exit(client);
+    assert_eq!(*out.lock().unwrap(), Some(8.0));
+}
+
+#[test]
+fn nested_calls_from_servant() {
+    // Servant B's operation calls servant A on another host mid-dispatch.
+    let mut sim = Kernel::with_seed(1);
+    let hs = sim.add_hosts(3);
+    let calc_ior = cell();
+    spawn_calc(&mut sim, hs[1], calc_ior.clone());
+
+    struct Doubler {
+        calc: Cell<Option<String>>,
+    }
+    impl Servant for Doubler {
+        fn dispatch(
+            &mut self,
+            call: &mut CallCtx<'_>,
+            op: &str,
+            args: &[u8],
+        ) -> Result<Vec<u8>, Exception> {
+            assert_eq!(op, "double_add");
+            let (a, b): (f64, f64) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+            let s = self.calc.lock().unwrap().clone().expect("calc up");
+            let calc = ObjectRef::new(Ior::destringify(&s).unwrap());
+            let sum: f64 = calc
+                .call(call.orb, call.ctx, "add", &(a, b))
+                .expect("not killed")?;
+            reply(&(sum * 2.0))
+        }
+    }
+
+    let dbl_ior = cell();
+    let d = dbl_ior.clone();
+    let c = calc_ior.clone();
+    sim.spawn(hs[2], "doubler", move |ctx| {
+        let mut orb = Orb::init(ctx);
+        orb.listen(ctx).unwrap();
+        let poa = Poa::new();
+        let key = poa.activate(
+            "IDL:Test/Doubler:1.0",
+            Rc::new(RefCell::new(Doubler { calc: c })),
+        );
+        *d.lock().unwrap() = Some(orb.ior("IDL:Test/Doubler:1.0", key).stringify());
+        let _ = orb.serve_forever(ctx, &poa);
+    });
+
+    let out = cell::<Option<f64>>();
+    let o = out.clone();
+    let i = dbl_ior.clone();
+    let client = sim.spawn(hs[0], "client", move |ctx| {
+        ctx.sleep(secs(0.05)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let obj = resolve(&i);
+        let v: f64 = obj
+            .call(&mut orb, ctx, "double_add", &(1.5, 2.5))
+            .unwrap()
+            .unwrap();
+        *o.lock().unwrap() = Some(v);
+    });
+    sim.run_until_exit(client);
+    assert_eq!(*out.lock().unwrap(), Some(8.0));
+}
+
+#[test]
+fn interceptors_observe_calls() {
+    let mut sim = Kernel::with_seed(1);
+    let hs = sim.add_hosts(2);
+    let ior = cell();
+    spawn_calc(&mut sim, hs[1], ior.clone());
+    let out = cell::<Option<(u64, u64)>>();
+    let o = out.clone();
+    let i = ior.clone();
+
+    struct Obs {
+        cell: Cell<Option<(u64, u64)>>,
+        sent: u64,
+        fails: u64,
+    }
+    impl crate::Interceptor for Obs {
+        fn client_send(&mut self, _op: &str, _t: &Ior) {
+            self.sent += 1;
+            self.cell.lock().unwrap().replace((self.sent, self.fails));
+        }
+        fn client_recv(&mut self, _op: &str, ok: bool) {
+            if !ok {
+                self.fails += 1;
+            }
+            self.cell.lock().unwrap().replace((self.sent, self.fails));
+        }
+    }
+
+    let client = sim.spawn(hs[0], "client", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::init(ctx);
+        orb.add_interceptor(Box::new(Obs {
+            cell: o,
+            sent: 0,
+            fails: 0,
+        }));
+        let obj = resolve(&i);
+        let _: f64 = obj
+            .call(&mut orb, ctx, "add", &(1.0, 2.0))
+            .unwrap()
+            .unwrap();
+        let _ = obj
+            .call::<_, f64>(&mut orb, ctx, "div", &(1.0, 0.0))
+            .unwrap();
+        assert_eq!(orb.stats().requests_sent, 2);
+        assert_eq!(orb.stats().replies_received, 2);
+    });
+    sim.run_until_exit(client);
+    assert_eq!(out.lock().unwrap().unwrap(), (2, 1));
+}
+
+#[test]
+fn call_counter_interceptor_integrates() {
+    // CallCounter itself can't be read back out (ownership moves into the
+    // ORB), but it must at least not disturb calls.
+    let mut sim = Kernel::with_seed(1);
+    let hs = sim.add_hosts(2);
+    let ior = cell();
+    spawn_calc(&mut sim, hs[1], ior.clone());
+    let i = ior.clone();
+    let client = sim.spawn(hs[0], "client", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::init(ctx);
+        orb.add_interceptor(Box::new(CallCounter::default()));
+        let obj = resolve(&i);
+        let v: f64 = obj
+            .call(&mut orb, ctx, "add", &(1.0, 2.0))
+            .unwrap()
+            .unwrap();
+        assert_eq!(v, 3.0);
+    });
+    sim.run_until_exit(client);
+}
+
+#[test]
+fn marshal_cost_is_charged() {
+    let mut sim = Kernel::with_seed(1);
+    let hs = sim.add_hosts(2);
+    let ior = cell();
+    spawn_calc(&mut sim, hs[1], ior.clone());
+    let out = cell::<Option<f64>>();
+    let o = out.clone();
+    let i = ior.clone();
+    let client = sim.spawn(hs[0], "client", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let obj = resolve(&i);
+        let t0 = ctx.now();
+        let _: f64 = obj
+            .call(&mut orb, ctx, "add", &(1.0, 2.0))
+            .unwrap()
+            .unwrap();
+        *o.lock().unwrap() = Some(ctx.now().since(t0).as_secs_f64());
+    });
+    sim.run_until_exit(client);
+    let dt = out.lock().unwrap().unwrap();
+    // Default cost model: 4 marshal steps ≈ 240us + 2× remote latency.
+    assert!(dt > 200e-6, "dt={dt}");
+    assert!(dt < 2e-3, "dt={dt}");
+}
+
+#[test]
+fn partition_mid_call_times_out_with_comm_failure() {
+    let mut sim = Kernel::with_seed(1);
+    let hs = sim.add_hosts(2);
+    let ior = cell();
+    let cfg = OrbConfig {
+        request_timeout: secs(1.0),
+        ..OrbConfig::default()
+    };
+    spawn_calc_cfg(&mut sim, hs[1], ior.clone(), cfg.clone());
+    let out = cell::<Vec<String>>();
+    let o = out.clone();
+    let i = ior.clone();
+    let client = sim.spawn(hs[0], "client", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::new(ctx, cfg);
+        let obj = resolve(&i);
+        // Partition, call (times out), heal, call again (succeeds).
+        ctx.set_partition(hs[0], hs[1], true).unwrap();
+        let r: Result<f64, _> = obj.call(&mut orb, ctx, "add", &(1.0, 1.0)).unwrap();
+        o.lock()
+            .unwrap()
+            .push(format!("partitioned:{}", r.unwrap_err().is_comm_failure()));
+        ctx.set_partition(hs[0], hs[1], false).unwrap();
+        let r: f64 = obj
+            .call(&mut orb, ctx, "add", &(1.0, 1.0))
+            .unwrap()
+            .unwrap();
+        o.lock().unwrap().push(format!("healed:{r}"));
+    });
+    sim.run_until_exit(client);
+    assert_eq!(
+        *out.lock().unwrap(),
+        vec!["partitioned:true".to_string(), "healed:2".to_string()]
+    );
+}
+
+#[test]
+fn forward_loops_are_bounded() {
+    // A forwarder that forwards to itself: the client must give up with
+    // TRANSIENT after forward_limit hops, not loop forever.
+    let mut sim = Kernel::with_seed(1);
+    let hs = sim.add_hosts(2);
+
+    struct SelfForwarder {
+        me: Rc<RefCell<Option<Ior>>>,
+    }
+    impl Servant for SelfForwarder {
+        fn dispatch(
+            &mut self,
+            _call: &mut CallCtx<'_>,
+            _op: &str,
+            _args: &[u8],
+        ) -> Result<Vec<u8>, Exception> {
+            Err(forward_to(self.me.borrow().as_ref().expect("set at boot")))
+        }
+    }
+
+    let ior = cell::<Option<String>>();
+    let i = ior.clone();
+    sim.spawn(hs[1], "loop-forwarder", move |ctx| {
+        let mut orb = Orb::init(ctx);
+        orb.listen(ctx).unwrap();
+        let poa = Poa::new();
+        let me: Rc<RefCell<Option<Ior>>> = Rc::new(RefCell::new(None));
+        let key = poa.activate(
+            CALC_TYPE,
+            Rc::new(RefCell::new(SelfForwarder { me: me.clone() })),
+        );
+        let self_ior = orb.ior(CALC_TYPE, key);
+        *me.borrow_mut() = Some(self_ior.clone());
+        *i.lock().unwrap() = Some(self_ior.stringify());
+        let _ = orb.serve_forever(ctx, &poa);
+    });
+
+    let out = cell::<Option<String>>();
+    let o = out.clone();
+    let i = ior.clone();
+    let client = sim.spawn(hs[0], "client", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let obj = resolve(&i);
+        let r: Result<f64, _> = obj.call(&mut orb, ctx, "add", &(1.0, 1.0)).unwrap();
+        if let Err(Exception::System(s)) = r {
+            *o.lock().unwrap() = Some(format!("{:?}:{}", s.kind, s.detail));
+        }
+    });
+    sim.run_until_exit(client);
+    let got = out.lock().unwrap().clone().unwrap();
+    assert!(got.contains("Transient"), "{got}");
+    assert!(got.contains("forward"), "{got}");
+}
+
+#[test]
+fn oneway_to_dead_endpoint_does_not_fail_the_caller() {
+    let mut sim = Kernel::with_seed(1);
+    let hs = sim.add_hosts(2);
+    let out = cell::<bool>();
+    let o = out.clone();
+    let client = sim.spawn(hs[0], "client", move |ctx| {
+        let mut orb = Orb::init(ctx);
+        // Nothing listens at this endpoint; oneway is fire-and-forget.
+        let ghost = Ior::new("IDL:T:1.0", hs[1], simnet::Port(4444), crate::ObjectKey(1));
+        let obj = ObjectRef::new(ghost);
+        obj.oneway(&mut orb, ctx, "report", &(1u32,)).unwrap();
+        // The pending RST must not confuse a later unrelated call path.
+        ctx.sleep(secs(0.1)).unwrap();
+        *o.lock().unwrap() = true;
+    });
+    sim.run_until_exit(client);
+    assert!(*out.lock().unwrap());
+}
+
+#[test]
+fn stats_track_failures_and_oneways() {
+    let mut sim = Kernel::with_seed(1);
+    let hs = sim.add_hosts(2);
+    let ior = cell();
+    spawn_calc(&mut sim, hs[1], ior.clone());
+    let out = cell::<Option<(u64, u64, u64)>>();
+    let o = out.clone();
+    let i = ior.clone();
+    let client = sim.spawn(hs[0], "client", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let obj = resolve(&i);
+        let _: f64 = obj
+            .call(&mut orb, ctx, "add", &(1.0, 1.0))
+            .unwrap()
+            .unwrap();
+        obj.oneway(&mut orb, ctx, "work", &0.0f64).unwrap();
+        let mut dead = obj.clone();
+        dead.ior.port = simnet::Port(59999);
+        let _ = dead
+            .call::<_, f64>(&mut orb, ctx, "add", &(1.0, 1.0))
+            .unwrap();
+        let s = orb.stats();
+        *o.lock().unwrap() = Some((s.requests_sent, s.oneways_sent, s.comm_failures));
+    });
+    sim.run_until_exit(client);
+    assert_eq!(out.lock().unwrap().unwrap(), (2, 1, 1));
+}
+
+#[test]
+fn two_clients_share_one_server() {
+    let mut sim = Kernel::with_seed(1);
+    let hs = sim.add_hosts(3);
+    let ior = cell();
+    let cfg = OrbConfig {
+        cost: CostModel::free(),
+        request_timeout: secs(60.0),
+        ..OrbConfig::default()
+    };
+    spawn_calc_cfg(&mut sim, hs[2], ior.clone(), cfg.clone());
+    let done = cell::<Vec<f64>>();
+    for (c, &host) in hs.iter().take(2).enumerate() {
+        let i = ior.clone();
+        let d = done.clone();
+        let cfg = cfg.clone();
+        sim.spawn(host, format!("client{c}"), move |ctx| {
+            ctx.sleep(secs(0.01)).unwrap();
+            let mut orb = Orb::new(ctx, cfg);
+            let obj = resolve(&i);
+            // Server work is serialized in the single-threaded server.
+            let _: f64 = obj.call(&mut orb, ctx, "work", &1.0f64).unwrap().unwrap();
+            d.lock().unwrap().push(ctx.now().as_secs_f64());
+        });
+    }
+    sim.run_until_idle();
+    let mut times = done.lock().unwrap().clone();
+    times.sort_by(f64::total_cmp);
+    // First client done at ~1s; second waits for the first: ~2s.
+    assert!((times[0] - 1.0).abs() < 0.05, "{times:?}");
+    assert!((times[1] - 2.0).abs() < 0.05, "{times:?}");
+}
+
+#[test]
+fn try_serve_supports_polling_servers() {
+    // A server that interleaves serving with its own periodic work, using
+    // the non-blocking try_serve.
+    let mut sim = Kernel::with_seed(1);
+    let hs = sim.add_hosts(2);
+    let ior = cell::<Option<String>>();
+    let ticks = cell::<u32>();
+    let i = ior.clone();
+    let t = ticks.clone();
+    sim.spawn(hs[1], "polling-server", move |ctx| {
+        let mut orb = Orb::init(ctx);
+        orb.listen(ctx).unwrap();
+        let poa = Poa::new();
+        let key = poa.activate(CALC_TYPE, Rc::new(RefCell::new(Calc)));
+        *i.lock().unwrap() = Some(orb.ior(CALC_TYPE, key).stringify());
+        loop {
+            // Drain any inbound requests without blocking…
+            while orb.try_serve(ctx, &poa).unwrap() {}
+            // …then do "own work".
+            *t.lock().unwrap() += 1;
+            if ctx.sleep(secs(0.05)).is_err() {
+                return;
+            }
+        }
+    });
+    let out = cell::<Option<f64>>();
+    let o = out.clone();
+    let i = ior.clone();
+    let client = sim.spawn(hs[0], "client", move |ctx| {
+        ctx.sleep(secs(0.2)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let obj = resolve(&i);
+        let v: f64 = obj.call(&mut orb, ctx, "add", &(1.0, 2.0)).unwrap().unwrap();
+        *o.lock().unwrap() = Some(v);
+    });
+    sim.run_until_exit(client);
+    assert_eq!(out.lock().unwrap().unwrap(), 3.0);
+    assert!(*ticks.lock().unwrap() >= 4, "server kept doing its own work");
+}

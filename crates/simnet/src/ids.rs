@@ -1,0 +1,80 @@
+//! Identifiers for simulated hosts, processes, and ports.
+
+use std::fmt;
+
+/// Identifier of a simulated workstation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u32);
+
+/// Identifier of a simulated process. Unique for the lifetime of a kernel;
+/// never reused.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+/// A port number on a host, used to address listening processes
+/// (the simulated analogue of a TCP port).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Port(pub u16);
+
+/// A message destination: either a specific process, or whatever process is
+/// currently bound to a `(host, port)` endpoint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Addr {
+    /// Deliver directly to a process (used for replies).
+    Pid(Pid),
+    /// Deliver to the process listening on `port` at `host`
+    /// (used for requests to well-known services).
+    Endpoint(HostId, Port),
+}
+
+impl fmt::Debug for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+impl fmt::Debug for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Debug for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ":{}", self.0)
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", HostId(3)), "h3");
+        assert_eq!(format!("{:?}", Pid(7)), "p7");
+        assert_eq!(format!("{:?}", Port(99)), ":99");
+        assert_eq!(
+            format!("{:?}", Addr::Endpoint(HostId(1), Port(2))),
+            "Endpoint(h1, :2)"
+        );
+    }
+}

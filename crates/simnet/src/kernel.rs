@@ -1,0 +1,983 @@
+//! The discrete-event kernel: virtual clock, event queue, and the
+//! thread-handoff scheduler that runs simulated processes one at a time.
+//!
+//! # Determinism
+//!
+//! Events are ordered by `(time, sequence-number)`, the sequence number
+//! being a monotone insertion counter, so ties break in insertion order.
+//! Exactly one process executes at any moment: the kernel resumes a process
+//! and then waits for it to issue its next blocking syscall before touching
+//! any other process. Per-process RNGs are seeded from the kernel seed and
+//! the deterministically-assigned pid. Two runs with the same seed and the
+//! same program therefore produce identical traces.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use crate::cpu::{HostConfig, HostSnapshot, HostState};
+use crate::ids::{Addr, HostId, Pid, Port};
+use crate::msg::{Msg, Payload};
+use crate::process::{Ctx, ProcessBody, Resume, Syscall};
+use crate::time::{SimDuration, SimTime};
+
+/// Network timing model.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// One-way latency between processes on the same host.
+    pub latency_local: SimDuration,
+    /// One-way latency between different hosts on the LAN.
+    pub latency_remote: SimDuration,
+    /// Link bandwidth in bytes per second (adds `size/bandwidth` per message).
+    pub bandwidth: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        // Values typical of a late-90s switched 100 Mbit/s workstation LAN,
+        // the environment of the paper's Winner cluster.
+        NetConfig {
+            latency_local: SimDuration::from_micros(20),
+            latency_remote: SimDuration::from_micros(150),
+            bandwidth: 12_500_000.0, // 100 Mbit/s
+        }
+    }
+}
+
+/// Kernel configuration.
+#[derive(Clone, Debug)]
+pub struct KernelConfig {
+    /// Master seed for all per-process RNGs.
+    pub seed: u64,
+    /// Network timing model.
+    pub net: NetConfig,
+    /// Time constant of the per-host load-average EWMA.
+    pub load_ewma_tau: SimDuration,
+    /// Safety valve: the run aborts (panics) after this many events, which
+    /// catches accidental infinite event loops in tests.
+    pub max_events: u64,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            seed: 0xC0FFEE,
+            net: NetConfig::default(),
+            load_ewma_tau: SimDuration::from_secs(2),
+            max_events: 50_000_000,
+        }
+    }
+}
+
+/// Counters accumulated over a run; useful in benchmarks and tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelStats {
+    /// Events processed.
+    pub events: u64,
+    /// Messages delivered to a mailbox or a blocked receiver.
+    pub msgs_delivered: u64,
+    /// Messages dropped (dead destination, down host, or partition).
+    pub msgs_dropped: u64,
+    /// RST notifications generated for sends to closed ports.
+    pub rsts: u64,
+    /// Processes spawned.
+    pub spawned: u64,
+    /// Processes killed (by `kill`, host crash, or kernel shutdown).
+    pub killed: u64,
+}
+
+/// A fault-injection command, schedulable at an absolute virtual time.
+#[derive(Clone, Copy, Debug)]
+pub enum Fault {
+    /// Kill one process.
+    KillProcess(Pid),
+    /// Crash a host: every process on it dies, its ports unbind.
+    CrashHost(HostId),
+    /// Bring a crashed host back up (empty).
+    RestartHost(HostId),
+    /// Block or heal the link between two hosts.
+    Partition(HostId, HostId, bool),
+    /// Override the one-way latency between two hosts (e.g. a WAN link
+    /// between two LANs, or a degrading path). `None` restores the
+    /// default model.
+    SetLinkLatency(HostId, HostId, Option<SimDuration>),
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Start(Pid),
+    Timer { pid: Pid, epoch: u64 },
+    Deliver(Msg),
+    CpuCheck { host: HostId, epoch: u64 },
+    Fault(Fault),
+}
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, o: &Self) -> bool {
+        self.time == o.time && self.seq == o.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(o.time, o.seq))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Block {
+    Sleep,
+    Recv,
+    Compute,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Created; thread not yet started.
+    NotStarted,
+    /// Waiting in a blocking syscall.
+    Blocked(Block),
+    /// Has a pending resume and sits in the runnable queue.
+    Runnable,
+    /// Currently executing (the kernel is waiting for its next syscall).
+    Running,
+    /// Exited or killed.
+    Dead,
+}
+
+struct Proc {
+    name: String,
+    host: HostId,
+    status: Status,
+    mailbox: VecDeque<Msg>,
+    resume_tx: Option<Sender<Resume>>,
+    join: Option<JoinHandle<()>>,
+    body: Option<ProcessBody>,
+    /// Invalidates in-flight timer events.
+    timer_epoch: u64,
+    ports: Vec<Port>,
+    pending: Option<Resume>,
+}
+
+/// The simulation kernel. See the module docs for the execution model.
+pub struct Kernel {
+    cfg: KernelConfig,
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    hosts: Vec<HostState>,
+    port_map: HashMap<(HostId, Port), Pid>,
+    next_port: Vec<u16>,
+    procs: Vec<Proc>,
+    runnable: VecDeque<Pid>,
+    syscall_rx: Receiver<(Pid, Syscall)>,
+    syscall_tx: Sender<(Pid, Syscall)>,
+    partitions: HashSet<(HostId, HostId)>,
+    /// Per-link one-way latency overrides (WAN modelling).
+    link_latency: HashMap<(HostId, HostId), SimDuration>,
+    stats: KernelStats,
+    panicked: Option<(Pid, String)>,
+    tracer: Option<Tracer>,
+}
+
+/// A tracing callback: `(virtual time, line)`.
+pub type Tracer = Box<dyn FnMut(SimTime, &str)>;
+
+fn pair(a: HostId, b: HostId) -> (HostId, HostId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+enum Flow {
+    Reply(Resume),
+    Block,
+    Exited,
+}
+
+impl Kernel {
+    /// Create a kernel with the given configuration.
+    pub fn new(cfg: KernelConfig) -> Self {
+        install_quiet_kill_hook();
+        let (syscall_tx, syscall_rx) = channel();
+        Kernel {
+            cfg,
+            now: SimTime::ZERO,
+            seq: 0,
+            events: BinaryHeap::new(),
+            hosts: Vec::new(),
+            port_map: HashMap::new(),
+            next_port: Vec::new(),
+            procs: Vec::new(),
+            runnable: VecDeque::new(),
+            syscall_rx,
+            syscall_tx,
+            partitions: HashSet::new(),
+            link_latency: HashMap::new(),
+            stats: KernelStats::default(),
+            panicked: None,
+            tracer: None,
+        }
+    }
+
+    /// Create a kernel with default configuration and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Kernel::new(KernelConfig {
+            seed,
+            ..KernelConfig::default()
+        })
+    }
+
+    /// Register a simulated workstation. Hosts can only be added before or
+    /// between runs.
+    pub fn add_host(&mut self, cfg: HostConfig) -> HostId {
+        let id = HostId(self.hosts.len() as u32);
+        self.hosts.push(HostState::new(cfg, self.cfg.load_ewma_tau));
+        self.next_port.push(1024);
+        id
+    }
+
+    /// Convenience: add `n` identical hosts of unit speed.
+    pub fn add_hosts(&mut self, n: usize) -> Vec<HostId> {
+        (0..n)
+            .map(|i| self.add_host(HostConfig::new(format!("node{i}"))))
+            .collect()
+    }
+
+    /// All registered host ids.
+    pub fn host_ids(&self) -> Vec<HostId> {
+        (0..self.hosts.len() as u32).map(HostId).collect()
+    }
+
+    /// Spawn a process on `host`, starting at the current virtual time.
+    pub fn spawn(
+        &mut self,
+        host: HostId,
+        name: impl Into<String>,
+        body: impl FnOnce(&mut Ctx) + Send + 'static,
+    ) -> Pid {
+        self.spawn_at(self.now, host, name, Box::new(body))
+    }
+
+    /// Spawn a process whose execution starts at absolute time `at`.
+    pub fn spawn_at(
+        &mut self,
+        at: SimTime,
+        host: HostId,
+        name: impl Into<String>,
+        body: ProcessBody,
+    ) -> Pid {
+        assert!((host.0 as usize) < self.hosts.len(), "unknown host {host}");
+        let pid = Pid(self.procs.len() as u32);
+        self.procs.push(Proc {
+            name: name.into(),
+            host,
+            status: Status::NotStarted,
+            mailbox: VecDeque::new(),
+            resume_tx: None,
+            join: None,
+            body: Some(body),
+            timer_epoch: 0,
+            ports: Vec::new(),
+            pending: None,
+        });
+        self.stats.spawned += 1;
+        self.push_event(at.max(self.now), EventKind::Start(pid));
+        pid
+    }
+
+    /// Schedule a fault-injection command at absolute time `at`.
+    pub fn schedule_fault(&mut self, at: SimTime, fault: Fault) {
+        self.push_event(at.max(self.now), EventKind::Fault(fault));
+    }
+
+    /// Install a tracing callback invoked with `(time, line)` for notable
+    /// kernel events. Intended for debugging.
+    pub fn set_tracer(&mut self, f: impl FnMut(SimTime, &str) + 'static) {
+        self.tracer = Some(Box::new(f));
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Whether a process has exited or been killed.
+    pub fn proc_dead(&self, pid: Pid) -> bool {
+        self.procs
+            .get(pid.0 as usize)
+            .is_none_or(|p| p.status == Status::Dead)
+    }
+
+    /// Load metrics for a host, evaluated at the current virtual time
+    /// (driver/test-side equivalent of `Ctx::host_info`).
+    pub fn host_snapshot(&mut self, host: HostId) -> Option<HostSnapshot> {
+        let now = self.now;
+        self.hosts.get_mut(host.0 as usize).map(|h| h.snapshot(now))
+    }
+
+    /// Run until the event queue is exhausted and no process is runnable.
+    /// Returns the final virtual time.
+    pub fn run_until_idle(&mut self) -> SimTime {
+        self.run_inner(None, |_| false)
+    }
+
+    /// Run until the given process exits (or the queue empties first).
+    pub fn run_until_exit(&mut self, pid: Pid) -> SimTime {
+        self.run_inner(None, move |k| k.proc_dead(pid))
+    }
+
+    /// Run until virtual time reaches `deadline` (or the queue empties).
+    /// The clock is advanced to exactly `deadline` when it is reached.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.run_inner(Some(deadline), |_| false);
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.now
+    }
+
+    /// Run for a span of virtual time from the current instant.
+    pub fn run_for(&mut self, d: SimDuration) -> SimTime {
+        let deadline = self.now + d;
+        self.run_until(deadline)
+    }
+
+    fn run_inner(&mut self, deadline: Option<SimTime>, stop: impl Fn(&Kernel) -> bool) -> SimTime {
+        loop {
+            self.drain_runnable();
+            if let Some((pid, msg)) = self.panicked.take() {
+                let name = &self.procs[pid.0 as usize].name;
+                panic!("simulated process {pid} ({name}) panicked: {msg}");
+            }
+            if stop(self) {
+                break;
+            }
+            let Some(Reverse(ev)) = self.events.peek() else {
+                break;
+            };
+            if let Some(d) = deadline {
+                if ev.time > d {
+                    break;
+                }
+            }
+            let Reverse(ev) = self.events.pop().expect("peeked");
+            debug_assert!(ev.time >= self.now, "event in the past");
+            self.now = ev.time;
+            self.stats.events += 1;
+            if self.stats.events > self.cfg.max_events {
+                panic!(
+                    "simnet: exceeded max_events={} at {:?} — runaway event loop?",
+                    self.cfg.max_events, self.now
+                );
+            }
+            self.handle_event(ev.kind);
+        }
+        self.now
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { time, seq, kind }));
+    }
+
+    fn trace(&mut self, line: &str) {
+        if let Some(t) = self.tracer.as_mut() {
+            t(self.now, line);
+        }
+    }
+
+    fn handle_event(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Start(pid) => self.start_process(pid),
+            EventKind::Timer { pid, epoch } => self.fire_timer(pid, epoch),
+            EventKind::Deliver(msg) => self.deliver(msg),
+            EventKind::CpuCheck { host, epoch } => self.cpu_check(host, epoch),
+            EventKind::Fault(f) => self.apply_fault(f),
+        }
+    }
+
+    fn start_process(&mut self, pid: Pid) {
+        let host;
+        {
+            let p = &mut self.procs[pid.0 as usize];
+            if p.status != Status::NotStarted {
+                return;
+            }
+            host = p.host;
+        }
+        if !self.hosts[host.0 as usize].up {
+            // Boot on a dead host fails silently; the process never runs.
+            let p = &mut self.procs[pid.0 as usize];
+            p.status = Status::Dead;
+            p.body = None;
+            return;
+        }
+        let p = &mut self.procs[pid.0 as usize];
+        let body = p.body.take().expect("NotStarted implies body present");
+        let (resume_tx, resume_rx) = channel();
+        let mut ctx = Ctx::new(pid, host, self.cfg.seed, self.syscall_tx.clone(), resume_rx);
+        let thread_name = format!("sim-{pid}-{}", p.name);
+        let join = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                if ctx.wait_start().is_ok() {
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx)));
+                    match result {
+                        Ok(()) => ctx.send_exit(),
+                        Err(payload) => ctx.report_panic(payload),
+                    }
+                }
+            })
+            .expect("failed to spawn simulation thread");
+        p.resume_tx = Some(resume_tx);
+        p.join = Some(join);
+        p.pending = Some(Resume::Start { now: self.now });
+        p.status = Status::Runnable;
+        self.runnable.push_back(pid);
+    }
+
+    fn fire_timer(&mut self, pid: Pid, epoch: u64) {
+        let now = self.now;
+        let p = &mut self.procs[pid.0 as usize];
+        if p.status == Status::Dead || p.timer_epoch != epoch {
+            return;
+        }
+        match p.status {
+            Status::Blocked(Block::Sleep) => {
+                p.pending = Some(Resume::Done { now });
+            }
+            Status::Blocked(Block::Recv) => {
+                p.pending = Some(Resume::Empty { now });
+            }
+            _ => return, // stale
+        }
+        p.timer_epoch += 1;
+        p.status = Status::Runnable;
+        self.runnable.push_back(pid);
+    }
+
+    fn deliver(&mut self, msg: Msg) {
+        let target = match msg.to {
+            Addr::Endpoint(h, port) => {
+                let hs = match self.hosts.get(h.0 as usize) {
+                    Some(hs) => hs,
+                    None => {
+                        self.stats.msgs_dropped += 1;
+                        return;
+                    }
+                };
+                if !hs.up || self.partitions.contains(&pair(msg.from_host, h)) {
+                    self.stats.msgs_dropped += 1;
+                    return;
+                }
+                match self.port_map.get(&(h, port)) {
+                    Some(&pid) => pid,
+                    None => {
+                        // Port closed, host up: bounce an RST to the sender.
+                        self.stats.rsts += 1;
+                        self.send_rst(msg.from, h, port);
+                        return;
+                    }
+                }
+            }
+            Addr::Pid(pid) => pid,
+        };
+        let dst_host = match self.procs.get(target.0 as usize) {
+            Some(p) if p.status != Status::Dead => p.host,
+            _ => {
+                self.stats.msgs_dropped += 1;
+                return;
+            }
+        };
+        if !self.hosts[dst_host.0 as usize].up
+            || self.partitions.contains(&pair(msg.from_host, dst_host))
+        {
+            self.stats.msgs_dropped += 1;
+            return;
+        }
+        self.stats.msgs_delivered += 1;
+        let now = self.now;
+        let p = &mut self.procs[target.0 as usize];
+        if p.status == Status::Blocked(Block::Recv) {
+            p.timer_epoch += 1; // cancel any recv timeout
+            p.pending = Some(Resume::Msg { now, msg });
+            p.status = Status::Runnable;
+            self.runnable.push_back(target);
+        } else {
+            p.mailbox.push_back(msg);
+        }
+    }
+
+    fn send_rst(&mut self, to: Pid, host: HostId, port: Port) {
+        let sender = match self.procs.get(to.0 as usize) {
+            Some(p) if p.status != Status::Dead => p,
+            _ => return,
+        };
+        let lat = self.latency_between(sender.host, host);
+        let rst = Msg {
+            from: to,
+            from_host: host,
+            to: Addr::Pid(to),
+            payload: Payload::Rst { host, port },
+        };
+        let at = self.now + lat;
+        self.push_event(at, EventKind::Deliver(rst));
+    }
+
+    fn cpu_check(&mut self, host: HostId, epoch: u64) {
+        let now = self.now;
+        let hs = &mut self.hosts[host.0 as usize];
+        if hs.cpu_epoch != epoch || !hs.up {
+            return;
+        }
+        let finished = hs.take_finished(now);
+        for pid in finished {
+            let p = &mut self.procs[pid.0 as usize];
+            debug_assert_eq!(p.status, Status::Blocked(Block::Compute));
+            p.pending = Some(Resume::Done { now });
+            p.status = Status::Runnable;
+            self.runnable.push_back(pid);
+        }
+        self.reschedule_cpu(host);
+    }
+
+    fn reschedule_cpu(&mut self, host: HostId) {
+        let now = self.now;
+        let hs = &mut self.hosts[host.0 as usize];
+        if !hs.up {
+            return;
+        }
+        if let Some(t) = hs.next_completion(now) {
+            let epoch = hs.cpu_epoch;
+            self.push_event(t, EventKind::CpuCheck { host, epoch });
+        }
+    }
+
+    fn apply_fault(&mut self, f: Fault) {
+        match f {
+            Fault::KillProcess(pid) => self.do_kill(pid),
+            Fault::CrashHost(h) => self.do_crash_host(h),
+            Fault::RestartHost(h) => {
+                if let Some(hs) = self.hosts.get_mut(h.0 as usize) {
+                    hs.up = true;
+                }
+            }
+            Fault::Partition(a, b, blocked) => {
+                if blocked {
+                    self.partitions.insert(pair(a, b));
+                } else {
+                    self.partitions.remove(&pair(a, b));
+                }
+            }
+            Fault::SetLinkLatency(a, b, lat) => match lat {
+                Some(d) => {
+                    self.link_latency.insert(pair(a, b), d);
+                }
+                None => {
+                    self.link_latency.remove(&pair(a, b));
+                }
+            },
+        }
+    }
+
+    /// Override the one-way latency between two hosts (symmetric). Used to
+    /// model WAN links between LANs — the metacomputing scenario the paper
+    /// lists as future work. Takes effect for messages sent after the call.
+    pub fn set_link_latency(&mut self, a: HostId, b: HostId, latency: SimDuration) {
+        self.link_latency.insert(pair(a, b), latency);
+    }
+
+    /// One-way latency for a message between two hosts under the current
+    /// model (default local/remote, or a per-link override).
+    fn latency_between(&self, a: HostId, b: HostId) -> SimDuration {
+        if let Some(&d) = self.link_latency.get(&pair(a, b)) {
+            return d;
+        }
+        if a == b {
+            self.cfg.net.latency_local
+        } else {
+            self.cfg.net.latency_remote
+        }
+    }
+
+    fn do_kill(&mut self, pid: Pid) {
+        let (host, was_started, ports);
+        {
+            let Some(p) = self.procs.get_mut(pid.0 as usize) else {
+                return;
+            };
+            if p.status == Status::Dead {
+                return;
+            }
+            host = p.host;
+            was_started = p.status != Status::NotStarted;
+            p.status = Status::Dead;
+            p.body = None;
+            p.mailbox.clear();
+            p.pending = None;
+            p.timer_epoch += 1;
+            ports = std::mem::take(&mut p.ports);
+        }
+        for port in ports {
+            self.port_map.remove(&(host, port));
+        }
+        // Remove any CPU job and reschedule the host.
+        let now = self.now;
+        if self.hosts[host.0 as usize].remove_job(now, pid).is_some() {
+            self.reschedule_cpu(host);
+        }
+        if was_started {
+            if let Some(tx) = &self.procs[pid.0 as usize].resume_tx {
+                let _ = tx.send(Resume::Killed);
+            }
+        }
+        self.stats.killed += 1;
+        self.trace(&format!("kill {pid}"));
+    }
+
+    fn do_crash_host(&mut self, h: HostId) {
+        let Some(hs) = self.hosts.get_mut(h.0 as usize) else {
+            return;
+        };
+        if !hs.up {
+            return;
+        }
+        hs.up = false;
+        let now = self.now;
+        hs.clear_jobs(now);
+        let victims: Vec<Pid> = self
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.host == h && p.status != Status::Dead)
+            .map(|(i, _)| Pid(i as u32))
+            .collect();
+        for pid in victims {
+            self.do_kill(pid);
+        }
+        self.trace(&format!("crash {h}"));
+    }
+
+    // ------------------------------------------------------------------
+    // Process execution
+    // ------------------------------------------------------------------
+
+    fn drain_runnable(&mut self) {
+        while let Some(pid) = self.runnable.pop_front() {
+            self.run_process(pid);
+            if self.panicked.is_some() {
+                return;
+            }
+        }
+    }
+
+    fn run_process(&mut self, pid: Pid) {
+        let resume = {
+            let p = &mut self.procs[pid.0 as usize];
+            if p.status != Status::Runnable {
+                return; // killed while queued
+            }
+            p.status = Status::Running;
+            p.pending.take().expect("runnable implies pending resume")
+        };
+        let tx = self.procs[pid.0 as usize]
+            .resume_tx
+            .clone()
+            .expect("started process has a resume channel");
+        if tx.send(resume).is_err() {
+            // Thread is gone (should not happen for a live process).
+            self.procs[pid.0 as usize].status = Status::Dead;
+            return;
+        }
+        loop {
+            let sc = self.wait_syscall(pid);
+            match self.handle_syscall(pid, sc) {
+                Flow::Reply(r) => {
+                    if tx.send(r).is_err() {
+                        self.do_kill(pid);
+                        return;
+                    }
+                }
+                Flow::Block => return,
+                Flow::Exited => return,
+            }
+        }
+    }
+
+    fn wait_syscall(&mut self, expect: Pid) -> Syscall {
+        loop {
+            let (pid, sc) = self
+                .syscall_rx
+                .recv()
+                .expect("kernel owns a sender; channel cannot close");
+            if pid == expect {
+                return sc;
+            }
+            // A syscall from another process can only come from a thread
+            // that is unwinding after being killed (its Ctx suppresses
+            // everything once dead, but an Exit/Panicked raced the kill).
+            debug_assert_eq!(
+                self.procs[pid.0 as usize].status,
+                Status::Dead,
+                "unexpected concurrent syscall from live {pid}"
+            );
+        }
+    }
+
+    fn handle_syscall(&mut self, pid: Pid, sc: Syscall) -> Flow {
+        let now = self.now;
+        match sc {
+            Syscall::Sleep(d) => {
+                let p = &mut self.procs[pid.0 as usize];
+                p.timer_epoch += 1;
+                let epoch = p.timer_epoch;
+                p.status = Status::Blocked(Block::Sleep);
+                self.push_event(now + d, EventKind::Timer { pid, epoch });
+                Flow::Block
+            }
+            Syscall::Compute(work) => {
+                let host = self.procs[pid.0 as usize].host;
+                self.procs[pid.0 as usize].status = Status::Blocked(Block::Compute);
+                self.hosts[host.0 as usize].add_job(now, pid, work);
+                self.reschedule_cpu(host);
+                Flow::Block
+            }
+            Syscall::Send { to, data } => {
+                self.do_send(pid, to, data);
+                Flow::Reply(Resume::Ok { now })
+            }
+            Syscall::Recv { timeout } => {
+                let p = &mut self.procs[pid.0 as usize];
+                if let Some(msg) = p.mailbox.pop_front() {
+                    return Flow::Reply(Resume::Msg { now, msg });
+                }
+                p.status = Status::Blocked(Block::Recv);
+                p.timer_epoch += 1;
+                if let Some(d) = timeout {
+                    let epoch = p.timer_epoch;
+                    self.push_event(now + d, EventKind::Timer { pid, epoch });
+                }
+                Flow::Block
+            }
+            Syscall::TryRecv => {
+                let p = &mut self.procs[pid.0 as usize];
+                match p.mailbox.pop_front() {
+                    Some(msg) => Flow::Reply(Resume::Msg { now, msg }),
+                    None => Flow::Reply(Resume::Empty { now }),
+                }
+            }
+            Syscall::BindPort => {
+                let host = self.procs[pid.0 as usize].host;
+                let port = self.alloc_port(host);
+                self.port_map.insert((host, port), pid);
+                self.procs[pid.0 as usize].ports.push(port);
+                Flow::Reply(Resume::PortV {
+                    now,
+                    port: Some(port),
+                })
+            }
+            Syscall::BindPortExact(port) => {
+                let host = self.procs[pid.0 as usize].host;
+                if let std::collections::hash_map::Entry::Vacant(e) =
+                    self.port_map.entry((host, port))
+                {
+                    e.insert(pid);
+                    self.procs[pid.0 as usize].ports.push(port);
+                    Flow::Reply(Resume::PortV {
+                        now,
+                        port: Some(port),
+                    })
+                } else {
+                    Flow::Reply(Resume::PortV { now, port: None })
+                }
+            }
+            Syscall::UnbindPort(port) => {
+                let host = self.procs[pid.0 as usize].host;
+                if self.port_map.get(&(host, port)) == Some(&pid) {
+                    self.port_map.remove(&(host, port));
+                    self.procs[pid.0 as usize].ports.retain(|&p| p != port);
+                }
+                Flow::Reply(Resume::Ok { now })
+            }
+            Syscall::Spawn { host, name, body } => {
+                let child = self.spawn_at(now, host, name, body);
+                Flow::Reply(Resume::PidV { now, pid: child })
+            }
+            Syscall::Kill(target) => {
+                self.do_kill(target);
+                if target == pid {
+                    Flow::Exited // the kill already sent Resume::Killed
+                } else {
+                    Flow::Reply(Resume::Ok { now })
+                }
+            }
+            Syscall::CrashHost(h) => {
+                let self_host = self.procs[pid.0 as usize].host;
+                self.do_crash_host(h);
+                if self_host == h {
+                    Flow::Exited
+                } else {
+                    Flow::Reply(Resume::Ok { now })
+                }
+            }
+            Syscall::RestartHost(h) => {
+                self.apply_fault(Fault::RestartHost(h));
+                Flow::Reply(Resume::Ok { now })
+            }
+            Syscall::HostInfo(h) => {
+                let snap = self.hosts.get_mut(h.0 as usize).map(|hs| hs.snapshot(now));
+                Flow::Reply(Resume::Host { now, snap })
+            }
+            Syscall::Partition { a, b, blocked } => {
+                self.apply_fault(Fault::Partition(a, b, blocked));
+                Flow::Reply(Resume::Ok { now })
+            }
+            Syscall::Exit => {
+                self.finish_process(pid);
+                Flow::Exited
+            }
+            Syscall::Panicked(msg) => {
+                self.finish_process(pid);
+                self.panicked = Some((pid, msg));
+                Flow::Exited
+            }
+        }
+    }
+
+    fn do_send(&mut self, from: Pid, to: Addr, data: Vec<u8>) {
+        let from_host = self.procs[from.0 as usize].host;
+        let dst_host = match to {
+            Addr::Endpoint(h, _) => Some(h),
+            Addr::Pid(p) => self.procs.get(p.0 as usize).map(|pr| pr.host),
+        };
+        let lat = match dst_host {
+            Some(h) => self.latency_between(from_host, h),
+            None => self.cfg.net.latency_remote,
+        };
+        let xfer = SimDuration::from_secs_f64(data.len() as f64 / self.cfg.net.bandwidth);
+        let at = self.now + lat + xfer;
+        let msg = Msg {
+            from,
+            from_host,
+            to,
+            payload: Payload::Data(data),
+        };
+        self.push_event(at, EventKind::Deliver(msg));
+    }
+
+    fn alloc_port(&mut self, host: HostId) -> Port {
+        let hi = host.0 as usize;
+        loop {
+            let candidate = Port(self.next_port[hi]);
+            self.next_port[hi] = self.next_port[hi].wrapping_add(1).max(1024);
+            if !self.port_map.contains_key(&(host, candidate)) {
+                return candidate;
+            }
+        }
+    }
+
+    /// Clean exit of a process (body returned or panicked): release
+    /// resources but do not send any resume — the thread is finishing.
+    fn finish_process(&mut self, pid: Pid) {
+        let (host, ports);
+        {
+            let p = &mut self.procs[pid.0 as usize];
+            if p.status == Status::Dead {
+                return;
+            }
+            host = p.host;
+            p.status = Status::Dead;
+            p.mailbox.clear();
+            p.pending = None;
+            p.timer_epoch += 1;
+            ports = std::mem::take(&mut p.ports);
+        }
+        for port in ports {
+            self.port_map.remove(&(host, port));
+        }
+        let now = self.now;
+        if self.hosts[host.0 as usize].remove_job(now, pid).is_some() {
+            self.reschedule_cpu(host);
+        }
+    }
+}
+
+impl Drop for Kernel {
+    fn drop(&mut self) {
+        // Wake every parked thread by closing its resume channel, then join.
+        let mut joins = Vec::new();
+        for p in &mut self.procs {
+            p.resume_tx = None; // closes the channel; recv() errors => Killed
+            if let Some(j) = p.join.take() {
+                joins.push(j);
+            }
+        }
+        for j in joins {
+            let _ = j.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Quiet panic handling for killed processes
+// ---------------------------------------------------------------------
+
+fn install_quiet_kill_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if crate::process::SUPPRESS_PANIC_REPORT.with(|s| s.get()) {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+impl Ctx {
+    /// Called by the thread wrapper when the body panicked. If this process
+    /// was killed, the panic is the expected unwind (e.g. `.unwrap()` on a
+    /// syscall result) and is swallowed; otherwise it is forwarded to the
+    /// kernel, which re-raises it on the main thread.
+    pub(crate) fn report_panic(&mut self, payload: Box<dyn std::any::Any + Send>) {
+        if self.is_dead() {
+            return; // expected unwind after a kill
+        }
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        self.send_panicked(msg);
+    }
+}

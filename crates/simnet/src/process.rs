@@ -1,0 +1,435 @@
+//! The process-side view of the simulation: the [`Ctx`] handle and the
+//! syscall/resume protocol between process threads and the kernel.
+//!
+//! Every simulated process runs on its own OS thread, but the kernel only
+//! ever lets **one** process execute at a time: a process runs from one
+//! blocking syscall to the next, then hands control back. This gives
+//! deterministic execution while letting application code (ORB server
+//! loops, optimization workers, ...) be written in ordinary direct style.
+
+use std::fmt;
+use std::sync::mpsc::{Receiver, Sender};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::cpu::HostSnapshot;
+use crate::ids::{Addr, HostId, Pid, Port};
+use crate::msg::Msg;
+use crate::time::{SimDuration, SimTime};
+
+/// The body of a simulated process.
+pub type ProcessBody = Box<dyn FnOnce(&mut Ctx) + Send + 'static>;
+
+/// Error returned from every blocking operation of a process that has been
+/// killed (or whose host has crashed, or whose kernel has shut down).
+///
+/// Application code should propagate this upward with `?`; the process
+/// thread then unwinds cleanly and the kernel reaps it. This mirrors how a
+/// Unix process sees `EINTR`/`SIGKILL`-adjacent conditions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Killed;
+
+impl fmt::Display for Killed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("process killed")
+    }
+}
+
+impl std::error::Error for Killed {}
+
+/// Result of a simulation syscall.
+pub type SimResult<T> = Result<T, Killed>;
+
+/// Requests a process makes to the kernel.
+pub(crate) enum Syscall {
+    Sleep(SimDuration),
+    /// Consume CPU work units on this process's host.
+    /// `f64::INFINITY` spins forever (background load).
+    Compute(f64),
+    Send {
+        to: Addr,
+        data: Vec<u8>,
+    },
+    Recv {
+        timeout: Option<SimDuration>,
+    },
+    TryRecv,
+    BindPort,
+    BindPortExact(Port),
+    UnbindPort(Port),
+    Spawn {
+        host: HostId,
+        name: String,
+        body: ProcessBody,
+    },
+    Kill(Pid),
+    CrashHost(HostId),
+    RestartHost(HostId),
+    HostInfo(HostId),
+    Partition {
+        a: HostId,
+        b: HostId,
+        blocked: bool,
+    },
+    Exit,
+    /// The process body panicked (a bug, not a kill): the kernel re-raises
+    /// this on the main thread to fail fast.
+    Panicked(String),
+}
+
+impl fmt::Debug for Syscall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Syscall::Sleep(_) => "Sleep",
+            Syscall::Compute(_) => "Compute",
+            Syscall::Send { .. } => "Send",
+            Syscall::Recv { .. } => "Recv",
+            Syscall::TryRecv => "TryRecv",
+            Syscall::BindPort => "BindPort",
+            Syscall::BindPortExact(_) => "BindPortExact",
+            Syscall::UnbindPort(_) => "UnbindPort",
+            Syscall::Spawn { .. } => "Spawn",
+            Syscall::Kill(_) => "Kill",
+            Syscall::CrashHost(_) => "CrashHost",
+            Syscall::RestartHost(_) => "RestartHost",
+            Syscall::HostInfo(_) => "HostInfo",
+            Syscall::Partition { .. } => "Partition",
+            Syscall::Exit => "Exit",
+            Syscall::Panicked(_) => "Panicked",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Kernel replies that resume a blocked process.
+#[derive(Debug)]
+pub(crate) enum Resume {
+    /// First resume: start executing the body.
+    Start { now: SimTime },
+    /// A sleep or compute finished.
+    Done { now: SimTime },
+    /// A message arrived (reply to `Recv`/`TryRecv`).
+    Msg { now: SimTime, msg: Msg },
+    /// `Recv` timed out, or `TryRecv` found the mailbox empty.
+    Empty { now: SimTime },
+    /// Reply carrying a port.
+    PortV { now: SimTime, port: Option<Port> },
+    /// Reply carrying a pid (spawn).
+    PidV { now: SimTime, pid: Pid },
+    /// Reply carrying host info.
+    Host {
+        now: SimTime,
+        snap: Option<HostSnapshot>,
+    },
+    /// Generic acknowledgement of an immediate syscall.
+    Ok { now: SimTime },
+    /// The process has been killed; all further syscalls fail too.
+    Killed,
+}
+
+impl Resume {
+    fn now(&self) -> Option<SimTime> {
+        match self {
+            Resume::Start { now }
+            | Resume::Done { now }
+            | Resume::Msg { now, .. }
+            | Resume::Empty { now }
+            | Resume::PortV { now, .. }
+            | Resume::PidV { now, .. }
+            | Resume::Host { now, .. }
+            | Resume::Ok { now } => Some(*now),
+            Resume::Killed => None,
+        }
+    }
+}
+
+thread_local! {
+    /// Set once this thread's process has been killed: the global panic hook
+    /// then suppresses the report for the expected kill-unwind panic
+    /// (e.g. `.unwrap()` on a syscall result).
+    pub(crate) static SUPPRESS_PANIC_REPORT: std::cell::Cell<bool> =
+        const { std::cell::Cell::new(false) };
+}
+
+/// Handle through which a simulated process interacts with the world:
+/// virtual time, CPU, network, process control, and deterministic
+/// randomness.
+pub struct Ctx {
+    pid: Pid,
+    host: HostId,
+    now: SimTime,
+    dead: bool,
+    syscall_tx: Sender<(Pid, Syscall)>,
+    resume_rx: Receiver<Resume>,
+    rng: SmallRng,
+}
+
+impl Ctx {
+    pub(crate) fn new(
+        pid: Pid,
+        host: HostId,
+        seed: u64,
+        syscall_tx: Sender<(Pid, Syscall)>,
+        resume_rx: Receiver<Resume>,
+    ) -> Self {
+        // Derive a per-process RNG deterministically from the kernel seed
+        // and the (deterministically assigned) pid.
+        let mixed = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((pid.0 as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        Ctx {
+            pid,
+            host,
+            now: SimTime::ZERO,
+            dead: false,
+            syscall_tx,
+            resume_rx,
+            rng: SmallRng::seed_from_u64(mixed),
+        }
+    }
+
+    /// Wait for the initial `Start` resume. Called by the thread wrapper
+    /// before the body runs.
+    pub(crate) fn wait_start(&mut self) -> SimResult<()> {
+        match self.resume_rx.recv() {
+            Ok(Resume::Start { now }) => {
+                self.now = now;
+                Ok(())
+            }
+            Ok(Resume::Killed) | Err(_) => {
+                self.mark_dead();
+                Err(Killed)
+            }
+            Ok(other) => unreachable!("unexpected initial resume {other:?}"),
+        }
+    }
+
+    fn mark_dead(&mut self) {
+        self.dead = true;
+        SUPPRESS_PANIC_REPORT.with(|s| s.set(true));
+    }
+
+    /// Whether this process has been killed.
+    pub(crate) fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    fn call(&mut self, sc: Syscall) -> SimResult<Resume> {
+        if self.dead {
+            return Err(Killed);
+        }
+        if self.syscall_tx.send((self.pid, sc)).is_err() {
+            self.mark_dead();
+            return Err(Killed);
+        }
+        match self.resume_rx.recv() {
+            Ok(r) => {
+                if let Some(now) = r.now() {
+                    self.now = now;
+                    Ok(r)
+                } else {
+                    self.mark_dead();
+                    Err(Killed)
+                }
+            }
+            Err(_) => {
+                self.mark_dead();
+                Err(Killed)
+            }
+        }
+    }
+
+    /// Notify the kernel that the body has returned. Called by the thread
+    /// wrapper; does not wait for a reply.
+    pub(crate) fn send_exit(&mut self) {
+        if !self.dead {
+            let _ = self.syscall_tx.send((self.pid, Syscall::Exit));
+        }
+    }
+
+    /// Notify the kernel that the body panicked (a real bug, not a kill
+    /// unwind). Does not wait for a reply.
+    pub(crate) fn send_panicked(&mut self, msg: String) {
+        if !self.dead {
+            let _ = self.syscall_tx.send((self.pid, Syscall::Panicked(msg)));
+        }
+    }
+
+    /// This process's pid.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The host this process runs on.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Current virtual time. Free: refreshed on every kernel interaction.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Deterministic per-process random number generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Suspend for a span of virtual time.
+    pub fn sleep(&mut self, d: SimDuration) -> SimResult<()> {
+        match self.call(Syscall::Sleep(d))? {
+            Resume::Done { .. } => Ok(()),
+            other => unreachable!("sleep resumed with {other:?}"),
+        }
+    }
+
+    /// Consume `work` CPU work units on this host, sharing the CPU with all
+    /// other runnable jobs. Virtual time advances accordingly.
+    pub fn compute(&mut self, work: f64) -> SimResult<()> {
+        assert!(
+            work >= 0.0 && !work.is_nan(),
+            "compute work must be non-negative, got {work}"
+        );
+        if work == 0.0 {
+            return Ok(());
+        }
+        match self.call(Syscall::Compute(work))? {
+            Resume::Done { .. } => Ok(()),
+            other => unreachable!("compute resumed with {other:?}"),
+        }
+    }
+
+    /// Spin on the CPU forever (a background-load process). Only returns
+    /// when the process is killed, so the `Ok` branch is unreachable and the
+    /// caller can simply `return` afterwards.
+    pub fn spin_forever(&mut self) -> SimResult<()> {
+        self.compute(f64::INFINITY)
+    }
+
+    /// Send a fire-and-forget message. Delivery takes network latency plus
+    /// transfer time; sending to a dead endpoint produces an RST (port
+    /// closed, host up) or silence (host down).
+    pub fn send(&mut self, to: Addr, data: Vec<u8>) -> SimResult<()> {
+        match self.call(Syscall::Send { to, data })? {
+            Resume::Ok { .. } => Ok(()),
+            other => unreachable!("send resumed with {other:?}"),
+        }
+    }
+
+    /// Block until a message arrives.
+    pub fn recv(&mut self) -> SimResult<Msg> {
+        match self.call(Syscall::Recv { timeout: None })? {
+            Resume::Msg { msg, .. } => Ok(msg),
+            other => unreachable!("recv resumed with {other:?}"),
+        }
+    }
+
+    /// Block until a message arrives or `timeout` elapses.
+    pub fn recv_timeout(&mut self, timeout: SimDuration) -> SimResult<Option<Msg>> {
+        match self.call(Syscall::Recv {
+            timeout: Some(timeout),
+        })? {
+            Resume::Msg { msg, .. } => Ok(Some(msg)),
+            Resume::Empty { .. } => Ok(None),
+            other => unreachable!("recv_timeout resumed with {other:?}"),
+        }
+    }
+
+    /// Non-blocking receive: returns immediately with a queued message, if
+    /// any. Does not advance virtual time.
+    pub fn try_recv(&mut self) -> SimResult<Option<Msg>> {
+        match self.call(Syscall::TryRecv)? {
+            Resume::Msg { msg, .. } => Ok(Some(msg)),
+            Resume::Empty { .. } => Ok(None),
+            other => unreachable!("try_recv resumed with {other:?}"),
+        }
+    }
+
+    /// Bind an ephemeral port on this host; messages to
+    /// `Addr::Endpoint(host, port)` are then delivered to this process.
+    pub fn bind_port(&mut self) -> SimResult<Port> {
+        match self.call(Syscall::BindPort)? {
+            Resume::PortV { port, .. } => Ok(port.expect("ephemeral bind cannot fail")),
+            other => unreachable!("bind_port resumed with {other:?}"),
+        }
+    }
+
+    /// Bind a specific port on this host. Returns `None` if it is taken.
+    pub fn bind_port_exact(&mut self, port: Port) -> SimResult<Option<Port>> {
+        match self.call(Syscall::BindPortExact(port))? {
+            Resume::PortV { port, .. } => Ok(port),
+            other => unreachable!("bind_port_exact resumed with {other:?}"),
+        }
+    }
+
+    /// Release a previously bound port.
+    pub fn unbind_port(&mut self, port: Port) -> SimResult<()> {
+        match self.call(Syscall::UnbindPort(port))? {
+            Resume::Ok { .. } => Ok(()),
+            other => unreachable!("unbind_port resumed with {other:?}"),
+        }
+    }
+
+    /// Spawn a new process on `host`. The process starts at the current
+    /// virtual instant. If the host is down the pid is returned but the
+    /// process never runs.
+    pub fn spawn(
+        &mut self,
+        host: HostId,
+        name: impl Into<String>,
+        body: impl FnOnce(&mut Ctx) + Send + 'static,
+    ) -> SimResult<Pid> {
+        match self.call(Syscall::Spawn {
+            host,
+            name: name.into(),
+            body: Box::new(body),
+        })? {
+            Resume::PidV { pid, .. } => Ok(pid),
+            other => unreachable!("spawn resumed with {other:?}"),
+        }
+    }
+
+    /// Kill another process (or this one). Killing an already-dead process
+    /// is a no-op.
+    pub fn kill(&mut self, pid: Pid) -> SimResult<()> {
+        match self.call(Syscall::Kill(pid))? {
+            Resume::Ok { .. } => Ok(()),
+            other => unreachable!("kill resumed with {other:?}"),
+        }
+    }
+
+    /// Crash a host: all its processes die, its ports unbind, in-flight
+    /// messages to it are lost.
+    pub fn crash_host(&mut self, host: HostId) -> SimResult<()> {
+        match self.call(Syscall::CrashHost(host))? {
+            Resume::Ok { .. } => Ok(()),
+            other => unreachable!("crash_host resumed with {other:?}"),
+        }
+    }
+
+    /// Bring a crashed host back up (empty: processes must be respawned).
+    pub fn restart_host(&mut self, host: HostId) -> SimResult<()> {
+        match self.call(Syscall::RestartHost(host))? {
+            Resume::Ok { .. } => Ok(()),
+            other => unreachable!("restart_host resumed with {other:?}"),
+        }
+    }
+
+    /// Read a host's load metrics, as a node manager reads from the OS.
+    /// Returns `None` for unknown hosts.
+    pub fn host_info(&mut self, host: HostId) -> SimResult<Option<HostSnapshot>> {
+        match self.call(Syscall::HostInfo(host))? {
+            Resume::Host { snap, .. } => Ok(snap),
+            other => unreachable!("host_info resumed with {other:?}"),
+        }
+    }
+
+    /// Block or heal the network link between two hosts.
+    pub fn set_partition(&mut self, a: HostId, b: HostId, blocked: bool) -> SimResult<()> {
+        match self.call(Syscall::Partition { a, b, blocked })? {
+            Resume::Ok { .. } => Ok(()),
+            other => unreachable!("set_partition resumed with {other:?}"),
+        }
+    }
+}

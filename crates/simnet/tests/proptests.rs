@@ -1,0 +1,139 @@
+//! Property tests for the simulation kernel: work conservation under
+//! processor sharing, determinism of arbitrary programs, and timing
+//! linearity.
+
+use proptest::prelude::*;
+use simnet::{Addr, HostConfig, Kernel, Port, SimDuration};
+use std::sync::{Arc, Mutex};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Work conservation: on a single host, with jobs that all start at
+    /// t=0, the last completion happens exactly when the CPU has delivered
+    /// the total work — processor sharing never wastes capacity while work
+    /// remains.
+    #[test]
+    fn processor_sharing_conserves_work(
+        works in proptest::collection::vec(0.01f64..2.0, 1..6),
+        speed in 0.5f64..4.0,
+    ) {
+        let mut sim = Kernel::with_seed(1);
+        let h = sim.add_host(HostConfig::new("h").speed(speed));
+        let done: Arc<Mutex<Vec<(f64, f64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let total: f64 = works.iter().sum();
+        for (i, w) in works.iter().cloned().enumerate() {
+            let d = done.clone();
+            sim.spawn(h, format!("j{i}"), move |ctx| {
+                ctx.compute(w).unwrap();
+                d.lock().unwrap().push((w, ctx.now().as_secs_f64()));
+            });
+        }
+        sim.run_until_idle();
+        let finished = done.lock().unwrap().clone();
+        prop_assert_eq!(finished.len(), works.len());
+        let last = finished.iter().map(|(_, t)| *t).fold(0.0, f64::max);
+        let expected = total / speed;
+        // Completion is detected when ≤ WORK_EPS (1e-6) work units remain,
+        // so every finish time can be early by up to n·WORK_EPS/speed.
+        let eps = 1e-6 * works.len() as f64 / speed + 1e-9;
+        prop_assert!(
+            (last - expected).abs() < eps + 1e-6 * expected,
+            "last completion {} vs total work {}", last, expected
+        );
+        // No job can finish before its own fair share of the CPU.
+        for (w, t) in &finished {
+            prop_assert!(*t + eps >= w / speed, "job finished too early");
+        }
+    }
+
+    /// Sleep durations compose exactly (integer-nanosecond clock).
+    #[test]
+    fn sleeps_compose_exactly(durs in proptest::collection::vec(1u64..1_000_000, 1..20)) {
+        let mut sim = Kernel::with_seed(1);
+        let h = sim.add_host(HostConfig::new("h"));
+        let total: u64 = durs.iter().sum();
+        let out: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));
+        let o = out.clone();
+        sim.spawn(h, "sleeper", move |ctx| {
+            for d in durs {
+                ctx.sleep(SimDuration::from_nanos(d)).unwrap();
+            }
+            *o.lock().unwrap() = ctx.now().as_nanos();
+        });
+        sim.run_until_idle();
+        prop_assert_eq!(*out.lock().unwrap(), total);
+    }
+
+    /// Arbitrary message programs are deterministic: the same seed gives
+    /// the identical trace, twice.
+    #[test]
+    fn arbitrary_programs_are_deterministic(
+        seed in 0u64..1000,
+        plan in proptest::collection::vec((0usize..4, 1u64..50_000, 1usize..128), 1..24),
+    ) {
+        fn run(seed: u64, plan: &[(usize, u64, usize)]) -> Vec<(u64, usize)> {
+            let mut sim = Kernel::with_seed(seed);
+            let hosts = sim.add_hosts(4);
+            // One echo server per host.
+            for &hst in &hosts {
+                sim.spawn(hst, "echo", move |ctx| {
+                    ctx.bind_port_exact(Port(9)).unwrap().unwrap();
+                    loop {
+                        let Ok(m) = ctx.recv() else { return };
+                        let data = m.data().unwrap().to_vec();
+                        if ctx.send(Addr::Pid(m.from), data).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            let trace: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+            let t = trace.clone();
+            let plan = plan.to_vec();
+            let driver = sim.spawn(hosts[0], "driver", move |ctx| {
+                for (target, sleep_ns, size) in plan {
+                    ctx.sleep(SimDuration::from_nanos(sleep_ns)).unwrap();
+                    ctx.send(Addr::Endpoint(hosts[target], Port(9)), vec![7; size])
+                        .unwrap();
+                    let reply = ctx.recv().unwrap();
+                    t.lock()
+                        .unwrap()
+                        .push((ctx.now().as_nanos(), reply.data().unwrap().len()));
+                }
+            });
+            sim.run_until_exit(driver);
+            let v = trace.lock().unwrap().clone();
+            v
+        }
+        let a = run(seed, &plan);
+        let b = run(seed, &plan);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Message latency is monotone in payload size (bandwidth model).
+    #[test]
+    fn latency_monotone_in_size(small in 1usize..1000, extra in 1usize..100_000) {
+        fn rtt(size: usize) -> u64 {
+            let mut sim = Kernel::with_seed(1);
+            let hosts = sim.add_hosts(2);
+            sim.spawn(hosts[1], "echo", move |ctx| {
+                ctx.bind_port_exact(Port(9)).unwrap().unwrap();
+                let m = ctx.recv().unwrap();
+                ctx.send(Addr::Pid(m.from), vec![1]).unwrap();
+            });
+            let out: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));
+            let o = out.clone();
+            let driver = sim.spawn(hosts[0], "driver", move |ctx| {
+                ctx.send(Addr::Endpoint(hosts[1], Port(9)), vec![0; size])
+                    .unwrap();
+                ctx.recv().unwrap();
+                *o.lock().unwrap() = ctx.now().as_nanos();
+            });
+            sim.run_until_exit(driver);
+            let v = *out.lock().unwrap();
+            v
+        }
+        prop_assert!(rtt(small) <= rtt(small + extra));
+    }
+}

@@ -1,0 +1,74 @@
+//! Typed client stub for the system manager (what `idlc` would generate
+//! for `Winner::SystemManager`).
+
+use orb::{Exception, Ior, ObjectRef, Orb};
+use simnet::{Ctx, SimResult};
+
+use crate::protocol::{ops, HostStatus, LoadReport, SelectRequest, SYSTEM_MANAGER_TYPE};
+use crate::system_manager::{SystemManager, SystemManagerConfig};
+
+/// Client stub for `Winner::SystemManager`.
+#[derive(Clone, Debug)]
+pub struct SystemManagerClient {
+    /// The underlying reference.
+    pub obj: ObjectRef,
+}
+
+impl SystemManagerClient {
+    /// Wrap a reference.
+    pub fn new(obj: ObjectRef) -> Self {
+        SystemManagerClient { obj }
+    }
+
+    /// Wrap an IOR.
+    pub fn from_ior(ior: Ior) -> Self {
+        SystemManagerClient {
+            obj: ObjectRef::new(ior),
+        }
+    }
+
+    /// `oneway void report(in LoadReport load)`.
+    pub fn report(&self, orb: &mut Orb, ctx: &mut Ctx, load: &LoadReport) -> SimResult<()> {
+        self.obj.oneway(orb, ctx, ops::REPORT, &(load,))
+    }
+
+    /// `void select(...)`: best host among `candidates` (empty = any).
+    pub fn select(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        candidates: &[u32],
+    ) -> SimResult<Result<Option<u32>, Exception>> {
+        let req = SelectRequest {
+            candidates: candidates.to_vec(),
+        };
+        let r: Result<(bool, u32), Exception> = self.obj.call(orb, ctx, ops::SELECT, &(req,))?;
+        Ok(r.map(|(found, host)| found.then_some(host)))
+    }
+
+    /// `HostStatusSeq snapshot()`.
+    pub fn snapshot(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+    ) -> SimResult<Result<Vec<HostStatus>, Exception>> {
+        self.obj.call(orb, ctx, ops::SNAPSHOT, &())
+    }
+}
+
+/// The body of a system manager server process: activate the servant,
+/// publish its IOR through `publish`, then serve forever.
+pub fn run_system_manager(
+    ctx: &mut Ctx,
+    cfg: SystemManagerConfig,
+    policy: Box<dyn crate::policy::SelectionPolicy>,
+    publish: impl FnOnce(Ior),
+) -> SimResult<()> {
+    let mut orb = Orb::init(ctx);
+    orb.listen(ctx)?;
+    let poa = orb::Poa::new();
+    let servant = std::rc::Rc::new(std::cell::RefCell::new(SystemManager::new(cfg, policy)));
+    let key = poa.activate(SYSTEM_MANAGER_TYPE, servant);
+    publish(orb.ior(SYSTEM_MANAGER_TYPE, key));
+    orb.serve_forever(ctx, &poa)
+}

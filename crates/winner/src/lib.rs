@@ -1,0 +1,36 @@
+//! # winner — the Winner resource-management system
+//!
+//! A reproduction of the Winner RMS the paper's load-distributing naming
+//! service relies on (Arndt/Freisleben/Kielmann/Thilo, PDCS'98): one
+//! **node manager** per workstation periodically measures the host's load
+//! and reports it to a central **system manager**, which can then
+//! "determine the machine with the currently best performance".
+//!
+//! * [`run_node_manager`] — the per-host measurement daemon.
+//! * [`SystemManager`] — the central servant; ranks hosts, answers
+//!   `select` with placement **reservations** so back-to-back selections
+//!   spread across machines, and expires hosts whose reports go stale.
+//! * [`policy`] — pluggable selection policies; `BestPerformance` is the
+//!   paper's, `RoundRobin` models a load-oblivious baseline.
+//! * [`SystemManagerClient`] — the typed client stub used by the naming
+//!   service and by tools.
+
+pub mod client;
+pub mod node_manager;
+pub mod policy;
+pub mod protocol;
+pub mod system_manager;
+
+pub use client::{run_system_manager, SystemManagerClient};
+pub use node_manager::{run_node_manager, NodeManagerConfig};
+pub use policy::{
+    performance_score_of, BestPerformance, HostView, LeastLoaded, RoundRobin, SelectionPolicy,
+    Uniform, WeightedRandom,
+};
+pub use protocol::{
+    HostStatus, LoadReport, SelectRequest, SYSTEM_MANAGER_NAME, SYSTEM_MANAGER_TYPE,
+};
+pub use system_manager::{SystemManager, SystemManagerConfig};
+
+#[cfg(test)]
+mod winner_tests;

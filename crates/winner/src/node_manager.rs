@@ -1,0 +1,64 @@
+//! The Winner **node manager**: one per workstation, "periodically
+//! measuring the node's performance and system load … collected by the
+//! host operating system", and sending it to the system manager (§2).
+
+use orb::{Ior, ObjectRef, Orb};
+use rand::Rng;
+use simnet::{Ctx, SimDuration, SimResult};
+
+use crate::client::SystemManagerClient;
+use crate::protocol::LoadReport;
+
+/// Node manager tuning.
+#[derive(Clone, Debug)]
+pub struct NodeManagerConfig {
+    /// Reference to the system manager.
+    pub system_manager: Ior,
+    /// Sampling/report period.
+    pub interval: SimDuration,
+    /// CPU work spent taking one sample (reading `/proc` is not free).
+    pub sample_cost: f64,
+}
+
+impl NodeManagerConfig {
+    /// Defaults: 1 s period, 50 µs sampling cost.
+    pub fn new(system_manager: Ior) -> Self {
+        NodeManagerConfig {
+            system_manager,
+            interval: SimDuration::from_secs(1),
+            sample_cost: 50e-6,
+        }
+    }
+}
+
+/// The body of a node manager process: sample the local host, report,
+/// sleep, repeat. Runs until killed. Reports are `oneway`, so a crashed or
+/// unreachable system manager never blocks the node manager.
+pub fn run_node_manager(ctx: &mut Ctx, cfg: NodeManagerConfig) -> SimResult<()> {
+    let mut orb = Orb::init(ctx);
+    let client = SystemManagerClient::new(ObjectRef::new(cfg.system_manager.clone()));
+    // Stagger node managers so reports do not arrive in lockstep.
+    let jitter_ns = ctx.rng().random_range(0..cfg.interval.as_nanos().max(1));
+    ctx.sleep(SimDuration::from_nanos(jitter_ns))?;
+    let mut seq = 0u64;
+    loop {
+        if cfg.sample_cost > 0.0 {
+            ctx.compute(cfg.sample_cost)?;
+        }
+        let host = ctx.host();
+        let snap = ctx
+            .host_info(host)?
+            .expect("a process's own host always exists");
+        seq += 1;
+        let report = LoadReport {
+            host: host.0,
+            speed: snap.speed,
+            runnable: snap.runnable,
+            load_avg: snap.load_avg,
+            cpu_util: snap.cpu_util,
+            seq,
+        };
+        client.report(&mut orb, ctx, &report)?;
+        ctx.sleep(cfg.interval)?;
+    }
+}

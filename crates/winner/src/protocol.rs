@@ -1,0 +1,188 @@
+//! Wire types of the Winner resource-management protocol (CDR-encoded,
+//! carried over the ORB).
+//!
+//! Corresponding IDL (also compilable with `idlc`):
+//!
+//! ```idl
+//! module Winner {
+//!   struct LoadReport {
+//!     unsigned long host;
+//!     double speed;
+//!     unsigned long runnable;
+//!     double load_avg;
+//!     double cpu_util;
+//!     unsigned long long seq;
+//!   };
+//!   struct HostStatus {
+//!     unsigned long host;
+//!     double speed;
+//!     double load_avg;
+//!     double cpu_util;
+//!     unsigned long runnable;
+//!     double reservations;
+//!     boolean alive;
+//!     double score;
+//!   };
+//!   typedef sequence<unsigned long> HostSeq;
+//!   typedef sequence<HostStatus> HostStatusSeq;
+//!   interface SystemManager {
+//!     oneway void report(in LoadReport load);
+//!     void select(in HostSeq candidates, out boolean found, out unsigned long host);
+//!     HostStatusSeq snapshot();
+//!   };
+//! };
+//! ```
+
+use cdr::{cdr_struct, CdrRead, CdrResult, CdrWrite};
+
+/// Repository id of the system manager interface.
+pub const SYSTEM_MANAGER_TYPE: &str = "IDL:Winner/SystemManager:1.0";
+
+/// The well-known name the system manager is registered under in the
+/// naming service.
+pub const SYSTEM_MANAGER_NAME: &str = "WinnerSystemManager";
+
+cdr_struct!(
+    /// One periodic measurement a node manager sends to the system manager
+    /// — the data "like CPU utilization which is collected by the host
+    /// operating system" (§2).
+    LoadReport {
+        /// Reporting host.
+        host: u32,
+        /// Benchmark speed of the host (work units per second).
+        speed: f64,
+        /// Currently runnable processes.
+        runnable: u32,
+        /// Load average (EWMA of runnable count).
+        load_avg: f64,
+        /// CPU utilization in [0, 1].
+        cpu_util: f64,
+        /// Monotone per-node sequence number (stale reports are dropped).
+        seq: u64,
+    }
+);
+
+cdr_struct!(
+    /// The system manager's view of one host, as returned by `snapshot`.
+    HostStatus {
+        /// Host id.
+        host: u32,
+        /// Benchmark speed.
+        speed: f64,
+        /// Last reported load average.
+        load_avg: f64,
+        /// Last reported CPU utilization.
+        cpu_util: f64,
+        /// Last reported runnable count.
+        runnable: u32,
+        /// Outstanding placement reservations (decay over time).
+        reservations: f64,
+        /// Whether reports are fresh enough to trust the host.
+        alive: bool,
+        /// The policy score (higher is better) used for selection.
+        score: f64,
+    }
+);
+
+/// A selection request: choose the best host among `candidates` (empty
+/// means "any known host").
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectRequest {
+    /// Candidate hosts; empty = all.
+    pub candidates: Vec<u32>,
+}
+
+impl CdrWrite for SelectRequest {
+    fn write(&self, enc: &mut cdr::CdrEncoder) {
+        self.candidates.write(enc);
+    }
+}
+
+impl CdrRead for SelectRequest {
+    fn read(dec: &mut cdr::CdrDecoder<'_>) -> CdrResult<Self> {
+        Ok(SelectRequest {
+            candidates: Vec::<u32>::read(dec)?,
+        })
+    }
+}
+
+/// Operation names on the system manager.
+pub mod ops {
+    /// `oneway void report(in LoadReport load)`.
+    pub const REPORT: &str = "report";
+    /// `void select(in HostSeq candidates, out boolean found, out unsigned long host)`.
+    pub const SELECT: &str = "select";
+    /// `HostStatusSeq snapshot()`.
+    pub const SNAPSHOT: &str = "snapshot";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_report_round_trip() {
+        let r = LoadReport {
+            host: 3,
+            speed: 1.5,
+            runnable: 2,
+            load_avg: 1.8,
+            cpu_util: 0.9,
+            seq: 17,
+        };
+        let back: LoadReport = cdr::from_bytes(&cdr::to_bytes(&r)).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn select_request_round_trip() {
+        let r = SelectRequest {
+            candidates: vec![1, 2, 3],
+        };
+        let back: SelectRequest = cdr::from_bytes(&cdr::to_bytes(&r)).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn host_status_round_trip() {
+        let s = HostStatus {
+            host: 1,
+            speed: 2.0,
+            load_avg: 0.5,
+            cpu_util: 0.4,
+            runnable: 1,
+            reservations: 1.0,
+            alive: true,
+            score: 1.33,
+        };
+        let back: HostStatus = cdr::from_bytes(&cdr::to_bytes(&s)).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn winner_idl_compiles_with_idlc() {
+        // The doc-comment IDL above must stay valid.
+        let idl = r#"
+            module Winner {
+              struct LoadReport {
+                unsigned long host; double speed; unsigned long runnable;
+                double load_avg; double cpu_util; unsigned long long seq;
+              };
+              struct HostStatus {
+                unsigned long host; double speed; double load_avg;
+                double cpu_util; unsigned long runnable; double reservations;
+                boolean alive; double score;
+              };
+              typedef sequence<unsigned long> HostSeq;
+              typedef sequence<HostStatus> HostStatusSeq;
+              interface SystemManager {
+                oneway void report(in LoadReport load);
+                void select(in HostSeq candidates, out boolean found, out unsigned long host);
+                HostStatusSeq snapshot();
+              };
+            };
+        "#;
+        let code = idlc::compile(idl, &idlc::GenOptions::default()).unwrap();
+        assert!(code.contains("pub struct SystemManagerStub"));
+    }
+}

@@ -1,0 +1,301 @@
+//! The Winner **system manager**: the central component that collects node
+//! managers' load reports and answers "which machine currently has the
+//! best performance?" (§2 of the paper).
+
+use std::collections::HashMap;
+
+use orb::{reply, CallCtx, Exception, Servant, SystemException};
+use simnet::{SimDuration, SimTime};
+
+use crate::policy::{performance_score, HostView, SelectionPolicy};
+use crate::protocol::{ops, HostStatus, LoadReport, SelectRequest};
+
+/// System manager tuning.
+#[derive(Clone, Debug)]
+pub struct SystemManagerConfig {
+    /// Reports older than this mark a host dead (node manager or host
+    /// failure ⇒ the host is never selected).
+    pub stale_after: SimDuration,
+    /// How long a placement reservation inflates a host's effective load.
+    /// Covers the window between placing a process and that process
+    /// showing up in the next load report.
+    pub reservation_ttl: SimDuration,
+}
+
+impl Default for SystemManagerConfig {
+    fn default() -> Self {
+        SystemManagerConfig {
+            stale_after: SimDuration::from_millis(3500),
+            reservation_ttl: SimDuration::from_millis(1500),
+        }
+    }
+}
+
+struct HostRecord {
+    last: LoadReport,
+    last_seen: SimTime,
+    /// Expiry times of outstanding placement reservations.
+    reservations: Vec<SimTime>,
+}
+
+/// The system manager servant.
+pub struct SystemManager {
+    cfg: SystemManagerConfig,
+    policy: Box<dyn SelectionPolicy>,
+    hosts: HashMap<u32, HostRecord>,
+    /// Counters for tests/benchmarks.
+    pub reports_received: u64,
+    /// Reports dropped because a newer sequence number was already seen.
+    pub stale_reports_dropped: u64,
+    /// Selections answered.
+    pub selections: u64,
+}
+
+impl SystemManager {
+    /// Create a system manager with the given policy.
+    pub fn new(cfg: SystemManagerConfig, policy: Box<dyn SelectionPolicy>) -> Self {
+        SystemManager {
+            cfg,
+            policy,
+            hosts: HashMap::new(),
+            reports_received: 0,
+            stale_reports_dropped: 0,
+            selections: 0,
+        }
+    }
+
+    /// Ingest one load report.
+    pub fn ingest(&mut self, now: SimTime, report: LoadReport) {
+        self.reports_received += 1;
+        match self.hosts.get_mut(&report.host) {
+            Some(rec) => {
+                if report.seq <= rec.last.seq {
+                    self.stale_reports_dropped += 1;
+                    return;
+                }
+                rec.last = report;
+                rec.last_seen = now;
+            }
+            None => {
+                self.hosts.insert(
+                    report.host,
+                    HostRecord {
+                        last: report,
+                        last_seen: now,
+                        reservations: Vec::new(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// The current selectable views: fresh hosts only, with reservations
+    /// folded into the effective load.
+    fn views(&mut self, now: SimTime, candidates: &[u32]) -> Vec<HostView> {
+        let stale_after = self.cfg.stale_after;
+        self.hosts
+            .iter_mut()
+            .filter(|(host, rec)| {
+                (candidates.is_empty() || candidates.contains(host))
+                    && now.since(rec.last_seen) < stale_after
+            })
+            .map(|(host, rec)| {
+                rec.reservations.retain(|&exp| exp > now);
+                HostView {
+                    host: *host,
+                    speed: rec.last.speed,
+                    eff_load: rec.last.load_avg + rec.reservations.len() as f64,
+                    cpu_util: rec.last.cpu_util,
+                }
+            })
+            .collect()
+    }
+
+    /// Select the best host among `candidates` (empty = all known), adding
+    /// a placement reservation on the winner.
+    pub fn select(&mut self, now: SimTime, candidates: &[u32]) -> Option<u32> {
+        self.selections += 1;
+        let views = self.views(now, candidates);
+        let pick = self.policy.select(&views)?;
+        if let Some(rec) = self.hosts.get_mut(&pick) {
+            rec.reservations.push(now + self.cfg.reservation_ttl);
+        }
+        Some(pick)
+    }
+
+    /// A full status dump (for tools, tests, and the load-balancing demo).
+    pub fn snapshot(&mut self, now: SimTime) -> Vec<HostStatus> {
+        let stale_after = self.cfg.stale_after;
+        let mut out: Vec<HostStatus> = self
+            .hosts
+            .iter_mut()
+            .map(|(host, rec)| {
+                rec.reservations.retain(|&exp| exp > now);
+                let alive = now.since(rec.last_seen) < stale_after;
+                let view = HostView {
+                    host: *host,
+                    speed: rec.last.speed,
+                    eff_load: rec.last.load_avg + rec.reservations.len() as f64,
+                    cpu_util: rec.last.cpu_util,
+                };
+                HostStatus {
+                    host: *host,
+                    speed: rec.last.speed,
+                    load_avg: rec.last.load_avg,
+                    cpu_util: rec.last.cpu_util,
+                    runnable: rec.last.runnable,
+                    reservations: view.eff_load - rec.last.load_avg,
+                    alive,
+                    score: performance_score(&view),
+                }
+            })
+            .collect();
+        out.sort_unstable_by_key(|s| s.host);
+        out
+    }
+
+    /// Number of hosts with fresh reports.
+    pub fn alive_hosts(&mut self, now: SimTime) -> usize {
+        self.views(now, &[]).len()
+    }
+}
+
+impl Servant for SystemManager {
+    fn dispatch(
+        &mut self,
+        call: &mut CallCtx<'_>,
+        op: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, Exception> {
+        let now = call.ctx.now();
+        match op {
+            ops::REPORT => {
+                let (report,): (LoadReport,) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                self.ingest(now, report);
+                reply(&())
+            }
+            ops::SELECT => {
+                let (req,): (SelectRequest,) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let pick = self.select(now, &req.candidates);
+                // (found, host) — mirrors the IDL out-params.
+                reply(&(pick.is_some(), pick.unwrap_or(0)))
+            }
+            ops::SNAPSHOT => {
+                cdr::from_bytes::<()>(args).map_err(SystemException::marshal)?;
+                let snap = self.snapshot(now);
+                reply(&snap)
+            }
+            other => Err(SystemException::bad_operation(other).into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::BestPerformance;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(s)
+    }
+
+    fn report(host: u32, load: f64, seq: u64) -> LoadReport {
+        LoadReport {
+            host,
+            speed: 1.0,
+            runnable: load as u32,
+            load_avg: load,
+            cpu_util: if load > 0.0 { 1.0 } else { 0.0 },
+            seq,
+        }
+    }
+
+    fn mgr() -> SystemManager {
+        SystemManager::new(SystemManagerConfig::default(), Box::new(BestPerformance))
+    }
+
+    #[test]
+    fn selects_least_loaded_fresh_host() {
+        let mut m = mgr();
+        m.ingest(t(0.0), report(0, 1.0, 1));
+        m.ingest(t(0.0), report(1, 0.0, 1));
+        assert_eq!(m.select(t(0.1), &[]), Some(1));
+    }
+
+    #[test]
+    fn candidates_filter_applies() {
+        let mut m = mgr();
+        m.ingest(t(0.0), report(0, 1.0, 1));
+        m.ingest(t(0.0), report(1, 0.0, 1));
+        assert_eq!(m.select(t(0.1), &[0]), Some(0));
+    }
+
+    #[test]
+    fn stale_hosts_are_not_selected() {
+        let mut m = mgr();
+        m.ingest(t(0.0), report(0, 0.0, 1));
+        m.ingest(t(10.0), report(1, 5.0, 1));
+        // At t=10, host 0's report is 10s old (stale_after 3.5s).
+        assert_eq!(m.select(t(10.0), &[]), Some(1));
+        assert_eq!(m.alive_hosts(t(10.0)), 1);
+    }
+
+    #[test]
+    fn reservations_spread_consecutive_selections() {
+        let mut m = mgr();
+        m.ingest(t(0.0), report(0, 0.0, 1));
+        m.ingest(t(0.0), report(1, 0.0, 1));
+        m.ingest(t(0.0), report(2, 0.0, 1));
+        // Three back-to-back selections must hit three different hosts.
+        let picks: Vec<_> = (0..3).map(|_| m.select(t(0.1), &[]).unwrap()).collect();
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "{picks:?}");
+    }
+
+    #[test]
+    fn reservations_expire() {
+        let mut m = mgr();
+        m.ingest(t(0.0), report(0, 0.0, 1));
+        assert_eq!(m.select(t(0.0), &[]), Some(0));
+        // Within TTL the host carries a reservation…
+        let snap = m.snapshot(t(0.5));
+        assert!(snap[0].reservations > 0.9);
+        // …which expires (TTL 1.5s), but the report also goes stale, so
+        // re-ingest a fresh report first.
+        m.ingest(t(3.0), report(0, 0.0, 2));
+        let snap = m.snapshot(t(3.0));
+        assert_eq!(snap[0].reservations, 0.0);
+    }
+
+    #[test]
+    fn out_of_order_reports_are_dropped() {
+        let mut m = mgr();
+        m.ingest(t(0.0), report(0, 0.0, 5));
+        m.ingest(t(0.1), report(0, 9.0, 4)); // older seq
+        assert_eq!(m.stale_reports_dropped, 1);
+        let snap = m.snapshot(t(0.2));
+        assert_eq!(snap[0].load_avg, 0.0);
+    }
+
+    #[test]
+    fn empty_manager_selects_none() {
+        let mut m = mgr();
+        assert_eq!(m.select(t(0.0), &[]), None);
+        assert!(m.snapshot(t(0.0)).is_empty());
+    }
+
+    #[test]
+    fn snapshot_reports_liveness_and_score() {
+        let mut m = mgr();
+        m.ingest(t(0.0), report(0, 1.0, 1));
+        let snap = m.snapshot(t(0.1));
+        assert!(snap[0].alive);
+        assert!((snap[0].score - 0.5).abs() < 1e-12);
+        let snap = m.snapshot(t(100.0));
+        assert!(!snap[0].alive);
+    }
+}

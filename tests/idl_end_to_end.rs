@@ -1,0 +1,283 @@
+//! End-to-end test of the IDL tool chain: the checked-in
+//! `generated_calculator.rs` (produced by `idlc` from
+//! `idl/calculator.idl`) must (a) stay in sync with the compiler's current
+//! output, (b) compile, and (c) actually work — trait, skeleton, stub and
+//! fault-tolerant proxy — against the live ORB on the simulated network.
+
+include!("generated/calculator.rs");
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+
+use cosnaming::{LbMode, Name, NamingClient};
+use ftproxy::{CheckpointClient, CheckpointMode, FtProxy, FtProxyConfig, ProxyEnv};
+use orb::{Orb, Poa};
+use simnet::{HostConfig, HostId, Kernel, SimDuration};
+
+use Demo::{Calculator, CalculatorFtProxy, CalculatorSkeleton, CalculatorStub, MathError};
+
+/// The application's implementation of the generated `Calculator` trait.
+#[derive(Default)]
+struct CalcImpl {
+    op_count: u32,
+    precision: f64,
+    last: f64,
+}
+
+impl Calculator for CalcImpl {
+    fn add(&mut self, _c: &mut orb::CallCtx<'_>, a: f64, b: f64) -> Result<f64, orb::Exception> {
+        self.op_count += 1;
+        self.last = a + b;
+        Ok(self.last)
+    }
+
+    fn div(&mut self, _c: &mut orb::CallCtx<'_>, a: f64, b: f64) -> Result<f64, orb::Exception> {
+        if b == 0.0 {
+            return Err(MathError {
+                reason: "division by zero".into(),
+            }
+            .raise());
+        }
+        self.op_count += 1;
+        self.last = a / b;
+        Ok(self.last)
+    }
+
+    fn scale(
+        &mut self,
+        _c: &mut orb::CallCtx<'_>,
+        values: Vec<f64>,
+        factor: f64,
+    ) -> Result<Vec<f64>, orb::Exception> {
+        self.op_count += 1;
+        Ok(values.into_iter().map(|v| v * factor).collect())
+    }
+
+    fn stats(&mut self, _c: &mut orb::CallCtx<'_>) -> Result<(u32, f64), orb::Exception> {
+        Ok((self.op_count, self.last))
+    }
+
+    fn log(&mut self, _c: &mut orb::CallCtx<'_>, _message: String) -> Result<(), orb::Exception> {
+        Ok(())
+    }
+
+    fn get_op_count(&mut self, _c: &mut orb::CallCtx<'_>) -> Result<u32, orb::Exception> {
+        Ok(self.op_count)
+    }
+
+    fn get_precision(&mut self, _c: &mut orb::CallCtx<'_>) -> Result<f64, orb::Exception> {
+        Ok(self.precision)
+    }
+
+    fn set_precision(
+        &mut self,
+        _c: &mut orb::CallCtx<'_>,
+        value: f64,
+    ) -> Result<(), orb::Exception> {
+        self.precision = value;
+        Ok(())
+    }
+
+    fn get_checkpoint(&mut self, _c: &mut orb::CallCtx<'_>) -> Result<Vec<u8>, orb::Exception> {
+        Ok(cdr::to_bytes(&(self.op_count, self.precision, self.last)))
+    }
+
+    fn restore_checkpoint(
+        &mut self,
+        _c: &mut orb::CallCtx<'_>,
+        state: Vec<u8>,
+    ) -> Result<(), orb::Exception> {
+        let (op_count, precision, last) =
+            cdr::from_bytes(&state).map_err(orb::SystemException::marshal)?;
+        self.op_count = op_count;
+        self.precision = precision;
+        self.last = last;
+        Ok(())
+    }
+}
+
+#[test]
+fn generated_file_is_in_sync_with_idlc() {
+    let idl = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/idl/calculator.idl"))
+        .expect("idl source present");
+    let opts = idlc::GenOptions {
+        source_name: "idl/calculator.idl".into(),
+        ..idlc::GenOptions::default()
+    };
+    let generated = idlc::compile(&idl, &opts).expect("calculator.idl compiles");
+    let checked_in = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/generated/calculator.rs"
+    ))
+    .expect("generated file present");
+    assert_eq!(
+        generated, checked_in,
+        "tests/generated/calculator.rs is stale — regenerate with \
+         `cargo run -p idlc --bin idlc -- idl/calculator.idl -o tests/generated/calculator.rs`"
+    );
+}
+
+fn spawn_server(sim: &mut Kernel, host: HostId, naming_host: HostId) {
+    sim.spawn(host, "calc-server", move |ctx| {
+        let mut orb = Orb::init(ctx);
+        orb.listen(ctx).unwrap();
+        let poa = Poa::new();
+        let key = poa.activate(
+            CalculatorStub::REPO_ID,
+            Rc::new(RefCell::new(CalculatorSkeleton(CalcImpl::default()))),
+        );
+        let ior = orb.ior(CalculatorStub::REPO_ID, key);
+        let ns = NamingClient::root(naming_host);
+        loop {
+            match ns.bind_group_member(&mut orb, ctx, &Name::simple("Calcs"), &ior) {
+                Ok(Ok(())) => break,
+                Ok(Err(_)) => ctx.sleep(SimDuration::from_millis(50)).unwrap(),
+                Err(_) => return,
+            }
+        }
+        let _ = orb.serve_forever(ctx, &poa);
+    });
+}
+
+#[test]
+fn generated_stub_and_skeleton_work_over_the_orb() {
+    let mut sim = Kernel::with_seed(31);
+    let hosts: Vec<_> = (0..2)
+        .map(|i| sim.add_host(HostConfig::new(format!("ws{i}"))))
+        .collect();
+    let h0 = hosts[0];
+    sim.spawn(h0, "naming", move |ctx| {
+        let _ = cosnaming::run_naming_service(ctx, LbMode::Plain);
+    });
+    spawn_server(&mut sim, hosts[1], h0);
+
+    let out: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let o = out.clone();
+    let client = sim.spawn(h0, "client", move |ctx| {
+        ctx.sleep(SimDuration::from_millis(500)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let ns = NamingClient::root(h0);
+        let obj = ns.resolve_str(&mut orb, ctx, "Calcs").unwrap().unwrap();
+        let calc = CalculatorStub::new(obj);
+
+        // Plain operation.
+        let sum = calc.add(&mut orb, ctx, &2.0, &3.25).unwrap().unwrap();
+        o.lock().unwrap().push(format!("add:{sum}"));
+        // Sequence in/out.
+        let scaled = calc
+            .scale(&mut orb, ctx, &vec![1.0, 2.0], &10.0)
+            .unwrap()
+            .unwrap();
+        o.lock().unwrap().push(format!("scale:{scaled:?}"));
+        // User exception via the generated exception type.
+        let err = calc.div(&mut orb, ctx, &1.0, &0.0).unwrap().unwrap_err();
+        let math = MathError::extract(&err).expect("typed exception");
+        o.lock().unwrap().push(format!("div:{}", math.reason));
+        // Attributes (generated _get_/_set_ operations).
+        calc.set_precision(&mut orb, ctx, &0.01).unwrap().unwrap();
+        let p = calc.get_precision(&mut orb, ctx).unwrap().unwrap();
+        let n = calc.get_op_count(&mut orb, ctx).unwrap().unwrap();
+        o.lock().unwrap().push(format!("attrs:{p}:{n}"));
+        // Multiple out-parameters become a tuple.
+        let (ops, last) = calc.stats(&mut orb, ctx).unwrap().unwrap();
+        o.lock().unwrap().push(format!("stats:{ops}:{last}"));
+        // Oneway.
+        calc.log(&mut orb, ctx, &"hello".to_string()).unwrap();
+    });
+    sim.run_until_exit(client);
+    assert_eq!(
+        *out.lock().unwrap(),
+        vec![
+            "add:5.25",
+            "scale:[10.0, 20.0]",
+            "div:division by zero",
+            "attrs:0.01:2",
+            "stats:2:5.25",
+        ]
+    );
+}
+
+#[test]
+fn generated_ft_proxy_recovers_from_a_crash() {
+    let mut sim = Kernel::with_seed(32);
+    let hosts: Vec<_> = (0..3)
+        .map(|i| sim.add_host(HostConfig::new(format!("ws{i}"))))
+        .collect();
+    let h0 = hosts[0];
+    sim.spawn(h0, "naming", move |ctx| {
+        let _ = cosnaming::run_naming_service(ctx, LbMode::Plain);
+    });
+    // Checkpoint service, registered under the well-known name.
+    sim.spawn(h0, "ckpt", move |ctx| {
+        let mut orb = Orb::init(ctx);
+        orb.listen(ctx).unwrap();
+        let poa = Poa::new();
+        let key = poa.activate(
+            ftproxy::CHECKPOINT_SERVICE_TYPE,
+            Rc::new(RefCell::new(ftproxy::CheckpointService::in_memory())),
+        );
+        let ior = orb.ior(ftproxy::CHECKPOINT_SERVICE_TYPE, key);
+        let ns = NamingClient::root(h0);
+        loop {
+            match ns.rebind(&mut orb, ctx, &Name::simple("CheckpointService"), &ior) {
+                Ok(Ok(())) => break,
+                Ok(Err(_)) => ctx.sleep(SimDuration::from_millis(50)).unwrap(),
+                Err(_) => return,
+            }
+        }
+        let _ = orb.serve_forever(ctx, &poa);
+    });
+    // Factories on both worker hosts, able to build generated skeletons.
+    for &h in &hosts[1..] {
+        sim.spawn(h, format!("factory-{h}"), move |ctx| {
+            let builder: ftproxy::ServantBuilder = Box::new(|_call, ty| {
+                (ty == "Calculator").then(|| {
+                    (
+                        Rc::new(RefCell::new(CalculatorSkeleton(CalcImpl::default())))
+                            as Rc<RefCell<dyn orb::Servant>>,
+                        CalculatorStub::REPO_ID.to_string(),
+                    )
+                })
+            });
+            let _ = ftproxy::run_factory(ctx, h0, builder);
+        });
+    }
+
+    let out: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let o = out.clone();
+    let client = sim.spawn(h0, "client", move |ctx| {
+        ctx.sleep(SimDuration::from_secs(1)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let ns = NamingClient::root(h0);
+        let ckpt = loop {
+            match ns.resolve_str(&mut orb, ctx, "CheckpointService").unwrap() {
+                Ok(obj) => break CheckpointClient::new(obj),
+                Err(_) => ctx.sleep(SimDuration::from_millis(50)).unwrap(),
+            }
+        };
+        let mut cfg = FtProxyConfig::new(Name::simple("CalcGroup"), "Calculator", "calc-1");
+        cfg.mode = CheckpointMode::Bulk;
+        let mut calc = CalculatorFtProxy::new(FtProxy::new(cfg, NamingClient::root(h0), ckpt));
+        let mut env = ProxyEnv { orb: &mut orb, ctx };
+
+        // Build up state through the generated proxy.
+        let _ = calc.add(&mut env, &1.0, &1.0).unwrap().unwrap();
+        let _ = calc.add(&mut env, &2.0, &2.0).unwrap().unwrap();
+        // Crash the host the calculator lives on.
+        let victim = calc.inner.current_target().unwrap().ior.host;
+        env.ctx.crash_host(victim).unwrap();
+        // The next call recovers transparently; op_count was checkpointed.
+        let (ops, last) = calc.stats(&mut env).unwrap().unwrap();
+        o.lock().unwrap().push(format!("after-crash:{ops}:{last}"));
+        let s = calc.inner.stats;
+        o.lock().unwrap().push(format!(
+            "recoveries:{} restores:{}",
+            s.recoveries, s.restores
+        ));
+    });
+    sim.run_until_exit(client);
+    let log = out.lock().unwrap().clone();
+    assert_eq!(log[0], "after-crash:2:4", "{log:?}");
+    assert_eq!(log[1], "recoveries:1 restores:1", "{log:?}");
+}
