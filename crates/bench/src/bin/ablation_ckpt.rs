@@ -65,7 +65,7 @@ fn main() {
         let mut spec = ExperimentSpec::dim100(NamingMode::Winner);
         spec.worker_iters = args.scaled(spec.worker_iters);
         spec.ft = ft;
-        let (mean, _) = averaged_runtime(&spec, &args.seeds);
+        let (mean, _) = averaged_runtime(&spec, &args.seeds).expect("experiment run failed");
         if baseline.is_none() {
             baseline = Some(mean);
         }

@@ -39,7 +39,7 @@ fn main() {
         };
         spec.worker_iters = args.scaled(spec.worker_iters);
         spec = spec.loaded(loaded);
-        let (mean, _) = averaged_runtime(&spec, &args.seeds);
+        let (mean, _) = averaged_runtime(&spec, &args.seeds).expect("experiment run failed");
         rows.push((label.to_string(), mean));
         eprint!(".");
     }

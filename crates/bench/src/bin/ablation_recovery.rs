@@ -23,7 +23,8 @@ fn main() {
     // of its runtime so it reliably lands mid-run at any --scale.
     let mut base_spec = ExperimentSpec::dim100(NamingMode::Winner);
     base_spec.worker_iters = args.scaled(base_spec.worker_iters);
-    let (baseline_mean, _) = averaged_runtime(&base_spec, &args.seeds);
+    let (baseline_mean, _) =
+        averaged_runtime(&base_spec, &args.seeds).expect("experiment run failed");
     eprint!(".");
     let crash = CrashPlan {
         after: SimDuration::from_secs_f64(baseline_mean * 0.4),
@@ -80,7 +81,7 @@ fn main() {
         spec.ft = ft;
         spec.crash = crash;
         spec.request_timeout = timeout;
-        let (mean, runs) = averaged_runtime(&spec, &args.seeds);
+        let (mean, runs) = averaged_runtime(&spec, &args.seeds).expect("experiment run failed");
         let recoveries: u64 = runs.iter().map(|r| r.report.recoveries).sum();
         rows.push((label.to_string(), mean, recoveries));
         eprint!(".");

@@ -38,7 +38,8 @@ pub fn fig3_sweep(args: &RunArgs) -> Vec<Fig3Row> {
             for loaded in [0usize, 2, 4, 6, 8] {
                 let mut spec = make(naming.clone()).loaded(loaded);
                 spec.worker_iters = args.scaled(spec.worker_iters);
-                let (mean, runs) = averaged_runtime(&spec, &args.seeds);
+                let (mean, runs) =
+                    averaged_runtime(&spec, &args.seeds).expect("experiment run failed");
                 let curve = match naming {
                     NamingMode::Plain => format!("CORBA {label}"),
                     NamingMode::Winner => format!("CORBA/Winner {label}"),
@@ -89,10 +90,12 @@ pub fn table1_sweep(args: &RunArgs, ft: FtSettings) -> Vec<Table1Row> {
         let iters = args.scaled(iters);
         let mut plain = ExperimentSpec::dim100(NamingMode::Winner);
         plain.worker_iters = iters;
-        let (without_proxy, _) = averaged_runtime(&plain, &args.seeds);
+        let (without_proxy, _) =
+            averaged_runtime(&plain, &args.seeds).expect("experiment run failed");
         let mut proxied = plain.clone();
         proxied.ft = Some(ft.clone());
-        let (with_proxy, _) = averaged_runtime(&proxied, &args.seeds);
+        let (with_proxy, _) =
+            averaged_runtime(&proxied, &args.seeds).expect("experiment run failed");
         rows.push(Table1Row {
             iterations: iters,
             without_proxy,

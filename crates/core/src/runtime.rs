@@ -12,12 +12,10 @@
 //! * one **optimization worker** server per worker host, registered in
 //!   the `Workers` group.
 
-use std::sync::{Arc, Mutex};
-
 use ftproxy::{run_factory, CheckpointService, StoreCosts};
 use optim::{run_worker_server, worker_builder, WorkerCosts};
 use orb::{Ior, Orb};
-use simnet::{Ctx, HostConfig, HostId, Kernel, KernelConfig, SimDuration};
+use simnet::{Ctx, HostConfig, HostId, Kernel, KernelConfig, Shared, SimDuration};
 use winner::{
     run_node_manager, run_system_manager, NodeManagerConfig, SelectionPolicy, SystemManagerConfig,
 };
@@ -110,7 +108,7 @@ pub struct Cluster {
     pub worker_hosts: Vec<HostId>,
     /// Stringified IOR of the Winner system manager (None in plain mode
     /// until published; always None when Winner is not deployed).
-    pub sysmgr_ior: Arc<Mutex<Option<String>>>,
+    pub sysmgr_ior: Shared<Option<String>>,
     /// The configuration the cluster was built with.
     pub config: ClusterConfig,
 }
@@ -144,7 +142,7 @@ impl Cluster {
                 .collect()
         };
 
-        let sysmgr_ior: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+        let sysmgr_ior: Shared<Option<String>> = Shared::new(None);
 
         // ---- Winner (only with the load-distributing naming service) ---
         if config.naming == NamingMode::Winner {
@@ -154,7 +152,7 @@ impl Cluster {
             kernel.spawn(infra, "winner-sysmgr", move |ctx| {
                 let policy = policy_kind.instantiate(seed);
                 let _ = run_system_manager(ctx, SystemManagerConfig::default(), policy, |ior| {
-                    *publish.lock().unwrap() = Some(ior.stringify());
+                    publish.put(ior.stringify());
                 });
             });
             for &h in &hosts {
@@ -244,10 +242,20 @@ impl Cluster {
 
 /// Wait (with polling) until the Winner system manager has published its
 /// IOR.
-fn wait_for_ior(ctx: &mut Ctx, cell: &Arc<Mutex<Option<String>>>) -> Result<Ior, simnet::Killed> {
+fn wait_for_ior(ctx: &mut Ctx, cell: &Shared<Option<String>>) -> Result<Ior, simnet::Killed> {
     loop {
-        if let Some(s) = cell.lock().unwrap().clone() {
-            return Ok(Ior::destringify(&s).expect("published IOR is valid"));
+        if let Some(s) = cell.get() {
+            return match Ior::destringify(&s) {
+                Ok(ior) => Ok(ior),
+                Err(e) => {
+                    // The cell is only written with `Ior::stringify` output;
+                    // an unparsable value means the publisher is broken, so
+                    // stop this process rather than poll forever.
+                    eprintln!("[core] published system-manager IOR is invalid: {e}");
+                    debug_assert!(false, "published IOR failed to parse");
+                    Err(simnet::Killed)
+                }
+            };
         }
         ctx.sleep(SimDuration::from_millis(5))?;
     }

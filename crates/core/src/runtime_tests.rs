@@ -17,7 +17,7 @@ fn quick(naming: NamingMode) -> ExperimentSpec {
 
 #[test]
 fn winner_cluster_boots_and_completes_a_run() {
-    let outcome = run_experiment(&quick(NamingMode::Winner));
+    let outcome = run_experiment(&quick(NamingMode::Winner)).expect("experiment run failed");
     assert_eq!(outcome.report.best_point.len(), 30);
     assert!(outcome.report.elapsed.as_secs_f64() > 0.0);
     assert_eq!(outcome.report.placements.len(), 3);
@@ -25,7 +25,7 @@ fn winner_cluster_boots_and_completes_a_run() {
 
 #[test]
 fn plain_cluster_boots_and_completes_a_run() {
-    let outcome = run_experiment(&quick(NamingMode::Plain));
+    let outcome = run_experiment(&quick(NamingMode::Plain)).expect("experiment run failed");
     assert_eq!(outcome.report.best_point.len(), 30);
     // Plain mode must not deploy Winner.
     assert_eq!(outcome.report.recoveries, 0);
@@ -38,8 +38,8 @@ fn plain_cluster_boots_and_completes_a_run() {
 fn winner_beats_plain_under_partial_load() {
     let spec_w = quick(NamingMode::Winner).loaded(2).seed(42);
     let spec_p = quick(NamingMode::Plain).loaded(2).seed(42);
-    let w = run_experiment(&spec_w);
-    let p = run_experiment(&spec_p);
+    let w = run_experiment(&spec_w).expect("experiment run failed");
+    let p = run_experiment(&spec_p).expect("experiment run failed");
     // Same load placement (same seed): at 2/10 loaded hosts and only 3
     // workers on 6 available hosts, Winner should fully avoid the load.
     // Plain placement may or may not collide, so require ≤ only; across
@@ -65,7 +65,7 @@ fn winner_beats_plain_under_partial_load() {
 fn ft_experiment_runs_with_proxies() {
     let mut spec = quick(NamingMode::Winner);
     spec.ft = Some(optim::FtSettings::default());
-    let outcome = run_experiment(&spec);
+    let outcome = run_experiment(&spec).expect("experiment run failed");
     assert!(outcome.report.checkpoints > 0);
     // FT must cost time but not correctness.
     assert_eq!(outcome.report.best_point.len(), 30);
@@ -73,10 +73,10 @@ fn ft_experiment_runs_with_proxies() {
 
 #[test]
 fn ft_overhead_is_visible_and_positive() {
-    let plain = run_experiment(&quick(NamingMode::Winner).seed(7));
+    let plain = run_experiment(&quick(NamingMode::Winner).seed(7)).expect("experiment run failed");
     let mut ft_spec = quick(NamingMode::Winner).seed(7);
     ft_spec.ft = Some(optim::FtSettings::default());
-    let ft = run_experiment(&ft_spec);
+    let ft = run_experiment(&ft_spec).expect("experiment run failed");
     let tp = plain.report.elapsed.as_secs_f64();
     let tf = ft.report.elapsed.as_secs_f64();
     assert!(
@@ -88,8 +88,8 @@ fn ft_overhead_is_visible_and_positive() {
 #[test]
 fn same_seed_reproduces_bit_identical_results() {
     let spec = quick(NamingMode::Winner).loaded(2).seed(99);
-    let a = run_experiment(&spec);
-    let b = run_experiment(&spec);
+    let a = run_experiment(&spec).expect("experiment run failed");
+    let b = run_experiment(&spec).expect("experiment run failed");
     assert_eq!(a.report.elapsed, b.report.elapsed);
     assert_eq!(a.report.best_value, b.report.best_value);
     assert_eq!(a.report.placements, b.report.placements);

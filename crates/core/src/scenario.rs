@@ -130,7 +130,12 @@ pub struct ExperimentOutcome {
 }
 
 /// Run one experiment cell to completion.
-pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentOutcome {
+///
+/// # Errors
+/// If the distributed manager itself fails (an unrecoverable CORBA
+/// exception) or is killed before reporting — either way the cell
+/// produced no valid measurement.
+pub fn run_experiment(spec: &ExperimentSpec) -> Result<ExperimentOutcome, String> {
     assert!(spec.available_hosts <= spec.now_hosts);
     assert!(spec.loaded_hosts <= spec.now_hosts);
     let mut cluster = Cluster::build(ClusterConfig {
@@ -159,8 +164,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentOutcome {
 
     // The manager runs on the infra host (its own CPU use is negligible:
     // it spends its time waiting on workers).
-    let report_cell: std::sync::Arc<std::sync::Mutex<Option<RunReport>>> =
-        std::sync::Arc::new(std::sync::Mutex::new(None));
+    let report_cell: simnet::Shared<Option<Result<RunReport, String>>> = simnet::Shared::new(None);
     let out = report_cell.clone();
     let mcfg = ManagerConfig {
         n: spec.n,
@@ -193,36 +197,44 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentOutcome {
         Box::new(move |ctx: &mut simnet::Ctx| {
             match run_manager(ctx, &mcfg) {
                 Ok(Ok(report)) => {
-                    *out.lock().unwrap() = Some(report);
+                    out.put(Ok(report));
                 }
-                Ok(Err(e)) => panic!("experiment manager failed: {e}"),
+                Ok(Err(e)) => {
+                    out.put(Err(e.to_string()));
+                }
                 Err(_) => {} // killed: outcome stays empty
             }
         }),
     );
     cluster.kernel.run_until_exit(manager);
-    let report = report_cell
-        .lock()
-        .unwrap()
-        .clone()
-        .expect("manager completed");
-    ExperimentOutcome {
+    let report = match report_cell.take() {
+        Some(Ok(report)) => report,
+        Some(Err(e)) => return Err(format!("experiment manager failed: {e}")),
+        None => return Err("experiment manager was killed before reporting".into()),
+    };
+    Ok(ExperimentOutcome {
         report,
         loaded: loaded.iter().map(|h| h.0).collect(),
         started_at,
-    }
+    })
 }
 
 /// Run a cell across several seeds and average the runtime (seconds).
 /// Returns `(mean_runtime, runs)`.
-pub fn averaged_runtime(spec: &ExperimentSpec, seeds: &[u64]) -> (f64, Vec<ExperimentOutcome>) {
+///
+/// # Errors
+/// If any seed's run fails (see [`run_experiment`]).
+pub fn averaged_runtime(
+    spec: &ExperimentSpec,
+    seeds: &[u64],
+) -> Result<(f64, Vec<ExperimentOutcome>), String> {
     assert!(!seeds.is_empty());
     let mut runs = Vec::with_capacity(seeds.len());
     let mut total = 0.0;
     for &seed in seeds {
-        let outcome = run_experiment(&spec.clone().seed(seed));
+        let outcome = run_experiment(&spec.clone().seed(seed))?;
         total += outcome.report.elapsed.as_secs_f64();
         runs.push(outcome);
     }
-    (total / seeds.len() as f64, runs)
+    Ok((total / seeds.len() as f64, runs))
 }

@@ -6,7 +6,7 @@
 //! ([`MemBackend`]). The disk persistence the paper lists as future work
 //! is implemented too ([`DiskBackend`]).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 use std::path::PathBuf;
 
@@ -49,8 +49,8 @@ pub trait Backend {
 /// The paper's in-memory proof-of-concept store.
 #[derive(Default)]
 pub struct MemBackend {
-    bulk: HashMap<String, Checkpoint>,
-    values: HashMap<String, HashMap<String, Any>>,
+    bulk: BTreeMap<String, Checkpoint>,
+    values: BTreeMap<String, BTreeMap<String, Any>>,
 }
 
 impl MemBackend {

@@ -7,7 +7,7 @@
 //! replicas from the naming service, so the *next* resolve already avoids
 //! them. The recovery-latency ablation benchmark compares both modes.
 
-use std::sync::{Arc, Mutex};
+use simnet::Shared;
 
 use cosnaming::{Name, NamingClient};
 use orb::{Orb, SystemException};
@@ -52,7 +52,7 @@ pub fn run_detector(
     ctx: &mut Ctx,
     naming_host: HostId,
     cfg: DetectorConfig,
-    stats: Arc<Mutex<DetectorStats>>,
+    stats: Shared<DetectorStats>,
 ) -> SimResult<()> {
     let mut orb = Orb::new(
         ctx,
@@ -63,7 +63,7 @@ pub fn run_detector(
         },
     );
     let ns = NamingClient::root(naming_host);
-    let mut misses: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
+    let mut misses: std::collections::BTreeMap<String, u32> = std::collections::BTreeMap::new();
     loop {
         for group in &cfg.groups {
             let members = match ns.group_members(&mut orb, ctx, group)? {
@@ -71,7 +71,7 @@ pub fn run_detector(
                 Err(_) => continue, // naming unavailable; retry next round
             };
             for member in members {
-                stats.lock().unwrap().probes += 1;
+                stats.lock().probes += 1;
                 let alive = matches!(
                     orb.locate(ctx, &member)?,
                     Ok(true)
@@ -85,7 +85,7 @@ pub fn run_detector(
                     misses.remove(&key);
                     continue;
                 }
-                stats.lock().unwrap().failed_probes += 1;
+                stats.lock().failed_probes += 1;
                 let count = misses.entry(key.clone()).or_insert(0);
                 *count += 1;
                 if *count >= cfg.suspect_after {
@@ -94,7 +94,7 @@ pub fn run_detector(
                         .unbind_group_member(&mut orb, ctx, group, &member)?
                         .is_ok()
                     {
-                        stats.lock().unwrap().evictions += 1;
+                        stats.lock().evictions += 1;
                     }
                 }
             }

@@ -420,7 +420,7 @@ fn detector_evicts_dead_members() {
     let mut sim = Kernel::with_seed(8);
     let hosts = standard_bed(&mut sim, 3);
     let h0 = hosts[0];
-    let stats = Arc::new(Mutex::new(DetectorStats::default()));
+    let stats = simnet::Shared::new(DetectorStats::default());
     let st = stats.clone();
     sim.spawn(h0, "detector", move |ctx| {
         ctx.sleep(secs(1.5)).unwrap();
@@ -465,7 +465,7 @@ fn detector_evicts_dead_members() {
     });
     sim.run_until_exit(driver);
     assert_eq!(*remaining.lock().unwrap(), Some(1));
-    let s = *stats.lock().unwrap();
+    let s = *stats.lock();
     assert!(s.evictions >= 1, "{s:?}");
     assert!(s.probes > 0);
 }
@@ -512,7 +512,7 @@ fn migration_moves_loaded_service_and_forwards_old_references() {
     spawn_ckpt(&mut sim, h0);
     spawn_factories(&mut sim, &hosts, h0);
 
-    let mig_stats = Arc::new(Mutex::new(MigrationStats::default()));
+    let mig_stats = simnet::Shared::new(MigrationStats::default());
     let ms = mig_stats.clone();
     let sm = sysmgr_ior.clone();
     sim.spawn(h0, "migration-mgr", move |ctx| {
@@ -578,7 +578,7 @@ fn migration_moves_loaded_service_and_forwards_old_references() {
         "service did not migrate away from the loaded host: {log:?}"
     );
     assert_eq!(log[1], "old-ref-value:7", "{log:?}");
-    assert!(mig_stats.lock().unwrap().migrations >= 1);
+    assert!(mig_stats.lock().migrations >= 1);
 }
 
 #[test]
@@ -693,7 +693,7 @@ fn detector_tolerates_transient_misses() {
     let mut sim = Kernel::with_seed(12);
     let hosts = standard_bed(&mut sim, 3);
     let h0 = hosts[0];
-    let stats = Arc::new(Mutex::new(DetectorStats::default()));
+    let stats = simnet::Shared::new(DetectorStats::default());
     let st = stats.clone();
     sim.spawn(h0, "detector", move |ctx| {
         ctx.sleep(secs(1.5)).unwrap();
@@ -737,7 +737,7 @@ fn detector_tolerates_transient_misses() {
     });
     sim.run_until_exit(driver);
     assert_eq!(*remaining.lock().unwrap(), Some(1), "member was evicted");
-    let s = *stats.lock().unwrap();
+    let s = *stats.lock();
     assert!(s.failed_probes >= 1, "{s:?}");
     assert_eq!(s.evictions, 0, "{s:?}");
 }

@@ -11,7 +11,7 @@
 //!
 //! [`ForwardingAgent`]: crate::factory::ForwardingAgent
 
-use std::sync::{Arc, Mutex};
+use simnet::Shared;
 
 use cosnaming::{Name, NamingClient};
 use orb::{Exception, Ior, ObjectRef, Orb, SystemException};
@@ -111,12 +111,20 @@ pub fn migrate_member(
     if let Err(e) = ns.bind_group_member(orb, ctx, group, &new_ior)? {
         return Ok(Err(e));
     }
-    let _ = ns.unbind_group_member(orb, ctx, group, member)?;
+    if let Err(_stale) = ns.unbind_group_member(orb, ctx, group, member)? {
+        // The new binding is already in place; a failed unbind leaves a
+        // stale member that the failure detector will evict. Not fatal.
+    }
 
     // 5. Leave a forwarder at the old location so outstanding references
     //    keep working (via the old host's factory, which owns the POA).
     if let Ok(old_factory) = ns.resolve(orb, ctx, &factory_name(member.host))? {
-        let _ = FactoryClient::new(old_factory).retire_forward(orb, ctx, member.key, &new_ior)?;
+        if let Err(_unforwarded) =
+            FactoryClient::new(old_factory).retire_forward(orb, ctx, member.key, &new_ior)?
+        {
+            // Best-effort: without the forwarder, holders of the old IOR
+            // get COMM_FAILURE and re-resolve through the naming service.
+        }
     }
 
     Ok(Ok(new_ior))
@@ -131,7 +139,7 @@ pub fn run_migration_manager(
     naming_host: HostId,
     system_manager: Ior,
     cfg: MigrationConfig,
-    stats: Arc<Mutex<MigrationStats>>,
+    stats: Shared<MigrationStats>,
 ) -> SimResult<()> {
     let mut orb = Orb::init(ctx);
     let ns = NamingClient::root(naming_host);
@@ -171,7 +179,7 @@ pub fn run_migration_manager(
                     &cfg.checkpoint_op,
                     &cfg.restore_op,
                 )?;
-                let mut s = stats.lock().unwrap();
+                let mut s = stats.lock();
                 match r {
                     Ok(_) => s.migrations += 1,
                     Err(_) => s.failures += 1,

@@ -43,6 +43,7 @@ impl FtRequest {
     /// # Panics
     /// If the request was already sent.
     pub fn add_arg(&mut self, arg: &Any) -> &mut Self {
+        // ldft-lint: allow(P1, documented builder contract: adding args after send() is caller misuse and the chained &mut Self API cannot carry a Result)
         let enc = self.args.as_mut().expect("request already sent");
         arg.write_value(enc);
         self
@@ -53,6 +54,7 @@ impl FtRequest {
     /// # Panics
     /// If the request was already sent.
     pub fn add_typed<T: CdrWrite>(&mut self, arg: &T) -> &mut Self {
+        // ldft-lint: allow(P1, documented builder contract: adding args after send() is caller misuse and the chained &mut Self API cannot carry a Result)
         let enc = self.args.as_mut().expect("request already sent");
         arg.write(enc);
         self
@@ -110,10 +112,15 @@ impl FtRequest {
         if !inner.poll_response(env.orb, env.ctx)? {
             return Ok(false);
         }
-        let outcome = inner
-            .result::<RawBody>()
-            .expect("poll_response returned true");
-        self.settle(outcome.map(|r| r.0), proxy, env)?;
+        let outcome = match inner.result::<RawBody>() {
+            Some(o) => o.map(|r| r.0),
+            // poll_response said the reply is in; a missing result is a DII
+            // bookkeeping bug, surfaced as INTERNAL on this request.
+            None => Err(Exception::System(SystemException::internal(
+                "deferred result unavailable after poll_response",
+            ))),
+        };
+        self.settle(outcome, proxy, env)?;
         Ok(self.done.is_some())
     }
 

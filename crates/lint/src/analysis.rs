@@ -1,0 +1,357 @@
+//! Per-file structural analysis: test-code regions, function spans, and
+//! allowlist directives. Built once per file, consumed by every rule.
+
+use crate::lexer::{self, SourceLine};
+
+/// Span of a function item: `start..=end` line numbers (1-indexed).
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Function name (identifier after `fn`).
+    pub name: String,
+    /// Line holding the `fn` keyword.
+    pub start: usize,
+    /// Line holding the closing brace.
+    pub end: usize,
+}
+
+/// One `// ldft-lint: allow(RULE, reason)` directive.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Rule ID the directive suppresses.
+    pub rule: String,
+    /// The written justification (may be empty — that itself is an error).
+    pub reason: String,
+    /// Line the directive appears on (1-indexed).
+    pub line: usize,
+    /// True when the directive's line has no code (applies to next line).
+    pub standalone: bool,
+}
+
+/// Preprocessed file ready for rule evaluation.
+pub struct FileAnalysis {
+    /// Path as reported in diagnostics.
+    pub path: String,
+    /// Workspace crate directory name (`simnet`, `orb`, ...), if any.
+    pub crate_dir: Option<String>,
+    /// Preprocessed lines (index 0 = line 1).
+    pub lines: Vec<SourceLine>,
+    /// Whitespace-normalized code per line, for pattern matching.
+    pub norm: Vec<String>,
+    /// True when the line is inside test code (`#[cfg(test)]` region, or
+    /// the whole file is a test/bench/example file).
+    pub test_line: Vec<bool>,
+    /// All function spans (outer and nested; overlapping allowed).
+    pub fn_spans: Vec<FnSpan>,
+    /// All allow directives found in comments.
+    pub allows: Vec<AllowDirective>,
+}
+
+impl FileAnalysis {
+    /// Analyze `source`. `crate_dir` is the directory under `crates/` the
+    /// file belongs to (drives rule scoping); `None` means out of scope
+    /// for every crate-scoped rule.
+    pub fn new(path: &str, crate_dir: Option<&str>, source: &str) -> Self {
+        let lines = lexer::preprocess(source);
+        let norm: Vec<String> = lines.iter().map(|l| lexer::normalize(&l.code)).collect();
+        let whole_file_test = is_test_path(path);
+        let (mut test_line, fn_spans) = scan_structure(&norm);
+        if whole_file_test {
+            for t in test_line.iter_mut() {
+                *t = true;
+            }
+        }
+        let allows = collect_allows(&lines);
+        FileAnalysis {
+            path: path.to_string(),
+            crate_dir: crate_dir.map(str::to_string),
+            lines,
+            norm,
+            test_line,
+            fn_spans,
+            allows,
+        }
+    }
+
+    /// True when line `n` (1-indexed) is test code.
+    pub fn is_test_line(&self, n: usize) -> bool {
+        self.test_line.get(n - 1).copied().unwrap_or(false)
+    }
+
+    /// Innermost function span containing line `n`, if any.
+    pub fn enclosing_fn(&self, n: usize) -> Option<&FnSpan> {
+        self.fn_spans
+            .iter()
+            .filter(|s| s.start <= n && n <= s.end)
+            .min_by_key(|s| s.end - s.start)
+    }
+
+    /// Allow directives that govern a finding on line `n`: directives on
+    /// the same line, or standalone directives on the immediately
+    /// preceding run of comment-only lines.
+    pub fn allows_for_line(&self, n: usize) -> Vec<&AllowDirective> {
+        let mut out: Vec<&AllowDirective> = self
+            .allows
+            .iter()
+            .filter(|a| a.line == n && !a.standalone)
+            .collect();
+        // Walk upward through comment-only lines.
+        let mut k = n;
+        while k > 1 {
+            k -= 1;
+            let line = &self.lines[k - 1];
+            if !line.comment_only {
+                break;
+            }
+            out.extend(self.allows.iter().filter(|a| a.line == k && a.standalone));
+            if line.comment.is_empty() && line.code.trim().is_empty() {
+                // Blank line ends the attached comment run.
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// Whole-file test classification by path convention.
+pub fn is_test_path(path: &str) -> bool {
+    let unified = path.replace('\\', "/");
+    let file = unified.rsplit('/').next().unwrap_or(&unified);
+    let in_dir =
+        |d: &str| unified.contains(&format!("/{d}/")) || unified.starts_with(&format!("{d}/"));
+    file.ends_with("_tests.rs")
+        || file.ends_with("_test.rs")
+        || in_dir("tests")
+        || in_dir("benches")
+        || in_dir("examples")
+}
+
+/// Single pass over normalized code lines computing `#[cfg(test)]` regions
+/// and function spans via brace-depth tracking.
+fn scan_structure(norm: &[String]) -> (Vec<bool>, Vec<FnSpan>) {
+    let mut test_line = vec![false; norm.len()];
+    let mut fn_spans: Vec<FnSpan> = Vec::new();
+
+    let mut depth: u32 = 0;
+    // Open `#[cfg(test)]` regions: the depth *of* the braced block.
+    let mut test_stack: Vec<u32> = Vec::new();
+    // A `#[cfg(test)]` attribute seen, item not yet opened.
+    let mut pending_test_attr = false;
+    // Functions whose `fn` was seen but `{` not yet reached.
+    let mut pending_fns: Vec<(String, usize)> = Vec::new();
+    // Open function bodies: (name, start line, block depth).
+    let mut open_fns: Vec<(String, usize, u32)> = Vec::new();
+
+    for (idx, code) in norm.iter().enumerate() {
+        let line_no = idx + 1;
+        if !test_stack.is_empty() || pending_test_attr {
+            test_line[idx] = true;
+        }
+        if code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") {
+            pending_test_attr = true;
+            test_line[idx] = true;
+        }
+        if let Some(name) = fn_name_on_line(code) {
+            pending_fns.push((name, line_no));
+        }
+
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending_test_attr {
+                        pending_test_attr = false;
+                        test_stack.push(depth);
+                        test_line[idx] = true;
+                    }
+                    if let Some((name, start)) = pending_fns.pop() {
+                        open_fns.push((name, start, depth));
+                    }
+                }
+                '}' => {
+                    if test_stack.last() == Some(&depth) {
+                        test_stack.pop();
+                    }
+                    while let Some((name, start, d)) = open_fns.last().cloned() {
+                        if d == depth {
+                            fn_spans.push(FnSpan {
+                                name,
+                                start,
+                                end: line_no,
+                            });
+                            open_fns.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                ';' => {
+                    // A `;` can never appear between a fn signature (or a
+                    // pending `#[cfg(test)]` attribute) and its opening
+                    // brace, so any pending item ending here is bodiless:
+                    // `mod name;` after the attr, or a trait method decl.
+                    pending_fns.clear();
+                    pending_test_attr = false;
+                }
+                _ => {}
+            }
+        }
+        if !test_stack.is_empty() {
+            test_line[idx] = true;
+        }
+    }
+
+    // Unclosed functions (truncated file): close at EOF.
+    for (name, start, _) in open_fns {
+        fn_spans.push(FnSpan {
+            name,
+            start,
+            end: norm.len(),
+        });
+    }
+    (test_line, fn_spans)
+}
+
+/// Extract the function name if this line declares one (`fn name`).
+/// Returns `None` for fn-pointer types (`fn(...)`) and `fn` in strings
+/// (already blanked by the lexer).
+fn fn_name_on_line(code: &str) -> Option<String> {
+    let at = lexer::find_word(code, "fn")?;
+    let rest = &code[at + 2..];
+    let rest = rest.trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Byte offset of the `)` balancing the already-consumed `allow(`, or
+/// `None` if the parens never balance on this line.
+fn balanced_close(body: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                if depth == 0 {
+                    return Some(i);
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parse every `ldft-lint: allow(RULE, reason)` directive in the file's
+/// comments.
+fn collect_allows(lines: &[SourceLine]) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let mut rest: &str = &line.comment;
+        while let Some(pos) = rest.find("ldft-lint:") {
+            rest = &rest[pos + "ldft-lint:".len()..];
+            let Some(open) = rest.find("allow(") else {
+                break;
+            };
+            let body = &rest[open + "allow(".len()..];
+            // Match the balancing close paren so a reason may itself
+            // reference calls like `send()` without being truncated.
+            let Some(close) = balanced_close(body) else {
+                break;
+            };
+            let inner = &body[..close];
+            let (rule, reason) = match inner.split_once(',') {
+                Some((r, why)) => (r.trim().to_string(), why.trim().to_string()),
+                None => (inner.trim().to_string(), String::new()),
+            };
+            out.push(AllowDirective {
+                rule,
+                reason,
+                line: idx + 1,
+                standalone: line.comment_only,
+            });
+            rest = &body[close..];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let fa = FileAnalysis::new("crates/x/src/a.rs", Some("x"), src);
+        assert!(!fa.is_test_line(1));
+        assert!(fa.is_test_line(2));
+        assert!(fa.is_test_line(4));
+        assert!(!fa.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_test_on_external_mod_decl_does_not_leak() {
+        let src = "#[cfg(test)]\nmod kernel_tests;\nfn lib() { x.unwrap(); }\n";
+        let fa = FileAnalysis::new("crates/x/src/a.rs", Some("x"), src);
+        assert!(!fa.is_test_line(3));
+    }
+
+    #[test]
+    fn test_file_paths() {
+        assert!(is_test_path("crates/orb/src/orb_tests.rs"));
+        assert!(is_test_path("tests/full_stack.rs"));
+        assert!(is_test_path("crates/bench/benches/a.rs"));
+        assert!(is_test_path("examples/quickstart.rs"));
+        assert!(!is_test_path("crates/orb/src/core.rs"));
+    }
+
+    #[test]
+    fn fn_spans_nest() {
+        let src = "fn outer() {\n    fn inner() {\n        body();\n    }\n    more();\n}\n";
+        let fa = FileAnalysis::new("crates/x/src/a.rs", Some("x"), src);
+        let inner = fa.enclosing_fn(3).unwrap();
+        assert_eq!(inner.name, "inner");
+        let outer = fa.enclosing_fn(5).unwrap();
+        assert_eq!(outer.name, "outer");
+    }
+
+    #[test]
+    fn allow_same_line_and_standalone() {
+        let src = "a.unwrap(); // ldft-lint: allow(P1, startup invariant)\n// ldft-lint: allow(D2, scratch map)\nlet m = HashMap::new();\n";
+        let fa = FileAnalysis::new("crates/x/src/a.rs", Some("x"), src);
+        let l1 = fa.allows_for_line(1);
+        assert_eq!(l1.len(), 1);
+        assert_eq!(l1[0].rule, "P1");
+        assert_eq!(l1[0].reason, "startup invariant");
+        let l3 = fa.allows_for_line(3);
+        assert_eq!(l3.len(), 1);
+        assert_eq!(l3[0].rule, "D2");
+    }
+
+    #[test]
+    fn allow_reason_may_contain_call_parens() {
+        let src = "a.unwrap(); // ldft-lint: allow(P1, args after send() are caller misuse)\n";
+        let fa = FileAnalysis::new("crates/x/src/a.rs", Some("x"), src);
+        let l1 = fa.allows_for_line(1);
+        assert_eq!(l1.len(), 1);
+        assert_eq!(l1[0].reason, "args after send() are caller misuse");
+    }
+
+    #[test]
+    fn trait_method_decl_is_not_a_span() {
+        let src =
+            "trait T {\n    fn decl(&self);\n    fn with_body(&self) {\n        x();\n    }\n}\n";
+        let fa = FileAnalysis::new("crates/x/src/a.rs", Some("x"), src);
+        assert_eq!(fa.enclosing_fn(4).unwrap().name, "with_body");
+        assert!(fa.fn_spans.iter().all(|s| s.name != "decl"));
+    }
+}

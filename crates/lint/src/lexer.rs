@@ -1,0 +1,350 @@
+//! Line-oriented lexical preprocessing for the analyzer.
+//!
+//! Rust has enough lexical regularity that the invariants ldft-lint checks
+//! (banned paths, method calls, macro invocations) can be matched reliably
+//! on *code text* once comments and literal contents are removed. This
+//! module produces, per source line:
+//!
+//! - `code`: the line with comments stripped and string/char literal
+//!   contents blanked (quotes kept, contents replaced by spaces), so rule
+//!   patterns never match inside literals or docs;
+//! - `comment`: the comment text on that line, used to parse
+//!   `// ldft-lint: allow(RULE, reason)` directives;
+//! - `depth`: the brace depth at the *start* of the line, used for
+//!   `#[cfg(test)]` region tracking and function spans.
+
+/// One preprocessed source line.
+#[derive(Debug, Clone)]
+pub struct SourceLine {
+    /// Code text: comments removed, literal contents blanked.
+    pub code: String,
+    /// Comment text appearing on this line (without `//` / `/* */` markers).
+    pub comment: String,
+    /// Brace depth at the start of the line.
+    pub depth: u32,
+    /// True when the line's `code` is all whitespace (comment/blank line).
+    pub comment_only: bool,
+}
+
+/// Strip comments and literal contents from `source`, preserving line
+/// structure. The output has exactly one entry per input line.
+pub fn preprocess(source: &str) -> Vec<SourceLine> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Normal,
+        Block(u32),  // nested block comment depth
+        Str,         // inside "..."
+        RawStr(u32), // inside r##"..."## with N hashes
+    }
+
+    let mut out = Vec::new();
+    let mut state = State::Normal;
+    let mut depth: u32 = 0;
+
+    for raw in source.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let start_depth = depth;
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+
+        while i < bytes.len() {
+            let c = bytes[i];
+            match state {
+                State::Block(n) => {
+                    if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                        state = State::Block(n + 1);
+                        i += 2;
+                    } else if c == '*' && bytes.get(i + 1) == Some(&'/') {
+                        state = if n == 1 {
+                            State::Normal
+                        } else {
+                            State::Block(n - 1)
+                        };
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        code.push(' ');
+                        if i + 1 < bytes.len() {
+                            code.push(' ');
+                        }
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        state = State::Normal;
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' {
+                        let mut ok = true;
+                        for k in 0..hashes as usize {
+                            if bytes.get(i + 1 + k) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            code.push('"');
+                            for _ in 0..hashes {
+                                code.push('#');
+                            }
+                            state = State::Normal;
+                            i += 1 + hashes as usize;
+                            continue;
+                        }
+                    }
+                    code.push(' ');
+                    i += 1;
+                }
+                State::Normal => {
+                    if c == '/' && bytes.get(i + 1) == Some(&'/') {
+                        // Line comment: rest of line is comment text.
+                        let text: String = bytes[i + 2..].iter().collect();
+                        comment.push_str(&text);
+                        i = bytes.len();
+                    } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                        state = State::Block(1);
+                        i += 2;
+                    } else if c == 'r' && prev_nonident(&code) && is_raw_string_start(&bytes, i) {
+                        // r"..." or r#"..."# (also br"...")
+                        let mut j = i + 1;
+                        let mut hashes = 0u32;
+                        while bytes.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        code.push('r');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        code.push('"');
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                    } else if c == '"' {
+                        code.push('"');
+                        state = State::Str;
+                        i += 1;
+                    } else if c == '\'' {
+                        // Char literal vs lifetime. A char literal is 'x',
+                        // '\n', '\u{..}': detect by looking for a closing
+                        // quote after one (possibly escaped) element.
+                        if let Some(len) = char_literal_len(&bytes, i) {
+                            code.push('\'');
+                            for _ in 0..len.saturating_sub(2) {
+                                code.push(' ');
+                            }
+                            code.push('\'');
+                            i += len;
+                        } else {
+                            // Lifetime: keep as-is (harmless for matching).
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        if c == '{' {
+                            depth += 1;
+                        } else if c == '}' {
+                            depth = depth.saturating_sub(1);
+                        }
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+
+        let comment_only = code.trim().is_empty();
+        out.push(SourceLine {
+            code,
+            comment: comment.trim().to_string(),
+            depth: start_depth,
+            comment_only,
+        });
+    }
+    out
+}
+
+/// True when the character before the current position (end of `code` so
+/// far) is not part of an identifier — i.e. a standalone `r` can start a
+/// raw string here rather than ending an identifier like `var`.
+fn prev_nonident(code: &str) -> bool {
+    match code.chars().last() {
+        None => true,
+        Some(p) => !(p.is_alphanumeric() || p == '_'),
+    }
+}
+
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    let mut j = i + 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+/// If position `i` (at a `'`) starts a char literal, return its total
+/// length in chars (including both quotes); otherwise `None` (lifetime).
+fn char_literal_len(bytes: &[char], i: usize) -> Option<usize> {
+    match bytes.get(i + 1)? {
+        '\\' => {
+            // Escaped: scan to the closing quote.
+            let mut j = i + 2;
+            while j < bytes.len() && bytes[j] != '\'' {
+                j += 1;
+            }
+            if j < bytes.len() {
+                Some(j - i + 1)
+            } else {
+                None
+            }
+        }
+        '\'' => None, // '' is not a char literal
+        _ => {
+            if bytes.get(i + 2) == Some(&'\'') {
+                Some(3)
+            } else {
+                None // lifetime like 'a or 'static
+            }
+        }
+    }
+}
+
+/// Normalize a code line for pattern matching: collapse whitespace so that
+/// `std :: time :: Instant` and `. unwrap (` match their canonical
+/// spellings. A single space is kept only between two identifier
+/// characters (so `let x` does not become `letx`).
+pub fn normalize(code: &str) -> String {
+    let mut out = String::with_capacity(code.len());
+    let mut pending_space = false;
+    for c in code.chars() {
+        if c.is_whitespace() {
+            pending_space = true;
+            continue;
+        }
+        if pending_space {
+            let prev_ident = out
+                .chars()
+                .last()
+                .map(|p| p.is_alphanumeric() || p == '_')
+                .unwrap_or(false);
+            let cur_ident = c.is_alphanumeric() || c == '_';
+            if prev_ident && cur_ident {
+                out.push(' ');
+            }
+            pending_space = false;
+        }
+        out.push(c);
+    }
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Find `pattern` in normalized code `hay` with identifier-boundary checks
+/// at both ends: a pattern starting (or ending) with an identifier char
+/// must not be preceded (or followed) by one. Returns the byte offset of
+/// the first boundary-respecting match.
+pub fn find_word(hay: &str, pattern: &str) -> Option<usize> {
+    let first_ident = pattern.chars().next().map(is_ident_char).unwrap_or(false);
+    let last_ident = pattern.chars().last().map(is_ident_char).unwrap_or(false);
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(pattern) {
+        let at = from + pos;
+        let before_ok = !first_ident
+            || hay[..at]
+                .chars()
+                .last()
+                .map(|c| !is_ident_char(c))
+                .unwrap_or(true);
+        let after_ok = !last_ident
+            || hay[at + pattern.len()..]
+                .chars()
+                .next()
+                .map(|c| !is_ident_char(c))
+                .unwrap_or(true);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + pattern.len().max(1);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_comments_and_keeps_text() {
+        let lines = preprocess("let x = 1; // ldft-lint: allow(D1, why)\n");
+        assert_eq!(lines[0].code.trim(), "let x = 1;");
+        assert!(lines[0].comment.contains("allow(D1, why)"));
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let lines = preprocess("let s = \"std::time::Instant\";\n");
+        assert!(!lines[0].code.contains("Instant"));
+        assert!(lines[0].code.contains('"'));
+    }
+
+    #[test]
+    fn handles_block_comments_across_lines() {
+        let src = "a /* start\nstd::time::Instant\nend */ b\n";
+        let lines = preprocess(src);
+        assert_eq!(lines[0].code.trim(), "a");
+        assert!(lines[1].code.trim().is_empty());
+        assert!(lines[1].comment.contains("Instant"));
+        assert_eq!(lines[2].code.trim(), "b");
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let lines = preprocess("let s = r#\"HashMap::new()\"#;\n");
+        assert!(!lines[0].code.contains("HashMap"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let lines = preprocess("fn f<'a>(c: char) -> &'a str { if c == '\"' { x } else { y } }\n");
+        // The quote char literal must not open a string state.
+        assert!(lines[0].code.contains("else"));
+    }
+
+    #[test]
+    fn depth_tracking() {
+        let lines = preprocess("mod m {\n fn f() {\n }\n}\n");
+        assert_eq!(lines[0].depth, 0);
+        assert_eq!(lines[1].depth, 1);
+        assert_eq!(lines[2].depth, 2);
+        assert_eq!(lines[3].depth, 1);
+    }
+
+    #[test]
+    fn normalize_collapses_method_calls() {
+        assert_eq!(normalize(" . unwrap ( )"), ".unwrap()");
+        assert_eq!(normalize("let  x"), "let x");
+        assert_eq!(normalize("std :: time"), "std::time");
+    }
+
+    #[test]
+    fn find_word_boundaries() {
+        assert!(find_word("FxHashMap::new()", "HashMap").is_none());
+        assert!(find_word("HashMap::new()", "HashMap").is_some());
+        assert!(find_word("my_thread::spawn()", "thread::spawn").is_none());
+        assert!(find_word("std::thread::spawn()", "thread::spawn").is_some());
+        assert!(find_word("x.unwrap()", ".unwrap(").is_some());
+        assert!(find_word("x.unwrap_or(0)", ".unwrap(").is_none());
+    }
+}

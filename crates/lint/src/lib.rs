@@ -1,0 +1,217 @@
+//! # ldft-lint — determinism & protocol-invariant analyzer
+//!
+//! A repo-specific static analyzer for the corba-ldft workspace. It parses
+//! every workspace `.rs` file (a lexical pass: comments and literal
+//! contents removed, brace depth and function spans tracked) and enforces
+//! two invariant classes the compiler cannot see:
+//!
+//! * **Determinism (D1–D4)** — the whole experiment pipeline must be a
+//!   pure function of the run seed. Wall-clock time, hash-ordered
+//!   iteration, ambient RNG, and OS synchronization outside the kernel
+//!   all smuggle host nondeterminism into sim results.
+//! * **Protocol (P1–P3)** — the paper's fault-tolerance contract:
+//!   failures surface as CORBA system exceptions (never panics), clients
+//!   must observe `COMM_FAILURE`, and the FT proxy checkpoints after every
+//!   successful invocation.
+//!
+//! Findings can be suppressed inline with a justified directive:
+//!
+//! ```text
+//! // ldft-lint: allow(P1, kernel invariant: resume channel outlives process)
+//! ```
+//!
+//! A directive with no reason is itself an error (`A1`); a directive that
+//! suppresses nothing is a warning (`A2`). See `crates/lint/README.md`.
+
+pub mod analysis;
+pub mod lexer;
+pub mod rules;
+
+use analysis::FileAnalysis;
+use rules::{check_file, Finding, Severity, WorkspaceIndex};
+use std::path::{Path, PathBuf};
+
+/// Result of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, including allowed ones (for `--verbose` display).
+    pub findings: Vec<Finding>,
+    /// Number of files parsed.
+    pub files: usize,
+}
+
+impl Report {
+    /// Findings that fail the run: errors not suppressed by an allowlist
+    /// directive.
+    pub fn errors(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error && !f.allowed)
+    }
+
+    /// Non-fatal diagnostics (warnings, e.g. unused allows).
+    pub fn warnings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning && !f.allowed)
+    }
+
+    /// Suppressed findings, for audit output.
+    pub fn allowed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.allowed)
+    }
+
+    /// True when the run should exit nonzero.
+    pub fn failed(&self) -> bool {
+        self.errors().next().is_some()
+    }
+}
+
+/// Derive the crate directory (`crates/<dir>/...`) from a workspace-relative
+/// path, if the file lives under `crates/`.
+pub fn crate_dir_of(rel_path: &str) -> Option<String> {
+    let unified = rel_path.replace('\\', "/");
+    let mut parts = unified.split('/');
+    loop {
+        match parts.next() {
+            Some("crates") => return parts.next().map(str::to_string),
+            Some(_) => continue,
+            None => return None,
+        }
+    }
+}
+
+/// Analyze a single in-memory source (fixture tests and `--crate-name`
+/// runs). `crate_dir` drives rule scoping.
+pub fn analyze_source(
+    path_label: &str,
+    crate_dir: Option<&str>,
+    source: &str,
+    index: &WorkspaceIndex,
+) -> Vec<Finding> {
+    let fa = FileAnalysis::new(path_label, crate_dir, source);
+    check_file(&fa, index)
+}
+
+/// Collect every workspace `.rs` file under `root`, sorted for
+/// deterministic output. Skips build output, the offline shims, and this
+/// crate's own test fixtures (which are violations on purpose).
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("")
+                .to_string();
+            if path.is_dir() {
+                if matches!(
+                    name.as_str(),
+                    "target" | ".git" | ".github" | "fixtures" | "shims" | "node_modules"
+                ) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Run the analyzer over the whole workspace rooted at `root`.
+///
+/// Two passes: the first builds the [`WorkspaceIndex`] (P2's one-hop call
+/// graph over the orb stub API), the second evaluates every rule.
+pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
+    let files = workspace_files(root)?;
+    let mut analyses = Vec::with_capacity(files.len());
+    let mut index = WorkspaceIndex::stub_only();
+    for path in &files {
+        let source = std::fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let crate_dir = crate_dir_of(&rel);
+        let fa = FileAnalysis::new(&rel, crate_dir.as_deref(), &source);
+        index.absorb(&fa);
+        analyses.push(fa);
+    }
+    let mut report = Report {
+        findings: Vec::new(),
+        files: analyses.len(),
+    };
+    for fa in &analyses {
+        report.findings.extend(check_file(fa, &index));
+    }
+    Ok(report)
+}
+
+/// Locate the workspace root: walk up from `start` to the first directory
+/// whose `Cargo.toml` contains a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_dir_extraction() {
+        assert_eq!(
+            crate_dir_of("crates/orb/src/core.rs").as_deref(),
+            Some("orb")
+        );
+        assert_eq!(
+            crate_dir_of("crates/naming/src/context.rs").as_deref(),
+            Some("naming")
+        );
+        assert_eq!(crate_dir_of("src/lib.rs"), None);
+        assert_eq!(crate_dir_of("tests/full_stack.rs"), None);
+    }
+
+    #[test]
+    fn clean_source_has_no_findings() {
+        let index = WorkspaceIndex::stub_only();
+        let findings = analyze_source(
+            "crates/core/src/x.rs",
+            Some("core"),
+            "use std::collections::BTreeMap;\nfn f() -> BTreeMap<u32, u32> { BTreeMap::new() }\n",
+            &index,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn non_sim_crate_is_out_of_scope() {
+        let index = WorkspaceIndex::stub_only();
+        let findings = analyze_source(
+            "crates/cdr/src/x.rs",
+            Some("cdr"),
+            "fn f(v: &[u8]) -> u8 { *v.first().unwrap() }\n",
+            &index,
+        );
+        assert!(findings.is_empty());
+    }
+}

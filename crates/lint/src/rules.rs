@@ -1,0 +1,450 @@
+//! The rule set: determinism (D1–D4) and protocol (P1–P3) invariants.
+//!
+//! Scoping model: every rule applies to *library code* (non-test lines) of
+//! the **sim-facing crates** — the crates whose code runs inside, or drives,
+//! the deterministic simulation: `simnet`, `orb`, `naming`, `winner`, `ft`,
+//! `optim`, `core`. Marshalling (`cdr`), the IDL compiler (`idl`), benches,
+//! shims, and this analyzer itself are host-side tooling and out of scope.
+//!
+//! | ID | class | invariant |
+//! |----|-------|-----------|
+//! | D1 | determinism | no wall-clock time (`std::time::{Instant,SystemTime}`, `thread::sleep`) — sim time only |
+//! | D2 | determinism | no `HashMap`/`HashSet` — hash iteration order is seed-dependent; use `BTreeMap`/`BTreeSet` |
+//! | D3 | determinism | no ambient RNG (`thread_rng`, `from_entropy`, `from_os_rng`, `OsRng`) — all randomness flows from the run seed |
+//! | D4 | determinism | no OS concurrency (`std::sync::{Mutex,Condvar,RwLock}`, `thread::spawn`) outside the kernel — use `simnet::Shared` |
+//! | P1 | protocol | no panicking calls (`unwrap`/`expect`/`panic!`/`unreachable!`) in library code — propagate `Exception`/`SimResult` |
+//! | P2 | protocol | remote-invocation results must not be discarded (`let _ = ...invoke(...)`) — `COMM_FAILURE` is the only failure signal clients get |
+//! | P3 | protocol | FT proxy methods that invoke must checkpoint after success — recovery replays from the last checkpoint |
+//!
+//! `simnet` is exempt from D4: the kernel *implements* the simulated-time
+//! scheduler on OS threads, and that is the one place OS concurrency
+//! belongs.
+
+use crate::analysis::FileAnalysis;
+use crate::lexer::find_word;
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the lint run.
+    Error,
+    /// Reported, does not fail the run.
+    Warning,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Stable rule ID (`D1`..`P3`, or `A1`/`A2` for allowlist hygiene).
+    pub rule: &'static str,
+    pub severity: Severity,
+    /// Path as given to the analyzer.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    pub message: String,
+    /// True when an allow directive suppressed this finding.
+    pub allowed: bool,
+    /// Reason given on the suppressing directive, if any.
+    pub allow_reason: Option<String>,
+}
+
+impl Finding {
+    /// `file:line: severity[RULE]: message` (+ allow note).
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "{}:{}: {}[{}]: {}",
+            self.file, self.line, self.severity, self.rule, self.message
+        );
+        if self.allowed {
+            let why = self.allow_reason.as_deref().unwrap_or("");
+            s.push_str(&format!("  [allowed: {why}]"));
+        }
+        s
+    }
+}
+
+/// Crates whose code runs in (or drives) the simulation.
+pub const SIM_CRATES: &[&str] = &["simnet", "orb", "naming", "winner", "ft", "optim", "core"];
+
+/// All rule IDs, in report order.
+pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "D4", "P1", "P2", "P3"];
+
+/// Human-readable one-liner per rule, for `--list-rules`.
+pub fn rule_summary(id: &str) -> &'static str {
+    match id {
+        "D1" => "wall-clock time in sim code (std::time::Instant/SystemTime, thread::sleep)",
+        "D2" => "hash-ordered collections in sim code (HashMap/HashSet; use BTreeMap/BTreeSet)",
+        "D3" => "ambient/unseeded RNG in sim code (thread_rng, from_entropy, from_os_rng, OsRng)",
+        "D4" => "OS concurrency outside the kernel (std::sync::Mutex/Condvar/RwLock, thread::spawn; use simnet::Shared)",
+        "P1" => "panicking call in library code (unwrap/expect/panic!/unreachable!/todo!)",
+        "P2" => "discarded remote-invocation result (let _ = ...invoke-like(...))",
+        "P3" => "FT proxy method invokes without checkpoint-after-success",
+        "A1" => "allow directive missing a reason",
+        "A2" => "allow directive names no finding (unused)",
+        _ => "unknown rule",
+    }
+}
+
+/// Orb stub API: methods that perform (or complete) a remote invocation and
+/// whose `Result` carries the only `COMM_FAILURE` signal a client gets.
+/// Tier 0 of the P2 call graph.
+pub const STUB_API: &[&str] = &[
+    "invoke",
+    "invoke_oneway",
+    "call",
+    "oneway",
+    "ping",
+    "locate",
+    "send_deferred",
+    "get_response",
+];
+
+/// Identifiers too generic to propagate through the one-hop call graph —
+/// flagging every `let _ = x.new()` because some constructor pings would
+/// drown the rule in noise.
+const CALL_GRAPH_STOPLIST: &[&str] = &["new", "default", "clone", "len", "get", "with"];
+
+/// Workspace-level context shared by path-sensitive rules (P2's one-hop
+/// call graph).
+#[derive(Debug, Default)]
+pub struct WorkspaceIndex {
+    /// Stub API names plus sim-crate functions that call them (one hop).
+    pub invoking: std::collections::BTreeSet<String>,
+}
+
+impl WorkspaceIndex {
+    /// Index with only the tier-0 stub API (used by fixture tests and
+    /// single-file runs).
+    pub fn stub_only() -> Self {
+        WorkspaceIndex {
+            invoking: STUB_API.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Extend the call graph by one hop: any sim-crate function whose body
+    /// calls a tier-0 stub method becomes an invoking method itself.
+    pub fn absorb(&mut self, fa: &FileAnalysis) {
+        let Some(dir) = fa.crate_dir.as_deref() else {
+            return;
+        };
+        // simnet is below the stub layer: its `Ctx::call` syscall plumbing
+        // would otherwise alias the orb stub's `call` and drag transport
+        // helpers (`send`, `recv`, ...) into the invoking set.
+        if !SIM_CRATES.contains(&dir) || dir == "simnet" {
+            return;
+        }
+        for span in &fa.fn_spans {
+            if CALL_GRAPH_STOPLIST.contains(&span.name.as_str())
+                || STUB_API.contains(&span.name.as_str())
+            {
+                continue;
+            }
+            let calls_stub = (span.start..=span.end).any(|n| {
+                if fa.is_test_line(n) {
+                    return false;
+                }
+                let code = &fa.norm[n - 1];
+                STUB_API
+                    .iter()
+                    .any(|m| find_word(code, &format!(".{m}(")).is_some())
+            });
+            if calls_stub {
+                self.invoking.insert(span.name.clone());
+            }
+        }
+    }
+}
+
+/// Simple pattern rule: any listed pattern on a library line is a finding.
+struct PatternRule {
+    id: &'static str,
+    patterns: &'static [&'static str],
+    message: &'static str,
+    /// Crate dirs exempt from this rule (beyond the non-sim crates).
+    exempt: &'static [&'static str],
+}
+
+const PATTERN_RULES: &[PatternRule] = &[
+    PatternRule {
+        id: "D1",
+        patterns: &[
+            "std::time::Instant",
+            "std::time::SystemTime",
+            "Instant::now(",
+            "SystemTime::now(",
+            "thread::sleep(",
+            "UNIX_EPOCH",
+        ],
+        message: "wall-clock time in sim code; use the kernel's simulated clock (SimTime/Ctx::sleep)",
+        exempt: &[],
+    },
+    PatternRule {
+        id: "D2",
+        patterns: &["HashMap", "HashSet"],
+        message: "hash-ordered collection in sim code; iteration order depends on the hasher seed — use BTreeMap/BTreeSet",
+        exempt: &[],
+    },
+    PatternRule {
+        id: "D3",
+        patterns: &[
+            "thread_rng",
+            "from_entropy",
+            "from_os_rng",
+            "OsRng",
+            "rand::random(",
+            "getrandom",
+        ],
+        message: "ambient/unseeded RNG in sim code; derive all randomness from the run seed (SmallRng::seed_from_u64)",
+        exempt: &[],
+    },
+    PatternRule {
+        id: "D4",
+        patterns: &[
+            // Bare type names (ident-boundary matched) so grouped imports
+            // like `use std::sync::{Arc, Mutex};` are caught too. `Arc`
+            // itself is allowed: refcounting cannot affect scheduling.
+            "Mutex",
+            "Condvar",
+            "RwLock",
+            "Barrier",
+            "mpsc",
+            "thread::spawn(",
+            "thread::Builder",
+        ],
+        message: "OS concurrency primitive outside the kernel; sim processes are scheduler-serialized — use simnet::Shared",
+        exempt: &["simnet"],
+    },
+    PatternRule {
+        id: "P1",
+        patterns: &[
+            ".unwrap(",
+            ".expect(",
+            "panic!(",
+            "unreachable!(",
+            "todo!(",
+            "unimplemented!(",
+            ".unwrap_unchecked(",
+        ],
+        message: "panicking call in library code; propagate Exception/SimResult — a panic here takes down the whole sim, not one process",
+        exempt: &[],
+    },
+];
+
+/// Run every rule against one analyzed file. `index` feeds P2's call
+/// graph. Findings suppressed by a valid allow directive come back with
+/// `allowed = true`; allowlist-hygiene problems are reported as `A1`.
+pub fn check_file(fa: &FileAnalysis, index: &WorkspaceIndex) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Some(dir) = fa.crate_dir.as_deref() else {
+        return findings;
+    };
+    if !SIM_CRATES.contains(&dir) {
+        return findings;
+    }
+
+    for rule in PATTERN_RULES {
+        if rule.exempt.contains(&dir) {
+            continue;
+        }
+        for (idx, code) in fa.norm.iter().enumerate() {
+            let line = idx + 1;
+            if fa.is_test_line(line) {
+                continue;
+            }
+            if rule.patterns.iter().any(|p| find_word(code, p).is_some()) {
+                findings.push(Finding {
+                    rule: rule.id,
+                    severity: Severity::Error,
+                    file: fa.path.clone(),
+                    line,
+                    message: rule.message.to_string(),
+                    allowed: false,
+                    allow_reason: None,
+                });
+            }
+        }
+    }
+
+    check_p2(fa, index, &mut findings);
+    check_p3(fa, &mut findings);
+    finalize(fa, findings)
+}
+
+/// P2: a `let _ = ...` statement whose right-hand side calls an invoking
+/// method throws away the only `COMM_FAILURE` signal the client will ever
+/// see — the error must be handled, propagated, or the call FT-wrapped.
+fn check_p2(fa: &FileAnalysis, index: &WorkspaceIndex, findings: &mut Vec<Finding>) {
+    let dir = fa.crate_dir.as_deref().unwrap_or("");
+    if dir == "orb" || dir == "simnet" {
+        // The orb crate *implements* the stub layer and simnet sits below
+        // it (transport): neither can observe a remote-invocation Result,
+        // so their internal plumbing is exempt.
+        return;
+    }
+    for (idx, code) in fa.norm.iter().enumerate() {
+        let line = idx + 1;
+        if fa.is_test_line(line) {
+            continue;
+        }
+        let Some(at) = find_word(code, "let _=") else {
+            continue;
+        };
+        // The statement may span lines (rustfmt splits long call chains):
+        // accumulate until the terminating `;`.
+        let mut rhs = code[at..].to_string();
+        let mut k = idx;
+        while !rhs.contains(';') && k + 1 < fa.norm.len() && k - idx < 10 {
+            k += 1;
+            rhs.push_str(&fa.norm[k]);
+        }
+        let discards_invoke = index
+            .invoking
+            .iter()
+            .any(|m| find_word(&rhs, &format!(".{m}(")).is_some());
+        if discards_invoke {
+            findings.push(Finding {
+                rule: "P2",
+                severity: Severity::Error,
+                file: fa.path.clone(),
+                line,
+                message: "remote-invocation result discarded; COMM_FAILURE is the only failure signal the client gets — handle it, propagate it, or route the call through the FT proxy".to_string(),
+                allowed: false,
+                allow_reason: None,
+            });
+        }
+    }
+}
+
+/// P3: in the FT proxy implementation, any function that performs a remote
+/// invocation must checkpoint after a successful reply — otherwise a later
+/// failover replays from a stale state and the at-most-once contract breaks.
+fn check_p3(fa: &FileAnalysis, findings: &mut Vec<Finding>) {
+    if fa.crate_dir.as_deref() != Some("ft") {
+        return;
+    }
+    let file = fa.path.replace('\\', "/");
+    let name = file.rsplit('/').next().unwrap_or("");
+    if !name.contains("proxy") {
+        return;
+    }
+    for span in &fa.fn_spans {
+        // Only outermost proxy methods: nested helpers inherit the outer
+        // method's obligation.
+        if fa
+            .fn_spans
+            .iter()
+            .any(|o| o.start < span.start && span.end < o.end)
+        {
+            continue;
+        }
+        if fa.is_test_line(span.start) {
+            continue;
+        }
+        let mut invokes_at = None;
+        let mut checkpoints = false;
+        for n in span.start..=span.end {
+            let code = &fa.norm[n - 1];
+            if invokes_at.is_none()
+                && (find_word(code, ".invoke(").is_some() || find_word(code, ".call(").is_some())
+            {
+                invokes_at = Some(n);
+            }
+            if code.contains("after_success") || code.to_ascii_lowercase().contains("checkpoint") {
+                checkpoints = true;
+            }
+        }
+        if let Some(line) = invokes_at {
+            if !checkpoints {
+                findings.push(Finding {
+                    rule: "P3",
+                    severity: Severity::Error,
+                    file: fa.path.clone(),
+                    line,
+                    message: format!(
+                        "FT proxy method `{}` invokes without checkpointing after success; failover would replay from a stale checkpoint",
+                        span.name
+                    ),
+                    allowed: false,
+                    allow_reason: None,
+                });
+            }
+        }
+    }
+}
+
+/// Apply allow directives to raw findings and append allowlist-hygiene
+/// diagnostics (A1: missing reason — error; A2: unused directive —
+/// warning).
+fn finalize(fa: &FileAnalysis, mut findings: Vec<Finding>) -> Vec<Finding> {
+    let mut used: Vec<bool> = vec![false; fa.allows.len()];
+    for f in findings.iter_mut() {
+        for a in fa.allows_for_line(f.line) {
+            if a.rule == f.rule {
+                f.allowed = true;
+                f.allow_reason = if a.reason.is_empty() {
+                    None
+                } else {
+                    Some(a.reason.clone())
+                };
+                if let Some(pos) = fa
+                    .allows
+                    .iter()
+                    .position(|x| x.line == a.line && x.rule == a.rule)
+                {
+                    used[pos] = true;
+                }
+            }
+        }
+    }
+    for (a, was_used) in fa.allows.iter().zip(used.iter()) {
+        if !RULE_IDS.contains(&a.rule.as_str()) {
+            findings.push(Finding {
+                rule: "A1",
+                severity: Severity::Error,
+                file: fa.path.clone(),
+                line: a.line,
+                message: format!("allow directive names unknown rule `{}`", a.rule),
+                allowed: false,
+                allow_reason: None,
+            });
+            continue;
+        }
+        if a.reason.is_empty() {
+            findings.push(Finding {
+                rule: "A1",
+                severity: Severity::Error,
+                file: fa.path.clone(),
+                line: a.line,
+                message: format!(
+                    "allow({}) directive has no reason; every suppression must be justified in writing",
+                    a.rule
+                ),
+                allowed: false,
+                allow_reason: None,
+            });
+        }
+        if !*was_used {
+            findings.push(Finding {
+                rule: "A2",
+                severity: Severity::Warning,
+                file: fa.path.clone(),
+                line: a.line,
+                message: format!("allow({}) directive suppresses nothing; remove it", a.rule),
+                allowed: false,
+                allow_reason: None,
+            });
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}

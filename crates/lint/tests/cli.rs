@@ -1,0 +1,112 @@
+//! End-to-end CLI tests: exit codes, diagnostics format, and the gate the
+//! CI workflow relies on — `ldft-lint --workspace` must pass on the tree
+//! as committed.
+
+use std::path::Path;
+use std::process::Command;
+
+fn lint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ldft-lint"))
+}
+
+/// Stage a fixture outside the repo: the analyzer (correctly) treats any
+/// path under a `tests/` directory as test code and exempts it, so the CLI
+/// must see the file somewhere neutral.
+fn fixture(name: &str) -> String {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let dir = std::env::temp_dir().join("ldft-lint-cli-fixtures");
+    std::fs::create_dir_all(&dir).expect("mkdir temp fixtures");
+    let dst = dir.join(name);
+    std::fs::copy(&src, &dst).expect("stage fixture");
+    dst.to_string_lossy().into_owned()
+}
+
+#[test]
+fn bad_fixture_fails_with_exit_code_1() {
+    let out = lint()
+        .args(["--crate-name", "orb", &fixture("d1_bad.rs")])
+        .output()
+        .expect("spawn ldft-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[D1]"), "{stdout}");
+    assert!(stdout.contains("d1_bad.rs:4:"), "{stdout}");
+}
+
+#[test]
+fn clean_fixture_passes_with_exit_code_0() {
+    let out = lint()
+        .args(["--crate-name", "orb", &fixture("d1_clean.rs")])
+        .output()
+        .expect("spawn ldft-lint");
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+}
+
+#[test]
+fn warnings_alone_do_not_fail_the_run() {
+    // allow_clean has one suppressed finding and nothing else.
+    let out = lint()
+        .args(["--crate-name", "winner", &fixture("allow_clean.rs")])
+        .output()
+        .expect("spawn ldft-lint");
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 allowed"), "{stdout}");
+}
+
+#[test]
+fn allow_hygiene_failures_are_fatal() {
+    let out = lint()
+        .args(["--crate-name", "winner", &fixture("allow_bad.rs")])
+        .output()
+        .expect("spawn ldft-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[A1]"), "{stdout}");
+}
+
+#[test]
+fn list_rules_names_every_rule() {
+    let out = lint()
+        .arg("--list-rules")
+        .output()
+        .expect("spawn ldft-lint");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for id in ["D1", "D2", "D3", "D4", "P1", "P2", "P3", "A1", "A2"] {
+        assert!(stdout.contains(id), "missing {id} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = lint()
+        .arg("--frobnicate")
+        .output()
+        .expect("spawn ldft-lint");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn workspace_run_is_clean_on_the_committed_tree() {
+    // The CI gate, exercised from the test suite: the workspace as
+    // committed must lint clean (allowed findings are fine).
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let out = lint()
+        .args(["--workspace", "--root"])
+        .arg(root)
+        .output()
+        .expect("spawn ldft-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace lint failed:\n{stdout}"
+    );
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+}

@@ -1,0 +1,201 @@
+//! Fixture tests: every rule has one deliberately-bad fixture (exact hits
+//! asserted — rule ID *and* line) and one clean counterpart that must not
+//! fire. The fixtures live under `tests/fixtures/` and are analyzed as
+//! in-memory sources with a synthetic crate assignment; they are never
+//! compiled, and the workspace walker skips `fixtures` directories so the
+//! `--workspace` run stays clean.
+
+use ldft_lint::analyze_source;
+use ldft_lint::rules::{Finding, Severity, WorkspaceIndex};
+
+/// Unsuppressed error hits as `(rule, line)`, sorted by the analyzer.
+fn errors(label: &str, krate: &str, src: &str) -> Vec<(&'static str, usize)> {
+    findings(label, krate, src)
+        .iter()
+        .filter(|f| f.severity == Severity::Error && !f.allowed)
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+fn findings(label: &str, krate: &str, src: &str) -> Vec<Finding> {
+    let index = WorkspaceIndex::stub_only();
+    analyze_source(label, Some(krate), src, &index)
+}
+
+macro_rules! fixture {
+    ($name:literal) => {
+        include_str!(concat!("fixtures/", $name))
+    };
+}
+
+#[test]
+fn d1_wall_clock_time() {
+    // Line 3 hits too: the return type names std::time::SystemTime.
+    let hits = errors("crates/orb/src/d1_bad.rs", "orb", fixture!("d1_bad.rs"));
+    assert_eq!(hits, vec![("D1", 3), ("D1", 4), ("D1", 8)]);
+    let clean = errors("crates/orb/src/d1_clean.rs", "orb", fixture!("d1_clean.rs"));
+    assert_eq!(clean, vec![]);
+}
+
+#[test]
+fn d2_hash_collections() {
+    let hits = errors(
+        "crates/naming/src/d2_bad.rs",
+        "naming",
+        fixture!("d2_bad.rs"),
+    );
+    assert_eq!(hits, vec![("D2", 3), ("D2", 5), ("D2", 6)]);
+    let clean = errors(
+        "crates/naming/src/d2_clean.rs",
+        "naming",
+        fixture!("d2_clean.rs"),
+    );
+    assert_eq!(clean, vec![]);
+}
+
+#[test]
+fn d3_ambient_rng() {
+    let hits = errors(
+        "crates/winner/src/d3_bad.rs",
+        "winner",
+        fixture!("d3_bad.rs"),
+    );
+    assert_eq!(hits, vec![("D3", 6), ("D3", 11)]);
+    let clean = errors(
+        "crates/winner/src/d3_clean.rs",
+        "winner",
+        fixture!("d3_clean.rs"),
+    );
+    assert_eq!(clean, vec![]);
+}
+
+#[test]
+fn d4_os_concurrency() {
+    let hits = errors("crates/core/src/d4_bad.rs", "core", fixture!("d4_bad.rs"));
+    assert_eq!(hits, vec![("D4", 5), ("D4", 7), ("D4", 8), ("D4", 12)]);
+    let clean = errors(
+        "crates/core/src/d4_clean.rs",
+        "core",
+        fixture!("d4_clean.rs"),
+    );
+    assert_eq!(clean, vec![]);
+}
+
+#[test]
+fn d4_is_waived_inside_the_kernel_crate() {
+    // The same OS-concurrency source is legal in simnet, which implements
+    // the scheduler the rule exists to protect.
+    let hits = errors(
+        "crates/simnet/src/d4_bad.rs",
+        "simnet",
+        fixture!("d4_bad.rs"),
+    );
+    assert_eq!(hits, vec![]);
+}
+
+#[test]
+fn p1_panicking_calls() {
+    let hits = errors("crates/ft/src/p1_bad.rs", "ft", fixture!("p1_bad.rs"));
+    assert_eq!(hits, vec![("P1", 4), ("P1", 8), ("P1", 12)]);
+    let clean = errors("crates/ft/src/p1_clean.rs", "ft", fixture!("p1_clean.rs"));
+    assert_eq!(clean, vec![]);
+}
+
+#[test]
+fn p2_discarded_invocation_results() {
+    let hits = errors("crates/core/src/p2_bad.rs", "core", fixture!("p2_bad.rs"));
+    assert_eq!(hits, vec![("P2", 4), ("P2", 8)]);
+    let clean = errors(
+        "crates/core/src/p2_clean.rs",
+        "core",
+        fixture!("p2_clean.rs"),
+    );
+    assert_eq!(clean, vec![]);
+}
+
+#[test]
+fn p3_proxy_checkpoint_after_success() {
+    let hits = errors(
+        "crates/ft/src/p3_bad_proxy.rs",
+        "ft",
+        fixture!("p3_bad_proxy.rs"),
+    );
+    assert_eq!(hits, vec![("P3", 6)]);
+    let clean = errors(
+        "crates/ft/src/p3_clean_proxy.rs",
+        "ft",
+        fixture!("p3_clean_proxy.rs"),
+    );
+    assert_eq!(clean, vec![]);
+}
+
+#[test]
+fn p3_only_applies_to_proxy_files() {
+    // The identical unrepaired source outside a proxy file is not P3's
+    // business (it has no other violations either).
+    let hits = errors(
+        "crates/ft/src/p3_elsewhere.rs",
+        "ft",
+        fixture!("p3_bad_proxy.rs"),
+    );
+    assert_eq!(hits, vec![]);
+}
+
+#[test]
+fn allow_hygiene_a1_and_a2() {
+    let all = findings(
+        "crates/winner/src/allow_bad.rs",
+        "winner",
+        fixture!("allow_bad.rs"),
+    );
+    let errs: Vec<(&str, usize)> = all
+        .iter()
+        .filter(|f| f.severity == Severity::Error && !f.allowed)
+        .map(|f| (f.rule, f.line))
+        .collect();
+    // A1 twice: the reason-less directive and the unknown-rule directive.
+    assert_eq!(errs, vec![("A1", 4), ("A1", 8)]);
+    let warns: Vec<(&str, usize)> = all
+        .iter()
+        .filter(|f| f.severity == Severity::Warning)
+        .map(|f| (f.rule, f.line))
+        .collect();
+    assert_eq!(warns, vec![("A2", 11)]);
+    // The reason-less directive still suppresses its finding — the A1 is
+    // what fails the run.
+    let suppressed: Vec<(&str, usize)> = all
+        .iter()
+        .filter(|f| f.allowed)
+        .map(|f| (f.rule, f.line))
+        .collect();
+    assert_eq!(suppressed, vec![("P1", 5)]);
+}
+
+#[test]
+fn justified_allow_suppresses_cleanly() {
+    let all = findings(
+        "crates/winner/src/allow_clean.rs",
+        "winner",
+        fixture!("allow_clean.rs"),
+    );
+    assert!(
+        all.iter()
+            .all(|f| f.allowed && f.rule == "P1" && f.allow_reason.is_some()),
+        "{all:?}"
+    );
+    assert_eq!(all.len(), 1);
+}
+
+#[test]
+fn fixtures_are_inert_outside_sim_crates() {
+    // The same bad sources assigned to an out-of-scope crate produce
+    // nothing: the rules police the simulation, not host tooling.
+    assert_eq!(
+        errors("crates/cdr/src/x.rs", "cdr", fixture!("d2_bad.rs")),
+        vec![]
+    );
+    assert_eq!(
+        errors("crates/idl/src/x.rs", "idl", fixture!("p1_bad.rs")),
+        vec![]
+    );
+}

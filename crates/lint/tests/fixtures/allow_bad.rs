@@ -1,0 +1,12 @@
+//! Fixture: allowlist hygiene failures. Never compiled.
+
+pub fn unjustified(v: Option<u32>) -> u32 {
+    // ldft-lint: allow(P1)
+    v.unwrap()
+}
+
+// ldft-lint: allow(Z9, a reason for a rule that does not exist)
+pub fn unknown_rule() {}
+
+// ldft-lint: allow(D2, suppresses nothing on the next line)
+pub fn unused_directive() {}

@@ -1,0 +1,7 @@
+//! Fixture: a justified allow directive suppressing a real finding. Never
+//! compiled.
+
+pub fn justified(v: Option<u32>) -> u32 {
+    // ldft-lint: allow(P1, fixture: documented invariant makes this unreachable)
+    v.unwrap()
+}

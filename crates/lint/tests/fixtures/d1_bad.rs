@@ -1,0 +1,9 @@
+//! Fixture: D1 — wall-clock time in sim code. Never compiled.
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -1,0 +1,9 @@
+//! Fixture: D1 counterpart — simulated time only. Never compiled.
+
+pub fn nap(ctx: &mut simnet::Ctx) -> simnet::SimResult<()> {
+    ctx.sleep(simnet::SimDuration::from_millis(1))
+}
+
+pub fn stamp(ctx: &Ctx) -> simnet::SimTime {
+    ctx.now()
+}

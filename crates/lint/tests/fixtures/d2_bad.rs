@@ -1,0 +1,11 @@
+//! Fixture: D2 — hash-ordered collections. Never compiled.
+
+use std::collections::HashMap;
+
+pub fn count(keys: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    for k in keys {
+        *m.entry(*k).or_default() += 1;
+    }
+    m
+}

@@ -1,0 +1,11 @@
+//! Fixture: D2 counterpart — ordered collections. Never compiled.
+
+use std::collections::BTreeMap;
+
+pub fn count(keys: &[u32]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    for k in keys {
+        *m.entry(*k).or_default() += 1;
+    }
+    m
+}

@@ -1,0 +1,12 @@
+//! Fixture: D3 — ambient, unseeded randomness. Never compiled.
+
+use rand::SeedableRng;
+
+pub fn roll() -> u64 {
+    let mut rng = rand::rngs::SmallRng::from_entropy();
+    rng.next_u64()
+}
+
+pub fn flip() -> bool {
+    rand::random()
+}

@@ -1,0 +1,9 @@
+//! Fixture: D3 counterpart — all randomness flows from the seed. Never
+//! compiled.
+
+use rand::SeedableRng;
+
+pub fn roll(seed: u64) -> u64 {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    rng.next_u64()
+}

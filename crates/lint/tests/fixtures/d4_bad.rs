@@ -1,0 +1,13 @@
+//! Fixture: D4 — OS concurrency outside the kernel. Never compiled.
+//! The grouped import below is the form a qualified-path pattern would
+//! miss.
+
+use std::sync::{Arc, Mutex};
+
+pub fn cell() -> Arc<Mutex<u32>> {
+    Arc::new(Mutex::new(0))
+}
+
+pub fn race() {
+    std::thread::spawn(|| {});
+}

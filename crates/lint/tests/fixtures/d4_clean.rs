@@ -1,0 +1,12 @@
+//! Fixture: D4 counterpart — the sanctioned shared cell (plain `Arc` for
+//! refcounting is also fine). Never compiled.
+
+use std::rc::Rc;
+
+pub fn cell() -> simnet::Shared<u32> {
+    simnet::Shared::new(0)
+}
+
+pub fn local(v: u32) -> Rc<u32> {
+    Rc::new(v)
+}

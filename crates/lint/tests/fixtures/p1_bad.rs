@@ -1,0 +1,21 @@
+//! Fixture: P1 — panicking calls in library code. Never compiled.
+
+pub fn head(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn must(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn boom() {
+    panic!("nope");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panicking_in_tests_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

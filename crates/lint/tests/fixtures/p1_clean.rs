@@ -1,0 +1,9 @@
+//! Fixture: P1 counterpart — errors propagate as values. Never compiled.
+
+pub fn head(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+pub fn must(v: Option<u32>) -> Result<u32, String> {
+    v.ok_or_else(|| "missing".to_string())
+}

@@ -1,0 +1,11 @@
+//! Fixture: P2 — a remote-invocation result thrown away. Never compiled.
+
+pub fn fire_and_forget(stub: &WorkerStub, orb: &mut Orb, ctx: &mut Ctx) {
+    let _ = stub.obj.invoke(orb, ctx, "solve", &());
+}
+
+pub fn multiline_discard(stub: &WorkerStub, orb: &mut Orb, ctx: &mut Ctx) {
+    let _ = stub
+        .obj
+        .call(orb, ctx, "ping", &());
+}

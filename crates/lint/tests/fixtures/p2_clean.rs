@@ -1,0 +1,17 @@
+//! Fixture: P2 counterpart — the COMM_FAILURE channel is observed. Never
+//! compiled.
+
+pub fn fire(stub: &WorkerStub, orb: &mut Orb, ctx: &mut Ctx) -> SimResult<Result<(), Exception>> {
+    stub.obj.invoke(orb, ctx, "solve", &())
+}
+
+pub fn fire_logged(stub: &WorkerStub, orb: &mut Orb, ctx: &mut Ctx) -> SimResult<()> {
+    if let Err(e) = stub.obj.invoke(orb, ctx, "solve", &())? {
+        eprintln!("solve failed: {e}");
+    }
+    Ok(())
+}
+
+pub fn ignores_a_local_result() {
+    let _ = "5".parse::<u32>();
+}

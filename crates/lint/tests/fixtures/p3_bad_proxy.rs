@@ -1,0 +1,9 @@
+//! Fixture: P3 — an FT proxy method that invokes but never saves state.
+//! Never compiled.
+
+impl RequestProxy {
+    pub fn dispatch(&mut self, orb: &mut Orb, ctx: &mut Ctx) -> SimResult<Outcome> {
+        let reply = self.request.invoke(orb, ctx)?;
+        Ok(reply)
+    }
+}

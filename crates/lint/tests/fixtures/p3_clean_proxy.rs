@@ -1,0 +1,10 @@
+//! Fixture: P3 counterpart — checkpoint after the successful reply. Never
+//! compiled.
+
+impl RequestProxy {
+    pub fn dispatch(&mut self, orb: &mut Orb, ctx: &mut Ctx) -> SimResult<Outcome> {
+        let reply = self.request.invoke(orb, ctx)?;
+        self.checkpoint_after_success(orb, ctx)?;
+        Ok(reply)
+    }
+}

@@ -13,7 +13,7 @@
 //! unavailable.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use orb::{reply, CallCtx, Exception, Ior, ObjectKey, Servant, SystemException};
@@ -53,14 +53,14 @@ enum Entry {
 }
 
 struct Node {
-    entries: HashMap<NameComponent, Entry>,
+    entries: BTreeMap<NameComponent, Entry>,
 }
 
 /// The naming tree shared by all context servants of one server process.
 pub struct NamingTree {
-    nodes: HashMap<u64, Node>,
+    nodes: BTreeMap<u64, Node>,
     /// Local context object keys → tree nodes (for `bind_context`).
-    by_key: HashMap<ObjectKey, u64>,
+    by_key: BTreeMap<ObjectKey, u64>,
     next_node: u64,
     /// Resolution statistics (read by tests and the demo).
     pub resolves: u64,
@@ -73,16 +73,16 @@ pub struct NamingTree {
 impl NamingTree {
     /// A tree with a root node (id 0).
     pub fn new() -> Rc<RefCell<NamingTree>> {
-        let mut nodes = HashMap::new();
+        let mut nodes = BTreeMap::new();
         nodes.insert(
             0,
             Node {
-                entries: HashMap::new(),
+                entries: BTreeMap::new(),
             },
         );
         Rc::new(RefCell::new(NamingTree {
             nodes,
-            by_key: HashMap::new(),
+            by_key: BTreeMap::new(),
             next_node: 1,
             resolves: 0,
             winner_picks: 0,
@@ -96,6 +96,13 @@ pub struct NamingContext {
     tree: Rc<RefCell<NamingTree>>,
     node: u64,
     mode: LbMode,
+}
+
+/// The servant's tree node is gone: the context was destroyed while a
+/// client still held its reference. COS Naming surfaces this as
+/// `OBJECT_NOT_EXIST`, not a server crash.
+fn dead_context() -> Exception {
+    SystemException::object_not_exist("naming context no longer exists").into()
 }
 
 impl NamingContext {
@@ -126,7 +133,7 @@ impl NamingContext {
         let mut node = self.node;
         let comps = &name.0;
         for (i, comp) in comps[..comps.len() - 1].iter().enumerate() {
-            let n = tree.nodes.get(&node).expect("valid node");
+            let n = tree.nodes.get(&node).ok_or_else(dead_context)?;
             match n.entries.get(comp) {
                 Some(Entry::Context {
                     node: Some(child), ..
@@ -153,7 +160,7 @@ impl NamingContext {
     fn bind(&self, name: &Name, entry: Entry) -> Result<(), Exception> {
         let (node, last) = self.walk(name)?;
         let mut tree = self.tree.borrow_mut();
-        let entries = &mut tree.nodes.get_mut(&node).expect("valid node").entries;
+        let entries = &mut tree.nodes.get_mut(&node).ok_or_else(dead_context)?.entries;
         if entries.contains_key(&last) {
             return Err(AlreadyBound.raise());
         }
@@ -164,7 +171,7 @@ impl NamingContext {
     fn rebind(&self, name: &Name, entry: Entry) -> Result<(), Exception> {
         let (node, last) = self.walk(name)?;
         let mut tree = self.tree.borrow_mut();
-        let entries = &mut tree.nodes.get_mut(&node).expect("valid node").entries;
+        let entries = &mut tree.nodes.get_mut(&node).ok_or_else(dead_context)?.entries;
         match entries.get(&last) {
             Some(Entry::Context { .. }) => Err(NotFound {
                 why: NotFoundReason::NotObject,
@@ -190,9 +197,15 @@ impl NamingContext {
         // nested Winner call.
         let members: Vec<Ior> = {
             let tree = self.tree.borrow();
-            match tree.nodes[&node].entries.get(name) {
+            match tree.nodes.get(&node).and_then(|n| n.entries.get(name)) {
                 Some(Entry::Group { members, .. }) => members.clone(),
-                _ => unreachable!("caller checked the entry is a group"),
+                // The caller just saw a group here; anything else means the
+                // tree changed under us — an internal bug, not a panic.
+                _ => {
+                    return Err(
+                        SystemException::internal("group entry vanished mid-dispatch").into(),
+                    )
+                }
             }
         };
         if members.is_empty() {
@@ -227,11 +240,11 @@ impl NamingContext {
         let Some(Entry::Group { members, rr }) = tree
             .nodes
             .get_mut(&node)
-            .expect("valid node")
+            .ok_or_else(dead_context)?
             .entries
             .get_mut(name)
         else {
-            unreachable!("entry type cannot change mid-dispatch");
+            return Err(SystemException::internal("group entry vanished mid-dispatch").into());
         };
         let mut order: Vec<usize> = (0..members.len()).collect();
         order.sort_by_key(|&i| (members[i].host, members[i].port, members[i].key));
@@ -245,7 +258,13 @@ impl NamingContext {
         self.tree.borrow_mut().resolves += 1;
         {
             let tree = self.tree.borrow();
-            match tree.nodes[&node].entries.get(&last) {
+            match tree
+                .nodes
+                .get(&node)
+                .ok_or_else(dead_context)?
+                .entries
+                .get(&last)
+            {
                 None => {
                     return Err(NotFound {
                         why: NotFoundReason::MissingNode,
@@ -298,7 +317,7 @@ impl Servant for NamingContext {
                 let (name,): (Name,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
                 let (node, last) = self.walk(&name)?;
                 let mut tree = self.tree.borrow_mut();
-                let entries = &mut tree.nodes.get_mut(&node).expect("valid node").entries;
+                let entries = &mut tree.nodes.get_mut(&node).ok_or_else(dead_context)?.entries;
                 if entries.remove(&last).is_none() {
                     return Err(NotFound {
                         why: NotFoundReason::MissingNode,
@@ -314,7 +333,13 @@ impl Servant for NamingContext {
                 // Create the child node.
                 let child_node = {
                     let mut tree = self.tree.borrow_mut();
-                    if tree.nodes[&node].entries.contains_key(&last) {
+                    if tree
+                        .nodes
+                        .get(&node)
+                        .ok_or_else(dead_context)?
+                        .entries
+                        .contains_key(&last)
+                    {
                         return Err(AlreadyBound.raise());
                     }
                     let id = tree.next_node;
@@ -322,7 +347,7 @@ impl Servant for NamingContext {
                     tree.nodes.insert(
                         id,
                         Node {
-                            entries: HashMap::new(),
+                            entries: BTreeMap::new(),
                         },
                     );
                     id
@@ -334,13 +359,17 @@ impl Servant for NamingContext {
                 {
                     let mut tree = self.tree.borrow_mut();
                     tree.by_key.insert(key, child_node);
-                    tree.nodes.get_mut(&node).expect("valid").entries.insert(
-                        last,
-                        Entry::Context {
-                            node: Some(child_node),
-                            ior: ior.clone(),
-                        },
-                    );
+                    tree.nodes
+                        .get_mut(&node)
+                        .ok_or_else(dead_context)?
+                        .entries
+                        .insert(
+                            last,
+                            Entry::Context {
+                                node: Some(child_node),
+                                ior: ior.clone(),
+                            },
+                        );
                 }
                 reply(&ior)
             }
@@ -348,7 +377,8 @@ impl Servant for NamingContext {
                 cdr::from_bytes::<()>(args).map_err(SystemException::marshal)?;
                 {
                     let tree = self.tree.borrow();
-                    if !tree.nodes[&self.node].entries.is_empty() {
+                    let node = tree.nodes.get(&self.node).ok_or_else(dead_context)?;
+                    if !node.entries.is_empty() {
                         return Err(NotEmpty.raise());
                     }
                 }
@@ -363,7 +393,9 @@ impl Servant for NamingContext {
                     cdr::from_bytes(args).map_err(SystemException::marshal)?;
                 let mut bindings: Vec<Binding> = {
                     let tree = self.tree.borrow();
-                    tree.nodes[&self.node]
+                    tree.nodes
+                        .get(&self.node)
+                        .ok_or_else(dead_context)?
                         .entries
                         .iter()
                         .map(|(comp, entry)| Binding {
@@ -391,7 +423,7 @@ impl Servant for NamingContext {
                     cdr::from_bytes(args).map_err(SystemException::marshal)?;
                 let (node, last) = self.walk(&name)?;
                 let mut tree = self.tree.borrow_mut();
-                let entries = &mut tree.nodes.get_mut(&node).expect("valid").entries;
+                let entries = &mut tree.nodes.get_mut(&node).ok_or_else(dead_context)?.entries;
                 match entries.get_mut(&last) {
                     None => {
                         entries.insert(
@@ -417,7 +449,7 @@ impl Servant for NamingContext {
                     cdr::from_bytes(args).map_err(SystemException::marshal)?;
                 let (node, last) = self.walk(&name)?;
                 let mut tree = self.tree.borrow_mut();
-                let entries = &mut tree.nodes.get_mut(&node).expect("valid").entries;
+                let entries = &mut tree.nodes.get_mut(&node).ok_or_else(dead_context)?.entries;
                 match entries.get_mut(&last) {
                     Some(Entry::Group { members, .. }) => {
                         let before = members.len();
@@ -442,7 +474,13 @@ impl Servant for NamingContext {
                 let (name,): (Name,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
                 let (node, last) = self.walk(&name)?;
                 let tree = self.tree.borrow();
-                match tree.nodes[&node].entries.get(&last) {
+                match tree
+                    .nodes
+                    .get(&node)
+                    .ok_or_else(dead_context)?
+                    .entries
+                    .get(&last)
+                {
                     Some(Entry::Group { members, .. }) => reply(&members.clone()),
                     _ => Err(NotFound {
                         why: NotFoundReason::MissingNode,

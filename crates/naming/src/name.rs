@@ -7,7 +7,7 @@ use std::fmt;
 
 /// One name component: an `id` and a `kind` (both may be empty, but a
 /// fully empty component is invalid).
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct NameComponent {
     /// Identifier.
     pub id: String,
@@ -55,7 +55,7 @@ impl CdrRead for NameComponent {
 }
 
 /// A naming path: a non-empty sequence of components.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct Name(pub Vec<NameComponent>);
 
 /// Why a name string failed to parse.

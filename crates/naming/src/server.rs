@@ -17,13 +17,17 @@ use crate::protocol::{NAMING_CONTEXT_TYPE, NAMING_PORT, ROOT_CONTEXT_KEY};
 /// `mode` selects the paper's load-distributing behaviour
 /// ([`LbMode::Winner`]) or the plain baseline ([`LbMode::Plain`]).
 ///
-/// # Panics
-/// If port 2809 is already bound on this host.
+/// If port 2809 is already bound on this host (another naming server is
+/// running), the process reports it and exits instead of serving.
 pub fn run_naming_service(ctx: &mut Ctx, mode: LbMode) -> SimResult<()> {
     let mut orb = Orb::init(ctx);
-    let port = orb
-        .listen_on(ctx, NAMING_PORT)?
-        .expect("naming port 2809 already in use on this host");
+    let Some(port) = orb.listen_on(ctx, NAMING_PORT)? else {
+        eprintln!(
+            "naming: port {NAMING_PORT:?} already in use on host {:?}; not serving",
+            ctx.host()
+        );
+        return Ok(());
+    };
     debug_assert_eq!(port, NAMING_PORT);
     let poa = Poa::new();
     let tree = NamingTree::new();

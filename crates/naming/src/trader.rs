@@ -17,7 +17,7 @@
 //! service.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use orb::{reply, CallCtx, Exception, Ior, ObjectRef, Orb, Poa, Servant, SystemException};
@@ -40,7 +40,7 @@ pub mod trader_ops {
 /// The trader servant: a flat multimap from service type to offers.
 #[derive(Default)]
 pub struct Trader {
-    offers: HashMap<String, Vec<Ior>>,
+    offers: BTreeMap<String, Vec<Ior>>,
     /// Queries served (for tests).
     pub queries: u64,
 }

@@ -73,6 +73,30 @@ impl cdr::CdrRead for ComplexState {
     }
 }
 
+/// Index of the smallest value under `total_cmp`. Returns 0 for an empty
+/// slice; every caller holds a non-empty population, and the subsequent
+/// index into the population is what enforces that invariant.
+fn argmin(values: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, v) in values.iter().enumerate().skip(1) {
+        if v.total_cmp(&values[best]).is_lt() {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Index of the largest value under `total_cmp` (0 for an empty slice).
+fn argmax(values: &[f64]) -> usize {
+    let mut worst = 0;
+    for (i, v) in values.iter().enumerate().skip(1) {
+        if v.total_cmp(&values[worst]).is_gt() {
+            worst = i;
+        }
+    }
+    worst
+}
+
 /// A running Complex Box optimization over a [`Problem`].
 pub struct ComplexBox<'p> {
     problem: &'p dyn Problem,
@@ -207,22 +231,12 @@ impl<'p> ComplexBox<'p> {
 
     /// Best point and value in the current complex.
     pub fn best(&self) -> (&[f64], f64) {
-        let (i, _) = self
-            .values
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .expect("population is non-empty");
+        let i = argmin(&self.values);
         (&self.points[i], self.values[i])
     }
 
     fn worst_index(&self) -> usize {
-        self.values
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .expect("population is non-empty")
-            .0
+        argmax(&self.values)
     }
 
     /// Run one reflection step.
@@ -362,15 +376,22 @@ impl AskTellComplex {
         match &self.phase {
             Phase::Init(i) => self.points[*i].clone(),
             Phase::Reflect { candidate, .. } => candidate.clone(),
-            Phase::Idle => unreachable!("begin_reflection leaves Reflect"),
+            Phase::Idle => {
+                // begin_reflection always leaves the phase at Reflect;
+                // re-asking the first point keeps release builds moving.
+                debug_assert!(false, "begin_reflection leaves Reflect");
+                self.points[0].clone()
+            }
         }
     }
 
-    /// Report the objective value of the last asked point.
+    /// Report the objective value of the last asked point. Telling without
+    /// a pending [`AskTellComplex::ask`] is caller misuse: debug builds
+    /// fail loudly, release builds discard the stray value.
     pub fn tell(&mut self, value: f64) {
-        self.evals += 1;
         match std::mem::replace(&mut self.phase, Phase::Idle) {
             Phase::Init(i) => {
+                self.evals += 1;
                 self.values.push(value);
                 if i + 1 < self.points.len() {
                     self.phase = Phase::Init(i + 1);
@@ -383,6 +404,7 @@ impl AskTellComplex {
                 mut candidate,
                 contractions,
             } => {
+                self.evals += 1;
                 if value >= worst_value && contractions < self.cfg.max_contractions {
                     for (x, c) in candidate.iter_mut().zip(&centroid) {
                         *x = 0.5 * (*x + c);
@@ -407,19 +429,15 @@ impl AskTellComplex {
                     self.iterations += 1;
                 }
             }
-            Phase::Idle => panic!("tell() without a pending ask()"),
+            Phase::Idle => {
+                debug_assert!(false, "tell() without a pending ask()");
+            }
         }
     }
 
     fn begin_reflection(&mut self) {
         let dim = self.bounds.dim();
-        let worst = self
-            .values
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .expect("initialized population")
-            .0;
+        let worst = argmax(&self.values);
         let mut centroid = vec![0.0; dim];
         for (i, p) in self.points.iter().enumerate() {
             if i == worst {
@@ -460,12 +478,7 @@ impl AskTellComplex {
 
     /// Best point and value (once the initial population is evaluated).
     pub fn best(&self) -> (&[f64], f64) {
-        let (i, _) = self
-            .values
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .expect("population evaluated");
+        let i = argmin(&self.values);
         (&self.points[i], self.values[i])
     }
 }

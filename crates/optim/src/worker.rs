@@ -9,7 +9,7 @@
 //! (`get_checkpoint` / `restore_checkpoint`).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use cosnaming::NamingClient;
@@ -43,7 +43,7 @@ impl Default for WorkerCosts {
 pub struct WorkerServant {
     costs: WorkerCosts,
     /// Cached optimizer state per subproblem id.
-    state: HashMap<u32, ComplexState>,
+    state: BTreeMap<u32, ComplexState>,
     solve_count: u32,
 }
 
@@ -52,7 +52,7 @@ impl WorkerServant {
     pub fn new(costs: WorkerCosts) -> Self {
         WorkerServant {
             costs,
-            state: HashMap::new(),
+            state: BTreeMap::new(),
             solve_count: 0,
         }
     }
@@ -113,9 +113,10 @@ impl WorkerServant {
 
     /// Serialize the full worker state (checkpoint payload).
     fn checkpoint(&self) -> Vec<u8> {
-        let mut entries: Vec<(u32, ComplexState)> =
+        // BTreeMap iteration is already key-ordered, so the payload bytes
+        // are deterministic without an explicit sort.
+        let entries: Vec<(u32, ComplexState)> =
             self.state.iter().map(|(k, v)| (*k, v.clone())).collect();
-        entries.sort_by_key(|(k, _)| *k);
         cdr::to_bytes(&(self.solve_count, entries))
     }
 

@@ -134,7 +134,13 @@ impl DiiRequest {
     ) -> SimResult<Result<Vec<u8>, Exception>> {
         loop {
             match std::mem::replace(&mut self.state, State::Building) {
-                State::Building => panic!("get_response before send_deferred"),
+                State::Building => {
+                    // API misuse, surfaced as a CORBA exception (the real
+                    // spec raises BAD_INV_ORDER here) instead of a panic.
+                    return Ok(Err(Exception::System(SystemException::internal(
+                        "get_response before send_deferred",
+                    ))));
+                }
                 State::Done(r) => {
                     self.state = State::Done(r.clone());
                     return Ok(r);

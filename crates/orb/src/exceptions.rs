@@ -65,6 +65,12 @@ impl SystemException {
         }
     }
 
+    /// `INTERNAL`: an ORB-side invariant failed. Raised instead of
+    /// panicking so a runtime bug degrades one request, not the whole sim.
+    pub fn internal(detail: impl Into<String>) -> Self {
+        SystemException::new(SysKind::Internal, Completion::Maybe, detail)
+    }
+
     /// `COMM_FAILURE` with unknown completion (the network gave no answer).
     pub fn comm_failure(detail: impl Into<String>) -> Self {
         SystemException::new(SysKind::CommFailure, Completion::Maybe, detail)

@@ -91,7 +91,12 @@ impl ReplyBody {
             ReplyBody::UserException(u) => Err(Exception::User(u)),
             ReplyBody::SystemException(s) => Err(Exception::System(s)),
             ReplyBody::LocationForward(_) => {
-                unreachable!("forwards are consumed by the invocation loop")
+                // Forwards are consumed by the invocation loop; one leaking
+                // through is an ORB bug, reported as INTERNAL rather than a
+                // panic.
+                Err(Exception::System(SystemException::internal(
+                    "unconsumed LocationForward reply",
+                )))
             }
         }
     }

@@ -21,7 +21,7 @@ pub trait Interceptor {
 #[derive(Default)]
 pub struct CallCounter {
     /// Requests sent, by operation name.
-    pub sent: std::collections::HashMap<String, u64>,
+    pub sent: std::collections::BTreeMap<String, u64>,
     /// Failed replies observed.
     pub failures: u64,
 }

@@ -63,7 +63,8 @@ impl Ior {
         s.push_str("IOR:");
         for b in bytes {
             use std::fmt::Write;
-            write!(s, "{b:02x}").expect("writing to String cannot fail");
+            // Writing to a String is infallible; ignore the fmt::Result.
+            let _ = write!(s, "{b:02x}");
         }
         s
     }

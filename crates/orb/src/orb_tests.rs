@@ -785,10 +785,16 @@ fn try_serve_supports_polling_servers() {
         ctx.sleep(secs(0.2)).unwrap();
         let mut orb = Orb::init(ctx);
         let obj = resolve(&i);
-        let v: f64 = obj.call(&mut orb, ctx, "add", &(1.0, 2.0)).unwrap().unwrap();
+        let v: f64 = obj
+            .call(&mut orb, ctx, "add", &(1.0, 2.0))
+            .unwrap()
+            .unwrap();
         *o.lock().unwrap() = Some(v);
     });
     sim.run_until_exit(client);
     assert_eq!(out.lock().unwrap().unwrap(), 3.0);
-    assert!(*ticks.lock().unwrap() >= 4, "server kept doing its own work");
+    assert!(
+        *ticks.lock().unwrap() >= 4,
+        "server kept doing its own work"
+    );
 }

@@ -7,7 +7,7 @@
 //! `BindingIterator` during `list`).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use cdr::CdrWrite;
@@ -56,7 +56,7 @@ struct Entry {
 
 struct Inner {
     next_key: u64,
-    servants: HashMap<ObjectKey, Entry>,
+    servants: BTreeMap<ObjectKey, Entry>,
 }
 
 /// An object adapter.
@@ -76,7 +76,7 @@ impl Poa {
         Poa {
             inner: RefCell::new(Inner {
                 next_key: 1,
-                servants: HashMap::new(),
+                servants: BTreeMap::new(),
             }),
         }
     }

@@ -1,0 +1,20 @@
+//! Index sampling (`prop::sample::Index`).
+
+/// An abstract index: resolved against a concrete collection length with
+/// [`Index::index`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Wrap raw bits (used by `any::<Index>()`).
+    pub fn from_raw(raw: u64) -> Self {
+        Index(raw)
+    }
+
+    /// Resolve against a collection of `len` elements (`len` must be
+    /// nonzero, as in the real crate).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}

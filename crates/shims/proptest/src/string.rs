@@ -1,0 +1,185 @@
+//! The small string-pattern language used by this workspace's tests.
+//!
+//! Supports exactly what the test files write: the printable-character
+//! class `\PC`, bracket classes with ranges and escapes (`[a-zA-Z0-9./\\
+//! _-]`), literal characters, and the quantifiers `*`, `+`, `{m}` and
+//! `{m,n}`. Not a regex engine.
+
+use crate::test_runner::TestRng;
+
+/// A sampling of printable characters: mostly ASCII, some multibyte so
+/// UTF-8 handling gets exercised.
+const EXTRA_PRINTABLE: &[char] = &['é', 'ß', 'λ', 'Ж', '中', '✓', '🦀'];
+
+/// A printable character (ASCII graphic + space, occasionally beyond).
+pub fn printable_char(rng: &mut TestRng) -> char {
+    if rng.next_u64() % 8 == 0 {
+        EXTRA_PRINTABLE[(rng.next_u64() % EXTRA_PRINTABLE.len() as u64) as usize]
+    } else {
+        char::from(0x20 + (rng.next_u64() % 0x5F) as u8) // ' ' ..= '~'
+    }
+}
+
+enum Class {
+    Printable,
+    Literal(char),
+    /// Flattened set of allowed characters.
+    Set(Vec<char>),
+}
+
+struct Unit {
+    class: Class,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Unit> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut units = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let class = match chars[i] {
+            '\\' => {
+                let next = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                if next == 'P' && chars.get(i + 2) == Some(&'C') {
+                    i += 3;
+                    Class::Printable
+                } else {
+                    i += 2;
+                    Class::Literal(next)
+                }
+            }
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let c = chars[i];
+                    if c == '\\' {
+                        set.push(chars[i + 1]);
+                        i += 2;
+                    } else if chars.get(i + 1) == Some(&'-')
+                        && chars.get(i + 2).is_some_and(|&e| e != ']')
+                    {
+                        let end = chars[i + 2];
+                        assert!(c <= end, "bad range {c}-{end} in pattern {pattern:?}");
+                        for v in c as u32..=end as u32 {
+                            if let Some(ch) = char::from_u32(v) {
+                                set.push(ch);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        set.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+                i += 1; // skip ']'
+                assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+                Class::Set(set)
+            }
+            c => {
+                i += 1;
+                Class::Literal(c)
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, 32)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 32)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier lower bound"),
+                        hi.trim().parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n: usize = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        units.push(Unit { class, min, max });
+    }
+    units
+}
+
+fn draw(class: &Class, rng: &mut TestRng) -> char {
+    match class {
+        Class::Printable => printable_char(rng),
+        Class::Literal(c) => *c,
+        Class::Set(set) => set[(rng.next_u64() % set.len() as u64) as usize],
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for unit in parse(pattern) {
+        let n = rng.in_range(unit.min, unit.max);
+        for _ in 0..n {
+            out.push(draw(&unit.class, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_and_quantifiers() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = generate("[a-z]{1,4}", &mut rng);
+            assert!((1..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+
+            let s = generate("[a-zA-Z0-9./\\\\ _-]{0,12}", &mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_alphanumeric()
+                        || ['.', '/', '\\', ' ', '_', '-'].contains(&c)),
+                "{s:?}"
+            );
+
+            let s = generate("\\PC{0,8}", &mut rng);
+            assert!(s.chars().count() <= 8);
+
+            let s = generate("id_[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!(s.starts_with("id_"), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn star_and_plus() {
+        let mut rng = TestRng::from_seed(2);
+        let mut saw_empty = false;
+        for _ in 0..300 {
+            let s = generate("\\PC*", &mut rng);
+            saw_empty |= s.is_empty();
+            assert!(s.chars().count() <= 32);
+            let t = generate("[ab]+", &mut rng);
+            assert!(!t.is_empty());
+        }
+        assert!(saw_empty, "star should sometimes produce empty strings");
+    }
+}

@@ -12,7 +12,7 @@
 //! same program therefore produce identical traces.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
@@ -178,15 +178,15 @@ pub struct Kernel {
     seq: u64,
     events: BinaryHeap<Reverse<Event>>,
     hosts: Vec<HostState>,
-    port_map: HashMap<(HostId, Port), Pid>,
+    port_map: BTreeMap<(HostId, Port), Pid>,
     next_port: Vec<u16>,
     procs: Vec<Proc>,
     runnable: VecDeque<Pid>,
     syscall_rx: Receiver<(Pid, Syscall)>,
     syscall_tx: Sender<(Pid, Syscall)>,
-    partitions: HashSet<(HostId, HostId)>,
+    partitions: BTreeSet<(HostId, HostId)>,
     /// Per-link one-way latency overrides (WAN modelling).
-    link_latency: HashMap<(HostId, HostId), SimDuration>,
+    link_latency: BTreeMap<(HostId, HostId), SimDuration>,
     stats: KernelStats,
     panicked: Option<(Pid, String)>,
     tracer: Option<Tracer>,
@@ -220,14 +220,14 @@ impl Kernel {
             seq: 0,
             events: BinaryHeap::new(),
             hosts: Vec::new(),
-            port_map: HashMap::new(),
+            port_map: BTreeMap::new(),
             next_port: Vec::new(),
             procs: Vec::new(),
             runnable: VecDeque::new(),
             syscall_rx,
             syscall_tx,
-            partitions: HashSet::new(),
-            link_latency: HashMap::new(),
+            partitions: BTreeSet::new(),
+            link_latency: BTreeMap::new(),
             stats: KernelStats::default(),
             panicked: None,
             tracer: None,
@@ -296,6 +296,8 @@ impl Kernel {
             pending: None,
         });
         self.stats.spawned += 1;
+        let pname = self.procs[pid.0 as usize].name.clone();
+        self.trace(&format!("spawn {pid} {pname} on {host}"));
         self.push_event(at.max(self.now), EventKind::Start(pid));
         pid
     }
@@ -367,6 +369,7 @@ impl Kernel {
             self.drain_runnable();
             if let Some((pid, msg)) = self.panicked.take() {
                 let name = &self.procs[pid.0 as usize].name;
+                // ldft-lint: allow(P1, by design: re-raises a sim-process panic on the driver thread so bugs fail the run instead of vanishing with one thread)
                 panic!("simulated process {pid} ({name}) panicked: {msg}");
             }
             if stop(self) {
@@ -380,11 +383,14 @@ impl Kernel {
                     break;
                 }
             }
-            let Reverse(ev) = self.events.pop().expect("peeked");
+            let Some(Reverse(ev)) = self.events.pop() else {
+                break;
+            };
             debug_assert!(ev.time >= self.now, "event in the past");
             self.now = ev.time;
             self.stats.events += 1;
             if self.stats.events > self.cfg.max_events {
+                // ldft-lint: allow(P1, by design: explicit runaway-loop guard; stopping silently would report results from a truncated run)
                 panic!(
                     "simnet: exceeded max_events={} at {:?} — runaway event loop?",
                     self.cfg.max_events, self.now
@@ -438,11 +444,16 @@ impl Kernel {
             return;
         }
         let p = &mut self.procs[pid.0 as usize];
-        let body = p.body.take().expect("NotStarted implies body present");
+        let Some(body) = p.body.take() else {
+            // NotStarted without a body is a bookkeeping bug; reap the
+            // process instead of panicking the whole sim.
+            p.status = Status::Dead;
+            return;
+        };
         let (resume_tx, resume_rx) = channel();
         let mut ctx = Ctx::new(pid, host, self.cfg.seed, self.syscall_tx.clone(), resume_rx);
         let thread_name = format!("sim-{pid}-{}", p.name);
-        let join = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name(thread_name)
             .spawn(move || {
                 if ctx.wait_start().is_ok() {
@@ -453,8 +464,17 @@ impl Kernel {
                         Err(payload) => ctx.report_panic(payload),
                     }
                 }
-            })
-            .expect("failed to spawn simulation thread");
+            });
+        let join = match spawned {
+            Ok(join) => join,
+            Err(e) => {
+                // The OS refused to give us a thread; the process can never
+                // run. Reap it rather than panicking the driver.
+                eprintln!("simnet: failed to spawn simulation thread for {pid}: {e}");
+                p.status = Status::Dead;
+                return;
+            }
+        };
         p.resume_tx = Some(resume_tx);
         p.join = Some(join);
         p.pending = Some(Resume::Start { now: self.now });
@@ -587,6 +607,7 @@ impl Kernel {
                 if let Some(hs) = self.hosts.get_mut(h.0 as usize) {
                     hs.up = true;
                 }
+                self.trace(&format!("restart {h}"));
             }
             Fault::Partition(a, b, blocked) => {
                 if blocked {
@@ -704,19 +725,31 @@ impl Kernel {
                 return; // killed while queued
             }
             p.status = Status::Running;
-            p.pending.take().expect("runnable implies pending resume")
+            match p.pending.take() {
+                Some(r) => r,
+                None => {
+                    // Runnable without a pending resume is a scheduler
+                    // bookkeeping bug; reap the process instead of
+                    // panicking the whole sim.
+                    p.status = Status::Dead;
+                    return;
+                }
+            }
         };
-        let tx = self.procs[pid.0 as usize]
-            .resume_tx
-            .clone()
-            .expect("started process has a resume channel");
+        let Some(tx) = self.procs[pid.0 as usize].resume_tx.clone() else {
+            self.procs[pid.0 as usize].status = Status::Dead;
+            return;
+        };
         if tx.send(resume).is_err() {
             // Thread is gone (should not happen for a live process).
             self.procs[pid.0 as usize].status = Status::Dead;
             return;
         }
         loop {
-            let sc = self.wait_syscall(pid);
+            let Some(sc) = self.wait_syscall(pid) else {
+                self.do_kill(pid);
+                return;
+            };
             match self.handle_syscall(pid, sc) {
                 Flow::Reply(r) => {
                     if tx.send(r).is_err() {
@@ -730,14 +763,14 @@ impl Kernel {
         }
     }
 
-    fn wait_syscall(&mut self, expect: Pid) -> Syscall {
+    /// Wait for the next syscall from `expect`. `None` means the syscall
+    /// channel closed — impossible while the kernel holds its own sender
+    /// clone, but handled (by reaping the caller) rather than panicking.
+    fn wait_syscall(&mut self, expect: Pid) -> Option<Syscall> {
         loop {
-            let (pid, sc) = self
-                .syscall_rx
-                .recv()
-                .expect("kernel owns a sender; channel cannot close");
+            let (pid, sc) = self.syscall_rx.recv().ok()?;
             if pid == expect {
-                return sc;
+                return Some(sc);
             }
             // A syscall from another process can only come from a thread
             // that is unwinding after being killed (its Ctx suppresses
@@ -804,7 +837,7 @@ impl Kernel {
             }
             Syscall::BindPortExact(port) => {
                 let host = self.procs[pid.0 as usize].host;
-                if let std::collections::hash_map::Entry::Vacant(e) =
+                if let std::collections::btree_map::Entry::Vacant(e) =
                     self.port_map.entry((host, port))
                 {
                     e.insert(pid);
@@ -925,6 +958,7 @@ impl Kernel {
         if self.hosts[host.0 as usize].remove_job(now, pid).is_some() {
             self.reschedule_cpu(host);
         }
+        self.trace(&format!("exit {pid}"));
     }
 }
 

@@ -3,9 +3,24 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use crate::{Addr, Fault, HostConfig, Kernel, KernelConfig, Port, SimDuration, SimTime};
+
+/// Poison-transparent mutex with the `parking_lot` calling convention
+/// (`lock()` returns the guard directly); keeps the tests dependency-free.
+struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
 
 /// Shared cell for extracting results from simulated processes.
 type Cell<T> = Arc<Mutex<T>>;

@@ -47,6 +47,7 @@ mod ids;
 mod kernel;
 mod msg;
 mod process;
+mod shared;
 mod time;
 
 pub use cpu::{HostConfig, HostSnapshot};
@@ -54,6 +55,7 @@ pub use ids::{Addr, HostId, Pid, Port};
 pub use kernel::{Fault, Kernel, KernelConfig, KernelStats, NetConfig, Tracer};
 pub use msg::{Msg, Payload};
 pub use process::{Ctx, Killed, ProcessBody, SimResult};
+pub use shared::Shared;
 pub use time::{SimDuration, SimTime};
 
 #[cfg(test)]

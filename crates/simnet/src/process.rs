@@ -201,13 +201,28 @@ impl Ctx {
                 self.mark_dead();
                 Err(Killed)
             }
-            Ok(other) => unreachable!("unexpected initial resume {other:?}"),
+            Ok(other) => Err(self.bad_resume("start", &other)),
         }
     }
 
     fn mark_dead(&mut self) {
         self.dead = true;
         SUPPRESS_PANIC_REPORT.with(|s| s.set(true));
+    }
+
+    /// A resume that does not match the outstanding syscall means the
+    /// kernel and this process disagree about the protocol state — an
+    /// internal bug. The process reports it and treats itself as killed
+    /// rather than panicking: a panic here would take down the whole sim
+    /// run instead of one process.
+    #[cold]
+    fn bad_resume(&mut self, syscall: &str, got: &Resume) -> Killed {
+        eprintln!(
+            "simnet: protocol error on pid {:?}: {syscall} resumed with {got:?}; treating process as killed",
+            self.pid
+        );
+        self.mark_dead();
+        Killed
     }
 
     /// Whether this process has been killed.
@@ -280,7 +295,7 @@ impl Ctx {
     pub fn sleep(&mut self, d: SimDuration) -> SimResult<()> {
         match self.call(Syscall::Sleep(d))? {
             Resume::Done { .. } => Ok(()),
-            other => unreachable!("sleep resumed with {other:?}"),
+            other => Err(self.bad_resume("sleep", &other)),
         }
     }
 
@@ -296,7 +311,7 @@ impl Ctx {
         }
         match self.call(Syscall::Compute(work))? {
             Resume::Done { .. } => Ok(()),
-            other => unreachable!("compute resumed with {other:?}"),
+            other => Err(self.bad_resume("compute", &other)),
         }
     }
 
@@ -313,7 +328,7 @@ impl Ctx {
     pub fn send(&mut self, to: Addr, data: Vec<u8>) -> SimResult<()> {
         match self.call(Syscall::Send { to, data })? {
             Resume::Ok { .. } => Ok(()),
-            other => unreachable!("send resumed with {other:?}"),
+            other => Err(self.bad_resume("send", &other)),
         }
     }
 
@@ -321,7 +336,7 @@ impl Ctx {
     pub fn recv(&mut self) -> SimResult<Msg> {
         match self.call(Syscall::Recv { timeout: None })? {
             Resume::Msg { msg, .. } => Ok(msg),
-            other => unreachable!("recv resumed with {other:?}"),
+            other => Err(self.bad_resume("recv", &other)),
         }
     }
 
@@ -332,7 +347,7 @@ impl Ctx {
         })? {
             Resume::Msg { msg, .. } => Ok(Some(msg)),
             Resume::Empty { .. } => Ok(None),
-            other => unreachable!("recv_timeout resumed with {other:?}"),
+            other => Err(self.bad_resume("recv_timeout", &other)),
         }
     }
 
@@ -342,7 +357,7 @@ impl Ctx {
         match self.call(Syscall::TryRecv)? {
             Resume::Msg { msg, .. } => Ok(Some(msg)),
             Resume::Empty { .. } => Ok(None),
-            other => unreachable!("try_recv resumed with {other:?}"),
+            other => Err(self.bad_resume("try_recv", &other)),
         }
     }
 
@@ -350,8 +365,10 @@ impl Ctx {
     /// `Addr::Endpoint(host, port)` are then delivered to this process.
     pub fn bind_port(&mut self) -> SimResult<Port> {
         match self.call(Syscall::BindPort)? {
-            Resume::PortV { port, .. } => Ok(port.expect("ephemeral bind cannot fail")),
-            other => unreachable!("bind_port resumed with {other:?}"),
+            Resume::PortV {
+                port: Some(port), ..
+            } => Ok(port),
+            other => Err(self.bad_resume("bind_port", &other)),
         }
     }
 
@@ -359,7 +376,7 @@ impl Ctx {
     pub fn bind_port_exact(&mut self, port: Port) -> SimResult<Option<Port>> {
         match self.call(Syscall::BindPortExact(port))? {
             Resume::PortV { port, .. } => Ok(port),
-            other => unreachable!("bind_port_exact resumed with {other:?}"),
+            other => Err(self.bad_resume("bind_port_exact", &other)),
         }
     }
 
@@ -367,7 +384,7 @@ impl Ctx {
     pub fn unbind_port(&mut self, port: Port) -> SimResult<()> {
         match self.call(Syscall::UnbindPort(port))? {
             Resume::Ok { .. } => Ok(()),
-            other => unreachable!("unbind_port resumed with {other:?}"),
+            other => Err(self.bad_resume("unbind_port", &other)),
         }
     }
 
@@ -386,7 +403,7 @@ impl Ctx {
             body: Box::new(body),
         })? {
             Resume::PidV { pid, .. } => Ok(pid),
-            other => unreachable!("spawn resumed with {other:?}"),
+            other => Err(self.bad_resume("spawn", &other)),
         }
     }
 
@@ -395,7 +412,7 @@ impl Ctx {
     pub fn kill(&mut self, pid: Pid) -> SimResult<()> {
         match self.call(Syscall::Kill(pid))? {
             Resume::Ok { .. } => Ok(()),
-            other => unreachable!("kill resumed with {other:?}"),
+            other => Err(self.bad_resume("kill", &other)),
         }
     }
 
@@ -404,7 +421,7 @@ impl Ctx {
     pub fn crash_host(&mut self, host: HostId) -> SimResult<()> {
         match self.call(Syscall::CrashHost(host))? {
             Resume::Ok { .. } => Ok(()),
-            other => unreachable!("crash_host resumed with {other:?}"),
+            other => Err(self.bad_resume("crash_host", &other)),
         }
     }
 
@@ -412,7 +429,7 @@ impl Ctx {
     pub fn restart_host(&mut self, host: HostId) -> SimResult<()> {
         match self.call(Syscall::RestartHost(host))? {
             Resume::Ok { .. } => Ok(()),
-            other => unreachable!("restart_host resumed with {other:?}"),
+            other => Err(self.bad_resume("restart_host", &other)),
         }
     }
 
@@ -421,7 +438,7 @@ impl Ctx {
     pub fn host_info(&mut self, host: HostId) -> SimResult<Option<HostSnapshot>> {
         match self.call(Syscall::HostInfo(host))? {
             Resume::Host { snap, .. } => Ok(snap),
-            other => unreachable!("host_info resumed with {other:?}"),
+            other => Err(self.bad_resume("host_info", &other)),
         }
     }
 
@@ -429,7 +446,7 @@ impl Ctx {
     pub fn set_partition(&mut self, a: HostId, b: HostId, blocked: bool) -> SimResult<()> {
         match self.call(Syscall::Partition { a, b, blocked })? {
             Resume::Ok { .. } => Ok(()),
-            other => unreachable!("set_partition resumed with {other:?}"),
+            other => Err(self.bad_resume("set_partition", &other)),
         }
     }
 }

@@ -46,9 +46,12 @@ pub fn run_node_manager(ctx: &mut Ctx, cfg: NodeManagerConfig) -> SimResult<()> 
             ctx.compute(cfg.sample_cost)?;
         }
         let host = ctx.host();
-        let snap = ctx
-            .host_info(host)?
-            .expect("a process's own host always exists");
+        let Some(snap) = ctx.host_info(host)? else {
+            // A process's own host must exist; if the kernel disagrees,
+            // skip this sample rather than killing the node manager.
+            ctx.sleep(cfg.interval)?;
+            continue;
+        };
         seq += 1;
         let report = LoadReport {
             host: host.0,

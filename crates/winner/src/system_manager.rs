@@ -2,7 +2,7 @@
 //! managers' load reports and answers "which machine currently has the
 //! best performance?" (§2 of the paper).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use orb::{reply, CallCtx, Exception, Servant, SystemException};
 use simnet::{SimDuration, SimTime};
@@ -42,7 +42,7 @@ struct HostRecord {
 pub struct SystemManager {
     cfg: SystemManagerConfig,
     policy: Box<dyn SelectionPolicy>,
-    hosts: HashMap<u32, HostRecord>,
+    hosts: BTreeMap<u32, HostRecord>,
     /// Counters for tests/benchmarks.
     pub reports_received: u64,
     /// Reports dropped because a newer sequence number was already seen.
@@ -57,7 +57,7 @@ impl SystemManager {
         SystemManager {
             cfg,
             policy,
-            hosts: HashMap::new(),
+            hosts: BTreeMap::new(),
             reports_received: 0,
             stale_reports_dropped: 0,
             selections: 0,

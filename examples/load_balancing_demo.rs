@@ -35,7 +35,7 @@ fn main() {
         let mut orb = Orb::init(ctx);
 
         // 1. The system manager's view of the cluster.
-        let s = sysmgr.lock().unwrap().clone().expect("winner up");
+        let s = sysmgr.get().expect("winner up");
         let mgr = SystemManagerClient::from_ior(orb::Ior::destringify(&s).unwrap());
         let snapshot = mgr.snapshot(&mut orb, ctx).unwrap().unwrap();
         let mut lines = vec![

@@ -22,7 +22,7 @@ fn main() {
         let mut spec = ExperimentSpec::dim30(naming).loaded(loaded).seed(3);
         spec.worker_iters = 10_000;
         spec.manager_iters = 8;
-        let outcome = run_experiment(&spec);
+        let outcome = run_experiment(&spec).expect("experiment run failed");
         let r = &outcome.report;
         println!(
             "{label}  runtime {:>6.2}s   best f(x) = {:<10.4}  workers on hosts {:?}  (loaded: {:?})",

@@ -35,14 +35,17 @@ fn fig3_shape_30dim() {
     let mut plain_loaded = 0.0;
     for &s in &seeds {
         winner_unloaded += run_experiment(&quick30(NamingMode::Winner).seed(s))
+            .expect("experiment run failed")
             .report
             .elapsed
             .as_secs_f64();
         winner_loaded += run_experiment(&quick30(NamingMode::Winner).loaded(3).seed(s))
+            .expect("experiment run failed")
             .report
             .elapsed
             .as_secs_f64();
         plain_loaded += run_experiment(&quick30(NamingMode::Plain).loaded(3).seed(s))
+            .expect("experiment run failed")
             .report
             .elapsed
             .as_secs_f64();
@@ -65,8 +68,10 @@ fn fig3_shape_30dim() {
 /// both services are forced onto loaded hosts and the gap closes.
 #[test]
 fn fig3_convergence_at_high_load() {
-    let w = run_experiment(&quick100(NamingMode::Winner).loaded(8).seed(21));
-    let p = run_experiment(&quick100(NamingMode::Plain).loaded(8).seed(21));
+    let w = run_experiment(&quick100(NamingMode::Winner).loaded(8).seed(21))
+        .expect("experiment run failed");
+    let p = run_experiment(&quick100(NamingMode::Plain).loaded(8).seed(21))
+        .expect("experiment run failed");
     let (tw, tp) = (
         w.report.elapsed.as_secs_f64(),
         p.report.elapsed.as_secs_f64(),
@@ -87,8 +92,16 @@ fn table1_overhead_declines_with_call_length() {
         plain.worker_iters = iters;
         let mut ft = plain.clone();
         ft.ft = Some(FtSettings::default());
-        let tp = run_experiment(&plain).report.elapsed.as_secs_f64();
-        let tf = run_experiment(&ft).report.elapsed.as_secs_f64();
+        let tp = run_experiment(&plain)
+            .expect("experiment run failed")
+            .report
+            .elapsed
+            .as_secs_f64();
+        let tf = run_experiment(&ft)
+            .expect("experiment run failed")
+            .report
+            .elapsed
+            .as_secs_f64();
         ratios.push(tf / tp);
     }
     assert!(
@@ -117,7 +130,7 @@ fn crash_recovery_preserves_results() {
         now_host_index: 0,
         restart_after: None,
     });
-    let outcome = run_experiment(&spec);
+    let outcome = run_experiment(&spec).expect("experiment run failed");
     let r = &outcome.report;
     assert!(r.recoveries > 0, "the crash must be felt: {r:?}");
     assert_eq!(r.best_point.len(), 100);
@@ -139,8 +152,16 @@ fn policy_choice_matters_under_load() {
     best.policy = WinnerPolicy::BestPerformance;
     let mut uniform = best.clone();
     uniform.policy = WinnerPolicy::Uniform;
-    let tb = run_experiment(&best).report.elapsed.as_secs_f64();
-    let tu = run_experiment(&uniform).report.elapsed.as_secs_f64();
+    let tb = run_experiment(&best)
+        .expect("experiment run failed")
+        .report
+        .elapsed
+        .as_secs_f64();
+    let tu = run_experiment(&uniform)
+        .expect("experiment run failed")
+        .report
+        .elapsed
+        .as_secs_f64();
     assert!(
         tu >= tb,
         "uniform placement cannot beat best-performance: best={tb:.3} uniform={tu:.3}"
@@ -163,7 +184,7 @@ fn host_restart_is_survivable() {
         now_host_index: 1,
         restart_after: Some(SimDuration::from_secs(2)),
     });
-    let outcome = run_experiment(&spec);
+    let outcome = run_experiment(&spec).expect("experiment run failed");
     assert_eq!(outcome.report.best_point.len(), 30);
 }
 
@@ -171,7 +192,8 @@ fn host_restart_is_survivable() {
 /// paper's "6 workstations were available").
 #[test]
 fn worker_host_restriction_is_respected() {
-    let outcome = run_experiment(&quick30(NamingMode::Winner).seed(3));
+    let outcome =
+        run_experiment(&quick30(NamingMode::Winner).seed(3)).expect("experiment run failed");
     for placed in &outcome.report.placements {
         assert!(
             (1..=6).contains(placed),
@@ -214,7 +236,7 @@ fn scales_beyond_the_papers_testbed() {
         loaded_hosts: 5,
         ..ExperimentSpec::dim100(NamingMode::Winner)
     };
-    let outcome = run_experiment(&spec.seed(31));
+    let outcome = run_experiment(&spec.seed(31)).expect("experiment run failed");
     let r = &outcome.report;
     assert_eq!(r.best_point.len(), 120);
     assert_eq!(r.placements.len(), 16);
