@@ -3,7 +3,8 @@
 //! Winner-integrated naming service, under background load on 0/2/4/6/8
 //! of the 10 NOW hosts.
 //!
-//! Usage: `cargo run --release -p ldft-bench --bin fig3 [--quick] [--seeds N]`
+//! Usage: `cargo run --release -p ldft-bench --bin fig3 [--quick] [--seeds N]
+//! [--trace-out PATH] [--metrics-out PATH]`
 
 use ldft_bench::{fig3_sweep, Csv, RunArgs, Table};
 
@@ -95,4 +96,6 @@ fn main() {
             )
         );
     }
+
+    args.write_exports();
 }

@@ -4,7 +4,8 @@
 //! constant, so the relative slowdown falls as calls get longer; the worst
 //! case exceeds 3× the plain runtime — both as in the paper.
 //!
-//! Usage: `cargo run --release -p ldft-bench --bin table1 [--quick] [--seeds N]`
+//! Usage: `cargo run --release -p ldft-bench --bin table1 [--quick] [--seeds N]
+//! [--trace-out PATH] [--metrics-out PATH]`
 
 use ldft_bench::{table1_sweep, Csv, RunArgs, Table};
 use optim::FtSettings;
@@ -75,4 +76,6 @@ fn main() {
             )
         );
     }
+
+    args.write_exports();
 }

@@ -5,7 +5,7 @@ pub mod report;
 pub mod sweeps;
 
 pub use report::{Csv, Table};
-pub use sweeps::{fig3_sweep, table1_sweep, Fig3Row, Table1Row};
+pub use sweeps::{fig3_sweep, table1_sweep, trace_cell, Fig3Row, Table1Row, TraceExport};
 
 /// Common command-line options for experiment binaries.
 #[derive(Clone, Debug)]
@@ -17,6 +17,12 @@ pub struct RunArgs {
     pub scale: f64,
     /// Emit CSV after the human-readable table.
     pub csv: bool,
+    /// Write a Chrome `trace_event` JSON export of the instrumented
+    /// reference cell to this path.
+    pub trace_out: Option<String>,
+    /// Write a plain-text metrics dump of the instrumented reference cell
+    /// to this path.
+    pub metrics_out: Option<String>,
 }
 
 impl Default for RunArgs {
@@ -25,12 +31,15 @@ impl Default for RunArgs {
             seeds: vec![1, 2, 3],
             scale: 1.0,
             csv: true,
+            trace_out: None,
+            metrics_out: None,
         }
     }
 }
 
 impl RunArgs {
-    /// Parse from `std::env::args`: `[--quick] [--scale F] [--seeds N] [--no-csv]`.
+    /// Parse from `std::env::args`: `[--quick] [--scale F] [--seeds N]
+    /// [--no-csv] [--trace-out PATH] [--metrics-out PATH]`.
     pub fn parse() -> RunArgs {
         let mut out = RunArgs::default();
         let mut args = std::env::args().skip(1);
@@ -51,6 +60,12 @@ impl RunArgs {
                     out.seeds = (1..=n).collect();
                 }
                 "--no-csv" => out.csv = false,
+                "--trace-out" => {
+                    out.trace_out = Some(args.next().expect("--trace-out takes a path"));
+                }
+                "--metrics-out" => {
+                    out.metrics_out = Some(args.next().expect("--metrics-out takes a path"));
+                }
                 other => {
                     eprintln!("ignoring unknown argument {other:?}");
                 }
@@ -62,5 +77,27 @@ impl RunArgs {
     /// Scale an iteration count.
     pub fn scaled(&self, iters: u64) -> u64 {
         ((iters as f64 * self.scale) as u64).max(100)
+    }
+
+    /// Whether any observability export was requested.
+    pub fn wants_exports(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    /// Run the instrumented reference cell and write whichever exports
+    /// were requested on the command line. No-op if neither flag was set.
+    pub fn write_exports(&self) {
+        if !self.wants_exports() {
+            return;
+        }
+        let export = trace_cell(self);
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, &export.trace_json).expect("writing --trace-out file");
+            eprintln!("wrote trace export to {path}");
+        }
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, &export.metrics_text).expect("writing --metrics-out file");
+            eprintln!("wrote metrics export to {path}");
+        }
     }
 }

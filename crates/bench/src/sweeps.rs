@@ -1,7 +1,9 @@
-//! The parameter sweeps behind the paper's Figure 3 and Table 1.
+//! The parameter sweeps behind the paper's Figure 3 and Table 1, plus the
+//! instrumented reference cell behind `--trace-out` / `--metrics-out`.
 
-use corba_runtime::{averaged_runtime, ExperimentSpec, NamingMode};
+use corba_runtime::{averaged_runtime, run_experiment, CrashPlan, ExperimentSpec, NamingMode};
 use optim::FtSettings;
+use simnet::SimDuration;
 
 use crate::RunArgs;
 
@@ -62,6 +64,47 @@ pub fn fig3_sweep(args: &RunArgs) -> Vec<Fig3Row> {
     }
     eprintln!();
     rows
+}
+
+/// The serialized observability exports of [`trace_cell`].
+#[derive(Clone, Debug)]
+pub struct TraceExport {
+    /// Chrome `trace_event` JSON (one event per line; loads in
+    /// `chrome://tracing` or Perfetto).
+    pub trace_json: String,
+    /// Plain-text metrics dump (`counter` / `gauge` / `hist` lines).
+    pub metrics_text: String,
+}
+
+/// Run the instrumented *reference cell* — the 30-dim / 3-worker scenario
+/// under Winner naming with fault-tolerance proxies and a mid-run host
+/// crash (restarted later) — and export its causal trace and metrics.
+///
+/// The cell is deterministic: the same seed and scale yield byte-identical
+/// exports, which CI asserts by running it twice and `cmp`-ing the files.
+pub fn trace_cell(args: &RunArgs) -> TraceExport {
+    let mut spec = ExperimentSpec::dim30(NamingMode::Winner);
+    spec.worker_iters = args.scaled(spec.worker_iters);
+    // Exactly as many worker hosts as workers, so the scheduled crash is
+    // guaranteed to take out a selected worker and force a recovery
+    // episode into the trace.
+    spec.available_hosts = spec.workers;
+    spec.ft = Some(FtSettings::default());
+    // Timeout-based failure detection bounds how long a crashed worker
+    // stalls the manager; keep it short so the recovery episode (resolve →
+    // factory create → restore → retry) lands well inside the run.
+    spec.request_timeout = SimDuration::from_secs(2);
+    spec.crash = Some(CrashPlan {
+        after: SimDuration::from_millis(200),
+        now_host_index: 0,
+        restart_after: Some(SimDuration::from_secs(2)),
+    });
+    let seed = args.seeds.first().copied().unwrap_or(1);
+    let outcome = run_experiment(&spec.seed(seed)).expect("trace cell failed");
+    TraceExport {
+        trace_json: outcome.obs.chrome_trace_json(),
+        metrics_text: outcome.obs.metrics_text(),
+    }
 }
 
 /// One Table 1 row: an iteration count with plain and proxy runtimes.

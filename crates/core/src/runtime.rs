@@ -12,12 +12,14 @@
 //! * one **optimization worker** server per worker host, registered in
 //!   the `Workers` group.
 
-use ftproxy::{run_factory, CheckpointService, StoreCosts};
-use optim::{run_worker_server, worker_builder, WorkerCosts};
+use ftproxy::{run_factory_obs, CheckpointService, StoreCosts};
+use obs::{Obs, ProcessObs};
+use optim::{run_worker_server_obs, worker_builder, WorkerCosts};
 use orb::{Ior, Orb};
 use simnet::{Ctx, HostConfig, HostId, Kernel, KernelConfig, Shared, SimDuration};
 use winner::{
-    run_node_manager, run_system_manager, NodeManagerConfig, SelectionPolicy, SystemManagerConfig,
+    run_node_manager, run_system_manager_obs, NodeManagerConfig, SelectionPolicy,
+    SystemManagerConfig,
 };
 
 /// Which naming service to deploy — the paper's comparison axis.
@@ -109,6 +111,10 @@ pub struct Cluster {
     /// Stringified IOR of the Winner system manager (None in plain mode
     /// until published; always None when Winner is not deployed).
     pub sysmgr_ior: Shared<Option<String>>,
+    /// The cluster-wide observability sink: every infrastructure process
+    /// records its spans and metrics here. Hand it to managers
+    /// ([`optim::ManagerConfig::obs`]) to get end-to-end causal traces.
+    pub obs: Obs,
     /// The configuration the cluster was built with.
     pub config: ClusterConfig,
 }
@@ -143,17 +149,25 @@ impl Cluster {
         };
 
         let sysmgr_ior: Shared<Option<String>> = Shared::new(None);
+        let obs = Obs::default();
 
         // ---- Winner (only with the load-distributing naming service) ---
         if config.naming == NamingMode::Winner {
             let publish = sysmgr_ior.clone();
             let policy_kind = config.policy;
             let seed = config.seed;
+            let sink = obs.clone();
             kernel.spawn(infra, "winner-sysmgr", move |ctx| {
                 let policy = policy_kind.instantiate(seed);
-                let _ = run_system_manager(ctx, SystemManagerConfig::default(), policy, |ior| {
-                    publish.put(ior.stringify());
-                });
+                let _ = run_system_manager_obs(
+                    ctx,
+                    SystemManagerConfig::default(),
+                    policy,
+                    Some(sink),
+                    |ior| {
+                        publish.put(ior.stringify());
+                    },
+                );
             });
             for &h in &hosts {
                 let cell = sysmgr_ior.clone();
@@ -173,6 +187,7 @@ impl Cluster {
         {
             let cell = sysmgr_ior.clone();
             let winner_mode = config.naming == NamingMode::Winner;
+            let sink = obs.clone();
             kernel.spawn(infra, "naming", move |ctx| {
                 let mode = if winner_mode {
                     let Ok(ior) = wait_for_ior(ctx, &cell) else {
@@ -184,29 +199,32 @@ impl Cluster {
                 } else {
                     cosnaming::LbMode::Plain
                 };
-                let _ = cosnaming::run_naming_service(ctx, mode);
+                let _ = cosnaming::run_naming_service_obs(ctx, mode, Some(sink));
             });
         }
 
         // ---- checkpoint service ----------------------------------------
         {
             let store_costs = config.store_costs;
+            let sink = obs.clone();
             kernel.spawn(infra, "checkpoint-service", move |ctx| {
                 let service =
                     CheckpointService::new(Box::new(ftproxy::MemBackend::new()), store_costs);
-                let _ = serve_registered(ctx, service);
+                let _ = serve_registered(ctx, service, sink);
             });
         }
 
         // ---- factories + workers on the worker hosts -------------------
         for &h in &worker_hosts {
             let costs = config.worker_costs;
+            let sink = obs.clone();
             kernel.spawn(h, format!("factory-{h}"), move |ctx| {
-                let _ = run_factory(ctx, infra, worker_builder(costs));
+                let _ = run_factory_obs(ctx, infra, worker_builder(costs), Some(sink));
             });
             let costs = config.worker_costs;
+            let sink = obs.clone();
             kernel.spawn(h, format!("opt-worker-{h}"), move |ctx| {
-                let _ = run_worker_server(ctx, infra, costs);
+                let _ = run_worker_server_obs(ctx, infra, costs, Some(sink));
             });
         }
 
@@ -216,6 +234,7 @@ impl Cluster {
             infra,
             worker_hosts,
             sysmgr_ior,
+            obs,
             config,
         }
     }
@@ -263,9 +282,10 @@ fn wait_for_ior(ctx: &mut Ctx, cell: &Shared<Option<String>>) -> Result<Ior, sim
 
 /// Serve a checkpoint service, registered in the naming service under its
 /// well-known name (retrying while naming boots).
-fn serve_registered(ctx: &mut Ctx, service: CheckpointService) -> simnet::SimResult<()> {
+fn serve_registered(ctx: &mut Ctx, service: CheckpointService, sink: Obs) -> simnet::SimResult<()> {
     let naming_host = ctx.host();
     let mut orb = Orb::init(ctx);
+    orb.set_obs(ProcessObs::new(sink, ctx));
     orb.listen(ctx)?;
     let poa = orb::Poa::new();
     let key = poa.activate(

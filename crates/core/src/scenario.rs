@@ -127,6 +127,10 @@ pub struct ExperimentOutcome {
     pub loaded: Vec<u32>,
     /// Virtual instant the manager started.
     pub started_at: SimTime,
+    /// The cluster-wide observability sink: spans and metrics recorded by
+    /// every process in the run (export with [`obs::Obs::chrome_trace_json`]
+    /// / [`obs::Obs::metrics_text`]).
+    pub obs: obs::Obs,
 }
 
 /// Run one experiment cell to completion.
@@ -174,6 +178,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Result<ExperimentOutcome, String
         seed: spec.seed,
         request_timeout: spec.request_timeout,
         ft: spec.ft.clone(),
+        obs: Some(cluster.obs.clone()),
         ..ManagerConfig::new(spec.n, spec.workers, cluster.infra)
     };
     let started_at = SimTime::ZERO + spec.warmup;
@@ -216,6 +221,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Result<ExperimentOutcome, String
         report,
         loaded: loaded.iter().map(|h| h.0).collect(),
         started_at,
+        obs: cluster.obs.clone(),
     })
 }
 

@@ -169,7 +169,21 @@ impl FactoryClient {
 /// The body of a factory process: serve `create` requests and register the
 /// factory in the naming service (per-host name + the `Factories` group).
 pub fn run_factory(ctx: &mut Ctx, naming_host: HostId, make: ServantBuilder) -> SimResult<()> {
+    run_factory_obs(ctx, naming_host, make, None)
+}
+
+/// [`run_factory`] with an observability sink attached: serve spans are
+/// recorded into `obs` when present.
+pub fn run_factory_obs(
+    ctx: &mut Ctx,
+    naming_host: HostId,
+    make: ServantBuilder,
+    obs: Option<obs::Obs>,
+) -> SimResult<()> {
     let mut orb = Orb::init(ctx);
+    if let Some(sink) = obs {
+        orb.set_obs(obs::ProcessObs::new(sink, ctx));
+    }
     orb.listen(ctx)?;
     let poa = Poa::new();
     let servant = Rc::new(RefCell::new(ServiceFactory::new(make)));

@@ -11,7 +11,7 @@ use orb::{reply, CallCtx, Exception, Ior, ObjectRef, Orb, Servant, SystemExcepti
 use simnet::{HostConfig, HostId, Kernel, SimDuration};
 
 use crate::detector::{run_detector, DetectorConfig, DetectorStats};
-use crate::factory::{factory_name, run_factory, FactoryClient};
+use crate::factory::{factory_name, FactoryClient};
 use crate::migration::{run_migration_manager, MigrationConfig, MigrationStats};
 use crate::proxy::{CheckpointMode, FtProxy, FtProxyConfig, ProxyEnv};
 use crate::request_proxy::FtRequest;
@@ -96,11 +96,18 @@ impl Servant for Counter {
 
 /// Spawn the checkpoint service and register it under "CheckpointService".
 fn spawn_ckpt(sim: &mut Kernel, host: HostId) {
+    spawn_ckpt_obs(sim, host, None)
+}
+
+fn spawn_ckpt_obs(sim: &mut Kernel, host: HostId, obs: Option<obs::Obs>) {
     sim.spawn(host, "ckpt-svc", move |ctx| {
         // Register with the naming service before serving, so clients can
         // resolve "CheckpointService" (run_checkpoint_service itself does
         // not register; the runtime layer owns that policy).
         let mut orb = Orb::init(ctx);
+        if let Some(sink) = obs {
+            orb.set_obs(obs::ProcessObs::new(sink, ctx));
+        }
         orb.listen(ctx).unwrap();
         let poa = orb::Poa::new();
         let key = poa.activate(
@@ -125,7 +132,17 @@ fn spawn_ckpt(sim: &mut Kernel, host: HostId) {
 }
 
 fn spawn_factories(sim: &mut Kernel, hosts: &[HostId], naming_host: HostId) {
+    spawn_factories_obs(sim, hosts, naming_host, None)
+}
+
+fn spawn_factories_obs(
+    sim: &mut Kernel,
+    hosts: &[HostId],
+    naming_host: HostId,
+    obs: Option<obs::Obs>,
+) {
     for &h in hosts {
+        let obs = obs.clone();
         sim.spawn(h, format!("factory-{h}"), move |ctx| {
             let builder: crate::factory::ServantBuilder = Box::new(|_call, ty| {
                 (ty == "Counter").then(|| {
@@ -135,24 +152,30 @@ fn spawn_factories(sim: &mut Kernel, hosts: &[HostId], naming_host: HostId) {
                     )
                 })
             });
-            let _ = run_factory(ctx, naming_host, builder);
+            let _ = crate::factory::run_factory_obs(ctx, naming_host, builder, obs);
         });
     }
 }
 
 /// Build the standard cluster: plain naming + checkpoint svc + factories.
 fn standard_bed(sim: &mut Kernel, n_hosts: usize) -> Vec<HostId> {
+    standard_bed_obs(sim, n_hosts, None)
+}
+
+/// [`standard_bed`] with every infrastructure process wired to `obs`.
+fn standard_bed_obs(sim: &mut Kernel, n_hosts: usize, obs: Option<obs::Obs>) -> Vec<HostId> {
     let hosts: Vec<_> = (0..n_hosts)
         .map(|i| sim.add_host(HostConfig::new(format!("ws{i}"))))
         .collect();
     let h0 = hosts[0];
+    let naming_obs = obs.clone();
     sim.spawn(h0, "naming", move |ctx| {
-        let _ = cosnaming::run_naming_service(ctx, LbMode::Plain);
+        let _ = cosnaming::run_naming_service_obs(ctx, LbMode::Plain, naming_obs);
     });
-    spawn_ckpt(sim, h0);
+    spawn_ckpt_obs(sim, h0, obs.clone());
     // Factories on the worker hosts only: the infra host (naming,
     // checkpoint service) does not run application services.
-    spawn_factories(sim, &hosts[1..], h0);
+    spawn_factories_obs(sim, &hosts[1..], h0, obs);
     hosts
 }
 
@@ -684,6 +707,229 @@ fn disk_backed_checkpoint_service_works_in_sim() {
     // The checkpoint really is on disk.
     assert!(dir.join("disk-test.ckpt").exists());
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_checkpoint_stays_due_until_it_succeeds() {
+    // Regression: a failed checkpoint attempt must not reset the
+    // every-k counter. Once a checkpoint is due, each following
+    // successful call retries it until one lands.
+    let mut sim = Kernel::with_seed(11);
+    let hosts = standard_bed(&mut sim, 2);
+    let h0 = hosts[0];
+    let stats_out = cell::<Option<crate::proxy::FtProxyStats>>();
+    let so = stats_out.clone();
+    let driver = sim.spawn(hosts[1], "driver", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::new(
+            ctx,
+            orb::OrbConfig {
+                request_timeout: secs(0.5), // fast checkpoint failure
+                ..orb::OrbConfig::default()
+            },
+        );
+        let ckpt = ckpt_client(&mut orb, ctx, h0);
+        let cfg = FtProxyConfig::new(Name::simple("Counters"), "Counter", "counter-due")
+            .bulk()
+            .checkpoint_every(2);
+        let mut proxy = FtProxy::new(cfg, NamingClient::root(h0), ckpt);
+        let mut env = ProxyEnv { orb: &mut orb, ctx };
+        // Call 1: not yet due (k = 2).
+        let _: i64 = proxy.call(&mut env, "inc", &(1i64,)).unwrap().unwrap();
+        // Kill the checkpoint service (spawned second on h0: naming is
+        // pid 0, ckpt-svc pid 1) before the checkpoint comes due.
+        env.ctx.kill(simnet::Pid(1)).unwrap();
+        for _ in 0..3 {
+            let _: i64 = proxy.call(&mut env, "inc", &(1i64,)).unwrap().unwrap();
+        }
+        *so.lock().unwrap() = Some(proxy.stats);
+    });
+    sim.run_until_exit(driver);
+    let s = stats_out.lock().unwrap().unwrap();
+    assert_eq!(s.calls, 4);
+    assert_eq!(s.checkpoints, 0, "{s:?}");
+    // Calls 2, 3 and 4 must each attempt (and fail): the checkpoint stays
+    // due. The old behaviour cleared the counter on the failed attempt and
+    // only retried every k calls (2 attempts here instead of 3).
+    assert_eq!(s.checkpoint_failures, 3, "{s:?}");
+}
+
+#[test]
+fn mixed_epoch_checkpoint_chunks_are_rejected() {
+    // Regression: per-value reassembly previously validated only the total
+    // length, so a chunk from a different checkpoint epoch with the same
+    // size was silently stitched into a torn state. Each chunk now carries
+    // its epoch and a mismatch discards the checkpoint as corrupt.
+    let mut sim = Kernel::with_seed(13);
+    let hosts = standard_bed(&mut sim, 3);
+    let h0 = hosts[0];
+    let out = cell::<Vec<i64>>();
+    let o = out.clone();
+    let driver = sim.spawn(hosts[0], "driver", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let mut proxy = proxy_for(h0, &mut orb, ctx, CheckpointMode::PerValue);
+        let ckpt = ckpt_client(&mut orb, ctx, h0);
+        let mut env = ProxyEnv { orb: &mut orb, ctx };
+        let v: i64 = proxy.call(&mut env, "inc", &(5i64,)).unwrap().unwrap();
+        o.lock().unwrap().push(v);
+        // Tamper: re-tag the first chunk with a foreign epoch, keeping its
+        // bytes (and therefore the reassembled length) identical.
+        let stored = ckpt
+            .retrieve_value(env.orb, env.ctx, "counter-1", "w0")
+            .unwrap()
+            .unwrap()
+            .unwrap();
+        let (tc, data) = match stored {
+            cdr::Any {
+                tc,
+                value: cdr::Value::Struct(mut fields),
+            } => (tc, fields.remove(1)),
+            other => panic!("unexpected chunk shape: {other:?}"),
+        };
+        let tampered = cdr::Any {
+            tc,
+            value: cdr::Value::Struct(vec![cdr::Value::ULongLong(77), data]),
+        };
+        ckpt.store_value(env.orb, env.ctx, "counter-1", "w0", &tampered)
+            .unwrap()
+            .unwrap();
+        // Crash the replica: recovery must reject the torn checkpoint and
+        // start fresh rather than restore mixed-epoch state.
+        let victim = proxy.current_target().unwrap().ior.host;
+        env.ctx.crash_host(victim).unwrap();
+        let v: i64 = proxy.call(&mut env, "inc", &(1i64,)).unwrap().unwrap();
+        o.lock().unwrap().push(v);
+    });
+    sim.run_until_exit(driver);
+    // 5 from the healthy replica, then a fresh 1: the epoch mismatch was
+    // detected and nothing was restored.
+    assert_eq!(*out.lock().unwrap(), vec![5, 1]);
+}
+
+#[test]
+fn recovery_backoff_is_bounded_and_deterministic() {
+    fn run_cell(seed: u64) -> (u64, crate::proxy::FtProxyStats) {
+        let mut sim = Kernel::with_seed(seed);
+        let hosts = standard_bed(&mut sim, 2);
+        let h0 = hosts[0];
+        let out = cell::<Option<(u64, crate::proxy::FtProxyStats)>>();
+        let o = out.clone();
+        let driver = sim.spawn(hosts[0], "driver", move |ctx| {
+            ctx.sleep(secs(1.0)).unwrap();
+            // Short request timeout so dead-host RPCs fail fast and the
+            // measured wall-clock is dominated by the backoff schedule.
+            let mut orb = Orb::new(
+                ctx,
+                orb::OrbConfig {
+                    request_timeout: secs(0.25),
+                    ..orb::OrbConfig::default()
+                },
+            );
+            let ckpt = ckpt_client(&mut orb, ctx, h0);
+            let cfg = FtProxyConfig::new(Name::simple("Counters"), "Counter", "counter-bo")
+                .bulk()
+                .with_backoff(secs(0.2), 2.0, secs(10.0), 0.1);
+            let mut proxy = FtProxy::new(cfg, NamingClient::root(h0), ckpt);
+            let mut env = ProxyEnv { orb: &mut orb, ctx };
+            let _: i64 = proxy.call(&mut env, "inc", &(1i64,)).unwrap().unwrap();
+            // Kill the only factory host: recovery has nowhere to go and
+            // burns every attempt, backing off in between.
+            env.ctx.crash_host(hosts[1]).unwrap();
+            let start = env.ctx.now();
+            let r: Result<i64, _> = proxy.call(&mut env, "inc", &(1i64,)).unwrap();
+            assert!(r.is_err(), "no replica can exist after the crash");
+            let elapsed = env.ctx.now().since(start).as_nanos();
+            *o.lock().unwrap() = Some((elapsed, proxy.stats));
+        });
+        sim.run_until_exit(driver);
+        let got = out.lock().unwrap().unwrap();
+        got
+    }
+    let (elapsed_a, stats) = run_cell(21);
+    let (elapsed_b, _) = run_cell(21);
+    // Same seed ⇒ identical schedule, jitter included.
+    assert_eq!(elapsed_a, elapsed_b);
+    // max_recoveries_per_call = 3 ⇒ three backoffs of ~0.2, 0.4 and 0.8
+    // virtual seconds (each ±10% jitter) between the four attempts.
+    assert_eq!(stats.backoffs, 3, "{stats:?}");
+    assert_eq!(stats.target_failures, 3, "{stats:?}");
+    // Slack: the failed invoke plus three failed factory creates time out
+    // at 0.25s each on top of the backoff sum.
+    let min = (1.4e9 * 0.9) as u64;
+    let max = (1.4e9 * 1.1) as u64 + 2_000_000_000;
+    assert!(elapsed_a >= min, "sum of backoffs too small: {elapsed_a}ns");
+    assert!(elapsed_a <= max, "backoff overshot: {elapsed_a}ns");
+}
+
+#[test]
+fn span_tree_covers_crash_recover_retry() {
+    // One causal trace must cover the whole recovery episode: the failing
+    // call, the recovery, the (naming-resolved) factory creation, the
+    // checkpoint restore, and the retried dispatch on the fresh replica.
+    let mut sim = Kernel::with_seed(5);
+    let sink = obs::Obs::default();
+    let hosts = standard_bed_obs(&mut sim, 3, Some(sink.clone()));
+    let h0 = hosts[0];
+    let driver_obs = sink.clone();
+    let driver = sim.spawn(hosts[0], "driver", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        orb.set_obs(obs::ProcessObs::new(driver_obs, ctx));
+        let mut proxy = proxy_for(h0, &mut orb, ctx, CheckpointMode::PerValue);
+        let mut env = ProxyEnv { orb: &mut orb, ctx };
+        for i in 0..3i64 {
+            let _: i64 = proxy.call(&mut env, "inc", &(1i64,)).unwrap().unwrap();
+            if i == 1 {
+                let victim = proxy.current_target().unwrap().ior.host;
+                env.ctx.crash_host(victim).unwrap();
+            }
+        }
+    });
+    sim.run_until_exit(driver);
+    let spans = sink.spans();
+    let recover = spans
+        .iter()
+        .find(|s| s.name == "ft.recover")
+        .expect("recovery must be recorded");
+    let mut trace: Vec<_> = spans
+        .iter()
+        .filter(|s| s.trace_id == recover.trace_id)
+        .collect();
+    trace.sort_by_key(|s| (s.start_ns, s.span_id));
+    let names: Vec<&str> = trace.iter().map(|s| s.name.as_str()).collect();
+    let pos = |n: &str| {
+        names
+            .iter()
+            .position(|&x| x == n)
+            .unwrap_or_else(|| panic!("{n} missing from trace: {names:?}"))
+    };
+    // Causal order within the episode's trace.
+    let call = pos("ft.call:inc");
+    let rec = pos("ft.recover");
+    let create = pos("ft.factory_create");
+    let restore = pos("ft.restore");
+    assert!(call < rec && rec < create && create < restore, "{names:?}");
+    // Recovery goes back through the naming service…
+    assert!(
+        names.iter().skip(rec).any(|&n| n == "serve:resolve"),
+        "{names:?}"
+    );
+    // …and ends with the retried dispatch on the new replica.
+    assert!(
+        names.iter().skip(restore).any(|&n| n == "serve:inc"),
+        "{names:?}"
+    );
+    // The failing call is the root of its trace.
+    let root = &trace[call];
+    assert!(root.parent.is_none(), "{root:?}");
+    // Server-side spans joined via the propagated context, one hop out.
+    let serve = trace
+        .iter()
+        .find(|s| s.name == "serve:resolve")
+        .expect("checked above");
+    assert_eq!(serve.hop, 1, "{serve:?}");
+    assert!(serve.parent.is_some(), "{serve:?}");
 }
 
 #[test]

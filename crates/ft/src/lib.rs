@@ -32,8 +32,8 @@ pub mod service;
 pub use checkpoint::{Backend, Checkpoint, DiskBackend, MemBackend};
 pub use detector::{run_detector, DetectorConfig, DetectorStats};
 pub use factory::{
-    factory_group, factory_name, run_factory, FactoryClient, ForwardingAgent, ServantBuilder,
-    ServiceFactory, FACTORY_TYPE,
+    factory_group, factory_name, run_factory, run_factory_obs, FactoryClient, ForwardingAgent,
+    ServantBuilder, ServiceFactory, FACTORY_TYPE,
 };
 pub use migration::{migrate_member, run_migration_manager, MigrationConfig, MigrationStats};
 pub use proxy::{CheckpointMode, FtProxy, FtProxyConfig, FtProxyStats, ProxyEnv};

@@ -87,6 +87,7 @@ impl FtRequest {
                 {
                     self.attempts += 1;
                     proxy.recover(env)?;
+                    proxy.backoff_sleep(env, self.attempts - 1)?;
                 }
                 Err(e) => {
                     self.done = Some(Err(e));
@@ -186,6 +187,7 @@ impl FtRequest {
             {
                 self.attempts += 1;
                 proxy.recover(env)?;
+                proxy.backoff_sleep(env, self.attempts - 1)?;
                 self.inner = None;
                 self.resend(proxy, env)?;
             }

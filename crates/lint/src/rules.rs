@@ -74,7 +74,9 @@ impl Finding {
 }
 
 /// Crates whose code runs in (or drives) the simulation.
-pub const SIM_CRATES: &[&str] = &["simnet", "orb", "naming", "winner", "ft", "optim", "core"];
+pub const SIM_CRATES: &[&str] = &[
+    "simnet", "orb", "obs", "naming", "winner", "ft", "optim", "core",
+];
 
 /// All rule IDs, in report order.
 pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "D4", "P1", "P2", "P3"];

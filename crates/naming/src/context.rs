@@ -208,6 +208,10 @@ impl NamingContext {
                 }
             }
         };
+        let obs = call.orb.obs().cloned();
+        if let Some(o) = &obs {
+            o.observe("naming.group_size", members.len() as u64);
+        }
         if members.is_empty() {
             return Err(EmptyGroup.raise());
         }
@@ -220,6 +224,9 @@ impl NamingContext {
                 Ok(Ok(Some(host))) => {
                     if let Some(m) = members.iter().find(|m| m.host.0 == host) {
                         self.tree.borrow_mut().winner_picks += 1;
+                        if let Some(o) = &obs {
+                            o.counter_add("naming.winner_picks", 1);
+                        }
                         return Ok(m.clone());
                     }
                 }
@@ -235,6 +242,9 @@ impl NamingContext {
         // plain service is genuinely load-oblivious — registration order
         // can correlate with load, which would smuggle load-awareness
         // into the baseline.
+        if let Some(o) = &obs {
+            o.counter_add("naming.fallback_picks", 1);
+        }
         let mut tree = self.tree.borrow_mut();
         tree.fallback_picks += 1;
         let Some(Entry::Group { members, rr }) = tree
@@ -310,7 +320,13 @@ impl Servant for NamingContext {
             }
             ops::RESOLVE => {
                 let (name,): (Name,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
-                let ior = self.resolve(call, &name)?;
+                let start = call.ctx.now();
+                let resolved = self.resolve(call, &name);
+                if let Some(o) = call.orb.obs().cloned() {
+                    o.counter_add("naming.resolves", 1);
+                    o.observe("naming.resolve_ns", call.ctx.now().since(start).as_nanos());
+                }
+                let ior = resolved?;
                 reply(&ior)
             }
             ops::UNBIND => {

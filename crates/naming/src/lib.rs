@@ -33,7 +33,7 @@ pub use protocol::{
     AlreadyBound, Binding, BindingType, EmptyGroup, InvalidName, NotEmpty, NotFound,
     NotFoundReason, NAMING_CONTEXT_TYPE, NAMING_PORT, ROOT_CONTEXT_KEY,
 };
-pub use server::run_naming_service;
+pub use server::{run_naming_service, run_naming_service_obs};
 pub use trader::{run_trader, select_best_offer, Trader, TraderClient, TRADER_TYPE};
 
 #[cfg(test)]

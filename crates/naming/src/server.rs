@@ -3,6 +3,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use obs::{Obs, ProcessObs};
 use orb::{Orb, Poa};
 use simnet::{Ctx, SimResult};
 
@@ -20,7 +21,16 @@ use crate::protocol::{NAMING_CONTEXT_TYPE, NAMING_PORT, ROOT_CONTEXT_KEY};
 /// If port 2809 is already bound on this host (another naming server is
 /// running), the process reports it and exits instead of serving.
 pub fn run_naming_service(ctx: &mut Ctx, mode: LbMode) -> SimResult<()> {
+    run_naming_service_obs(ctx, mode, None)
+}
+
+/// [`run_naming_service`] with an observability sink attached: serve spans
+/// and resolve metrics are recorded into `obs` when present.
+pub fn run_naming_service_obs(ctx: &mut Ctx, mode: LbMode, obs: Option<Obs>) -> SimResult<()> {
     let mut orb = Orb::init(ctx);
+    if let Some(sink) = obs {
+        orb.set_obs(ProcessObs::new(sink, ctx));
+    }
     let Some(port) = orb.listen_on(ctx, NAMING_PORT)? else {
         eprintln!(
             "naming: port {NAMING_PORT:?} already in use on host {:?}; not serving",

@@ -1,0 +1,223 @@
+//! Exporters: Chrome `trace_event` JSON for spans, plain text / CSV for
+//! metrics, and an indented tree rendering for assertions.
+//!
+//! Everything here is deterministic by construction: spans are sorted by
+//! `(start_ns, span_id)`, metrics iterate a `BTreeMap`, and all numeric
+//! formatting is integer-based except gauges (fixed `{:.6}`). Two same-seed
+//! runs therefore export byte-identical files.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::{Metric, BUCKET_BOUNDS};
+use crate::recorder::Obs;
+use crate::span::SpanRecord;
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Nanoseconds rendered as the microsecond decimal Chrome expects
+/// (`ts`/`dur` are in µs), via integer math only.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+impl Obs {
+    /// All completed spans as a Chrome `trace_event` JSON array (one
+    /// complete `"ph":"X"` event per line; load in `about:tracing` or
+    /// Perfetto). Host maps to `pid`, sim process to `tid`.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut spans = self.spans();
+        spans.sort_by_key(|s| (s.start_ns, s.span_id));
+        let mut out = String::from("[\n");
+        let last = spans.len();
+        for (i, s) in spans.iter().enumerate() {
+            let mut args = format!(
+                "\"trace\":{},\"span\":{},\"hop\":{}",
+                s.trace_id, s.span_id, s.hop
+            );
+            if let Some(p) = s.parent {
+                args.push_str(&format!(",\"parent\":{p}"));
+            }
+            for (k, v) in &s.tags {
+                args.push_str(&format!(",\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"ldft\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{{}}}}}{}\n",
+                json_escape(&s.name),
+                micros(s.start_ns),
+                micros(s.end_ns - s.start_ns),
+                s.host,
+                s.pid,
+                args,
+                if i + 1 == last { "" } else { "," },
+            ));
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// All metrics as sorted plain text, one metric per line.
+    pub fn metrics_text(&self) -> String {
+        let mut out = String::new();
+        self.inner.with(|i| {
+            for (name, m) in &i.metrics {
+                match m {
+                    Metric::Counter(c) => out.push_str(&format!("counter {name} {c}\n")),
+                    Metric::Gauge(g) => out.push_str(&format!("gauge {name} {g:.6}\n")),
+                    Metric::Histogram(h) => {
+                        let buckets: Vec<String> = h.counts.iter().map(|c| c.to_string()).collect();
+                        out.push_str(&format!(
+                            "hist {name} count={} sum={} buckets={}\n",
+                            h.count,
+                            h.sum,
+                            buckets.join(",")
+                        ));
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// All metrics as CSV (`kind,name,field,value`); histograms flatten to
+    /// one row per bucket plus `count` and `sum`.
+    pub fn metrics_csv(&self) -> String {
+        let mut out = String::from("kind,name,field,value\n");
+        self.inner.with(|i| {
+            for (name, m) in &i.metrics {
+                match m {
+                    Metric::Counter(c) => out.push_str(&format!("counter,{name},value,{c}\n")),
+                    Metric::Gauge(g) => out.push_str(&format!("gauge,{name},value,{g:.6}\n")),
+                    Metric::Histogram(h) => {
+                        out.push_str(&format!("hist,{name},count,{}\n", h.count));
+                        out.push_str(&format!("hist,{name},sum,{}\n", h.sum));
+                        for (b, c) in h.counts.iter().enumerate() {
+                            let field = match BUCKET_BOUNDS.get(b) {
+                                Some(bound) => format!("le_{bound}"),
+                                None => "overflow".to_string(),
+                            };
+                            out.push_str(&format!("hist,{name},{field},{c}\n"));
+                        }
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Render one trace as an indented tree, children ordered by start
+    /// time. The assertion surface for recovery-path tests.
+    pub fn trace_tree(&self, trace_id: u64) -> String {
+        let mut spans: Vec<SpanRecord> = self
+            .spans()
+            .into_iter()
+            .filter(|s| s.trace_id == trace_id)
+            .collect();
+        spans.sort_by_key(|s| (s.start_ns, s.span_id));
+        let ids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.span_id).collect();
+        let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        let mut roots: Vec<usize> = Vec::new();
+        for (i, s) in spans.iter().enumerate() {
+            match s.parent {
+                // A parent outside this trace snapshot (e.g. still open)
+                // makes the span a root rather than an orphan.
+                Some(p) if ids.contains(&p) => children.entry(p).or_default().push(i),
+                _ => roots.push(i),
+            }
+        }
+        let mut out = String::new();
+        let mut work: Vec<(usize, usize)> = roots.into_iter().rev().map(|i| (i, 0)).collect();
+        while let Some((i, depth)) = work.pop() {
+            let s = &spans[i];
+            out.push_str(&format!("{}{}\n", "  ".repeat(depth), s.name));
+            if let Some(kids) = children.get(&s.span_id) {
+                for &k in kids.iter().rev() {
+                    work.push((k, depth + 1));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::ProcessObs;
+    use simnet::SimTime;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn sample() -> Obs {
+        let obs = Obs::new();
+        let po = ProcessObs::for_process(obs.clone(), 0, 1);
+        po.begin(t(1_000), "outer");
+        po.begin(t(2_500), "inner");
+        po.tag("ok", "true");
+        po.end(t(3_000));
+        po.end(t(10_000));
+        obs.counter_add("x.calls", 7);
+        obs.gauge_set("x.level", 0.25);
+        obs.observe("x.ns", 1_500);
+        obs
+    }
+
+    #[test]
+    fn chrome_export_is_valid_shape_and_deterministic() {
+        let a = sample().chrome_trace_json();
+        let b = sample().chrome_trace_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("[\n"));
+        assert!(a.trim_end().ends_with(']'));
+        assert!(a.contains("\"name\":\"outer\""));
+        assert!(a.contains("\"ts\":1.000"));
+        assert!(a.contains("\"dur\":9.000"));
+        assert!(a.contains("\"ok\":\"true\""));
+    }
+
+    #[test]
+    fn metrics_text_lists_all_kinds_sorted() {
+        let text = sample().metrics_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "counter x.calls 7");
+        assert_eq!(lines[1], "gauge x.level 0.250000");
+        assert!(lines[2].starts_with("hist x.ns count=1 sum=1500 buckets="));
+    }
+
+    #[test]
+    fn metrics_csv_flattens_histograms() {
+        let csv = sample().metrics_csv();
+        assert!(csv.starts_with("kind,name,field,value\n"));
+        assert!(csv.contains("counter,x.calls,value,7\n"));
+        assert!(csv.contains("hist,x.ns,count,1\n"));
+        assert!(csv.contains("hist,x.ns,le_100,0\n"));
+        assert!(csv.contains("hist,x.ns,overflow,0\n"));
+    }
+
+    #[test]
+    fn trace_tree_indents_children() {
+        let obs = sample();
+        let trace = obs.spans()[0].trace_id;
+        assert_eq!(obs.trace_tree(trace), "outer\n  inner\n");
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("\n"), "\\u000a");
+    }
+}

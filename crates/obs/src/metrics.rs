@@ -1,0 +1,102 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms.
+//!
+//! Histogram bucket boundaries are compile-time constants so that the set
+//! of buckets — and therefore every export — is identical across runs and
+//! across code that happens to observe different value ranges. Values are
+//! dimensionless `u64`s; by convention the runtime records nanoseconds of
+//! virtual time (`*_ns` metrics) and byte counts (`*_bytes`).
+
+/// Upper bucket bounds (inclusive), geometric in decades: 100 ns to
+/// 10 000 s when read as nanoseconds, 100 B to 10 TB as bytes. One
+/// overflow bucket follows the last bound.
+pub const BUCKET_BOUNDS: [u64; 12] = [
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+    100_000_000_000,
+    1_000_000_000_000,
+    10_000_000_000_000,
+];
+
+/// A fixed-bucket histogram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    /// Per-bucket observation counts; `counts[i]` is the number of values
+    /// `<= BUCKET_BOUNDS[i]` (and above the previous bound). The final
+    /// entry counts overflows.
+    pub counts: [u64; BUCKET_BOUNDS.len() + 1],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKET_BOUNDS.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = BUCKET_BOUNDS
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+}
+
+/// One registered metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Metric {
+    /// Monotone event count.
+    Counter(u64),
+    /// Last-written level.
+    Gauge(f64),
+    /// Distribution over [`BUCKET_BOUNDS`].
+    Histogram(Histogram),
+}
+
+impl Metric {
+    /// Kind label used by the exporters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "hist",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let mut h = Histogram::default();
+        h.observe(0); // first bucket (<= 100)
+        h.observe(100); // still first bucket (inclusive bound)
+        h.observe(101); // second bucket
+        h.observe(u64::MAX); // overflow bucket
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.counts[BUCKET_BOUNDS.len()], 1);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, u64::MAX); // saturated
+    }
+}

@@ -64,6 +64,10 @@ pub struct ManagerConfig {
     pub worker_group: Name,
     /// `Some` = route calls through fault-tolerant proxies.
     pub ft: Option<FtSettings>,
+    /// Observability sink: when present, the run is traced (`manager.run`
+    /// root span, one `manager.eval` per outer objective evaluation, and
+    /// everything the ORB and proxies record downstream).
+    pub obs: Option<obs::Obs>,
 }
 
 impl ManagerConfig {
@@ -80,6 +84,7 @@ impl ManagerConfig {
             request_timeout: SimDuration::from_secs(120),
             worker_group: worker_group(),
             ft: None,
+            obs: None,
         }
     }
 }
@@ -119,7 +124,6 @@ type EvalOutcome = SimResult<Result<(f64, Vec<Vec<f64>>), Exception>>;
 /// process. The outer `Result` is process liveness; the inner is the
 /// CORBA-level outcome.
 pub fn run_manager(ctx: &mut Ctx, cfg: &ManagerConfig) -> SimResult<Result<RunReport, Exception>> {
-    let t0 = ctx.now();
     let mut orb = Orb::new(
         ctx,
         OrbConfig {
@@ -127,6 +131,27 @@ pub fn run_manager(ctx: &mut Ctx, cfg: &ManagerConfig) -> SimResult<Result<RunRe
             ..OrbConfig::default()
         },
     );
+    let po = cfg.obs.clone().map(|sink| obs::ProcessObs::new(sink, ctx));
+    if let Some(p) = &po {
+        orb.set_obs(p.clone());
+        p.begin(ctx.now(), "manager.run");
+    }
+    let out = run_manager_with_orb(ctx, cfg, &mut orb);
+    if let Some(p) = &po {
+        if !matches!(&out, Ok(Ok(_))) {
+            p.tag("ok", "false");
+        }
+        p.end(ctx.now());
+    }
+    out
+}
+
+fn run_manager_with_orb(
+    ctx: &mut Ctx,
+    cfg: &ManagerConfig,
+    orb: &mut Orb,
+) -> SimResult<Result<RunReport, Exception>> {
+    let t0 = ctx.now();
     let ns = NamingClient::root(cfg.naming_host);
     let decomposition = DecomposedRosenbrock::new(cfg.n, cfg.workers);
 
@@ -136,7 +161,7 @@ pub fn run_manager(ctx: &mut Ctx, cfg: &ManagerConfig) -> SimResult<Result<RunRe
         None => {
             let mut stubs = Vec::with_capacity(cfg.workers);
             for _ in 0..cfg.workers {
-                match ns.resolve(&mut orb, ctx, &cfg.worker_group)? {
+                match ns.resolve(orb, ctx, &cfg.worker_group)? {
                     Ok(obj) => {
                         placements.push(obj.ior.host.0);
                         stubs.push(WorkerStub::new(obj));
@@ -147,7 +172,7 @@ pub fn run_manager(ctx: &mut Ctx, cfg: &ManagerConfig) -> SimResult<Result<RunRe
             Handles::Plain(stubs)
         }
         Some(ft) => {
-            let ckpt = match ns.resolve(&mut orb, ctx, &Name::simple("CheckpointService"))? {
+            let ckpt = match ns.resolve(orb, ctx, &Name::simple("CheckpointService"))? {
                 Ok(obj) => CheckpointClient::new(obj),
                 Err(e) => return Ok(Err(e)),
             };
@@ -167,7 +192,10 @@ pub fn run_manager(ctx: &mut Ctx, cfg: &ManagerConfig) -> SimResult<Result<RunRe
                     FtProxy::new(pcfg, NamingClient::root(cfg.naming_host), ckpt.clone());
                 // Bind eagerly so each proxy gets a distinct placement
                 // (the naming service spreads consecutive resolves).
-                let mut env = ProxyEnv { orb: &mut orb, ctx };
+                let mut env = ProxyEnv {
+                    orb: &mut *orb,
+                    ctx,
+                };
                 match proxy.ensure_target(&mut env)? {
                     Ok(obj) => placements.push(obj.ior.host.0),
                     Err(e) => return Ok(Err(e)),
@@ -254,9 +282,17 @@ pub fn run_manager(ctx: &mut Ctx, cfg: &ManagerConfig) -> SimResult<Result<RunRe
         Ok(Ok((decomposition.combine(&block_values), block_points)))
     };
 
+    let evo = orb.obs().cloned();
     let (manager_iterations, manager_evals) = if mdim == 0 {
         // Degenerate single-worker case: one combined solve.
-        match eval_coords(&[], &mut orb, ctx, &mut handles, &mut worker_calls)? {
+        if let Some(o) = &evo {
+            o.begin(ctx.now(), "manager.eval");
+        }
+        let r = eval_coords(&[], &mut *orb, ctx, &mut handles, &mut worker_calls)?;
+        if let Some(o) = &evo {
+            o.end(ctx.now());
+        }
+        match r {
             Ok((v, blocks)) => {
                 best_value = v;
                 best_point = decomposition.assemble(&[], &blocks);
@@ -275,7 +311,14 @@ pub fn run_manager(ctx: &mut Ctx, cfg: &ManagerConfig) -> SimResult<Result<RunRe
         );
         while outer.iterations() < cfg.manager_iters {
             let coords = outer.ask();
-            match eval_coords(&coords, &mut orb, ctx, &mut handles, &mut worker_calls)? {
+            if let Some(o) = &evo {
+                o.begin(ctx.now(), "manager.eval");
+            }
+            let r = eval_coords(&coords, &mut *orb, ctx, &mut handles, &mut worker_calls)?;
+            if let Some(o) = &evo {
+                o.end(ctx.now());
+            }
+            match r {
                 Ok((v, blocks)) => {
                     if v < best_value {
                         best_value = v;

@@ -212,7 +212,21 @@ pub fn worker_builder(costs: WorkerCosts) -> ftproxy::ServantBuilder {
 /// The body of a standalone worker server process: activate one worker,
 /// register it in the `Workers` group, serve forever.
 pub fn run_worker_server(ctx: &mut Ctx, naming_host: HostId, costs: WorkerCosts) -> SimResult<()> {
+    run_worker_server_obs(ctx, naming_host, costs, None)
+}
+
+/// [`run_worker_server`] with an observability sink attached: serve spans
+/// are recorded into `obs` when present.
+pub fn run_worker_server_obs(
+    ctx: &mut Ctx,
+    naming_host: HostId,
+    costs: WorkerCosts,
+    obs: Option<obs::Obs>,
+) -> SimResult<()> {
     let mut orb = Orb::init(ctx);
+    if let Some(sink) = obs {
+        orb.set_obs(obs::ProcessObs::new(sink, ctx));
+    }
     orb.listen(ctx)?;
     let poa = Poa::new();
     let servant = Rc::new(RefCell::new(WorkerServant::new(costs)));

@@ -24,9 +24,11 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use simnet::{Addr, Ctx, HostId, Pid, Port, SimDuration, SimResult, SimTime};
 
+use obs::ProcessObs;
+
 use crate::exceptions::{Exception, SystemException};
-use crate::giop::{FrameError, Message, ReplyBody};
-use crate::interceptor::Interceptor;
+use crate::giop::{FrameError, Message, ReplyBody, ServiceContext};
+use crate::interceptor::{Interceptor, TraceInterceptor};
 use crate::ior::{Ior, ObjectKey};
 use crate::poa::{CallCtx, Poa};
 
@@ -147,6 +149,7 @@ pub struct Orb {
     rsts: BTreeSet<(HostId, Port)>,
     stats: OrbStats,
     interceptors: Vec<Box<dyn Interceptor>>,
+    obs: Option<ProcessObs>,
 }
 
 pub(crate) enum Outcome {
@@ -168,6 +171,7 @@ impl Orb {
             rsts: BTreeSet::new(),
             stats: OrbStats::default(),
             interceptors: Vec::new(),
+            obs: None,
         }
     }
 
@@ -189,6 +193,21 @@ impl Orb {
     /// Register a request interceptor.
     pub fn add_interceptor(&mut self, i: Box<dyn Interceptor>) {
         self.interceptors.push(i);
+    }
+
+    /// Attach an observability handle: installs the tracing interceptor
+    /// (span propagation over the wire) and enables the ORB's own metrics
+    /// (invoke latency, timeouts, RSTs).
+    pub fn set_obs(&mut self, po: ProcessObs) {
+        self.interceptors
+            .push(Box::new(TraceInterceptor::new(po.clone())));
+        self.obs = Some(po);
+    }
+
+    /// The attached observability handle, if any. Application code above
+    /// the ORB (naming, FT proxies, managers) records through this.
+    pub fn obs(&self) -> Option<&ProcessObs> {
+        self.obs.as_ref()
     }
 
     // ------------------------------------------------------------------
@@ -277,12 +296,14 @@ impl Orb {
                 object_key,
                 operation,
                 body,
+                service_contexts,
             } => {
                 // Demarshal cost for the request body.
                 ctx.compute(self.cfg.cost.step(body.len()))?;
                 self.stats.requests_served += 1;
+                let now = ctx.now();
                 for i in &mut self.interceptors {
-                    i.server_recv(&operation, object_key);
+                    i.server_recv(now, &operation, object_key, &service_contexts);
                 }
                 let result = match poa.lookup(object_key) {
                     None => Err(Exception::System(SystemException::object_not_exist(
@@ -300,6 +321,7 @@ impl Orb {
                         s.dispatch(&mut call, &operation, &body)
                     }
                 };
+                let ok = result.is_ok();
                 if response_expected {
                     let status = match result {
                         Ok(body) => ReplyBody::NoException(body),
@@ -313,6 +335,10 @@ impl Orb {
                     let frame = Message::Reply { request_id, status }.encode();
                     ctx.compute(self.cfg.cost.step(frame.len()))?;
                     ctx.send(Addr::Pid(from), frame)?;
+                }
+                let done = ctx.now();
+                for i in &mut self.interceptors {
+                    i.server_reply(done, &operation, ok);
                 }
                 Ok(())
             }
@@ -351,6 +377,21 @@ impl Orb {
     /// liveness (`Err(Killed)` when this process dies); the inner is the
     /// CORBA outcome.
     pub fn invoke(
+        &mut self,
+        ctx: &mut Ctx,
+        ior: &Ior,
+        operation: &str,
+        body: Vec<u8>,
+    ) -> SimResult<Result<Vec<u8>, Exception>> {
+        let start = ctx.now();
+        let out = self.invoke_forwarding(ctx, ior, operation, body)?;
+        if let Some(o) = &self.obs {
+            o.observe("orb.invoke_ns", ctx.now().since(start).as_nanos());
+        }
+        Ok(out)
+    }
+
+    fn invoke_forwarding(
         &mut self,
         ctx: &mut Ctx,
         ior: &Ior,
@@ -396,17 +437,21 @@ impl Orb {
         self.rsts.remove(&endpoint);
         let req_id = self.next_req;
         self.next_req += 1;
+        // Interceptors run before encoding so the contexts they contribute
+        // (e.g. the trace context) ride on this frame.
+        let mut service_contexts: Vec<ServiceContext> = Vec::new();
+        for i in &mut self.interceptors {
+            i.client_send(operation, target, &mut service_contexts);
+        }
         let frame = Message::Request {
             request_id: req_id,
             response_expected,
             object_key: target.key,
             operation: operation.to_string(),
             body,
+            service_contexts,
         }
         .encode();
-        for i in &mut self.interceptors {
-            i.client_send(operation, target);
-        }
         ctx.compute(self.cfg.cost.step(frame.len()))?;
         if response_expected {
             self.stats.requests_sent += 1;
@@ -500,6 +545,14 @@ impl Orb {
     fn fail_pending(&mut self, req_id: u64, why: &str) -> Outcome {
         let p = self.pending.remove(&req_id);
         self.stats.comm_failures += 1;
+        if let Some(o) = &self.obs {
+            o.counter_add("orb.comm_failures", 1);
+            match why {
+                "request timed out" => o.counter_add("orb.timeouts", 1),
+                "connection refused" => o.counter_add("orb.rsts", 1),
+                _ => {}
+            }
+        }
         for i in &mut self.interceptors {
             i.client_recv(p.as_ref().map_or("?", |p| &p.operation), false);
         }

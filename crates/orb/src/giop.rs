@@ -24,6 +24,18 @@ const MSG_LOCATE_REQUEST: u8 = 3;
 const MSG_LOCATE_REPLY: u8 = 4;
 const MSG_CLOSE: u8 = 5;
 
+/// One entry of a request's service-context list: out-of-band data
+/// piggy-backed on the call, as in CORBA's `ServiceContextList`. The
+/// tracing layer rides here (see [`obs::TRACE_CONTEXT_ID`]); unknown ids
+/// are carried opaquely and ignored by receivers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServiceContext {
+    /// Context id (who the data belongs to).
+    pub id: u32,
+    /// Opaque payload.
+    pub data: Vec<u8>,
+}
+
 /// A decoded GIOP message.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Message {
@@ -39,6 +51,8 @@ pub enum Message {
         operation: String,
         /// CDR-encoded in-parameters.
         body: Vec<u8>,
+        /// Out-of-band contexts (tracing, ...).
+        service_contexts: Vec<ServiceContext>,
     },
     /// A server reply.
     Reply {
@@ -157,6 +171,7 @@ impl Message {
                 object_key,
                 operation,
                 body,
+                service_contexts,
             } => {
                 enc.write_u8(MSG_REQUEST);
                 enc.write_u64(*request_id);
@@ -164,6 +179,11 @@ impl Message {
                 object_key.write(&mut enc);
                 enc.write_string(operation);
                 enc.write_bytes(body);
+                enc.write_u32(service_contexts.len() as u32);
+                for sc in service_contexts {
+                    enc.write_u32(sc.id);
+                    enc.write_bytes(&sc.data);
+                }
             }
             Message::Reply { request_id, status } => {
                 enc.write_u8(MSG_REPLY);
@@ -229,13 +249,29 @@ impl Message {
         let _flags = dec.read_u8()?;
         let msg_type = dec.read_u8()?;
         let msg = match msg_type {
-            MSG_REQUEST => Message::Request {
-                request_id: dec.read_u64()?,
-                response_expected: dec.read_bool()?,
-                object_key: ObjectKey::read(&mut dec)?,
-                operation: dec.read_string()?,
-                body: dec.read_bytes()?,
-            },
+            MSG_REQUEST => {
+                let request_id = dec.read_u64()?;
+                let response_expected = dec.read_bool()?;
+                let object_key = ObjectKey::read(&mut dec)?;
+                let operation = dec.read_string()?;
+                let body = dec.read_bytes()?;
+                let n = dec.read_u32()?;
+                let mut service_contexts = Vec::new();
+                for _ in 0..n {
+                    service_contexts.push(ServiceContext {
+                        id: dec.read_u32()?,
+                        data: dec.read_bytes()?,
+                    });
+                }
+                Message::Request {
+                    request_id,
+                    response_expected,
+                    object_key,
+                    operation,
+                    body,
+                    service_contexts,
+                }
+            }
             MSG_REPLY => {
                 let request_id = dec.read_u64()?;
                 let status = match dec.read_u32()? {
@@ -283,6 +319,7 @@ mod tests {
             object_key: ObjectKey(5),
             operation: "solve".into(),
             body: vec![1, 2, 3],
+            service_contexts: vec![],
         };
         assert_eq!(Message::decode(&m.encode()).unwrap(), m);
     }
@@ -295,6 +332,7 @@ mod tests {
             object_key: ObjectKey(0),
             operation: "report".into(),
             body: vec![],
+            service_contexts: vec![],
         };
         assert_eq!(Message::decode(&m.encode()).unwrap(), m);
     }
@@ -375,6 +413,7 @@ mod tests {
             object_key: ObjectKey(1),
             operation: "op".into(),
             body: vec![0; 8],
+            service_contexts: vec![],
         }
         .encode();
         let cut = &frame[..frame.len() - 3];

@@ -1,20 +1,43 @@
 //! Request interceptors: lightweight hooks on the client and server request
 //! paths, in the spirit of CORBA Portable Interceptors. The load-balancing
 //! experiments use them to count calls per host; tests use them to observe
-//! retries.
+//! retries; the observability layer's [`TraceInterceptor`] injects and
+//! extracts causal trace contexts here.
 
+use obs::{ProcessObs, SpanContext, TRACE_CONTEXT_ID};
+use simnet::SimTime;
+
+use crate::giop::ServiceContext;
 use crate::ior::{Ior, ObjectKey};
 
 /// Hooks invoked around requests. All methods default to no-ops so an
 /// interceptor implements only what it observes.
 pub trait Interceptor {
-    /// A request (or oneway) is about to be sent to `target`.
-    fn client_send(&mut self, _operation: &str, _target: &Ior) {}
+    /// A request (or oneway) is about to be sent to `target`. Contexts
+    /// pushed onto `contexts` ride on the request frame.
+    fn client_send(
+        &mut self,
+        _operation: &str,
+        _target: &Ior,
+        _contexts: &mut Vec<ServiceContext>,
+    ) {
+    }
     /// A reply for `operation` was consumed; `ok` is false for exceptions
     /// and communication failures.
     fn client_recv(&mut self, _operation: &str, _ok: bool) {}
-    /// A request for `operation` arrived at this server.
-    fn server_recv(&mut self, _operation: &str, _key: ObjectKey) {}
+    /// A request for `operation` arrived at this server, carrying
+    /// `contexts`.
+    fn server_recv(
+        &mut self,
+        _now: SimTime,
+        _operation: &str,
+        _key: ObjectKey,
+        _contexts: &[ServiceContext],
+    ) {
+    }
+    /// Dispatch of `operation` finished (whether or not a reply was sent —
+    /// oneways land here too); `ok` is false when the servant raised.
+    fn server_reply(&mut self, _now: SimTime, _operation: &str, _ok: bool) {}
 }
 
 /// A simple counting interceptor, handy in tests and benchmarks.
@@ -27,7 +50,7 @@ pub struct CallCounter {
 }
 
 impl Interceptor for CallCounter {
-    fn client_send(&mut self, operation: &str, _target: &Ior) {
+    fn client_send(&mut self, operation: &str, _target: &Ior, _contexts: &mut Vec<ServiceContext>) {
         *self.sent.entry(operation.to_string()).or_default() += 1;
     }
 
@@ -35,6 +58,54 @@ impl Interceptor for CallCounter {
         if !ok {
             self.failures += 1;
         }
+    }
+}
+
+/// The tracing interceptor: on the client side it stamps outgoing requests
+/// with the current span's [`SpanContext`]; on the server side it opens a
+/// `serve:{operation}` span parented to the caller's span, closing it when
+/// dispatch finishes. Installed by [`Orb::set_obs`](crate::Orb::set_obs).
+pub struct TraceInterceptor {
+    po: ProcessObs,
+}
+
+impl TraceInterceptor {
+    /// Wrap a process handle.
+    pub fn new(po: ProcessObs) -> Self {
+        TraceInterceptor { po }
+    }
+}
+
+impl Interceptor for TraceInterceptor {
+    fn client_send(&mut self, _operation: &str, _target: &Ior, contexts: &mut Vec<ServiceContext>) {
+        if let Some(cur) = self.po.current() {
+            contexts.push(ServiceContext {
+                id: TRACE_CONTEXT_ID,
+                data: cur.to_bytes(),
+            });
+        }
+    }
+
+    fn server_recv(
+        &mut self,
+        now: SimTime,
+        operation: &str,
+        _key: ObjectKey,
+        contexts: &[ServiceContext],
+    ) {
+        let parent = contexts
+            .iter()
+            .find(|sc| sc.id == TRACE_CONTEXT_ID)
+            .and_then(|sc| SpanContext::from_bytes(&sc.data));
+        self.po
+            .begin_remote(now, &format!("serve:{operation}"), parent);
+    }
+
+    fn server_reply(&mut self, now: SimTime, _operation: &str, ok: bool) {
+        if !ok {
+            self.po.tag("ok", "false");
+        }
+        self.po.end(now);
     }
 }
 
@@ -47,11 +118,49 @@ mod tests {
     fn call_counter_counts() {
         let mut c = CallCounter::default();
         let ior = Ior::new("IDL:T:1.0", HostId(0), Port(1), ObjectKey(1));
-        c.client_send("solve", &ior);
-        c.client_send("solve", &ior);
+        let mut contexts = Vec::new();
+        c.client_send("solve", &ior, &mut contexts);
+        c.client_send("solve", &ior, &mut contexts);
         c.client_recv("solve", true);
         c.client_recv("solve", false);
         assert_eq!(c.sent["solve"], 2);
         assert_eq!(c.failures, 1);
+    }
+
+    #[test]
+    fn trace_interceptor_injects_and_extracts() {
+        let obs = obs::Obs::new();
+        let client = obs::ProcessObs::for_process(obs.clone(), 0, 1);
+        let server = obs::ProcessObs::for_process(obs.clone(), 1, 2);
+        let ior = Ior::new("IDL:T:1.0", HostId(1), Port(1), ObjectKey(1));
+
+        client.begin(SimTime::from_nanos(10), "call");
+        let mut tx = TraceInterceptor::new(client.clone());
+        let mut contexts = Vec::new();
+        tx.client_send("solve", &ior, &mut contexts);
+        assert_eq!(contexts.len(), 1);
+        assert_eq!(contexts[0].id, TRACE_CONTEXT_ID);
+
+        let mut rx = TraceInterceptor::new(server);
+        rx.server_recv(SimTime::from_nanos(20), "solve", ObjectKey(1), &contexts);
+        rx.server_reply(SimTime::from_nanos(30), "solve", true);
+        client.end(SimTime::from_nanos(40));
+
+        let serve = &obs.spans_named("serve:solve")[0];
+        let call = &obs.spans_named("call")[0];
+        assert_eq!(serve.trace_id, call.trace_id);
+        assert_eq!(serve.parent, Some(call.span_id));
+        assert_eq!(serve.hop, 1);
+    }
+
+    #[test]
+    fn untraced_client_injects_nothing() {
+        let obs = obs::Obs::new();
+        let po = obs::ProcessObs::for_process(obs, 0, 1);
+        let mut tx = TraceInterceptor::new(po);
+        let ior = Ior::new("IDL:T:1.0", HostId(0), Port(1), ObjectKey(1));
+        let mut contexts = Vec::new();
+        tx.client_send("solve", &ior, &mut contexts);
+        assert!(contexts.is_empty());
     }
 }

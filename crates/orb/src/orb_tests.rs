@@ -491,7 +491,7 @@ fn interceptors_observe_calls() {
         fails: u64,
     }
     impl crate::Interceptor for Obs {
-        fn client_send(&mut self, _op: &str, _t: &Ior) {
+        fn client_send(&mut self, _op: &str, _t: &Ior, _sc: &mut Vec<crate::ServiceContext>) {
             self.sent += 1;
             self.cell.lock().unwrap().replace((self.sent, self.fails));
         }

@@ -1,7 +1,7 @@
 //! Property tests for the ORB wire layer: every GIOP frame round-trips,
 //! and the decoder never panics on corrupted frames.
 
-use orb::{Ior, Message, ObjectKey, ReplyBody, SystemException, UserException};
+use orb::{Ior, Message, ObjectKey, ReplyBody, ServiceContext, SystemException, UserException};
 use proptest::prelude::*;
 use simnet::{HostId, Port};
 
@@ -23,16 +23,26 @@ fn message_strategy() -> impl Strategy<Value = Message> {
             any::<u64>(),
             "[a-z_]{1,24}",
             proptest::collection::vec(any::<u8>(), 0..256),
+            proptest::collection::vec(
+                (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..32)),
+                0..3
+            ),
         )
-            .prop_map(|(request_id, response_expected, key, operation, body)| {
-                Message::Request {
-                    request_id,
-                    response_expected,
-                    object_key: ObjectKey(key),
-                    operation,
-                    body,
+            .prop_map(
+                |(request_id, response_expected, key, operation, body, contexts)| {
+                    Message::Request {
+                        request_id,
+                        response_expected,
+                        object_key: ObjectKey(key),
+                        operation,
+                        body,
+                        service_contexts: contexts
+                            .into_iter()
+                            .map(|(id, data)| ServiceContext { id, data })
+                            .collect(),
+                    }
                 }
-            }),
+            ),
         (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..256)).prop_map(
             |(request_id, body)| Message::Reply {
                 request_id,

@@ -64,7 +64,22 @@ pub fn run_system_manager(
     policy: Box<dyn crate::policy::SelectionPolicy>,
     publish: impl FnOnce(Ior),
 ) -> SimResult<()> {
+    run_system_manager_obs(ctx, cfg, policy, None, publish)
+}
+
+/// [`run_system_manager`] with an observability sink attached: serve spans
+/// and selection metrics are recorded into `obs` when present.
+pub fn run_system_manager_obs(
+    ctx: &mut Ctx,
+    cfg: SystemManagerConfig,
+    policy: Box<dyn crate::policy::SelectionPolicy>,
+    obs: Option<obs::Obs>,
+    publish: impl FnOnce(Ior),
+) -> SimResult<()> {
     let mut orb = Orb::init(ctx);
+    if let Some(sink) = obs {
+        orb.set_obs(obs::ProcessObs::new(sink, ctx));
+    }
     orb.listen(ctx)?;
     let poa = orb::Poa::new();
     let servant = std::rc::Rc::new(std::cell::RefCell::new(SystemManager::new(cfg, policy)));

@@ -64,14 +64,15 @@ impl SystemManager {
         }
     }
 
-    /// Ingest one load report.
-    pub fn ingest(&mut self, now: SimTime, report: LoadReport) {
+    /// Ingest one load report. Returns whether the report was accepted
+    /// (false when dropped as out of order).
+    pub fn ingest(&mut self, now: SimTime, report: LoadReport) -> bool {
         self.reports_received += 1;
         match self.hosts.get_mut(&report.host) {
             Some(rec) => {
                 if report.seq <= rec.last.seq {
                     self.stale_reports_dropped += 1;
-                    return;
+                    return false;
                 }
                 rec.last = report;
                 rec.last_seen = now;
@@ -87,6 +88,7 @@ impl SystemManager {
                 );
             }
         }
+        true
     }
 
     /// The current selectable views: fresh hosts only, with reservations
@@ -172,13 +174,43 @@ impl Servant for SystemManager {
             ops::REPORT => {
                 let (report,): (LoadReport,) =
                     cdr::from_bytes(args).map_err(SystemException::marshal)?;
-                self.ingest(now, report);
+                let accepted = self.ingest(now, report);
+                if let Some(o) = call.orb.obs().cloned() {
+                    o.counter_add("winner.reports", 1);
+                    if !accepted {
+                        o.counter_add("winner.stale_reports", 1);
+                    }
+                }
                 reply(&())
             }
             ops::SELECT => {
                 let (req,): (SelectRequest,) =
                     cdr::from_bytes(args).map_err(SystemException::marshal)?;
                 let pick = self.select(now, &req.candidates);
+                if let Some(o) = call.orb.obs().cloned() {
+                    o.counter_add("winner.selections", 1);
+                    match pick {
+                        Some(host) => {
+                            if let Some(rec) = self.hosts.get(&host) {
+                                // How old the winning report was: the
+                                // staleness the placement decision acted on.
+                                o.observe(
+                                    "winner.report_age_ns",
+                                    now.since(rec.last_seen).as_nanos(),
+                                );
+                                // Reservations already on the winner beyond
+                                // the one select() just pushed: back-to-back
+                                // placements landing on the same host.
+                                let hits = rec.reservations.len().saturating_sub(1) as u64;
+                                if hits > 0 {
+                                    o.counter_add("winner.reservation_hits", hits);
+                                }
+                            }
+                        }
+                        None => o.counter_add("winner.select_misses", 1),
+                    }
+                    o.gauge_set("winner.alive_hosts", self.alive_hosts(now) as f64);
+                }
                 // (found, host) — mirrors the IDL out-params.
                 reply(&(pick.is_some(), pick.unwrap_or(0)))
             }
