@@ -23,6 +23,7 @@ fn main() {
                 mode: CheckpointMode::PerValue,
                 checkpoint_every: 1,
                 max_recoveries: 4,
+                ..FtSettings::default()
             }),
         ),
         (
@@ -31,6 +32,7 @@ fn main() {
                 mode: CheckpointMode::PerValue,
                 checkpoint_every: 5,
                 max_recoveries: 4,
+                ..FtSettings::default()
             }),
         ),
         (
@@ -39,6 +41,7 @@ fn main() {
                 mode: CheckpointMode::Bulk,
                 checkpoint_every: 1,
                 max_recoveries: 4,
+                ..FtSettings::default()
             }),
         ),
         (
@@ -47,6 +50,7 @@ fn main() {
                 mode: CheckpointMode::Bulk,
                 checkpoint_every: 5,
                 max_recoveries: 4,
+                ..FtSettings::default()
             }),
         ),
         (
@@ -55,6 +59,7 @@ fn main() {
                 mode: CheckpointMode::None,
                 checkpoint_every: 1,
                 max_recoveries: 4,
+                ..FtSettings::default()
             }),
         ),
     ];

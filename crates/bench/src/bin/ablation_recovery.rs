@@ -35,6 +35,7 @@ fn main() {
         mode: CheckpointMode::Bulk,
         checkpoint_every: every,
         max_recoveries: 6,
+        ..FtSettings::default()
     };
 
     // Detection is timeout-based for a crashed host; compare the paper's
@@ -67,6 +68,7 @@ fn main() {
                 mode: CheckpointMode::PerValue,
                 checkpoint_every: 1,
                 max_recoveries: 6,
+                ..FtSettings::default()
             }),
             Some(crash),
             fast,

@@ -1,0 +1,256 @@
+//! Chaos harness for the replicated checkpoint store: a seeded
+//! [`store::ChaosPlan`] crashes and restarts store-replica hosts while a
+//! driver keeps writing epoch-versioned checkpoints through the naming
+//! group. The run must end with every acked epoch durable — the newest
+//! acked record readable after the dust settles — and, with the same
+//! seed, produce byte-identical observability exports (the CI
+//! determinism gate runs this binary twice and `cmp`s the files).
+//!
+//! Usage: `cargo run --release -p ldft-bench --bin store_chaos
+//! [--quick] [--seeds N] [--trace-out PATH] [--metrics-out PATH]`
+
+use std::sync::{Arc, Mutex};
+
+use cosnaming::{LbMode, Name, NamingClient};
+use ftproxy::{Checkpoint, CheckpointClient, CHECKPOINT_SERVICE_NAME};
+use ldft_bench::{Csv, RunArgs, Table};
+use orb::Orb;
+use simnet::{Ctx, HostConfig, Kernel, SimDuration, SimTime};
+use store::{spawn_replicated_store, ChaosConfig, ChaosPlan, StoreConfig};
+
+const REPLICAS: usize = 3;
+
+/// What one chaos cell did.
+#[derive(Clone, Debug, Default)]
+struct CellStats {
+    /// Epochs the driver got a quorum ack for.
+    acked: u64,
+    /// Store attempts that failed (quorum loss or a dead coordinator)
+    /// and were retried after re-resolving the group.
+    retries: u64,
+    /// Epoch of the record read back after the chaos window closed.
+    final_epoch: u64,
+    /// Crash faults the plan injected.
+    crashes: usize,
+}
+
+/// Outcome of one seeded cell, with its observability exports.
+struct CellOutcome {
+    stats: CellStats,
+    trace_json: String,
+    metrics_text: String,
+}
+
+fn resolve_store(orb: &mut Orb, ctx: &mut Ctx, naming_host: simnet::HostId) -> CheckpointClient {
+    let ns = NamingClient::root(naming_host);
+    loop {
+        match ns
+            .resolve(orb, ctx, &Name::simple(CHECKPOINT_SERVICE_NAME))
+            .expect("driver host never crashes")
+        {
+            Ok(obj) => return CheckpointClient::new(obj),
+            Err(_) => ctx.sleep(SimDuration::from_millis(50)).unwrap(),
+        }
+    }
+}
+
+/// Run one chaos cell: naming + `REPLICAS` store hosts + a driver host;
+/// replica hosts crash/restart per the seeded plan while the driver
+/// writes one epoch every 200 ms, re-resolving on failure.
+fn run_cell(seed: u64, scale: f64) -> CellOutcome {
+    let mut sim = Kernel::with_seed(seed);
+    let sink = obs::Obs::new();
+    let naming_host = sim.add_host(HostConfig::new("infra"));
+    let replica_hosts: Vec<_> = (0..REPLICAS)
+        .map(|i| sim.add_host(HostConfig::new(format!("store{i}"))))
+        .collect();
+    let driver_host = sim.add_host(HostConfig::new("driver"));
+
+    let naming_sink = sink.clone();
+    sim.spawn(naming_host, "naming", move |ctx| {
+        let _ = cosnaming::run_naming_service_obs(ctx, LbMode::Plain, Some(naming_sink));
+    });
+    spawn_replicated_store(
+        &mut sim,
+        &replica_hosts,
+        naming_host,
+        StoreConfig::default(),
+        Some(sink.clone()),
+    );
+
+    // The chaos window: starts after boot, ends well before the write
+    // phase does, so the final epochs land on a fully healed view and
+    // every replica holds the newest record.
+    let chaos_end_s = 1.0 + 12.0 * scale.max(0.15);
+    let plan = ChaosPlan::generate(
+        &ChaosConfig {
+            seed: seed.wrapping_mul(0x517C_C1B7),
+            start: SimTime::from_nanos(1_000_000_000),
+            end: SimTime::from_nanos((chaos_end_s * 1e9) as u64),
+            mean_interval: SimDuration::from_millis(1_500),
+            restart_after: Some(SimDuration::from_secs(2)),
+            max_concurrent_down: REPLICAS - 1,
+            partition_prob: 0.0,
+        },
+        &replica_hosts,
+    );
+    let crashes = plan.crashes();
+    plan.schedule(&mut sim);
+
+    let write_end = SimTime::from_nanos(((chaos_end_s + 3.0) * 1e9) as u64);
+    let stats: Arc<Mutex<CellStats>> = Arc::new(Mutex::new(CellStats::default()));
+    let out = stats.clone();
+    let driver_sink = sink.clone();
+    let driver = sim.spawn(driver_host, "driver", move |ctx| {
+        ctx.sleep(SimDuration::from_millis(500)).unwrap();
+        let mut orb = Orb::init(ctx);
+        orb.set_obs(obs::ProcessObs::new(driver_sink, ctx));
+        let mut client = resolve_store(&mut orb, ctx, naming_host);
+        let mut s = CellStats::default();
+        let mut epoch = 0u64;
+        while ctx.now() < write_end {
+            epoch += 1;
+            let ckpt = Checkpoint {
+                object_id: "chaos-obj".into(),
+                epoch,
+                state: epoch.to_be_bytes().to_vec(),
+                stamp_ns: ctx.now().as_nanos(),
+            };
+            // Retry through crashes: a dead coordinator or a lost quorum
+            // heals once the detector evicts the corpse (or the host
+            // restarts and re-binds), so keep re-resolving.
+            loop {
+                match client.store(&mut orb, ctx, &ckpt).expect("driver lives") {
+                    Ok(()) => {
+                        s.acked = epoch;
+                        break;
+                    }
+                    Err(_) => {
+                        s.retries += 1;
+                        ctx.sleep(SimDuration::from_millis(150)).unwrap();
+                        client = resolve_store(&mut orb, ctx, naming_host);
+                    }
+                }
+            }
+            ctx.sleep(SimDuration::from_millis(200)).unwrap();
+        }
+        // The dust has settled: the newest acked epoch must be durable.
+        loop {
+            if let Ok(Some(c)) = client
+                .retrieve(&mut orb, ctx, "chaos-obj")
+                .expect("driver lives")
+            {
+                s.final_epoch = c.epoch;
+                break;
+            }
+            s.retries += 1;
+            ctx.sleep(SimDuration::from_millis(150)).unwrap();
+            client = resolve_store(&mut orb, ctx, naming_host);
+        }
+        *out.lock().unwrap() = s;
+    });
+    sim.run_until_exit(driver);
+
+    let mut stats = stats.lock().unwrap().clone();
+    stats.crashes = crashes;
+    CellOutcome {
+        stats,
+        trace_json: sink.chrome_trace_json(),
+        metrics_text: sink.metrics_text(),
+    }
+}
+
+fn main() {
+    let args = RunArgs::parse();
+    eprintln!(
+        "store_chaos: {REPLICAS} replicas under a seeded fault schedule × {} seeds …",
+        args.seeds.len()
+    );
+
+    let mut rows: Vec<(u64, CellStats)> = Vec::new();
+    let mut exports: Option<CellOutcome> = None;
+    for &seed in &args.seeds {
+        let outcome = run_cell(seed, args.scale);
+        assert!(
+            outcome.stats.acked > 0,
+            "seed {seed}: no write ever succeeded"
+        );
+        assert_eq!(
+            outcome.stats.final_epoch, outcome.stats.acked,
+            "seed {seed}: an acked epoch was lost to the chaos schedule"
+        );
+        rows.push((seed, outcome.stats.clone()));
+        if exports.is_none() {
+            exports = Some(outcome);
+        }
+        eprint!(".");
+    }
+    eprintln!();
+
+    println!(
+        "Store chaos — {REPLICAS} replicas, seeded crash/restart schedule on the \
+         store hosts while a client writes one epoch every 200 ms\n"
+    );
+    let mut table = Table::new(vec![
+        "seed",
+        "crashes",
+        "epochs acked",
+        "write retries",
+        "final epoch",
+    ]);
+    for (seed, s) in &rows {
+        table.row(vec![
+            seed.to_string(),
+            s.crashes.to_string(),
+            s.acked.to_string(),
+            s.retries.to_string(),
+            s.final_epoch.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Reading: every row ends with final epoch == epochs acked — no acked \
+         write was lost, despite the crashes. Retries count the writes that \
+         had to wait out a failover (detector eviction or host restart)."
+    );
+
+    if args.csv {
+        let csv_rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|(seed, s)| {
+                vec![
+                    seed.to_string(),
+                    s.crashes.to_string(),
+                    s.acked.to_string(),
+                    s.retries.to_string(),
+                    s.final_epoch.to_string(),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            Csv::render(
+                &[
+                    "seed",
+                    "crashes",
+                    "epochs_acked",
+                    "write_retries",
+                    "final_epoch"
+                ],
+                &csv_rows
+            )
+        );
+    }
+
+    // Observability exports of the first seed's cell (the CI determinism
+    // gate runs this twice and compares byte-for-byte).
+    let exports = exports.expect("at least one seed ran");
+    if let Some(path) = &args.trace_out {
+        std::fs::write(path, &exports.trace_json).expect("writing --trace-out file");
+        eprintln!("wrote trace export to {path}");
+    }
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, &exports.metrics_text).expect("writing --metrics-out file");
+        eprintln!("wrote metrics export to {path}");
+    }
+}

@@ -25,7 +25,7 @@ pub mod scenario;
 
 pub use runtime::{Cluster, ClusterConfig, NamingMode, WinnerPolicy};
 pub use scenario::{
-    averaged_runtime, run_experiment, CrashPlan, ExperimentOutcome, ExperimentSpec,
+    averaged_runtime, run_experiment, CrashPlan, ExperimentOutcome, ExperimentSpec, StoreCrashPlan,
 };
 
 #[cfg(test)]

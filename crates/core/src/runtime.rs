@@ -76,6 +76,19 @@ pub struct ClusterConfig {
     pub worker_costs: WorkerCosts,
     /// Checkpoint store cost model.
     pub store_costs: StoreCosts,
+    /// Checkpoint store replication factor. 1 = the paper's deployment
+    /// (one service on the infra host, plain `rebind`); ≥ 2 = that many
+    /// [`store::StoreReplica`]s behind the same name on distinct hosts,
+    /// with quorum replication and a store-side failure detector.
+    pub store_replicas: usize,
+    /// Hosts (by index) carrying store replicas when `store_replicas ≥ 2`.
+    /// Empty = automatic placement on the highest-numbered hosts (they are
+    /// never the infra host, and load is typically spread from the front).
+    pub store_hosts: Vec<usize>,
+    /// Replication tuning for the replicated store (quorum, retention,
+    /// detector cadence). Its cost model is overridden by `store_costs`
+    /// so both deployments share one knob.
+    pub store: store::StoreConfig,
     /// Winner node-manager report interval.
     pub report_interval: SimDuration,
     /// Winner selection policy.
@@ -92,6 +105,9 @@ impl Default for ClusterConfig {
             worker_hosts: Vec::new(),
             worker_costs: WorkerCosts::default(),
             store_costs: StoreCosts::default(),
+            store_replicas: 1,
+            store_hosts: Vec::new(),
+            store: store::StoreConfig::default(),
             report_interval: SimDuration::from_secs(1),
             policy: WinnerPolicy::BestPerformance,
         }
@@ -108,6 +124,11 @@ pub struct Cluster {
     pub infra: HostId,
     /// Hosts running worker servers and factories.
     pub worker_hosts: Vec<HostId>,
+    /// Hosts carrying checkpoint-store replicas. `[infra]` in the
+    /// single-store deployment; the replicated deployment's hosts (in
+    /// placement order, so `store_hosts[0]` is the member a plain
+    /// group-resolve returns first — "the primary") otherwise.
+    pub store_hosts: Vec<HostId>,
     /// Stringified IOR of the Winner system manager (None in plain mode
     /// until published; always None when Winner is not deployed).
     pub sysmgr_ior: Shared<Option<String>>,
@@ -204,7 +225,31 @@ impl Cluster {
         }
 
         // ---- checkpoint service ----------------------------------------
-        {
+        // Replicated deployment for ≥ 2 replicas, and for a single replica
+        // explicitly placed off the infra host (store-crash baselines).
+        let replicated = config.store_replicas >= 2 || !config.store_hosts.is_empty();
+        let store_hosts: Vec<HostId> = if replicated {
+            let chosen: Vec<HostId> = if config.store_hosts.is_empty() {
+                // Automatic placement: the highest-numbered hosts. They are
+                // never the infra host, and scenario code places background
+                // load and workers from the front of the host list.
+                let n = config.store_replicas.min(config.hosts - 1);
+                (config.hosts - n..config.hosts).map(|i| hosts[i]).collect()
+            } else {
+                config
+                    .store_hosts
+                    .iter()
+                    .map(|&i| {
+                        assert!(i != 0 && i < config.hosts, "bad store host index {i}");
+                        hosts[i]
+                    })
+                    .collect()
+            };
+            let mut scfg = config.store.clone();
+            scfg.costs = config.store_costs;
+            store::spawn_replicated_store(&mut kernel, &chosen, infra, scfg, Some(obs.clone()));
+            chosen
+        } else {
             let store_costs = config.store_costs;
             let sink = obs.clone();
             kernel.spawn(infra, "checkpoint-service", move |ctx| {
@@ -212,7 +257,8 @@ impl Cluster {
                     CheckpointService::new(Box::new(ftproxy::MemBackend::new()), store_costs);
                 let _ = serve_registered(ctx, service, sink);
             });
-        }
+            vec![infra]
+        };
 
         // ---- factories + workers on the worker hosts -------------------
         for &h in &worker_hosts {
@@ -233,6 +279,7 @@ impl Cluster {
             hosts,
             infra,
             worker_hosts,
+            store_hosts,
             sysmgr_ior,
             obs,
             config,

@@ -49,6 +49,26 @@ pub struct ExperimentSpec {
     pub request_timeout: SimDuration,
     /// Optional fault injection: crash a NOW host mid-run.
     pub crash: Option<CrashPlan>,
+    /// Checkpoint-store replication factor: 1 = the paper's single store
+    /// on the infra host; ≥ 2 = a replicated `ldft-store` deployment.
+    pub store_replicas: usize,
+    /// Optional fault injection: crash a checkpoint-store host mid-run.
+    pub store_crash: Option<StoreCrashPlan>,
+}
+
+/// A scheduled mid-run crash of a checkpoint-store host.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreCrashPlan {
+    /// Delay after the manager starts.
+    pub after: SimDuration,
+    /// Index into the store deployment's hosts ([`Cluster::store_hosts`]).
+    /// Index 0 is the member a plain group-resolve returns first — the
+    /// replica an FT manager's checkpoint client is bound to ("the
+    /// primary"). With `store_replicas: 1` the single store is placed on
+    /// its own (non-infra) host for this scenario, so the crash isolates
+    /// store loss from naming/manager loss — the single-point-of-failure
+    /// baseline.
+    pub store_host_index: usize,
 }
 
 /// A scheduled mid-run host crash.
@@ -82,6 +102,8 @@ impl ExperimentSpec {
             policy: WinnerPolicy::BestPerformance,
             request_timeout: SimDuration::from_secs(60),
             crash: None,
+            store_replicas: 1,
+            store_crash: None,
         }
     }
 
@@ -102,6 +124,8 @@ impl ExperimentSpec {
             policy: WinnerPolicy::BestPerformance,
             request_timeout: SimDuration::from_secs(60),
             crash: None,
+            store_replicas: 1,
+            store_crash: None,
         }
     }
 
@@ -142,12 +166,22 @@ pub struct ExperimentOutcome {
 pub fn run_experiment(spec: &ExperimentSpec) -> Result<ExperimentOutcome, String> {
     assert!(spec.available_hosts <= spec.now_hosts);
     assert!(spec.loaded_hosts <= spec.now_hosts);
+    // A store-crash scenario needs the store off the infra host (which
+    // also carries naming and the manager): place even a single store on
+    // the last NOW host then, so the crash isolates store loss.
+    let store_hosts: Vec<usize> = if spec.store_crash.is_some() && spec.store_replicas <= 1 {
+        vec![spec.now_hosts]
+    } else {
+        Vec::new()
+    };
     let mut cluster = Cluster::build(ClusterConfig {
         hosts: spec.now_hosts + 1, // + infra host
         naming: spec.naming.clone(),
         worker_hosts: (1..=spec.available_hosts).collect(),
         seed: spec.seed,
         policy: spec.policy,
+        store_replicas: spec.store_replicas.max(1),
+        store_hosts,
         ..ClusterConfig::default()
     });
 
@@ -193,6 +227,12 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Result<ExperimentOutcome, String
                 .kernel
                 .schedule_fault(crash_at + d, simnet::Fault::RestartHost(victim));
         }
+    }
+    if let Some(sc) = spec.store_crash {
+        let victim = cluster.store_hosts[sc.store_host_index];
+        cluster
+            .kernel
+            .schedule_fault(started_at + sc.after, simnet::Fault::CrashHost(victim));
     }
     let infra = cluster.infra;
     let manager = cluster.kernel.spawn_at(

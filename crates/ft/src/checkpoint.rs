@@ -99,9 +99,72 @@ impl Backend for MemBackend {
     }
 }
 
+/// Magic prefix of a framed on-disk checkpoint record.
+const DISK_MAGIC: &[u8; 4] = b"LDFT";
+
+/// FNV-1a 64-bit: the frame checksum. Not cryptographic — it only has to
+/// catch torn writes and bit rot, deterministically and dependency-free.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Frame a payload: magic + big-endian length + payload + checksum.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    out.extend_from_slice(DISK_MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv1a64(payload).to_be_bytes());
+    out
+}
+
+fn torn(why: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("torn or corrupt checkpoint record: {why}"),
+    )
+}
+
+/// Validate a frame and return the payload, rejecting torn/partial or
+/// bit-flipped records.
+fn unframe(bytes: &[u8]) -> io::Result<&[u8]> {
+    if bytes.len() < 16 {
+        return Err(torn("short frame"));
+    }
+    if &bytes[..4] != DISK_MAGIC {
+        return Err(torn("bad magic"));
+    }
+    let len = u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
+    if bytes.len() != 8 + len + 8 {
+        return Err(torn("length mismatch"));
+    }
+    let payload = &bytes[8..8 + len];
+    let want = u64::from_be_bytes(
+        bytes[8 + len..]
+            .try_into()
+            .map_err(|_| torn("short frame"))?,
+    );
+    if fnv1a64(payload) != want {
+        return Err(torn("checksum mismatch"));
+    }
+    Ok(payload)
+}
+
 /// Disk-backed store: one file per object under a spool directory
 /// (CDR-encoded), values in a sibling file. Implements the persistence
 /// the paper deferred to future work.
+///
+/// Durability: each record is written framed (magic, length, FNV-1a
+/// checksum) to a temp file which is `fsync`ed *before* the rename into
+/// place, and the directory is `fsync`ed after — so a crash leaves either
+/// the old record or the new one, never a torn hybrid, and any partial
+/// or bit-flipped record is rejected on load instead of deserializing by
+/// luck.
 pub struct DiskBackend {
     dir: PathBuf,
 }
@@ -112,6 +175,29 @@ impl DiskBackend {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         Ok(DiskBackend { dir })
+    }
+
+    /// Write a framed record atomically and durably: temp file, fsync,
+    /// rename, directory fsync.
+    fn write_atomic(&self, path: &PathBuf, payload: &[u8]) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            io::Write::write_all(&mut f, &frame(payload))?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        // Make the rename itself durable.
+        std::fs::File::open(&self.dir)?.sync_all()
+    }
+
+    /// Read a framed record; `None` if absent, `InvalidData` if torn.
+    fn read_framed(&self, path: &PathBuf) -> io::Result<Option<Vec<u8>>> {
+        match std::fs::read(path) {
+            Ok(bytes) => unframe(&bytes).map(|p| Some(p.to_vec())),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
     }
 
     fn sanitize(object_id: &str) -> String {
@@ -137,34 +223,29 @@ impl DiskBackend {
     }
 
     fn load_values(&self, object_id: &str) -> io::Result<Vec<(String, Any)>> {
-        match std::fs::read(self.values_path(object_id)) {
-            Ok(bytes) => cdr::from_bytes(&bytes)
+        match self.read_framed(&self.values_path(object_id))? {
+            Some(payload) => cdr::from_bytes(&payload)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
-            Err(e) => Err(e),
+            None => Ok(Vec::new()),
         }
     }
 
     fn save_values(&self, object_id: &str, values: &Vec<(String, Any)>) -> io::Result<()> {
-        std::fs::write(self.values_path(object_id), cdr::to_bytes(values))
+        self.write_atomic(&self.values_path(object_id), &cdr::to_bytes(values))
     }
 }
 
 impl Backend for DiskBackend {
     fn store(&mut self, ckpt: Checkpoint) -> io::Result<()> {
-        let path = self.bulk_path(&ckpt.object_id);
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, cdr::to_bytes(&ckpt))?;
-        std::fs::rename(tmp, path)
+        self.write_atomic(&self.bulk_path(&ckpt.object_id), &cdr::to_bytes(&ckpt))
     }
 
     fn retrieve(&mut self, object_id: &str) -> io::Result<Option<Checkpoint>> {
-        match std::fs::read(self.bulk_path(object_id)) {
-            Ok(bytes) => cdr::from_bytes(&bytes)
+        match self.read_framed(&self.bulk_path(object_id))? {
+            Some(payload) => cdr::from_bytes(&payload)
                 .map(Some)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
-            Err(e) => Err(e),
+            None => Ok(None),
         }
     }
 
@@ -287,6 +368,47 @@ mod tests {
             assert_eq!(got.epoch, 7);
             assert_eq!(got.object_id, "svc/1");
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_backend_rejects_torn_and_corrupt_records() {
+        let dir = std::env::temp_dir().join(format!("ftproxy-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut b = DiskBackend::new(&dir).unwrap();
+        b.store(ckpt("w1", 5)).unwrap();
+        let path = b.bulk_path("w1");
+        let good = std::fs::read(&path).unwrap();
+
+        // Torn write: a prefix of the record (crash mid-write).
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        let e = b.retrieve("w1").unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData, "{e}");
+
+        // Bit rot inside the payload: checksum must catch it.
+        let mut flipped = good.clone();
+        flipped[10] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        let e = b.retrieve("w1").unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData, "{e}");
+
+        // A pre-framing legacy file (raw CDR, no magic) is also rejected.
+        std::fs::write(&path, cdr::to_bytes(&ckpt("w1", 5))).unwrap();
+        let e = b.retrieve("w1").unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData, "{e}");
+
+        // The intact frame still reads back.
+        std::fs::write(&path, &good).unwrap();
+        assert_eq!(b.retrieve("w1").unwrap().unwrap().epoch, 5);
+
+        // Same validation on the values file.
+        b.store_value("w1", "x0", Any::double(1.0)).unwrap();
+        let vpath = b.values_path("w1");
+        let vgood = std::fs::read(&vpath).unwrap();
+        std::fs::write(&vpath, &vgood[..vgood.len() - 3]).unwrap();
+        let e = b.retrieve_value("w1", "x0").unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData, "{e}");
+
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -54,6 +54,19 @@ pub fn run_detector(
     cfg: DetectorConfig,
     stats: Shared<DetectorStats>,
 ) -> SimResult<()> {
+    run_detector_obs(ctx, naming_host, cfg, stats, None)
+}
+
+/// [`run_detector`] with an observability sink: probe outcomes and
+/// evictions are exported as `detector.*` counters so failover episodes
+/// (e.g. a checkpoint-store replica dropping out) show up in metrics.
+pub fn run_detector_obs(
+    ctx: &mut Ctx,
+    naming_host: HostId,
+    cfg: DetectorConfig,
+    stats: Shared<DetectorStats>,
+    sink: Option<obs::Obs>,
+) -> SimResult<()> {
     let mut orb = Orb::new(
         ctx,
         orb::OrbConfig {
@@ -62,6 +75,9 @@ pub fn run_detector(
             ..orb::OrbConfig::default()
         },
     );
+    if let Some(sink) = sink {
+        orb.set_obs(obs::ProcessObs::new(sink, ctx));
+    }
     let ns = NamingClient::root(naming_host);
     let mut misses: std::collections::BTreeMap<String, u32> = std::collections::BTreeMap::new();
     loop {
@@ -86,6 +102,9 @@ pub fn run_detector(
                     continue;
                 }
                 stats.lock().failed_probes += 1;
+                if let Some(o) = orb.obs().cloned() {
+                    o.counter_add("detector.failed_probes", 1);
+                }
                 let count = misses.entry(key.clone()).or_insert(0);
                 *count += 1;
                 if *count >= cfg.suspect_after {
@@ -95,6 +114,9 @@ pub fn run_detector(
                         .is_ok()
                     {
                         stats.lock().evictions += 1;
+                        if let Some(o) = orb.obs().cloned() {
+                            o.counter_add("detector.evictions", 1);
+                        }
                     }
                 }
             }

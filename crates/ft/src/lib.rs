@@ -30,7 +30,7 @@ pub mod request_proxy;
 pub mod service;
 
 pub use checkpoint::{Backend, Checkpoint, DiskBackend, MemBackend};
-pub use detector::{run_detector, DetectorConfig, DetectorStats};
+pub use detector::{run_detector, run_detector_obs, DetectorConfig, DetectorStats};
 pub use factory::{
     factory_group, factory_name, run_factory, run_factory_obs, FactoryClient, ForwardingAgent,
     ServantBuilder, ServiceFactory, FACTORY_TYPE,

@@ -2,7 +2,7 @@
 
 use cdr::Any;
 use orb::{reply, CallCtx, Exception, Ior, ObjectRef, Orb, Servant, SystemException};
-use simnet::{Ctx, SimResult};
+use simnet::{Ctx, SimDuration, SimResult};
 
 use crate::checkpoint::{Backend, Checkpoint, MemBackend};
 
@@ -173,23 +173,37 @@ impl Servant for CheckpointService {
 }
 
 /// Typed client for the checkpoint service.
+///
+/// Store operations carry their own reply deadline (`with_deadline`),
+/// distinct from the proxy's call timeout: a slow store
+/// must not masquerade as a dead worker, and a dead store must be detected
+/// on the store's own latency envelope.
 #[derive(Clone, Debug)]
 pub struct CheckpointClient {
     /// The service reference.
     pub obj: ObjectRef,
+    /// Per-operation reply deadline; `None` uses the ORB-wide timeout.
+    pub deadline: Option<SimDuration>,
 }
 
 impl CheckpointClient {
     /// Wrap a reference.
     pub fn new(obj: ObjectRef) -> Self {
-        CheckpointClient { obj }
+        CheckpointClient {
+            obj,
+            deadline: None,
+        }
     }
 
     /// Wrap an IOR.
     pub fn from_ior(ior: Ior) -> Self {
-        CheckpointClient {
-            obj: ObjectRef::new(ior),
-        }
+        CheckpointClient::new(ObjectRef::new(ior))
+    }
+
+    /// Set a per-operation reply deadline for all store calls.
+    pub fn with_deadline(mut self, deadline: Option<SimDuration>) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     /// Store a bulk checkpoint.
@@ -199,7 +213,8 @@ impl CheckpointClient {
         ctx: &mut Ctx,
         ckpt: &Checkpoint,
     ) -> SimResult<Result<(), Exception>> {
-        self.obj.call(orb, ctx, ops::STORE, &(ckpt,))
+        self.obj
+            .call_with_timeout(orb, ctx, ops::STORE, &(ckpt,), self.deadline)
     }
 
     /// Retrieve a bulk checkpoint.
@@ -209,8 +224,13 @@ impl CheckpointClient {
         ctx: &mut Ctx,
         id: &str,
     ) -> SimResult<Result<Option<Checkpoint>, Exception>> {
-        let r: Result<(bool, Checkpoint), Exception> =
-            self.obj.call(orb, ctx, ops::RETRIEVE, &(id.to_string(),))?;
+        let r: Result<(bool, Checkpoint), Exception> = self.obj.call_with_timeout(
+            orb,
+            ctx,
+            ops::RETRIEVE,
+            &(id.to_string(),),
+            self.deadline,
+        )?;
         Ok(r.map(|(found, c)| found.then_some(c)))
     }
 
@@ -221,12 +241,14 @@ impl CheckpointClient {
         ctx: &mut Ctx,
         id: &str,
     ) -> SimResult<Result<bool, Exception>> {
-        self.obj.call(orb, ctx, ops::DELETE, &(id.to_string(),))
+        self.obj
+            .call_with_timeout(orb, ctx, ops::DELETE, &(id.to_string(),), self.deadline)
     }
 
     /// List object ids with a bulk checkpoint.
     pub fn list(&self, orb: &mut Orb, ctx: &mut Ctx) -> SimResult<Result<Vec<String>, Exception>> {
-        self.obj.call(orb, ctx, ops::LIST, &())
+        self.obj
+            .call_with_timeout(orb, ctx, ops::LIST, &(), self.deadline)
     }
 
     /// Store one named value (the paper's proof-of-concept path).
@@ -238,11 +260,12 @@ impl CheckpointClient {
         key: &str,
         value: &Any,
     ) -> SimResult<Result<(), Exception>> {
-        self.obj.call(
+        self.obj.call_with_timeout(
             orb,
             ctx,
             ops::STORE_VALUE,
             &(id.to_string(), key.to_string(), value),
+            self.deadline,
         )
     }
 
@@ -254,11 +277,12 @@ impl CheckpointClient {
         id: &str,
         key: &str,
     ) -> SimResult<Result<Option<Any>, Exception>> {
-        let r: Result<(bool, Any), Exception> = self.obj.call(
+        let r: Result<(bool, Any), Exception> = self.obj.call_with_timeout(
             orb,
             ctx,
             ops::RETRIEVE_VALUE,
             &(id.to_string(), key.to_string()),
+            self.deadline,
         )?;
         Ok(r.map(|(found, v)| found.then_some(v)))
     }
@@ -270,8 +294,13 @@ impl CheckpointClient {
         ctx: &mut Ctx,
         id: &str,
     ) -> SimResult<Result<u32, Exception>> {
-        self.obj
-            .call(orb, ctx, ops::VALUE_COUNT, &(id.to_string(),))
+        self.obj.call_with_timeout(
+            orb,
+            ctx,
+            ops::VALUE_COUNT,
+            &(id.to_string(),),
+            self.deadline,
+        )
     }
 }
 

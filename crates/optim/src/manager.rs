@@ -29,6 +29,16 @@ pub struct FtSettings {
     pub checkpoint_every: u32,
     /// Recovery attempts per call.
     pub max_recoveries: u32,
+    /// Reply deadline for checkpoint-store operations, distinct from the
+    /// worker-call timeout (`None` = the ORB-wide timeout). A dead store
+    /// should be detected on the store's latency envelope, not the
+    /// worker's much longer one.
+    pub store_deadline: Option<SimDuration>,
+    /// Store failover: on a recoverable store failure, re-resolve
+    /// `"CheckpointService"` (a replicated deployment rebinds it to a
+    /// live backup) and retry, up to this many times. 0 disables
+    /// failover — the paper's single-store behaviour.
+    pub store_retries: u32,
 }
 
 impl Default for FtSettings {
@@ -37,6 +47,8 @@ impl Default for FtSettings {
             mode: CheckpointMode::PerValue, // the paper's prototype
             checkpoint_every: 1,
             max_recoveries: 4,
+            store_deadline: Some(SimDuration::from_secs(5)),
+            store_retries: 2,
         }
     }
 }
@@ -108,6 +120,9 @@ pub struct RunReport {
     pub recoveries: u64,
     /// Checkpoints taken by FT proxies (0 without FT).
     pub checkpoints: u64,
+    /// Checkpoint-store failovers (re-resolves of the store name after a
+    /// recoverable store failure; 0 without FT or with a healthy store).
+    pub store_retargets: u64,
     /// The hosts each worker slot was initially placed on (diagnostics).
     pub placements: Vec<u32>,
 }
@@ -172,8 +187,9 @@ fn run_manager_with_orb(
             Handles::Plain(stubs)
         }
         Some(ft) => {
-            let ckpt = match ns.resolve(orb, ctx, &Name::simple("CheckpointService"))? {
-                Ok(obj) => CheckpointClient::new(obj),
+            let store_name = Name::simple("CheckpointService");
+            let ckpt = match ns.resolve(orb, ctx, &store_name)? {
+                Ok(obj) => CheckpointClient::new(obj).with_deadline(ft.store_deadline),
                 Err(e) => return Ok(Err(e)),
             };
             let mut proxies = Vec::with_capacity(cfg.workers);
@@ -188,6 +204,10 @@ fn run_manager_with_orb(
                 pcfg.max_recoveries_per_call = ft.max_recoveries;
                 pcfg.checkpoint_op = ops::GET_CHECKPOINT.into();
                 pcfg.restore_op = ops::RESTORE_CHECKPOINT.into();
+                if ft.store_retries > 0 {
+                    pcfg.store_name = Some(store_name.clone());
+                    pcfg.store_retries = ft.store_retries;
+                }
                 let mut proxy =
                     FtProxy::new(pcfg, NamingClient::root(cfg.naming_host), ckpt.clone());
                 // Bind eagerly so each proxy gets a distinct placement
@@ -332,10 +352,14 @@ fn run_manager_with_orb(
         (outer.iterations(), outer.evals())
     };
 
-    let (recoveries, checkpoints) = match &handles {
-        Handles::Plain(_) => (0, 0),
-        Handles::Ft(proxies) => proxies.iter().fold((0, 0), |(r, c), p| {
-            (r + p.stats.recoveries, c + p.stats.checkpoints)
+    let (recoveries, checkpoints, store_retargets) = match &handles {
+        Handles::Plain(_) => (0, 0, 0),
+        Handles::Ft(proxies) => proxies.iter().fold((0, 0, 0), |(r, c, s), p| {
+            (
+                r + p.stats.recoveries,
+                c + p.stats.checkpoints,
+                s + p.stats.store_retargets,
+            )
         }),
     };
     Ok(Ok(RunReport {
@@ -347,6 +371,7 @@ fn run_manager_with_orb(
         worker_calls,
         recoveries,
         checkpoints,
+        store_retargets,
         placements,
     }))
 }

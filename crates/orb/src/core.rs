@@ -383,8 +383,22 @@ impl Orb {
         operation: &str,
         body: Vec<u8>,
     ) -> SimResult<Result<Vec<u8>, Exception>> {
+        self.invoke_with_timeout(ctx, ior, operation, body, None)
+    }
+
+    /// [`Orb::invoke`] with a per-call reply deadline overriding the
+    /// configured `request_timeout`. The FT checkpoint client uses this so a
+    /// slow store does not masquerade as a dead worker (and vice versa).
+    pub fn invoke_with_timeout(
+        &mut self,
+        ctx: &mut Ctx,
+        ior: &Ior,
+        operation: &str,
+        body: Vec<u8>,
+        timeout: Option<SimDuration>,
+    ) -> SimResult<Result<Vec<u8>, Exception>> {
         let start = ctx.now();
-        let out = self.invoke_forwarding(ctx, ior, operation, body)?;
+        let out = self.invoke_forwarding(ctx, ior, operation, body, timeout)?;
         if let Some(o) = &self.obs {
             o.observe("orb.invoke_ns", ctx.now().since(start).as_nanos());
         }
@@ -397,10 +411,11 @@ impl Orb {
         ior: &Ior,
         operation: &str,
         body: Vec<u8>,
+        timeout: Option<SimDuration>,
     ) -> SimResult<Result<Vec<u8>, Exception>> {
         let mut target = ior.clone();
         for _ in 0..=self.cfg.forward_limit {
-            match self.invoke_once(ctx, &target, operation, body.clone())? {
+            match self.invoke_once(ctx, &target, operation, body.clone(), timeout)? {
                 Outcome::Done(r) => return Ok(r),
                 Outcome::Forward(next) => target = next,
             }
@@ -416,8 +431,9 @@ impl Orb {
         target: &Ior,
         operation: &str,
         body: Vec<u8>,
+        timeout: Option<SimDuration>,
     ) -> SimResult<Outcome> {
-        let req_id = self.send_request(ctx, target, operation, body, true)?;
+        let req_id = self.send_request_with_timeout(ctx, target, operation, body, true, timeout)?;
         let outcome = self.await_reply(ctx, req_id)?;
         Ok(outcome)
     }
@@ -431,6 +447,18 @@ impl Orb {
         operation: &str,
         body: Vec<u8>,
         response_expected: bool,
+    ) -> SimResult<u64> {
+        self.send_request_with_timeout(ctx, target, operation, body, response_expected, None)
+    }
+
+    pub(crate) fn send_request_with_timeout(
+        &mut self,
+        ctx: &mut Ctx,
+        target: &Ior,
+        operation: &str,
+        body: Vec<u8>,
+        response_expected: bool,
+        timeout: Option<SimDuration>,
     ) -> SimResult<u64> {
         let endpoint = (target.host, target.port);
         // About to find out whether the endpoint is alive: drop stale RSTs.
@@ -459,7 +487,7 @@ impl Orb {
                 req_id,
                 Pending {
                     endpoint,
-                    deadline: ctx.now() + self.cfg.request_timeout,
+                    deadline: ctx.now() + timeout.unwrap_or(self.cfg.request_timeout),
                     operation: operation.to_string(),
                 },
             );

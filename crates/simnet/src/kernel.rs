@@ -88,7 +88,7 @@ pub struct KernelStats {
 }
 
 /// A fault-injection command, schedulable at an absolute virtual time.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Fault {
     /// Kill one process.
     KillProcess(Pid),

@@ -1,0 +1,154 @@
+//! Deterministic fault-injection harness for the replicated store.
+//!
+//! A [`ChaosPlan`] is a *precomputed*, seeded schedule of host crashes,
+//! restarts, and link partitions — generated before the simulation runs
+//! and applied via `Kernel::schedule_fault`, so the same seed always
+//! yields the same fault timeline regardless of what the workload does.
+//! The generator never takes more replicas down concurrently than
+//! `max_concurrent_down` allows, so a plan can be tuned to stay within
+//! (or deliberately exceed) what the write quorum tolerates.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simnet::{Fault, HostId, Kernel, SimDuration, SimTime};
+
+/// Tuning for [`ChaosPlan::generate`].
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Seed of the fault schedule (independent of the kernel seed).
+    pub seed: u64,
+    /// Faults are injected from this time on.
+    pub start: SimTime,
+    /// No fault is injected at or after this time.
+    pub end: SimTime,
+    /// Mean time between consecutive fault injections; actual gaps are
+    /// drawn uniformly from `[0.5, 1.5) ×` this.
+    pub mean_interval: SimDuration,
+    /// Crashed hosts come back after this long. `None` means crashes are
+    /// permanent (and each host is crashed at most once).
+    pub restart_after: Option<SimDuration>,
+    /// Upper bound on replicas down at the same instant.
+    pub max_concurrent_down: usize,
+    /// Probability that an injection is a transient link partition (both
+    /// hosts stay up) instead of a crash. Partitions require
+    /// `restart_after` (which doubles as the heal delay) and at least two
+    /// targets; otherwise this is ignored.
+    pub partition_prob: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 7,
+            start: SimTime::from_nanos(1_000_000_000),
+            end: SimTime::from_nanos(30_000_000_000),
+            mean_interval: SimDuration::from_secs(3),
+            restart_after: Some(SimDuration::from_secs(2)),
+            max_concurrent_down: 1,
+            partition_prob: 0.0,
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What fires.
+    pub fault: Fault,
+}
+
+/// A precomputed fault schedule over a set of target hosts.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosPlan {
+    /// The schedule, in firing order.
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosPlan {
+    /// Generate a seeded schedule of crashes/restarts (and optionally
+    /// partitions) over `targets`. Pure function of the config and the
+    /// target list: same inputs, same plan.
+    pub fn generate(cfg: &ChaosConfig, targets: &[HostId]) -> ChaosPlan {
+        let mut plan = ChaosPlan::default();
+        if targets.is_empty() || cfg.max_concurrent_down == 0 {
+            return plan;
+        }
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        // (host, up-again-at); MAX means "never restarts".
+        let mut down: Vec<(HostId, SimTime)> = Vec::new();
+        let mut crashed_forever: Vec<HostId> = Vec::new();
+        let mut t = cfg.start;
+        while t < cfg.end {
+            down.retain(|&(_, up_at)| up_at > t);
+            let cut = rng.random_range(0.5..1.5);
+            let gap_ns = (cfg.mean_interval.as_nanos() as f64 * cut) as u64;
+            let partition = cfg.partition_prob > 0.0
+                && cfg.restart_after.is_some()
+                && targets.len() >= 2
+                && rng.random_bool(cfg.partition_prob);
+            if partition {
+                let a = targets[rng.random_range(0..targets.len())];
+                let b = loop {
+                    let c = targets[rng.random_range(0..targets.len())];
+                    if c != a {
+                        break c;
+                    }
+                };
+                let heal = cfg.restart_after.unwrap_or(SimDuration::ZERO);
+                plan.events.push(ChaosEvent {
+                    at: t,
+                    fault: Fault::Partition(a, b, true),
+                });
+                plan.events.push(ChaosEvent {
+                    at: t.saturating_add(heal),
+                    fault: Fault::Partition(a, b, false),
+                });
+            } else {
+                let up: Vec<HostId> = targets
+                    .iter()
+                    .copied()
+                    .filter(|h| !down.iter().any(|&(d, _)| d == *h) && !crashed_forever.contains(h))
+                    .collect();
+                if !up.is_empty() && down.len() < cfg.max_concurrent_down {
+                    let victim = up[rng.random_range(0..up.len())];
+                    plan.events.push(ChaosEvent {
+                        at: t,
+                        fault: Fault::CrashHost(victim),
+                    });
+                    match cfg.restart_after {
+                        Some(d) => {
+                            let up_at = t.saturating_add(d);
+                            plan.events.push(ChaosEvent {
+                                at: up_at,
+                                fault: Fault::RestartHost(victim),
+                            });
+                            down.push((victim, up_at));
+                        }
+                        None => crashed_forever.push(victim),
+                    }
+                }
+            }
+            t = t.saturating_add(SimDuration::from_nanos(gap_ns.max(1)));
+        }
+        plan.events.sort_by_key(|e| e.at);
+        plan
+    }
+
+    /// Install every event of the plan into the kernel.
+    pub fn schedule(&self, kernel: &mut Kernel) {
+        for e in &self.events {
+            kernel.schedule_fault(e.at, e.fault);
+        }
+    }
+
+    /// Crash events only (ignoring restarts/partitions) — handy for
+    /// assertions about how much damage a plan does.
+    pub fn crashes(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.fault, Fault::CrashHost(_)))
+            .count()
+    }
+}

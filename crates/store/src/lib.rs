@@ -1,0 +1,44 @@
+//! # ldft-store — the replicated, GC'd checkpoint store
+//!
+//! The paper's whole fault-tolerance story hangs off a checkpoint service
+//! it admits is "an unoptimized in-memory map": one CORBA object on one
+//! host. The component that makes workers survive crashes is itself a
+//! single point of failure — an FT proxy that loses its store loses every
+//! epoch it ever saved. This crate removes that single point of failure:
+//!
+//! * [`StoreReplica`] — a `CheckpointService`-compatible servant that
+//!   **replicates** every write to its peer replicas with quorum
+//!   acknowledgement before reporting success, keeps checkpoints
+//!   **epoch-versioned** (retaining the last K epochs per object), and
+//!   **garbage-collects** superseded per-value chunks.
+//! * [`spawn_replicated_store`] — deploys N replicas on distinct simnet
+//!   hosts, all bound as members of the *same* naming-service group name
+//!   (`"CheckpointService"`) — the paper's own multi-binding `resolve`
+//!   trick, reused for the store — plus a replica-side failure detector
+//!   (reusing [`ftproxy::run_detector_obs`]) that evicts dead replicas so
+//!   the next `resolve` already avoids them.
+//! * [`chaos`] — a deterministic fault-injection harness: a seeded
+//!   schedule of replica crashes / restarts / link partitions, precomputed
+//!   as a [`ChaosPlan`] and applied via `Kernel::schedule_fault`, that
+//!   never takes more replicas down than the quorum can lose.
+//!
+//! Coordination is **leaderless**: whichever replica a client's `resolve`
+//! picked coordinates that write, applying locally and fanning out to the
+//! peers currently bound in the group (the *view*). Quorums are evaluated
+//! against the view — detector eviction is a view change — so a surviving
+//! replica keeps accepting writes instead of deadlocking on dead peers
+//! (cf. Dwork/Halpern/Waarts: recovery cost, not crash count, dominates
+//! useful work). See DESIGN.md §9 for the protocol rules.
+
+pub mod chaos;
+pub mod deploy;
+pub mod protocol;
+pub mod replica;
+
+pub use chaos::{ChaosConfig, ChaosPlan};
+pub use deploy::{spawn_replicated_store, StoreDeployment};
+pub use protocol::{ops, StoreConfig};
+pub use replica::{run_store_replica, StoreReplica};
+
+#[cfg(test)]
+mod store_tests;

@@ -1,0 +1,95 @@
+//! Replication protocol surface: the replica-to-replica operation names
+//! and the store configuration.
+//!
+//! Client-facing operations are exactly the `CheckpointService` ones
+//! ([`ftproxy::service::ops`]); a [`crate::StoreReplica`] answers both.
+//! The `repl_*` operations below are only ever sent replica-to-replica:
+//! they apply a record locally and never fan out further, so replication
+//! cannot loop.
+
+use simnet::SimDuration;
+
+use ftproxy::StoreCosts;
+
+/// Replica-to-replica operation names.
+pub mod ops {
+    /// `void repl_store(in Checkpoint c)` — apply a bulk record locally.
+    pub const REPL_STORE: &str = "repl_store";
+    /// `void repl_store_value(in string id, in string key, in any v)`.
+    pub const REPL_STORE_VALUE: &str = "repl_store_value";
+    /// `boolean repl_delete(in string id)` — apply a delete locally.
+    pub const REPL_DELETE: &str = "repl_delete";
+    /// `(boolean, Checkpoint) repl_get(in string id)` — local newest
+    /// epoch, for quorum reads and anti-entropy tooling.
+    pub const REPL_GET: &str = "repl_get";
+    /// `(ulonglong, ulonglong) gc()` — compact now: keep only the newest
+    /// epoch per object and drop superseded chunks. Returns
+    /// `(epochs_dropped, chunks_dropped)`.
+    pub const GC: &str = "gc";
+    /// `(ulonglong, ulonglong, ulonglong) store_status()` — objects,
+    /// retained epochs, values held locally (introspection for tests and
+    /// tools).
+    pub const STORE_STATUS: &str = "store_status";
+}
+
+/// Configuration one replica (and the deployment helper) runs with.
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Write quorum W: a coordinated write succeeds once `W_eff` replicas
+    /// (counting the coordinator) acked, where `W_eff = min(W, view)` and
+    /// the view is the set of replicas currently bound in the naming
+    /// group. `usize::MAX` (the default) means "every replica in the
+    /// view" — reads can then be served locally by any live replica.
+    pub write_quorum: usize,
+    /// Epochs retained per object id (K). Older bulk epochs are trimmed
+    /// on write; per-value chunks more than K-1 epochs behind the newest
+    /// header are reclaimed.
+    pub retain_epochs: usize,
+    /// Reply deadline for one replica-to-replica replication RPC. Bounds
+    /// how long a write blocks on a dead peer before the quorum check.
+    pub repl_timeout: SimDuration,
+    /// How long a fetched membership view stays fresh before the
+    /// coordinator re-reads the group from the naming service.
+    pub view_ttl: SimDuration,
+    /// Probe period of the store-side failure detector.
+    pub detector_period: SimDuration,
+    /// Consecutive failed probes before the detector evicts a replica.
+    pub suspect_after: u32,
+    /// CPU cost model of one replica (same knobs as the paper's single
+    /// store).
+    pub costs: StoreCosts,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            write_quorum: usize::MAX,
+            retain_epochs: 2,
+            repl_timeout: SimDuration::from_millis(300),
+            view_ttl: SimDuration::from_millis(100),
+            detector_period: SimDuration::from_millis(250),
+            suspect_after: 2,
+            costs: StoreCosts::default(),
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Set the write quorum.
+    pub fn with_write_quorum(mut self, w: usize) -> Self {
+        self.write_quorum = w.max(1);
+        self
+    }
+
+    /// Set the number of retained epochs per object.
+    pub fn with_retain_epochs(mut self, k: usize) -> Self {
+        self.retain_epochs = k.max(1);
+        self
+    }
+
+    /// Set the replica-to-replica replication RPC deadline.
+    pub fn with_repl_timeout(mut self, t: SimDuration) -> Self {
+        self.repl_timeout = t;
+        self
+    }
+}

@@ -1,0 +1,488 @@
+//! The store replica servant: a `CheckpointService`-compatible object
+//! that replicates writes to its peers with quorum acknowledgement,
+//! versions checkpoints by epoch, and garbage-collects superseded data.
+//!
+//! ## Coordination
+//!
+//! Coordination is leaderless: whichever replica a client's `resolve`
+//! picked becomes the coordinator *for that write*. The coordinator
+//! applies the record locally, reads the current membership **view**
+//! (the replicas bound in the `"CheckpointService"` naming group), and
+//! fans the record out to every peer as a `repl_*` operation. `repl_*`
+//! operations apply locally and never fan out further, so replication
+//! cannot loop. The write succeeds once `W_eff = min(W, view)` replicas
+//! (counting the coordinator) have acknowledged; otherwise the client
+//! sees `TRANSIENT` and the FT proxy's store failover retries elsewhere.
+//!
+//! Quorums are evaluated against the *view*, not the configured
+//! replication factor: failure-detector eviction is a view change, so a
+//! lone survivor of an N=2 deployment keeps accepting writes instead of
+//! deadlocking on its dead peer.
+//!
+//! With the default `W = view` every live replica holds every acked
+//! write, so reads are served locally by whichever replica the client
+//! resolved — "any live replica holding the newest acked epoch". A
+//! replica may additionally hold a *newer unacked* epoch (its quorum
+//! failed); restoring it is harmless — the state is a valid snapshot the
+//! client simply did not get confirmation for.
+
+use std::collections::BTreeMap;
+
+use cdr::{Any, TypeCode, Value};
+use cosnaming::{Name, NamingClient};
+use ftproxy::service::ops as client_ops;
+use ftproxy::{Checkpoint, CHECKPOINT_SERVICE_NAME};
+use orb::{reply, CallCtx, Exception, Ior, Servant, SystemException};
+use simnet::{Ctx, HostId, SimDuration, SimResult, SimTime};
+
+use crate::protocol::{ops, StoreConfig};
+
+/// Epoch of a `CkptHeader` any, if that is what it is.
+fn header_epoch_of(v: &Any) -> Option<u64> {
+    match (&v.tc, &v.value) {
+        (TypeCode::Struct { name, .. }, Value::Struct(fields)) if name == "CkptHeader" => {
+            match fields.get(1) {
+                Some(Value::ULongLong(e)) => Some(*e),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Epoch of a `CkptChunk` any, if that is what it is.
+fn chunk_epoch_of(v: &Any) -> Option<u64> {
+    match (&v.tc, &v.value) {
+        (TypeCode::Struct { name, .. }, Value::Struct(fields)) if name == "CkptChunk" => {
+            match fields.first() {
+                Some(Value::ULongLong(e)) => Some(*e),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn killed() -> Exception {
+    Exception::System(SystemException::comm_failure("killed"))
+}
+
+/// One replica of the replicated checkpoint store.
+pub struct StoreReplica {
+    cfg: StoreConfig,
+    naming_host: HostId,
+    group: Name,
+    /// This replica's own reference; set by [`run_store_replica`] after
+    /// activation so the view can exclude it.
+    pub self_ior: Option<Ior>,
+    /// Cached membership view (fetched from the naming group).
+    view_cache: Option<(SimTime, Vec<Ior>)>,
+    /// Epoch-versioned bulk checkpoints: object id → epoch → record.
+    bulks: BTreeMap<String, BTreeMap<u64, Checkpoint>>,
+    /// Per-value records (the paper's proof-of-concept interface).
+    values: BTreeMap<String, BTreeMap<String, Any>>,
+    /// Client-coordinated bulk stores served.
+    pub stores: u64,
+    /// Client-coordinated per-value stores served.
+    pub value_stores: u64,
+    /// Replicated records applied on behalf of a peer coordinator.
+    pub repl_applied: u64,
+    /// Writes that failed their quorum.
+    pub quorum_failures: u64,
+    /// Superseded bulk epochs trimmed.
+    pub gc_epochs: u64,
+    /// Superseded per-value chunks reclaimed.
+    pub gc_chunks: u64,
+}
+
+impl StoreReplica {
+    /// A fresh, empty replica.
+    pub fn new(cfg: StoreConfig, naming_host: HostId) -> Self {
+        StoreReplica {
+            cfg,
+            naming_host,
+            group: Name::simple(CHECKPOINT_SERVICE_NAME),
+            self_ior: None,
+            view_cache: None,
+            bulks: BTreeMap::new(),
+            values: BTreeMap::new(),
+            stores: 0,
+            value_stores: 0,
+            repl_applied: 0,
+            quorum_failures: 0,
+            gc_epochs: 0,
+            gc_chunks: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    // ------------------------------------------------------------------
+    // Local state transitions (pure, unit-testable)
+    // ------------------------------------------------------------------
+
+    /// Insert a bulk record, trimming epochs beyond the retention window.
+    /// Returns how many epochs were trimmed.
+    pub(crate) fn apply_bulk(&mut self, ckpt: Checkpoint) -> u64 {
+        let epochs = self.bulks.entry(ckpt.object_id.clone()).or_default();
+        epochs.insert(ckpt.epoch, ckpt);
+        let mut dropped = 0;
+        while epochs.len() > self.cfg.retain_epochs.max(1) {
+            let Some(&oldest) = epochs.keys().next() else {
+                break;
+            };
+            epochs.remove(&oldest);
+            dropped += 1;
+        }
+        self.gc_epochs += dropped;
+        dropped
+    }
+
+    /// Insert one named value. A `CkptHeader` write advances the object's
+    /// newest epoch and reclaims chunks that fell out of the retention
+    /// window (shrinking states leave tail chunks behind that no header
+    /// references any more). Returns how many chunks were reclaimed.
+    pub(crate) fn apply_value(&mut self, id: &str, key: &str, value: Any) -> u64 {
+        let header_epoch = if key == "header" {
+            header_epoch_of(&value)
+        } else {
+            None
+        };
+        let vals = self.values.entry(id.to_string()).or_default();
+        vals.insert(key.to_string(), value);
+        let mut dropped = 0;
+        if let Some(e) = header_epoch {
+            let floor = e.saturating_sub(self.cfg.retain_epochs.max(1) as u64 - 1);
+            vals.retain(|k, v| {
+                if k == "header" {
+                    return true;
+                }
+                match chunk_epoch_of(v) {
+                    Some(ce) if ce < floor => {
+                        dropped += 1;
+                        false
+                    }
+                    _ => true,
+                }
+            });
+        }
+        self.gc_chunks += dropped;
+        dropped
+    }
+
+    /// Remove everything stored for an object.
+    pub(crate) fn apply_delete(&mut self, id: &str) -> bool {
+        let a = self.bulks.remove(id).is_some();
+        let b = self.values.remove(id).is_some();
+        a || b
+    }
+
+    /// The newest locally held bulk epoch for an object.
+    pub(crate) fn local_newest(&self, id: &str) -> Option<&Checkpoint> {
+        self.bulks.get(id).and_then(|m| m.values().next_back())
+    }
+
+    /// Aggressive compaction: keep only the newest bulk epoch per object
+    /// and only chunks of the newest header epoch. Returns
+    /// `(epochs_dropped, chunks_dropped)`.
+    pub(crate) fn compact(&mut self) -> (u64, u64) {
+        let mut epochs_dropped = 0;
+        let mut chunks_dropped = 0;
+        for epochs in self.bulks.values_mut() {
+            while epochs.len() > 1 {
+                let Some(&oldest) = epochs.keys().next() else {
+                    break;
+                };
+                epochs.remove(&oldest);
+                epochs_dropped += 1;
+            }
+        }
+        for vals in self.values.values_mut() {
+            let newest = vals.get("header").and_then(header_epoch_of);
+            if let Some(e) = newest {
+                vals.retain(|k, v| {
+                    if k == "header" {
+                        return true;
+                    }
+                    match chunk_epoch_of(v) {
+                        Some(ce) if ce != e => {
+                            chunks_dropped += 1;
+                            false
+                        }
+                        _ => true,
+                    }
+                });
+            }
+        }
+        self.gc_epochs += epochs_dropped;
+        self.gc_chunks += chunks_dropped;
+        (epochs_dropped, chunks_dropped)
+    }
+
+    /// (objects, retained epochs, values) held locally.
+    pub(crate) fn status(&self) -> (u64, u64, u64) {
+        let objects = self.bulks.len() as u64;
+        let epochs: u64 = self.bulks.values().map(|m| m.len() as u64).sum();
+        let values: u64 = self.values.values().map(|m| m.len() as u64).sum();
+        (objects, epochs, values)
+    }
+
+    // ------------------------------------------------------------------
+    // Replication
+    // ------------------------------------------------------------------
+
+    /// The current peer view: the naming group's members, deduplicated,
+    /// sorted by `(host, port, key)` for deterministic fan-out order, and
+    /// excluding this replica itself. Cached for `view_ttl`.
+    fn view(&mut self, call: &mut CallCtx<'_>) -> Result<Vec<Ior>, Exception> {
+        let now = call.ctx.now();
+        if let Some((at, v)) = &self.view_cache {
+            if now.since(*at) <= self.cfg.view_ttl {
+                return Ok(v.clone());
+            }
+        }
+        let ns = NamingClient::root(self.naming_host);
+        // On a naming error (the name is not a group — a legacy
+        // single-store binding): coordinate solo.
+        let members = ns
+            .group_members(call.orb, call.ctx, &self.group)
+            .map_err(|_| killed())?
+            .unwrap_or_default();
+        let mut peers: Vec<Ior> = members
+            .into_iter()
+            .filter(|m| self.self_ior.as_ref() != Some(m))
+            .collect();
+        peers.sort_by_key(|a| (a.host, a.port, a.key));
+        peers.dedup();
+        self.view_cache = Some((now, peers.clone()));
+        Ok(peers)
+    }
+
+    /// Fan a locally applied write out to the peers in the view and
+    /// enforce the quorum. `op` is the `repl_*` operation; `args` is the
+    /// original request body (identical signatures by construction).
+    fn replicate(
+        &mut self,
+        call: &mut CallCtx<'_>,
+        op: &str,
+        args: &[u8],
+    ) -> Result<(), Exception> {
+        let peers = self.view(call)?;
+        let view_size = peers.len() + 1; // the coordinator is in the view
+        let w_eff = self.cfg.write_quorum.clamp(1, view_size);
+        if w_eff <= 1 && peers.is_empty() {
+            return Ok(());
+        }
+        let po = call.orb.obs().cloned();
+        if let Some(o) = &po {
+            o.begin(call.ctx.now(), "store.replicate");
+            o.tag("op", op);
+        }
+        let mut acks = 1usize; // the coordinator's local apply
+        for peer in &peers {
+            let outcome = call.orb.invoke_with_timeout(
+                call.ctx,
+                peer,
+                op,
+                args.to_vec(),
+                Some(self.cfg.repl_timeout),
+            );
+            match outcome {
+                Ok(Ok(_)) => {
+                    acks += 1;
+                    if let Some(o) = &po {
+                        o.counter_add("store.repl_acks", 1);
+                    }
+                }
+                Ok(Err(_dead_or_slow_peer)) => {
+                    // The detector (or a client's retarget) will evict the
+                    // peer; until then the quorum check below decides.
+                    if let Some(o) = &po {
+                        o.counter_add("store.repl_failures", 1);
+                    }
+                }
+                Err(_killed) => {
+                    if let Some(o) = &po {
+                        o.tag("ok", "false");
+                        o.end(call.ctx.now());
+                    }
+                    return Err(killed());
+                }
+            }
+        }
+        let ok = acks >= w_eff;
+        if let Some(o) = &po {
+            if !ok {
+                o.tag("ok", "false");
+            }
+            o.end(call.ctx.now());
+        }
+        if ok {
+            Ok(())
+        } else {
+            self.quorum_failures += 1;
+            if let Some(o) = &po {
+                o.counter_add("store.quorum_failures", 1);
+            }
+            Err(Exception::System(SystemException::transient(format!(
+                "replication quorum not reached: {acks}/{w_eff} acks (view {view_size})"
+            ))))
+        }
+    }
+
+    fn compute(&self, call: &mut CallCtx<'_>, work: f64) -> Result<(), Exception> {
+        call.ctx.compute(work).map_err(|_| killed())
+    }
+
+    fn bulk_work(&self, state_bytes: usize) -> f64 {
+        self.cfg.costs.bulk_fixed + self.cfg.costs.bulk_per_byte * state_bytes as f64
+    }
+}
+
+impl Servant for StoreReplica {
+    fn dispatch(
+        &mut self,
+        call: &mut CallCtx<'_>,
+        op: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, Exception> {
+        match op {
+            // ---------------- client-coordinated writes ----------------
+            client_ops::STORE => {
+                let (ckpt,): (Checkpoint,) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                self.compute(call, self.bulk_work(ckpt.state.len()))?;
+                self.stores += 1;
+                self.apply_bulk(ckpt);
+                self.replicate(call, ops::REPL_STORE, args)?;
+                reply(&())
+            }
+            client_ops::STORE_VALUE => {
+                let (id, key, value): (String, String, Any) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                self.compute(call, self.cfg.costs.value_fixed)?;
+                self.value_stores += 1;
+                self.apply_value(&id, &key, value);
+                self.replicate(call, ops::REPL_STORE_VALUE, args)?;
+                reply(&())
+            }
+            client_ops::DELETE => {
+                let (id,): (String,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let deleted = self.apply_delete(&id);
+                self.replicate(call, ops::REPL_DELETE, args)?;
+                reply(&deleted)
+            }
+            // ---------------- replica-to-replica applies ---------------
+            ops::REPL_STORE => {
+                let (ckpt,): (Checkpoint,) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                self.compute(call, self.bulk_work(ckpt.state.len()))?;
+                self.repl_applied += 1;
+                self.apply_bulk(ckpt);
+                reply(&())
+            }
+            ops::REPL_STORE_VALUE => {
+                let (id, key, value): (String, String, Any) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                self.compute(call, self.cfg.costs.value_fixed)?;
+                self.repl_applied += 1;
+                self.apply_value(&id, &key, value);
+                reply(&())
+            }
+            ops::REPL_DELETE => {
+                let (id,): (String,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                self.repl_applied += 1;
+                reply(&self.apply_delete(&id))
+            }
+            // ---------------- reads (served locally) -------------------
+            client_ops::RETRIEVE | ops::REPL_GET => {
+                let (id,): (String,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let got = self.local_newest(&id).cloned();
+                self.compute(
+                    call,
+                    self.bulk_work(got.as_ref().map_or(0, |c| c.state.len())),
+                )?;
+                match got {
+                    Some(c) => reply(&(true, c)),
+                    None => reply(&(
+                        false,
+                        Checkpoint {
+                            object_id: id,
+                            epoch: 0,
+                            state: Vec::new(),
+                            stamp_ns: 0,
+                        },
+                    )),
+                }
+            }
+            client_ops::RETRIEVE_VALUE => {
+                let (id, key): (String, String) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                self.compute(call, self.cfg.costs.value_fixed)?;
+                match self.values.get(&id).and_then(|m| m.get(&key)) {
+                    Some(v) => reply(&(true, v)),
+                    None => reply(&(false, Any::boolean(false))),
+                }
+            }
+            client_ops::LIST => {
+                cdr::from_bytes::<()>(args).map_err(SystemException::marshal)?;
+                let ids: Vec<String> = self.bulks.keys().cloned().collect();
+                reply(&ids)
+            }
+            client_ops::VALUE_COUNT => {
+                let (id,): (String,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let n = self.values.get(&id).map_or(0, |m| m.len() as u32);
+                reply(&n)
+            }
+            // ---------------- maintenance ------------------------------
+            ops::GC => {
+                cdr::from_bytes::<()>(args).map_err(SystemException::marshal)?;
+                let (e, c) = self.compact();
+                if let Some(o) = call.orb.obs().cloned() {
+                    o.counter_add("store.gc_epochs", e);
+                    o.counter_add("store.gc_chunks", c);
+                }
+                reply(&(e, c))
+            }
+            ops::STORE_STATUS => {
+                cdr::from_bytes::<()>(args).map_err(SystemException::marshal)?;
+                reply(&self.status())
+            }
+            other => Err(SystemException::bad_operation(other).into()),
+        }
+    }
+}
+
+/// The body of one store-replica process: activate the servant, join the
+/// `"CheckpointService"` naming group (retrying while naming boots), and
+/// serve forever.
+pub fn run_store_replica(
+    ctx: &mut Ctx,
+    naming_host: HostId,
+    cfg: StoreConfig,
+    sink: Option<obs::Obs>,
+) -> SimResult<()> {
+    let mut orb = orb::Orb::init(ctx);
+    if let Some(s) = sink {
+        orb.set_obs(obs::ProcessObs::new(s, ctx));
+    }
+    orb.listen(ctx)?;
+    let poa = orb::Poa::new();
+    let replica = std::rc::Rc::new(std::cell::RefCell::new(StoreReplica::new(cfg, naming_host)));
+    let key = poa.activate(ftproxy::CHECKPOINT_SERVICE_TYPE, replica.clone());
+    let ior = orb.ior(ftproxy::CHECKPOINT_SERVICE_TYPE, key);
+    replica.borrow_mut().self_ior = Some(ior.clone());
+    let ns = NamingClient::root(naming_host);
+    let name = Name::simple(CHECKPOINT_SERVICE_NAME);
+    loop {
+        match ns.bind_group_member(&mut orb, ctx, &name, &ior)? {
+            Ok(()) => break,
+            Err(e) if cosnaming::AlreadyBound::matches(&e) => break,
+            Err(_naming_still_booting) => ctx.sleep(SimDuration::from_millis(50))?,
+        }
+    }
+    orb.serve_forever(ctx, &poa)
+}

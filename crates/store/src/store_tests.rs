@@ -1,0 +1,435 @@
+//! Tests for the replicated store: local GC/retention rules, the chaos
+//! plan generator, and end-to-end replication + failover on the simulated
+//! cluster.
+
+use std::sync::{Arc, Mutex};
+
+use cdr::{Any, TypeCode, Value};
+use cosnaming::{LbMode, Name, NamingClient};
+use ftproxy::{Checkpoint, CheckpointClient, CHECKPOINT_SERVICE_NAME};
+use orb::{Exception, Orb, SysKind, SystemException};
+use simnet::{Fault, HostConfig, HostId, Kernel, SimDuration, SimTime};
+
+use crate::chaos::{ChaosConfig, ChaosPlan};
+use crate::deploy::spawn_replicated_store;
+use crate::protocol::StoreConfig;
+use crate::replica::StoreReplica;
+
+type Cell<T> = Arc<Mutex<T>>;
+
+fn cell<T: Default>() -> Cell<T> {
+    Arc::new(Mutex::new(T::default()))
+}
+
+fn secs(s: f64) -> SimDuration {
+    SimDuration::from_secs_f64(s)
+}
+
+fn ckpt(id: &str, epoch: u64, state: &[u8]) -> Checkpoint {
+    Checkpoint {
+        object_id: id.to_string(),
+        epoch,
+        state: state.to_vec(),
+        stamp_ns: 0,
+    }
+}
+
+fn header_any(epoch: u64) -> Any {
+    Any {
+        tc: TypeCode::Struct {
+            name: "CkptHeader".into(),
+            members: vec![
+                ("len".into(), TypeCode::ULongLong),
+                ("epoch".into(), TypeCode::ULongLong),
+                ("chunk".into(), TypeCode::ULongLong),
+            ],
+        },
+        value: Value::Struct(vec![
+            Value::ULongLong(8),
+            Value::ULongLong(epoch),
+            Value::ULongLong(4),
+        ]),
+    }
+}
+
+fn chunk_any(epoch: u64) -> Any {
+    Any {
+        tc: TypeCode::Struct {
+            name: "CkptChunk".into(),
+            members: vec![
+                ("epoch".into(), TypeCode::ULongLong),
+                ("data".into(), TypeCode::Sequence(Box::new(TypeCode::Octet))),
+            ],
+        },
+        value: Value::Struct(vec![
+            Value::ULongLong(epoch),
+            Value::Sequence(vec![Value::Octet(1), Value::Octet(2)]),
+        ]),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Local state rules (no kernel)
+// ---------------------------------------------------------------------
+
+#[test]
+fn retention_trims_old_bulk_epochs() {
+    let mut r = StoreReplica::new(StoreConfig::default().with_retain_epochs(2), HostId(0));
+    for e in 1..=4 {
+        r.apply_bulk(ckpt("obj", e, b"state"));
+    }
+    let newest = r.local_newest("obj").unwrap();
+    assert_eq!(newest.epoch, 4);
+    let (objects, epochs, _) = r.status();
+    assert_eq!((objects, epochs), (1, 2), "retain K=2 epochs");
+    assert_eq!(r.gc_epochs, 2, "epochs 1 and 2 trimmed");
+}
+
+#[test]
+fn header_write_reclaims_superseded_chunks() {
+    let mut r = StoreReplica::new(StoreConfig::default().with_retain_epochs(2), HostId(0));
+    // Chunks of epochs 1 and 2, then a header advancing to epoch 3:
+    // the retention floor becomes 3 - (2-1) = 2, so epoch-1 chunks go.
+    r.apply_value("obj", "w0", chunk_any(1));
+    r.apply_value("obj", "w1", chunk_any(2));
+    let dropped = r.apply_value("obj", "header", header_any(3));
+    assert_eq!(dropped, 1, "only the epoch-1 chunk falls out");
+    let (_, _, values) = r.status();
+    assert_eq!(values, 2, "header + epoch-2 chunk survive");
+    assert_eq!(r.gc_chunks, 1);
+}
+
+#[test]
+fn compact_keeps_only_newest_epoch_and_chunks() {
+    let mut r = StoreReplica::new(StoreConfig::default().with_retain_epochs(8), HostId(0));
+    for e in 1..=3 {
+        r.apply_bulk(ckpt("obj", e, b"state"));
+    }
+    r.apply_value("obj", "w0", chunk_any(2));
+    r.apply_value("obj", "w1", chunk_any(3));
+    r.apply_value("obj", "header", header_any(3));
+    let (epochs_dropped, chunks_dropped) = r.compact();
+    assert_eq!(epochs_dropped, 2, "bulk epochs 1 and 2 dropped");
+    assert_eq!(chunks_dropped, 1, "epoch-2 chunk dropped");
+    let (objects, epochs, values) = r.status();
+    assert_eq!((objects, epochs, values), (1, 1, 2));
+    assert_eq!(r.local_newest("obj").unwrap().epoch, 3);
+}
+
+#[test]
+fn delete_removes_both_stores() {
+    let mut r = StoreReplica::new(StoreConfig::default(), HostId(0));
+    r.apply_bulk(ckpt("obj", 1, b"s"));
+    r.apply_value("obj", "header", header_any(1));
+    assert!(r.apply_delete("obj"));
+    assert!(!r.apply_delete("obj"), "second delete finds nothing");
+    assert_eq!(r.status(), (0, 0, 0));
+}
+
+// ---------------------------------------------------------------------
+// Chaos plan generator
+// ---------------------------------------------------------------------
+
+#[test]
+fn chaos_plan_is_deterministic_in_the_seed() {
+    let targets = [HostId(1), HostId(2), HostId(3)];
+    let cfg = ChaosConfig::default();
+    let a = ChaosPlan::generate(&cfg, &targets);
+    let b = ChaosPlan::generate(&cfg, &targets);
+    assert_eq!(a.events, b.events, "same seed, same plan");
+    assert!(a.crashes() > 0, "the default window injects something");
+    let c = ChaosPlan::generate(&ChaosConfig { seed: 99, ..cfg }, &targets);
+    assert_ne!(a.events, c.events, "different seed, different plan");
+}
+
+#[test]
+fn chaos_plan_respects_max_concurrent_down() {
+    let targets = [HostId(1), HostId(2), HostId(3), HostId(4)];
+    let cfg = ChaosConfig {
+        seed: 11,
+        start: SimTime::from_nanos(0),
+        end: SimTime::from_nanos(120_000_000_000),
+        mean_interval: SimDuration::from_millis(400),
+        restart_after: Some(SimDuration::from_secs(2)),
+        max_concurrent_down: 2,
+        partition_prob: 0.0,
+    };
+    let plan = ChaosPlan::generate(&cfg, &targets);
+    assert!(plan.crashes() >= 10, "dense schedule: {}", plan.crashes());
+    let mut down: Vec<HostId> = Vec::new();
+    for e in &plan.events {
+        match e.fault {
+            Fault::CrashHost(h) => {
+                assert!(!down.contains(&h), "host crashed while already down");
+                down.push(h);
+                assert!(
+                    down.len() <= 2,
+                    "more than max_concurrent_down at {:?}",
+                    e.at
+                );
+            }
+            Fault::RestartHost(h) => down.retain(|&d| d != h),
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn chaos_without_restart_crashes_each_host_at_most_once() {
+    let targets = [HostId(1), HostId(2), HostId(3)];
+    let cfg = ChaosConfig {
+        seed: 3,
+        restart_after: None,
+        max_concurrent_down: 3,
+        end: SimTime::from_nanos(300_000_000_000),
+        mean_interval: SimDuration::from_secs(1),
+        ..ChaosConfig::default()
+    };
+    let plan = ChaosPlan::generate(&cfg, &targets);
+    let mut crashed: Vec<HostId> = Vec::new();
+    for e in &plan.events {
+        match e.fault {
+            Fault::CrashHost(h) => {
+                assert!(!crashed.contains(&h));
+                crashed.push(h);
+            }
+            Fault::RestartHost(_) => panic!("no restarts without restart_after"),
+            _ => {}
+        }
+    }
+    assert_eq!(crashed.len(), 3, "eventually every target dies");
+}
+
+// ---------------------------------------------------------------------
+// End-to-end replication on the simulated cluster
+// ---------------------------------------------------------------------
+
+/// Boot naming on `h0` and N store replicas on the remaining hosts.
+fn store_bed(sim: &mut Kernel, n_replicas: usize, cfg: StoreConfig) -> Vec<HostId> {
+    let hosts: Vec<_> = (0..=n_replicas)
+        .map(|i| sim.add_host(HostConfig::new(format!("sh{i}"))))
+        .collect();
+    let h0 = hosts[0];
+    sim.spawn(h0, "naming", move |ctx| {
+        let _ = cosnaming::run_naming_service(ctx, LbMode::Plain);
+    });
+    spawn_replicated_store(sim, &hosts[1..], h0, cfg, None);
+    hosts
+}
+
+/// Resolve a `CheckpointClient` against the store group (driver side).
+fn resolve_store(orb: &mut Orb, ctx: &mut simnet::Ctx, naming_host: HostId) -> CheckpointClient {
+    let ns = NamingClient::root(naming_host);
+    loop {
+        match ns
+            .resolve(orb, ctx, &Name::simple(CHECKPOINT_SERVICE_NAME))
+            .unwrap()
+        {
+            Ok(obj) => return CheckpointClient::new(obj),
+            Err(_) => ctx.sleep(secs(0.05)).unwrap(),
+        }
+    }
+}
+
+#[test]
+fn replicated_store_survives_primary_replica_crash() {
+    let mut sim = Kernel::with_seed(21);
+    let hosts = store_bed(&mut sim, 3, StoreConfig::default());
+    let h0 = hosts[0];
+    let out = cell::<Option<(u64, Vec<u8>)>>();
+    let o = out.clone();
+    let driver = sim.spawn(h0, "driver", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let client = resolve_store(&mut orb, ctx, h0);
+        client
+            .store(&mut orb, ctx, &ckpt("obj", 7, b"payload"))
+            .unwrap()
+            .unwrap();
+        // Kill whichever replica we were talking to: the record must
+        // survive on the backups.
+        let primary = client.obj.ior.host;
+        ctx.crash_host(primary).unwrap();
+        // Give the detector time to evict the corpse from the group.
+        ctx.sleep(secs(2.0)).unwrap();
+        let client = resolve_store(&mut orb, ctx, h0);
+        assert_ne!(client.obj.ior.host, primary, "failover left the corpse");
+        let got = client.retrieve(&mut orb, ctx, "obj").unwrap().unwrap();
+        let c = got.expect("backup replica must hold the record");
+        *o.lock().unwrap() = Some((c.epoch, c.state));
+    });
+    sim.run_until_exit(driver);
+    let (epoch, state) = out.lock().unwrap().clone().unwrap();
+    assert_eq!(epoch, 7);
+    assert_eq!(state, b"payload");
+}
+
+#[test]
+fn single_replica_store_loses_data_on_crash() {
+    let mut sim = Kernel::with_seed(21);
+    let hosts = store_bed(&mut sim, 1, StoreConfig::default());
+    let h0 = hosts[0];
+    let failed = cell::<bool>();
+    let f = failed.clone();
+    let driver = sim.spawn(h0, "driver", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let client = resolve_store(&mut orb, ctx, h0);
+        client
+            .store(&mut orb, ctx, &ckpt("obj", 7, b"payload"))
+            .unwrap()
+            .unwrap();
+        ctx.crash_host(client.obj.ior.host).unwrap();
+        ctx.sleep(secs(2.0)).unwrap();
+        // The paper's deployment: one store, nothing to fail over to.
+        let r = client.retrieve(&mut orb, ctx, "obj").unwrap();
+        *f.lock().unwrap() = matches!(
+            r,
+            Err(Exception::System(SystemException {
+                kind: SysKind::CommFailure,
+                ..
+            }))
+        );
+    });
+    sim.run_until_exit(driver);
+    assert!(
+        *failed.lock().unwrap(),
+        "a single-replica store must fail once its host dies"
+    );
+}
+
+#[test]
+fn write_replicates_to_every_view_member() {
+    let mut sim = Kernel::with_seed(5);
+    let hosts = store_bed(&mut sim, 3, StoreConfig::default());
+    let h0 = hosts[0];
+    let counts = cell::<Vec<(u64, u64, u64)>>();
+    let c = counts.clone();
+    let driver = sim.spawn(h0, "driver", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let client = resolve_store(&mut orb, ctx, h0);
+        client
+            .store(&mut orb, ctx, &ckpt("a", 1, b"x"))
+            .unwrap()
+            .unwrap();
+        client
+            .store_value(&mut orb, ctx, "a", "header", &header_any(1))
+            .unwrap()
+            .unwrap();
+        // Ask every group member directly for its local status.
+        let ns = NamingClient::root(h0);
+        let members = ns
+            .group_members(&mut orb, ctx, &Name::simple(CHECKPOINT_SERVICE_NAME))
+            .unwrap()
+            .unwrap();
+        assert_eq!(members.len(), 3);
+        for m in members {
+            let obj = orb::ObjectRef::new(m);
+            let status: (u64, u64, u64) = obj
+                .call(&mut orb, ctx, crate::ops::STORE_STATUS, &())
+                .unwrap()
+                .unwrap();
+            c.lock().unwrap().push(status);
+        }
+    });
+    sim.run_until_exit(driver);
+    let counts = counts.lock().unwrap().clone();
+    assert_eq!(
+        counts,
+        vec![(1, 1, 1); 3],
+        "every replica holds the bulk record and the value"
+    );
+}
+
+#[test]
+fn unreachable_quorum_fails_the_write() {
+    // Two replicas, strict W=2, detector disabled by a long period: crash
+    // the backup and write before any eviction can shrink the view.
+    let cfg = StoreConfig::default()
+        .with_write_quorum(2)
+        .with_repl_timeout(SimDuration::from_millis(200));
+    let mut sim = Kernel::with_seed(9);
+    let mut hosts = Vec::new();
+    for i in 0..3 {
+        hosts.push(sim.add_host(HostConfig::new(format!("sh{i}"))));
+    }
+    let h0 = hosts[0];
+    sim.spawn(h0, "naming", move |ctx| {
+        let _ = cosnaming::run_naming_service(ctx, LbMode::Plain);
+    });
+    // Replicas only — no detector, so the view keeps both members.
+    for (i, &h) in hosts[1..].iter().enumerate() {
+        let cfg = cfg.clone();
+        sim.spawn(h, format!("store-replica-{i}"), move |ctx| {
+            let _ = crate::replica::run_store_replica(ctx, h0, cfg, None);
+        });
+    }
+    let out = cell::<Option<bool>>();
+    let o = out.clone();
+    let driver = sim.spawn(h0, "driver", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let client = resolve_store(&mut orb, ctx, h0);
+        let coordinator = client.obj.ior.host;
+        let peer = if coordinator == hosts[1] {
+            hosts[2]
+        } else {
+            hosts[1]
+        };
+        ctx.crash_host(peer).unwrap();
+        let r = client.store(&mut orb, ctx, &ckpt("obj", 1, b"x")).unwrap();
+        *o.lock().unwrap() = Some(matches!(
+            r,
+            Err(Exception::System(SystemException {
+                kind: SysKind::Transient,
+                ..
+            }))
+        ));
+    });
+    sim.run_until_exit(driver);
+    assert_eq!(
+        *out.lock().unwrap(),
+        Some(true),
+        "W=2 with one dead peer must raise TRANSIENT"
+    );
+}
+
+#[test]
+fn replicated_runs_are_deterministic() {
+    fn run(seed: u64) -> (u64, Vec<u8>) {
+        let mut sim = Kernel::with_seed(seed);
+        let hosts = store_bed(&mut sim, 3, StoreConfig::default());
+        let h0 = hosts[0];
+        let out = cell::<Option<(u64, Vec<u8>)>>();
+        let o = out.clone();
+        let driver = sim.spawn(h0, "driver", move |ctx| {
+            ctx.sleep(secs(1.0)).unwrap();
+            let mut orb = Orb::init(ctx);
+            let client = resolve_store(&mut orb, ctx, h0);
+            for e in 1..=4u64 {
+                client
+                    .store(&mut orb, ctx, &ckpt("obj", e, format!("s{e}").as_bytes()))
+                    .unwrap()
+                    .unwrap();
+            }
+            let primary = client.obj.ior.host;
+            ctx.crash_host(primary).unwrap();
+            ctx.sleep(secs(2.0)).unwrap();
+            let client = resolve_store(&mut orb, ctx, h0);
+            let c = client
+                .retrieve(&mut orb, ctx, "obj")
+                .unwrap()
+                .unwrap()
+                .unwrap();
+            *o.lock().unwrap() = Some((c.epoch, c.state));
+        });
+        sim.run_until_exit(driver);
+        let got = out.lock().unwrap().clone().unwrap();
+        got
+    }
+    let a = run(33);
+    let b = run(33);
+    assert_eq!(a, b, "same seed, same failover outcome");
+    assert_eq!(a.0, 4, "newest acked epoch survives the crash");
+}

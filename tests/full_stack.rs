@@ -123,6 +123,7 @@ fn crash_recovery_preserves_results() {
         mode: ftproxy::CheckpointMode::Bulk,
         checkpoint_every: 1,
         max_recoveries: 6,
+        ..FtSettings::default()
     });
     spec.request_timeout = SimDuration::from_secs(2);
     spec.crash = Some(CrashPlan {
@@ -177,6 +178,7 @@ fn host_restart_is_survivable() {
         mode: ftproxy::CheckpointMode::Bulk,
         checkpoint_every: 1,
         max_recoveries: 6,
+        ..FtSettings::default()
     });
     spec.request_timeout = SimDuration::from_secs(2);
     spec.crash = Some(CrashPlan {

@@ -1,0 +1,186 @@
+//! Checkpoint-store failover integration tests: a replicated `ldft-store`
+//! deployment survives losing the primary replica mid-optimization (the
+//! FT proxies re-resolve the store group and restore from a backup),
+//! while the paper's single-store baseline demonstrably does not.
+
+use corba_runtime::{
+    run_experiment, CrashPlan, ExperimentOutcome, ExperimentSpec, NamingMode, StoreCrashPlan,
+};
+use optim::FtSettings;
+use simnet::SimDuration;
+
+/// The shared cell: Plain naming (deterministic placements and store
+/// resolution), bulk checkpoints after every call, a primary-store crash
+/// shortly after the manager starts, then a worker-host crash that forces
+/// a restore — which must come from a store backup.
+fn failover_spec(store_replicas: usize) -> ExperimentSpec {
+    let mut spec = ExperimentSpec {
+        worker_iters: 2_000,
+        manager_iters: 4,
+        ..ExperimentSpec::dim100(NamingMode::Plain)
+    };
+    spec.seed = 41;
+    spec.ft = Some(FtSettings {
+        mode: ftproxy::CheckpointMode::Bulk,
+        checkpoint_every: 1,
+        max_recoveries: 6,
+        ..FtSettings::default()
+    });
+    spec.request_timeout = SimDuration::from_secs(2);
+    spec.store_replicas = store_replicas;
+    // Index 0 is the replica a plain group-resolve returns first: the one
+    // every checkpoint client is initially bound to.
+    spec.store_crash = Some(StoreCrashPlan {
+        after: SimDuration::from_millis(600),
+        store_host_index: 0,
+    });
+    spec.crash = Some(CrashPlan {
+        after: SimDuration::from_millis(1500),
+        now_host_index: 0,
+        restart_after: None,
+    });
+    spec
+}
+
+fn run_replicated_cell() -> ExperimentOutcome {
+    run_experiment(&failover_spec(2)).expect("replicated store run failed")
+}
+
+/// Tentpole acceptance, replicated side: with 2 store replicas the run
+/// rides out the primary-store crash and converges to the same Complex
+/// Box result as the crash-free run.
+#[test]
+fn replicated_store_failover_preserves_results() {
+    let mut baseline_spec = failover_spec(2);
+    baseline_spec.store_crash = None;
+    baseline_spec.crash = None;
+    let baseline = run_experiment(&baseline_spec).expect("crash-free run failed");
+    let outcome = run_replicated_cell();
+    let r = &outcome.report;
+
+    // The faults were felt: a worker recovery happened and at least one
+    // checkpoint client failed over to a surviving store replica.
+    assert!(r.recoveries > 0, "worker crash must be felt: {r:?}");
+    assert!(
+        r.store_retargets > 0,
+        "store crash must force a failover: {r:?}"
+    );
+    assert!(r.checkpoints > 0, "checkpoints must keep landing: {r:?}");
+
+    // Recovery restored from a backup replica, so the optimization
+    // trajectory is exactly the crash-free one.
+    assert_eq!(
+        r.best_value, baseline.report.best_value,
+        "crashed run must converge to the crash-free result"
+    );
+    assert_eq!(
+        r.best_point, baseline.report.best_point,
+        "crashed run must converge to the crash-free point"
+    );
+
+    // And the result is self-consistent (decomposition identity).
+    let direct =
+        <optim::Rosenbrock as optim::Problem>::eval(&optim::Rosenbrock::new(100), &r.best_point);
+    assert!(
+        (direct - r.best_value).abs() < 1e-6 * (1.0 + direct.abs()),
+        "decomposition broken after failover: {} vs {}",
+        direct,
+        r.best_value
+    );
+}
+
+/// Tentpole acceptance, baseline side: the same scenario with the paper's
+/// single checkpoint store is fatal — once the store host dies, worker
+/// recovery cannot fetch its checkpoint and the run fails.
+#[test]
+fn single_replica_store_is_a_single_point_of_failure() {
+    let err = run_experiment(&failover_spec(1))
+        .expect_err("single-store run must fail once the store host dies");
+    assert!(
+        err.contains("COMM_FAILURE") || err.contains("recovery") || err.contains("failed"),
+        "failure should surface the store loss: {err}"
+    );
+}
+
+/// Satellite: the failover leaves a causal span trail — the retarget
+/// re-resolves the store group (`serve:resolve` inside
+/// `ft.store_retarget`), and the post-crash restore is served by the
+/// backup replica.
+#[test]
+fn failover_span_tree_shows_resolve_then_backup_restore() {
+    let outcome = run_replicated_cell();
+    let spans = outcome.obs.spans();
+    let crash_ns = (outcome.started_at + SimDuration::from_millis(600)).as_nanos();
+
+    let retarget = spans
+        .iter()
+        .find(|s| s.name == "ft.store_retarget")
+        .expect("no ft.store_retarget span recorded");
+    assert!(retarget.start_ns >= crash_ns, "retarget precedes the crash");
+    // The re-resolve of the store group happens inside the retarget span,
+    // on the naming host, one hop away.
+    assert!(
+        spans.iter().any(|s| s.name == "serve:resolve"
+            && s.trace_id == retarget.trace_id
+            && s.start_ns >= retarget.start_ns
+            && s.end_ns <= retarget.end_ns),
+        "retarget must re-resolve the store name"
+    );
+
+    // The worker recovery after the store crash restores from the backup:
+    // ft.recover → ft.restore → serve:retrieve on the backup host. With
+    // dim100 auto-placement the two replicas sit on the two
+    // highest-numbered NOW hosts; the crashed primary is host 9, the
+    // surviving backup host 10.
+    let restore = spans
+        .iter()
+        .filter(|s| s.name == "ft.restore" && s.start_ns >= crash_ns)
+        .min_by_key(|s| s.start_ns)
+        .expect("no post-crash ft.restore span recorded");
+    let recover = spans
+        .iter()
+        .filter(|s| s.name == "ft.recover" && s.trace_id == restore.trace_id)
+        .min_by_key(|s| s.start_ns)
+        .expect("restore without a recovery in its trace");
+    assert!(
+        recover.start_ns <= restore.start_ns,
+        "recovery must precede the restore"
+    );
+    let served = spans
+        .iter()
+        .find(|s| {
+            s.name == "serve:retrieve"
+                && s.trace_id == restore.trace_id
+                && s.start_ns >= restore.start_ns
+                && s.end_ns <= restore.end_ns
+        })
+        .expect("restore must fetch the checkpoint from a store replica");
+    assert_eq!(
+        served.host, 10,
+        "post-crash restore must be served by the surviving backup replica"
+    );
+}
+
+/// Satellite: the failover cell is deterministic — two runs with the same
+/// seed produce byte-identical observability exports.
+#[test]
+fn failover_runs_are_byte_identical_across_same_seed_runs() {
+    let a = run_replicated_cell();
+    let b = run_replicated_cell();
+    assert_eq!(
+        a.obs.chrome_trace_json(),
+        b.obs.chrome_trace_json(),
+        "same-seed failover traces must be byte-identical"
+    );
+    assert_eq!(
+        a.obs.metrics_text(),
+        b.obs.metrics_text(),
+        "same-seed failover metrics must be byte-identical"
+    );
+    let c = run_experiment(&failover_spec(2).seed(42)).expect("run failed");
+    assert_ne!(
+        a.obs.chrome_trace_json(),
+        c.obs.chrome_trace_json(),
+        "a different seed must change the trace"
+    );
+}
