@@ -4,7 +4,7 @@
 //! per-value vs bulk transport, and checkpoint frequency (every call vs
 //! every k-th call).
 //!
-//! Usage: `cargo run --release -p ldft-bench --bin ablation_ckpt [--quick] [--seeds N]`
+//! Usage: `cargo run --release -p ldft-bench --bin ablation_ckpt [--quick] [--seeds N] [--trace-out PATH] [--metrics-out PATH]`
 
 use corba_runtime::{averaged_runtime, ExperimentSpec, NamingMode};
 use ftproxy::CheckpointMode;
@@ -107,4 +107,6 @@ fn main() {
             .collect();
         print!("{}", Csv::render(&["strategy", "runtime_s"], &csv_rows));
     }
+
+    args.write_exports_or_exit();
 }

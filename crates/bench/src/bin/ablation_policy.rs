@@ -4,7 +4,7 @@
 //! weighted-random, uniform-random and the plain (load-oblivious) service
 //! under a fixed partial load.
 //!
-//! Usage: `cargo run --release -p ldft-bench --bin ablation_policy [--quick] [--seeds N]`
+//! Usage: `cargo run --release -p ldft-bench --bin ablation_policy [--quick] [--seeds N] [--trace-out PATH] [--metrics-out PATH]`
 
 use corba_runtime::{averaged_runtime, ExperimentSpec, NamingMode, WinnerPolicy};
 use ldft_bench::{Csv, RunArgs, Table};
@@ -67,4 +67,6 @@ fn main() {
             .collect();
         print!("{}", Csv::render(&["policy", "runtime_s"], &csv_rows));
     }
+
+    args.write_exports_or_exit();
 }

@@ -4,7 +4,7 @@
 //! transports and compares COMM_FAILURE-only detection (the paper's) with
 //! detection aided by a shorter request timeout.
 //!
-//! Usage: `cargo run --release -p ldft-bench --bin ablation_recovery [--quick] [--seeds N]`
+//! Usage: `cargo run --release -p ldft-bench --bin ablation_recovery [--quick] [--seeds N] [--trace-out PATH] [--metrics-out PATH]`
 
 use corba_runtime::{averaged_runtime, CrashPlan, ExperimentSpec, NamingMode};
 use ftproxy::CheckpointMode;
@@ -123,4 +123,6 @@ fn main() {
             Csv::render(&["setting", "runtime_s", "recoveries"], &csv_rows)
         );
     }
+
+    args.write_exports_or_exit();
 }

@@ -6,7 +6,7 @@
 //! restore from whatever store is left).
 //!
 //! Usage: `cargo run --release -p ldft-bench --bin ablation_replication
-//! [--quick] [--seeds N]`
+//! [--quick] [--seeds N] [--trace-out PATH] [--metrics-out PATH]`
 
 use corba_runtime::{
     averaged_runtime, run_experiment, CrashPlan, ExperimentSpec, NamingMode, StoreCrashPlan,
@@ -175,4 +175,6 @@ fn main() {
             )
         );
     }
+
+    args.write_exports_or_exit();
 }

@@ -97,5 +97,5 @@ fn main() {
         );
     }
 
-    args.write_exports();
+    args.write_exports_or_exit();
 }

@@ -245,12 +245,8 @@ fn main() {
     // Observability exports of the first seed's cell (the CI determinism
     // gate runs this twice and compares byte-for-byte).
     let exports = exports.expect("at least one seed ran");
-    if let Some(path) = &args.trace_out {
-        std::fs::write(path, &exports.trace_json).expect("writing --trace-out file");
-        eprintln!("wrote trace export to {path}");
-    }
-    if let Some(path) = &args.metrics_out {
-        std::fs::write(path, &exports.metrics_text).expect("writing --metrics-out file");
-        eprintln!("wrote metrics export to {path}");
+    if let Err(e) = args.write_export_files(&exports.trace_json, &exports.metrics_text) {
+        eprintln!("failed to write observability exports: {e}");
+        std::process::exit(1);
     }
 }

@@ -77,5 +77,5 @@ fn main() {
         );
     }
 
-    args.write_exports();
+    args.write_exports_or_exit();
 }

@@ -5,7 +5,9 @@ pub mod report;
 pub mod sweeps;
 
 pub use report::{Csv, Table};
-pub use sweeps::{fig3_sweep, table1_sweep, trace_cell, Fig3Row, Table1Row, TraceExport};
+pub use sweeps::{
+    doctor_cell, fig3_sweep, table1_sweep, trace_cell, Fig3Row, Table1Row, TraceExport,
+};
 
 /// Common command-line options for experiment binaries.
 #[derive(Clone, Debug)]
@@ -41,8 +43,14 @@ impl RunArgs {
     /// Parse from `std::env::args`: `[--quick] [--scale F] [--seeds N]
     /// [--no-csv] [--trace-out PATH] [--metrics-out PATH]`.
     pub fn parse() -> RunArgs {
+        RunArgs::parse_from(std::env::args().skip(1).collect())
+    }
+
+    /// Parse from an explicit argument list (bins with extra flags strip
+    /// theirs first and forward the rest here).
+    pub fn parse_from(list: Vec<String>) -> RunArgs {
         let mut out = RunArgs::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = list.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => out.scale = 0.1,
@@ -86,18 +94,41 @@ impl RunArgs {
 
     /// Run the instrumented reference cell and write whichever exports
     /// were requested on the command line. No-op if neither flag was set.
-    pub fn write_exports(&self) {
+    ///
+    /// # Errors
+    /// If an export file cannot be written.
+    pub fn write_exports(&self) -> std::io::Result<()> {
         if !self.wants_exports() {
-            return;
+            return Ok(());
         }
         let export = trace_cell(self);
+        self.write_export_files(&export.trace_json, &export.metrics_text)
+    }
+
+    /// Write already-rendered export payloads to whichever paths were
+    /// requested on the command line (shared by bins that produce their
+    /// own instrumented cell instead of the reference one).
+    ///
+    /// # Errors
+    /// If an export file cannot be written.
+    pub fn write_export_files(&self, trace_json: &str, metrics_text: &str) -> std::io::Result<()> {
         if let Some(path) = &self.trace_out {
-            std::fs::write(path, &export.trace_json).expect("writing --trace-out file");
+            std::fs::write(path, trace_json)?;
             eprintln!("wrote trace export to {path}");
         }
         if let Some(path) = &self.metrics_out {
-            std::fs::write(path, &export.metrics_text).expect("writing --metrics-out file");
+            std::fs::write(path, metrics_text)?;
             eprintln!("wrote metrics export to {path}");
+        }
+        Ok(())
+    }
+
+    /// [`RunArgs::write_exports`], with a write failure reported on
+    /// stderr and turned into a nonzero process exit code.
+    pub fn write_exports_or_exit(&self) {
+        if let Err(e) = self.write_exports() {
+            eprintln!("failed to write observability exports: {e}");
+            std::process::exit(1);
         }
     }
 }

@@ -1,7 +1,9 @@
 //! The parameter sweeps behind the paper's Figure 3 and Table 1, plus the
 //! instrumented reference cell behind `--trace-out` / `--metrics-out`.
 
-use corba_runtime::{averaged_runtime, run_experiment, CrashPlan, ExperimentSpec, NamingMode};
+use corba_runtime::{
+    averaged_runtime, run_experiment, CrashPlan, ExperimentOutcome, ExperimentSpec, NamingMode,
+};
 use optim::FtSettings;
 use simnet::SimDuration;
 
@@ -105,6 +107,32 @@ pub fn trace_cell(args: &RunArgs) -> TraceExport {
         trace_json: outcome.obs.chrome_trace_json(),
         metrics_text: outcome.obs.metrics_text(),
     }
+}
+
+/// Run the reference cell with live monitoring attached and return the
+/// finalized outcome (its `monitor` handle carries the doctor report).
+///
+/// `crash` selects between the healthy baseline (no fault injection; the
+/// doctor must report zero violations) and the crash cell from
+/// [`trace_cell`] (whose flight recorder must dump a post-mortem with the
+/// recovery episode). Deterministic: same seed and scale yield a
+/// byte-identical doctor report.
+pub fn doctor_cell(args: &RunArgs, crash: bool) -> ExperimentOutcome {
+    let mut spec = ExperimentSpec::dim30(NamingMode::Winner);
+    spec.worker_iters = args.scaled(spec.worker_iters);
+    spec.available_hosts = spec.workers;
+    spec.ft = Some(FtSettings::default());
+    spec.request_timeout = SimDuration::from_secs(2);
+    spec.monitor = Some(monitor::MonitorConfig::default());
+    if crash {
+        spec.crash = Some(CrashPlan {
+            after: SimDuration::from_millis(200),
+            now_host_index: 0,
+            restart_after: Some(SimDuration::from_secs(2)),
+        });
+    }
+    let seed = args.seeds.first().copied().unwrap_or(1);
+    run_experiment(&spec.seed(seed)).expect("doctor cell failed")
 }
 
 /// One Table 1 row: an iteration count with plain and proxy runtimes.

@@ -54,6 +54,10 @@ pub struct ExperimentSpec {
     pub store_replicas: usize,
     /// Optional fault injection: crash a checkpoint-store host mid-run.
     pub store_crash: Option<StoreCrashPlan>,
+    /// Live monitoring: deploy the event channel + online doctor + flight
+    /// recorder with these thresholds ([`ExperimentOutcome::monitor`]
+    /// carries the finalized handle).
+    pub monitor: Option<monitor::MonitorConfig>,
 }
 
 /// A scheduled mid-run crash of a checkpoint-store host.
@@ -104,6 +108,7 @@ impl ExperimentSpec {
             crash: None,
             store_replicas: 1,
             store_crash: None,
+            monitor: None,
         }
     }
 
@@ -126,6 +131,7 @@ impl ExperimentSpec {
             crash: None,
             store_replicas: 1,
             store_crash: None,
+            monitor: None,
         }
     }
 
@@ -155,6 +161,10 @@ pub struct ExperimentOutcome {
     /// every process in the run (export with [`obs::Obs::chrome_trace_json`]
     /// / [`obs::Obs::metrics_text`]).
     pub obs: obs::Obs,
+    /// The live-monitoring handle, already finalized (watermark drained),
+    /// when [`ExperimentSpec::monitor`] was set. Render the doctor report
+    /// with [`monitor::MonitorHandle::report`].
+    pub monitor: Option<monitor::MonitorHandle>,
 }
 
 /// Run one experiment cell to completion.
@@ -182,6 +192,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Result<ExperimentOutcome, String
         policy: spec.policy,
         store_replicas: spec.store_replicas.max(1),
         store_hosts,
+        monitor: spec.monitor.clone(),
         ..ClusterConfig::default()
     });
 
@@ -213,6 +224,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Result<ExperimentOutcome, String
         request_timeout: spec.request_timeout,
         ft: spec.ft.clone(),
         obs: Some(cluster.obs.clone()),
+        monitor: cluster.monitor.as_ref().map(|h| h.ior.clone()),
         ..ManagerConfig::new(spec.n, spec.workers, cluster.infra)
     };
     let started_at = SimTime::ZERO + spec.warmup;
@@ -252,6 +264,9 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Result<ExperimentOutcome, String
         }),
     );
     cluster.kernel.run_until_exit(manager);
+    if let Some(handle) = &cluster.monitor {
+        handle.finalize(cluster.kernel.now());
+    }
     let report = match report_cell.take() {
         Some(Ok(report)) => report,
         Some(Err(e)) => return Err(format!("experiment manager failed: {e}")),
@@ -262,6 +277,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Result<ExperimentOutcome, String
         loaded: loaded.iter().map(|h| h.0).collect(),
         started_at,
         obs: cluster.obs.clone(),
+        monitor: cluster.monitor.clone(),
     })
 }
 

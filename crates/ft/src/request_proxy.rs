@@ -10,8 +10,9 @@
 //! on success the proxy's checkpoint-after-call policy runs.
 
 use cdr::{Any, CdrEncoder, CdrRead, CdrWrite};
+use monitor::EventBody;
 use orb::{DiiRequest, Exception, SystemException};
-use simnet::SimResult;
+use simnet::{SimResult, SimTime};
 
 use crate::proxy::{FtProxy, ProxyEnv};
 
@@ -23,6 +24,11 @@ pub struct FtRequest {
     inner: Option<DiiRequest>,
     attempts: u32,
     done: Option<Result<Vec<u8>, Exception>>,
+    // Monitoring timestamps: request creation, the winning (re)send, and
+    // the start of the current recovery episode, if any.
+    started: Option<SimTime>,
+    sent: Option<SimTime>,
+    recovering_since: Option<SimTime>,
 }
 
 impl FtRequest {
@@ -35,6 +41,9 @@ impl FtRequest {
             inner: None,
             attempts: 0,
             done: None,
+            started: None,
+            sent: None,
+            recovering_since: None,
         }
     }
 
@@ -66,6 +75,7 @@ impl FtRequest {
         if let Some(enc) = self.args.take() {
             self.body = enc.into_bytes();
         }
+        self.started.get_or_insert(env.ctx.now());
         self.resend(proxy, env)
     }
 
@@ -75,6 +85,7 @@ impl FtRequest {
                 Ok(target) => {
                     let mut req = DiiRequest::new(target.ior.clone(), self.operation.clone());
                     req.add_encoded(&self.body);
+                    self.sent = Some(env.ctx.now());
                     req.send_deferred(env.orb, env.ctx)?;
                     self.inner = Some(req);
                     return Ok(());
@@ -86,6 +97,7 @@ impl FtRequest {
                         && self.attempts < proxy.config().max_recoveries_per_call =>
                 {
                     self.attempts += 1;
+                    self.note_failure(&e, proxy, env)?;
                     proxy.recover(env)?;
                     proxy.backoff_sleep(env, self.attempts - 1)?;
                 }
@@ -95,6 +107,32 @@ impl FtRequest {
                 }
             }
         }
+    }
+
+    /// Record the start (or continuation) of a recovery episode and
+    /// publish failure-detected / recovery-started monitoring events.
+    fn note_failure(
+        &mut self,
+        e: &Exception,
+        proxy: &mut FtProxy,
+        env: &mut ProxyEnv<'_>,
+    ) -> SimResult<()> {
+        self.recovering_since.get_or_insert(env.ctx.now());
+        let target = proxy.config().object_id.clone();
+        proxy.publish(
+            env,
+            EventBody::FailureDetected {
+                target: target.clone(),
+                reason: FtProxy::failure_reason(e),
+            },
+        )?;
+        proxy.publish(
+            env,
+            EventBody::RecoveryStarted {
+                target,
+                attempt: self.attempts,
+            },
+        )
     }
 
     /// Non-blocking completion check. A failed attempt triggers recovery
@@ -179,13 +217,43 @@ impl FtRequest {
         match outcome {
             Ok(bytes) => {
                 proxy.stats.calls += 1;
+                let served = env.ctx.now();
+                if let Some(since) = self.recovering_since.take() {
+                    if let Some(o) = env.orb.obs().cloned() {
+                        o.observe("ft.recovery_ns", served.since(since).as_nanos());
+                    }
+                    proxy.publish(
+                        env,
+                        EventBody::RecoveryFinished {
+                            target: proxy.config().object_id.clone(),
+                            dur_ns: served.since(since).as_nanos(),
+                        },
+                    )?;
+                }
                 proxy.after_success(env)?;
+                // Critical-path attribution, mirroring the synchronous
+                // proxy path: everything before the winning send is
+                // queue-wait (backoff, resolve, factory creation,
+                // restore), send-to-reply is service, and whatever
+                // `after_success` appended is checkpoint overhead.
+                let started = self.started.unwrap_or(served);
+                let sent = self.sent.unwrap_or(served);
+                proxy.publish(
+                    env,
+                    EventBody::RequestDone {
+                        target: proxy.config().object_id.clone(),
+                        wait_ns: sent.since(started).as_nanos(),
+                        service_ns: served.since(sent).as_nanos(),
+                        ckpt_ns: env.ctx.now().since(served).as_nanos(),
+                    },
+                )?;
                 self.done = Some(Ok(bytes));
             }
             Err(e)
                 if e.is_recoverable() && self.attempts < proxy.config().max_recoveries_per_call =>
             {
                 self.attempts += 1;
+                self.note_failure(&e, proxy, env)?;
                 proxy.recover(env)?;
                 proxy.backoff_sleep(env, self.attempts - 1)?;
                 self.inner = None;

@@ -1,0 +1,543 @@
+//! The event channel: ordered ingest, the watermark that restores
+//! publish order, subscriber rings, and the flight recorder.
+//!
+//! # Ordering and determinism
+//!
+//! Publishers stamp events with their own virtual clock, but pushes cross
+//! the simulated network, so arrival order at the channel can differ from
+//! publish order when publishers sit on hosts with different latencies.
+//! The channel therefore buffers arrivals in a `BTreeMap` keyed by
+//! [`Event::key`] `(time, host, pid, seq)` and only releases events to the
+//! doctor/recorder/subscribers once the **watermark** — channel-local time
+//! minus [`crate::MonitorConfig::reorder_slack`] — has passed them. With
+//! the slack well above the maximum delivery delay, released order equals
+//! publish order, and because the whole simulation is deterministic the
+//! stream (and everything derived from it) is byte-identical across
+//! same-seed runs. An event that still arrives behind the watermark (only
+//! possible for pre-boot publisher buffers) is processed immediately and
+//! counted in `monitor.late_events`.
+//!
+//! [`ChannelState::finalize`] drains whatever the watermark still holds;
+//! the driver calls it after the run so the report covers every event.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use obs::Obs;
+use orb::{reply, CallCtx, Exception, Servant, SystemException};
+use simnet::{KernelEvent, Shared, SimTime};
+
+use crate::doctor::{Doctor, MonitorConfig};
+use crate::events::{ops, Event, EventBody};
+
+/// Publisher pid used for kernel-origin events (there is no sim process
+/// behind them).
+pub const KERNEL_PID: u32 = u32::MAX;
+
+/// One subscriber's bounded ring.
+#[derive(Debug, Default)]
+struct SubRing {
+    depth: usize,
+    ring: VecDeque<Event>,
+    dropped: u64,
+}
+
+/// Per-host bounded event tails plus the post-mortems already dumped.
+#[derive(Debug)]
+struct FlightRecorder {
+    ring: usize,
+    /// host -> rendered event lines, oldest first, at most `ring` each.
+    tails: BTreeMap<u32, VecDeque<String>>,
+    dumps: Vec<String>,
+    max_dumps: usize,
+    suppressed_dumps: u64,
+}
+
+impl FlightRecorder {
+    fn record(&mut self, ev: &Event) {
+        let line = render_line(ev);
+        let tail = self.tails.entry(ev.host).or_default();
+        if tail.len() == self.ring {
+            tail.pop_front();
+        }
+        tail.push_back(line);
+    }
+
+    fn dump(&mut self, time_ns: u64, reason: &str, episodes: &[String], verdicts: &[String]) {
+        if self.dumps.len() >= self.max_dumps {
+            self.suppressed_dumps += 1;
+            return;
+        }
+        let mut s = String::new();
+        use std::fmt::Write as _;
+        let _ = writeln!(s, "== post-mortem @{time_ns}ns: {reason} ==");
+        for (host, tail) in &self.tails {
+            let _ = writeln!(s, "-- host h{host} event tail --");
+            for line in tail {
+                let _ = writeln!(s, "  {line}");
+            }
+        }
+        let _ = writeln!(s, "-- open episodes --");
+        if episodes.is_empty() {
+            let _ = writeln!(s, "  (none)");
+        }
+        for e in episodes {
+            let _ = writeln!(s, "  {e}");
+        }
+        let _ = writeln!(s, "-- doctor verdicts --");
+        if verdicts.is_empty() {
+            let _ = writeln!(s, "  (none)");
+        }
+        for v in verdicts {
+            let _ = writeln!(s, "  {v}");
+        }
+        let _ = writeln!(s, "== end post-mortem ==");
+        self.dumps.push(s);
+    }
+}
+
+/// Deterministic one-line rendering of an event for tails and dumps.
+fn render_line(ev: &Event) -> String {
+    let detail = ev.body.detail();
+    let who = if ev.pid == KERNEL_PID {
+        "kernel".to_string()
+    } else {
+        format!("p{}", ev.pid)
+    };
+    if detail.is_empty() {
+        format!("{}ns h{} {} {}", ev.time_ns, ev.host, who, ev.body.kind())
+    } else {
+        format!(
+            "{}ns h{} {} {} {}",
+            ev.time_ns,
+            ev.host,
+            who,
+            ev.body.kind(),
+            detail
+        )
+    }
+}
+
+/// The channel's shared state: servant frontend and kernel hook both feed
+/// it; the driver finalizes and renders it.
+#[derive(Debug)]
+pub struct ChannelState {
+    cfg: MonitorConfig,
+    obs: Option<Obs>,
+    /// Events past the watermark, awaiting release, in publish order.
+    pending: BTreeMap<(u64, u32, u32, u64), Event>,
+    watermark_ns: u64,
+    doctor: Doctor,
+    recorder: FlightRecorder,
+    subs: BTreeMap<u32, SubRing>,
+    next_sub: u32,
+    kernel_seq: u64,
+    received: u64,
+    late: u64,
+}
+
+impl ChannelState {
+    /// Fresh channel state with the given thresholds and metric sink.
+    pub fn new(cfg: MonitorConfig, obs: Option<Obs>) -> Self {
+        let recorder = FlightRecorder {
+            ring: cfg.flight_ring.max(1),
+            tails: BTreeMap::new(),
+            dumps: Vec::new(),
+            max_dumps: cfg.max_dumps.max(1),
+            suppressed_dumps: 0,
+        };
+        let doctor = Doctor::new(cfg.clone());
+        ChannelState {
+            cfg,
+            obs,
+            pending: BTreeMap::new(),
+            watermark_ns: 0,
+            doctor,
+            recorder,
+            subs: BTreeMap::new(),
+            next_sub: 1,
+            kernel_seq: 0,
+            received: 0,
+            late: 0,
+        }
+    }
+
+    /// Ingest one published event, then advance the watermark to
+    /// `now - reorder_slack` and release everything behind it.
+    pub fn ingest(&mut self, now: SimTime, ev: Event) {
+        self.received += 1;
+        if let Some(o) = &self.obs {
+            o.counter_add("monitor.events", 1);
+        }
+        if ev.time_ns < self.watermark_ns {
+            // Arrived behind an already-advanced watermark (pre-boot
+            // publisher buffer): analyze immediately rather than reorder
+            // what was already released.
+            self.late += 1;
+            if let Some(o) = &self.obs {
+                o.counter_add("monitor.late_events", 1);
+            }
+            self.release(ev);
+        } else {
+            self.pending.insert(ev.key(), ev);
+        }
+        self.advance(now);
+    }
+
+    /// Translate a kernel lifecycle event and ingest it. Kernel events are
+    /// delivered at their exact fire time (no network between the kernel
+    /// and its own hook).
+    pub fn ingest_kernel(&mut self, now: SimTime, kev: &KernelEvent) {
+        let (host, body) = match kev {
+            KernelEvent::ProcSpawn { name, host, .. } => {
+                (host.0, EventBody::ProcSpawn { name: name.clone() })
+            }
+            KernelEvent::ProcExit { name, host, .. } => {
+                (host.0, EventBody::ProcExit { name: name.clone() })
+            }
+            KernelEvent::ProcKill { name, host, .. } => {
+                (host.0, EventBody::ProcKill { name: name.clone() })
+            }
+            KernelEvent::HostCrash(h) => (h.0, EventBody::HostCrash),
+            KernelEvent::HostRestart(h) => (h.0, EventBody::HostRestart),
+        };
+        let seq = self.kernel_seq;
+        self.kernel_seq += 1;
+        self.ingest(
+            now,
+            Event {
+                time_ns: now.as_nanos(),
+                host,
+                pid: KERNEL_PID,
+                seq,
+                body,
+            },
+        );
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        let wm = now
+            .as_nanos()
+            .saturating_sub(self.cfg.reorder_slack.as_nanos());
+        if wm <= self.watermark_ns {
+            return;
+        }
+        self.watermark_ns = wm;
+        while let Some(entry) = self.pending.first_entry() {
+            if entry.key().0 > wm {
+                break;
+            }
+            let ev = entry.remove();
+            self.release(ev);
+        }
+    }
+
+    /// Hand one event, now in stream order, to the recorder, the doctor,
+    /// and every subscriber ring.
+    fn release(&mut self, ev: Event) {
+        self.recorder.record(&ev);
+        let fired = self.doctor.on_event(&ev);
+        let crash = matches!(ev.body, EventBody::HostCrash);
+        // A closing recovery episode also dumps: at crash time the tail
+        // ends at the failure, while at close time it spans the whole
+        // episode (failure-detected … recovery-finished) plus the
+        // recovery-budget verdict the doctor just issued.
+        let episode_closed = match &ev.body {
+            EventBody::RecoveryFinished { target, .. } => Some(target.clone()),
+            _ => None,
+        };
+        if crash || episode_closed.is_some() || !fired.is_empty() {
+            let reason = if crash {
+                format!("host h{} crashed", ev.host)
+            } else if !fired.is_empty() {
+                format!("invariant violated: {}", fired.join(", "))
+            } else {
+                format!(
+                    "recovery episode closed: {}",
+                    episode_closed.unwrap_or_default()
+                )
+            };
+            self.recorder.dump(
+                ev.time_ns,
+                &reason,
+                &self.doctor.open_episodes(),
+                self.doctor.verdicts(),
+            );
+            if let Some(o) = &self.obs {
+                o.counter_add("monitor.dumps", 1);
+            }
+        }
+        let mut dropped = 0u64;
+        for sub in self.subs.values_mut() {
+            if sub.ring.len() == sub.depth {
+                sub.ring.pop_front();
+                sub.dropped += 1;
+                dropped += 1;
+            }
+            sub.ring.push_back(ev.clone());
+        }
+        if dropped > 0 {
+            if let Some(o) = &self.obs {
+                o.counter_add("monitor.sub_dropped", dropped);
+            }
+        }
+    }
+
+    /// Register a subscriber with a ring of `depth` events; returns its id.
+    pub fn subscribe(&mut self, depth: u32) -> u32 {
+        let id = self.next_sub;
+        self.next_sub += 1;
+        self.subs.insert(
+            id,
+            SubRing {
+                depth: (depth.max(1)) as usize,
+                ring: VecDeque::new(),
+                dropped: 0,
+            },
+        );
+        id
+    }
+
+    /// Drain up to `max` events from a subscriber's ring, oldest first.
+    /// Unknown ids yield an empty batch.
+    pub fn pull(&mut self, sub_id: u32, max: u32) -> Vec<Event> {
+        let Some(sub) = self.subs.get_mut(&sub_id) else {
+            return Vec::new();
+        };
+        let n = (max as usize).min(sub.ring.len());
+        sub.ring.drain(..n).collect()
+    }
+
+    /// `(events ingested, subscriber-ring drops)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.received, self.subs.values().map(|s| s.dropped).sum())
+    }
+
+    /// Release everything the watermark still holds (end of run) and
+    /// export summary gauges.
+    pub fn finalize(&mut self, now: SimTime) {
+        self.advance(now);
+        while let Some(entry) = self.pending.first_entry() {
+            let ev = entry.remove();
+            self.release(ev);
+        }
+        self.watermark_ns = now.as_nanos();
+        if let Some(o) = self.obs.clone() {
+            o.gauge_set("monitor.violations", self.doctor.violation_count() as f64);
+            o.gauge_set("monitor.late_events", self.late as f64);
+        }
+    }
+
+    /// Total invariant violations the doctor has recorded.
+    pub fn violation_count(&self) -> u64 {
+        self.doctor.violation_count()
+    }
+
+    /// Post-mortem dumps recorded so far (at most `max_dumps`).
+    pub fn dumps(&self) -> &[String] {
+        &self.recorder.dumps
+    }
+
+    /// Render the full doctor report: analysis, then the post-mortems.
+    pub fn render_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "doctor report");
+        let _ = writeln!(out, "=============");
+        let _ = writeln!(
+            out,
+            "ingested: {} events ({} late, watermark {}ns)",
+            self.received, self.late, self.watermark_ns
+        );
+        self.doctor.render_report(&mut out);
+        let _ = writeln!(out, "post-mortems: {}", self.recorder.dumps.len());
+        for d in &self.recorder.dumps {
+            out.push_str(d);
+        }
+        if self.recorder.suppressed_dumps > 0 {
+            let _ = writeln!(
+                out,
+                "({} further post-mortem triggers suppressed)",
+                self.recorder.suppressed_dumps
+            );
+        }
+        out
+    }
+}
+
+/// Everything the driver needs to hold on to a deployed channel: the
+/// shared analysis state and the cell the channel publishes its IOR into
+/// (publishers poll the cell; the paper-style naming binding exists too).
+#[derive(Clone, Debug)]
+pub struct MonitorHandle {
+    /// The channel/doctor/recorder state.
+    pub state: Shared<ChannelState>,
+    /// Stringified IOR of the channel once it is serving.
+    pub ior: Shared<Option<String>>,
+}
+
+impl MonitorHandle {
+    /// Fresh handle with the given thresholds and metric sink.
+    pub fn new(cfg: MonitorConfig, obs: Option<Obs>) -> Self {
+        MonitorHandle {
+            state: Shared::new(ChannelState::new(cfg, obs)),
+            ior: Shared::new(None),
+        }
+    }
+
+    /// Drain the watermark at end of run; call before [`Self::report`].
+    pub fn finalize(&self, now: SimTime) {
+        self.state.lock().finalize(now);
+    }
+
+    /// Total invariant violations the doctor recorded.
+    pub fn violations(&self) -> u64 {
+        self.state.lock().violation_count()
+    }
+
+    /// Render the doctor report (deterministic).
+    pub fn report(&self) -> String {
+        self.state.lock().render_report()
+    }
+
+    /// Post-mortem dumps, concatenated.
+    pub fn dumps(&self) -> String {
+        self.state.lock().dumps().concat()
+    }
+}
+
+/// The CORBA servant fronting a [`ChannelState`] — a normal object a POA
+/// activates; publishers reach it with `oneway push` batches.
+pub struct EventChannel {
+    state: Shared<ChannelState>,
+}
+
+impl EventChannel {
+    /// Servant over the given shared state.
+    pub fn new(state: Shared<ChannelState>) -> Self {
+        EventChannel { state }
+    }
+}
+
+impl Servant for EventChannel {
+    fn dispatch(
+        &mut self,
+        call: &mut CallCtx<'_>,
+        op: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, Exception> {
+        let now = call.ctx.now();
+        match op {
+            ops::PUSH => {
+                let (batch,): (Vec<Event>,) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let mut st = self.state.lock();
+                for ev in batch {
+                    st.ingest(now, ev);
+                }
+                reply(&())
+            }
+            ops::SUBSCRIBE => {
+                let (depth,): (u32,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let id = self.state.lock().subscribe(depth);
+                reply(&id)
+            }
+            ops::PULL => {
+                let (sub_id, max): (u32, u32) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let batch = self.state.lock().pull(sub_id, max);
+                reply(&batch)
+            }
+            ops::STATS => {
+                cdr::from_bytes::<()>(args).map_err(SystemException::marshal)?;
+                let (received, dropped) = self.state.lock().stats();
+                reply(&(received, dropped))
+            }
+            other => Err(SystemException::bad_operation(other).into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::SimDuration;
+
+    fn mk(time_ns: u64, host: u32, pid: u32, seq: u64) -> Event {
+        Event {
+            time_ns,
+            host,
+            pid,
+            seq,
+            body: EventBody::ProcSpawn {
+                name: format!("p-{host}-{seq}"),
+            },
+        }
+    }
+
+    fn state() -> ChannelState {
+        ChannelState::new(
+            MonitorConfig {
+                reorder_slack: SimDuration::from_nanos(100),
+                ..MonitorConfig::default()
+            },
+            None,
+        )
+    }
+
+    #[test]
+    fn watermark_restores_publish_order() {
+        let mut st = state();
+        let sub = st.subscribe(16);
+        // Arrival order inverted relative to publish time.
+        st.ingest(SimTime::from_nanos(50), mk(20, 2, 1, 0));
+        st.ingest(SimTime::from_nanos(60), mk(10, 1, 1, 0));
+        // Nothing released yet: watermark is behind both.
+        assert!(st.pull(sub, 10).is_empty());
+        st.ingest(SimTime::from_nanos(200), mk(95, 3, 1, 0));
+        let got = st.pull(sub, 10);
+        let times: Vec<u64> = got.iter().map(|e| e.time_ns).collect();
+        assert_eq!(times, vec![10, 20, 95]);
+    }
+
+    #[test]
+    fn subscriber_ring_drops_oldest_and_counts() {
+        let mut st = state();
+        let sub = st.subscribe(2);
+        for i in 0..5u64 {
+            st.ingest(SimTime::from_nanos(1_000 + i), mk(i, 0, 1, i));
+        }
+        st.finalize(SimTime::from_nanos(10_000));
+        let got = st.pull(sub, 10);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].time_ns, 3);
+        assert_eq!(got[1].time_ns, 4);
+        assert_eq!(st.stats(), (5, 3));
+    }
+
+    #[test]
+    fn host_crash_dumps_a_post_mortem() {
+        let mut st = state();
+        st.ingest(SimTime::from_nanos(10), mk(5, 1, 1, 0));
+        st.ingest_kernel(
+            SimTime::from_nanos(500),
+            &KernelEvent::HostCrash(simnet::HostId(1)),
+        );
+        st.finalize(SimTime::from_nanos(1_000));
+        assert_eq!(st.dumps().len(), 1);
+        let dump = &st.dumps()[0];
+        assert!(dump.contains("host h1 crashed"));
+        assert!(dump.contains("host h1 down since 500ns"));
+        assert!(dump.contains("proc-spawn"));
+    }
+
+    #[test]
+    fn late_event_is_processed_not_lost() {
+        let mut st = state();
+        st.ingest(SimTime::from_nanos(10_000), mk(9_000, 1, 1, 0));
+        // Watermark is now 9_900; this one publishes at 50 — late.
+        st.ingest(SimTime::from_nanos(10_001), mk(50, 2, 1, 0));
+        st.finalize(SimTime::from_nanos(20_000));
+        assert_eq!(st.stats().0, 2);
+        assert_eq!(st.late, 1);
+    }
+}

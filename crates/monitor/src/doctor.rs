@@ -1,0 +1,485 @@
+//! The online doctor: streaming analyses over the ordered event stream.
+//!
+//! The doctor is the channel's built-in subscriber. It consumes events in
+//! virtual-time publish order (the channel's watermark guarantees that,
+//! see [`crate::channel`]) and maintains:
+//!
+//! * **critical-path latency attribution** — per-target queue-wait vs
+//!   service vs checkpoint-overhead shares, from `request-done` events the
+//!   FT proxy measures client-side on the virtual clock, and
+//! * **runtime invariants** checked as events arrive; every violation is a
+//!   deterministic one-line verdict and triggers a flight-recorder
+//!   post-mortem.
+//!
+//! All aggregates are integers (nanoseconds, milli-loads, counts), so the
+//! rendered report is byte-identical across same-seed runs.
+
+use std::collections::BTreeMap;
+
+use crate::events::{Event, EventBody};
+
+/// Invariant thresholds and channel tuning. One struct, because the places
+/// that opt in (`ClusterConfig`/`ExperimentSpec`) want a single knob.
+#[derive(Clone, Debug)]
+pub struct MonitorConfig {
+    /// Reordering slack of the channel's watermark: events are analyzed
+    /// once they are at least this far behind the channel's clock, which
+    /// must exceed the maximum network delivery delay for the analysis
+    /// order to equal publish order. The default (2 ms) is ~13x the remote
+    /// one-way latency.
+    pub reorder_slack: simnet::SimDuration,
+    /// Flight-recorder ring depth per host (last N events).
+    pub flight_ring: usize,
+    /// Post-mortem dumps retained verbatim; later triggers only count.
+    pub max_dumps: usize,
+    /// Recovery-time budget: a recovery episode must finish within this
+    /// multiple of the mean service latency observed so far.
+    pub recovery_budget_multiple: u64,
+    /// Quorum-health floor: a quorum write must collect at least this many
+    /// acks while the membership view still holds that many replicas.
+    pub quorum_floor: u32,
+    /// Checkpoint freshness: consecutive stored checkpoints of one target
+    /// must not be further apart than this.
+    pub checkpoint_freshness: simnet::SimDuration,
+    /// Load-placement sanity: the chosen host's effective load may exceed
+    /// the candidates' minimum by at most this many milli-load-units.
+    pub placement_tolerance_milli: u64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            reorder_slack: simnet::SimDuration::from_millis(2),
+            flight_ring: 32,
+            max_dumps: 4,
+            // Generous: recoveries wait out restart backoffs that dwarf a
+            // single call, so the default budget only catches pathological
+            // episodes. Experiments tighten it deliberately.
+            recovery_budget_multiple: 10_000,
+            quorum_floor: 1,
+            checkpoint_freshness: simnet::SimDuration::from_secs(30),
+            placement_tolerance_milli: 1_500,
+        }
+    }
+}
+
+/// Per-target latency-attribution accumulator.
+#[derive(Clone, Copy, Debug, Default)]
+struct Attribution {
+    calls: u64,
+    wait_ns: u64,
+    service_ns: u64,
+    ckpt_ns: u64,
+}
+
+/// Names of the four invariants, in report order.
+const INVARIANTS: [&str; 4] = [
+    "checkpoint-freshness",
+    "load-placement",
+    "quorum-health",
+    "recovery-budget",
+];
+
+/// The streaming analysis state. Owned by the channel; fed one event at a
+/// time, in stream order.
+#[derive(Debug)]
+pub struct Doctor {
+    cfg: MonitorConfig,
+    kind_counts: BTreeMap<&'static str, u64>,
+    per_target: BTreeMap<String, Attribution>,
+    total: Attribution,
+    /// Recovery episodes currently open: target -> (start_ns, attempts).
+    open_recoveries: BTreeMap<String, (u64, u32)>,
+    /// Hosts currently down: host -> crash time.
+    down_hosts: BTreeMap<u32, u64>,
+    /// Last stored checkpoint per target: target -> (time_ns, epoch).
+    last_ckpt: BTreeMap<String, (u64, u64)>,
+    /// Per-invariant (checks, violations).
+    invariants: BTreeMap<&'static str, (u64, u64)>,
+    /// One line per recovery episode (budget verdicts, OK or not).
+    verdicts: Vec<String>,
+    /// One line per invariant violation.
+    violations: Vec<String>,
+}
+
+impl Doctor {
+    /// Fresh doctor with the given thresholds.
+    pub fn new(cfg: MonitorConfig) -> Self {
+        let invariants = INVARIANTS.iter().map(|&n| (n, (0, 0))).collect();
+        Doctor {
+            cfg,
+            kind_counts: BTreeMap::new(),
+            per_target: BTreeMap::new(),
+            total: Attribution::default(),
+            open_recoveries: BTreeMap::new(),
+            down_hosts: BTreeMap::new(),
+            last_ckpt: BTreeMap::new(),
+            invariants,
+            verdicts: Vec::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// Total invariant violations so far.
+    pub fn violation_count(&self) -> u64 {
+        self.invariants.values().map(|&(_, v)| v).sum()
+    }
+
+    fn check(&mut self, name: &'static str, time_ns: u64, ok: bool, detail: String) -> bool {
+        let e = self.invariants.entry(name).or_insert((0, 0));
+        e.0 += 1;
+        if !ok {
+            e.1 += 1;
+            self.violations
+                .push(format!("{time_ns}ns {name}: {detail}"));
+        }
+        !ok
+    }
+
+    /// Ingest one event (in stream order). Returns the descriptions of any
+    /// invariant violations this event fired.
+    pub fn on_event(&mut self, ev: &Event) -> Vec<String> {
+        *self.kind_counts.entry(ev.body.kind()).or_insert(0) += 1;
+        let t = ev.time_ns;
+        let mut fired = Vec::new();
+        match &ev.body {
+            EventBody::RequestDone {
+                target,
+                wait_ns,
+                service_ns,
+                ckpt_ns,
+            } => {
+                fn bump(a: &mut Attribution, wait: u64, service: u64, ckpt: u64) {
+                    a.calls += 1;
+                    a.wait_ns += wait;
+                    a.service_ns += service;
+                    a.ckpt_ns += ckpt;
+                }
+                let per = self.per_target.entry(target.clone()).or_default();
+                bump(per, *wait_ns, *service_ns, *ckpt_ns);
+                bump(&mut self.total, *wait_ns, *service_ns, *ckpt_ns);
+            }
+            EventBody::RecoveryStarted { target, attempt } => {
+                let e = self.open_recoveries.entry(target.clone()).or_insert((t, 0));
+                e.1 = (*attempt).max(e.1);
+            }
+            EventBody::RecoveryFinished { target, dur_ns } => {
+                self.open_recoveries.remove(target);
+                // Budget = multiple x mean service latency observed so far.
+                // Without a single completed call there is no baseline;
+                // record the episode but skip the check.
+                if let Some(mean) = self.total.service_ns.checked_div(self.total.calls) {
+                    let budget = mean.saturating_mul(self.cfg.recovery_budget_multiple);
+                    let ok = *dur_ns <= budget;
+                    let verdict = if ok { "OK" } else { "VIOLATION" };
+                    self.verdicts.push(format!(
+                        "{t}ns recovery-budget {target}: episode {dur_ns}ns budget {budget}ns \
+                         ({}x mean {mean}ns) -> {verdict}",
+                        self.cfg.recovery_budget_multiple
+                    ));
+                    if self.check(
+                        "recovery-budget",
+                        t,
+                        ok,
+                        format!("{target} episode {dur_ns}ns exceeds budget {budget}ns"),
+                    ) {
+                        fired.push(format!("recovery-budget {target}"));
+                    }
+                } else {
+                    self.verdicts.push(format!(
+                        "{t}ns recovery-budget {target}: episode {dur_ns}ns, no completed \
+                         calls yet -> NO-BASELINE"
+                    ));
+                }
+            }
+            EventBody::CheckpointStored { target, epoch, .. } => {
+                if let Some(&(prev_t, prev_epoch)) = self.last_ckpt.get(target) {
+                    let gap = t.saturating_sub(prev_t);
+                    let bound = self.cfg.checkpoint_freshness.as_nanos();
+                    if self.check(
+                        "checkpoint-freshness",
+                        t,
+                        gap <= bound,
+                        format!(
+                            "{target} epoch {epoch} stored {gap}ns after epoch {prev_epoch} \
+                             (bound {bound}ns)"
+                        ),
+                    ) {
+                        fired.push(format!("checkpoint-freshness {target}"));
+                    }
+                }
+                self.last_ckpt.insert(target.clone(), (t, *epoch));
+            }
+            EventBody::QuorumWrite {
+                object,
+                acks,
+                view,
+                quorum,
+                ..
+            } => {
+                let floor = self.cfg.quorum_floor;
+                // Degradation is only an invariant breach while enough
+                // replicas are still in the view to have met the floor.
+                let ok = *acks >= floor || *view < floor;
+                if self.check(
+                    "quorum-health",
+                    t,
+                    ok,
+                    format!(
+                        "{object} write got {acks}/{quorum} acks with view {view} \
+                         (floor {floor})"
+                    ),
+                ) {
+                    fired.push(format!("quorum-health {object}"));
+                }
+            }
+            EventBody::Placement {
+                chosen,
+                chosen_load_milli,
+                min_load_milli,
+            } => {
+                let tol = self.cfg.placement_tolerance_milli;
+                if self.check(
+                    "load-placement",
+                    t,
+                    *chosen_load_milli <= min_load_milli.saturating_add(tol),
+                    format!(
+                        "h{chosen} picked at load {chosen_load_milli}m, minimum was \
+                         {min_load_milli}m (tolerance {tol}m)"
+                    ),
+                ) {
+                    fired.push(format!("load-placement h{chosen}"));
+                }
+            }
+            EventBody::HostCrash => {
+                self.down_hosts.insert(ev.host, t);
+            }
+            EventBody::HostRestart => {
+                self.down_hosts.remove(&ev.host);
+            }
+            _ => {}
+        }
+        fired
+    }
+
+    /// Episodes open at this instant (recoveries in flight, hosts down) —
+    /// the "open span stack" component of a post-mortem.
+    pub fn open_episodes(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (target, &(since, attempts)) in &self.open_recoveries {
+            out.push(format!(
+                "recovery of {target} open since {since}ns ({attempts} attempts)"
+            ));
+        }
+        for (&host, &since) in &self.down_hosts {
+            out.push(format!("host h{host} down since {since}ns"));
+        }
+        out
+    }
+
+    /// Recovery-budget verdict lines so far.
+    pub fn verdicts(&self) -> &[String] {
+        &self.verdicts
+    }
+
+    /// Render the doctor's report: event census, latency attribution,
+    /// invariant summary, verdicts, violations. Deterministic (integer
+    /// formatting, sorted maps).
+    pub fn render_report(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let total_events: u64 = self.kind_counts.values().sum();
+        let _ = writeln!(out, "events: {total_events}");
+        for (kind, n) in &self.kind_counts {
+            let _ = writeln!(out, "  {kind}: {n}");
+        }
+        let _ = writeln!(out, "latency attribution (critical path, per target):");
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>6} {:>12} {:>12} {:>12}",
+            "target", "calls", "wait_ms", "service_ms", "ckpt_ms"
+        );
+        if self.per_target.is_empty() {
+            let _ = writeln!(out, "  (no completed requests)");
+        }
+        for (target, a) in &self.per_target {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>6} {:>12} {:>12} {:>12}",
+                target,
+                a.calls,
+                fmt_ms(a.wait_ns),
+                fmt_ms(a.service_ns),
+                fmt_ms(a.ckpt_ns)
+            );
+        }
+        if !self.per_target.is_empty() {
+            let a = &self.total;
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>6} {:>12} {:>12} {:>12}",
+                "(all)",
+                a.calls,
+                fmt_ms(a.wait_ns),
+                fmt_ms(a.service_ns),
+                fmt_ms(a.ckpt_ns)
+            );
+        }
+        let _ = writeln!(out, "invariants:");
+        for (name, &(checks, violations)) in &self.invariants {
+            let _ = writeln!(out, "  {name}: checks={checks} violations={violations}");
+        }
+        let _ = writeln!(out, "verdicts:");
+        if self.verdicts.is_empty() {
+            let _ = writeln!(out, "  (none)");
+        }
+        for v in &self.verdicts {
+            let _ = writeln!(out, "  {v}");
+        }
+        let _ = writeln!(out, "violations:");
+        if self.violations.is_empty() {
+            let _ = writeln!(out, "  (none)");
+        }
+        for v in &self.violations {
+            let _ = writeln!(out, "  {v}");
+        }
+    }
+}
+
+/// Milliseconds with microsecond precision, from integer nanoseconds —
+/// deterministic (no float formatting).
+pub(crate) fn fmt_ms(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000_000, (ns % 1_000_000) / 1_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time_ns: u64, host: u32, body: EventBody) -> Event {
+        Event {
+            time_ns,
+            host,
+            pid: 1,
+            seq: 0,
+            body,
+        }
+    }
+
+    #[test]
+    fn recovery_budget_fires_only_past_the_multiple() {
+        let mut d = Doctor::new(MonitorConfig {
+            recovery_budget_multiple: 10,
+            ..MonitorConfig::default()
+        });
+        // Baseline: two calls, mean service 1000ns -> budget 10_000ns.
+        for t in [10, 20] {
+            d.on_event(&ev(
+                t,
+                1,
+                EventBody::RequestDone {
+                    target: "w".into(),
+                    wait_ns: 0,
+                    service_ns: 1_000,
+                    ckpt_ns: 0,
+                },
+            ));
+        }
+        let fired = d.on_event(&ev(
+            30,
+            1,
+            EventBody::RecoveryFinished {
+                target: "w".into(),
+                dur_ns: 9_000,
+            },
+        ));
+        assert!(fired.is_empty());
+        let fired = d.on_event(&ev(
+            40,
+            1,
+            EventBody::RecoveryFinished {
+                target: "w".into(),
+                dur_ns: 10_001,
+            },
+        ));
+        assert_eq!(fired, vec!["recovery-budget w".to_string()]);
+        assert_eq!(d.violation_count(), 1);
+        assert_eq!(d.verdicts().len(), 2);
+    }
+
+    #[test]
+    fn quorum_health_respects_the_view() {
+        let mut d = Doctor::new(MonitorConfig {
+            quorum_floor: 2,
+            ..MonitorConfig::default()
+        });
+        let qw = |acks, view| EventBody::QuorumWrite {
+            object: "o".into(),
+            epoch: 1,
+            acks,
+            view,
+            quorum: 2,
+        };
+        // Enough acks: fine.
+        assert!(d.on_event(&ev(1, 0, qw(2, 3))).is_empty());
+        // Too few acks but the view itself shrank below the floor: the
+        // floor is unreachable, not breached.
+        assert!(d.on_event(&ev(2, 0, qw(1, 1))).is_empty());
+        // Too few acks while the view could have met the floor: breach.
+        assert_eq!(d.on_event(&ev(3, 0, qw(1, 3))).len(), 1);
+    }
+
+    #[test]
+    fn placement_and_freshness_checks() {
+        let mut d = Doctor::new(MonitorConfig {
+            placement_tolerance_milli: 100,
+            checkpoint_freshness: simnet::SimDuration::from_nanos(50),
+            ..MonitorConfig::default()
+        });
+        assert!(d
+            .on_event(&ev(
+                1,
+                0,
+                EventBody::Placement {
+                    chosen: 2,
+                    chosen_load_milli: 600,
+                    min_load_milli: 500,
+                }
+            ))
+            .is_empty());
+        assert_eq!(
+            d.on_event(&ev(
+                2,
+                0,
+                EventBody::Placement {
+                    chosen: 2,
+                    chosen_load_milli: 601,
+                    min_load_milli: 500,
+                }
+            ))
+            .len(),
+            1
+        );
+        let ck = |t, epoch| {
+            ev(
+                t,
+                0,
+                EventBody::CheckpointStored {
+                    target: "w".into(),
+                    epoch,
+                    bytes: 8,
+                    dur_ns: 1,
+                },
+            )
+        };
+        assert!(d.on_event(&ck(100, 1)).is_empty()); // first: no gap yet
+        assert!(d.on_event(&ck(150, 2)).is_empty()); // gap 50 = bound
+        assert_eq!(d.on_event(&ck(201, 3)).len(), 1); // gap 51 > bound
+    }
+
+    #[test]
+    fn fmt_ms_is_integer_only() {
+        assert_eq!(fmt_ms(0), "0.000");
+        assert_eq!(fmt_ms(1_234_567), "1.234");
+        assert_eq!(fmt_ms(999_999), "0.999");
+    }
+}

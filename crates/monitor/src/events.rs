@@ -1,0 +1,536 @@
+//! Wire types of the monitoring event channel (CDR-encoded, carried over
+//! the ORB as `oneway push` batches).
+//!
+//! Corresponding IDL (also compilable with `idlc`):
+//!
+//! ```idl
+//! module Monitor {
+//!   struct Event {
+//!     unsigned long long time_ns;   // publisher's virtual clock
+//!     unsigned long host;           // publishing host
+//!     unsigned long pid;            // publishing process
+//!     unsigned long long seq;       // per-publisher monotone sequence
+//!     // body: tagged union, see EventBody below
+//!   };
+//!   typedef sequence<Event> EventSeq;
+//!   interface EventChannel {
+//!     oneway void push(in EventSeq batch);
+//!     unsigned long subscribe(in unsigned long depth);
+//!     EventSeq pull(in unsigned long sub_id, in unsigned long max);
+//!     void stats(out unsigned long long received, out unsigned long long dropped);
+//!   };
+//! };
+//! ```
+//!
+//! `EventBody` is a tagged union with per-variant payloads, which
+//! `cdr_enum!` (C-like enums only) cannot derive — the `CdrWrite`/`CdrRead`
+//! impls below hand-encode a `u32` discriminant followed by the variant
+//! fields, exactly the layout an IDL `union` switch would produce.
+//!
+//! Loads travel as **milli-units** (`load_avg * 1000`, rounded) so every
+//! consumer formats them with integer arithmetic — a determinism
+//! constraint, not a bandwidth one (DESIGN.md §10).
+
+use cdr::{cdr_struct, CdrDecoder, CdrEncoder, CdrError, CdrRead, CdrResult, CdrWrite};
+
+/// Repository id of the event channel interface.
+pub const EVENT_CHANNEL_TYPE: &str = "IDL:Monitor/EventChannel:1.0";
+
+/// Convert a non-negative float quantity (a load average, a utilization)
+/// to milli-units for the wire. All downstream formatting is integer.
+pub fn milli(value: f64) -> u64 {
+    (value.max(0.0) * 1000.0).round() as u64
+}
+
+/// The well-known name the channel is registered under in the naming
+/// service (a plain object binding — resolvable like everything else).
+pub const EVENT_CHANNEL_NAME: &str = "MonitorChannel";
+
+/// Operation names of the `EventChannel` interface.
+pub mod ops {
+    /// `oneway void push(in EventSeq batch)` — publish a batch of events.
+    pub const PUSH: &str = "push";
+    /// `ulong subscribe(in ulong depth)` — register a subscriber with a
+    /// bounded ring of `depth` events; returns the subscriber id.
+    pub const SUBSCRIBE: &str = "subscribe";
+    /// `EventSeq pull(in ulong sub_id, in ulong max)` — drain up to `max`
+    /// events from the subscriber's ring, in processed order.
+    pub const PULL: &str = "pull";
+    /// `(ulonglong received, ulonglong dropped) stats()` — events ingested
+    /// and subscriber-ring drops so far.
+    pub const STATS: &str = "stats";
+}
+
+cdr_struct!(
+    /// One monitoring event: who published it, when on the virtual clock,
+    /// and what happened.
+    Event {
+        /// Publisher's virtual time at the moment of publication.
+        time_ns: u64,
+        /// Publishing host (or the subject host for kernel events).
+        host: u32,
+        /// Publishing pid (`u32::MAX` for kernel-origin events).
+        pid: u32,
+        /// Per-publisher monotone sequence number.
+        seq: u64,
+        /// What happened.
+        body: EventBody,
+    }
+);
+
+impl Event {
+    /// Total order of the event stream: virtual publish time, ties broken
+    /// by publisher identity and per-publisher sequence.
+    pub fn key(&self) -> (u64, u32, u32, u64) {
+        (self.time_ns, self.host, self.pid, self.seq)
+    }
+}
+
+/// The typed payload of an [`Event`]. Variant set = the union of what the
+/// subsystems can report (DESIGN.md §10 taxonomy).
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventBody {
+    /// A Winner node manager's periodic load sample.
+    LoadReport {
+        /// Runnable processes on the host.
+        runnable: u32,
+        /// Load average in milli-units (`load_avg * 1000`).
+        load_milli: u64,
+        /// CPU utilization in milli-units (`cpu_util * 1000`).
+        cpu_milli: u64,
+    },
+    /// The Winner system manager answered a `select`.
+    Placement {
+        /// Host the policy chose.
+        chosen: u32,
+        /// Effective load of the chosen host, milli-units.
+        chosen_load_milli: u64,
+        /// Minimum effective load among the candidates, milli-units.
+        min_load_milli: u64,
+    },
+    /// The FT proxy classified a call failure as a dead target.
+    FailureDetected {
+        /// Object id of the failed target.
+        target: String,
+        /// Exception kind that triggered detection.
+        reason: String,
+    },
+    /// The FT proxy began a recovery attempt.
+    RecoveryStarted {
+        /// Object id being recovered.
+        target: String,
+        /// 1-based attempt number within the episode.
+        attempt: u32,
+    },
+    /// A call succeeded after one or more recoveries.
+    RecoveryFinished {
+        /// Object id that recovered.
+        target: String,
+        /// Episode duration: first failure to first post-recovery success.
+        dur_ns: u64,
+    },
+    /// The FT proxy stored a checkpoint.
+    CheckpointStored {
+        /// Object id checkpointed.
+        target: String,
+        /// Checkpoint epoch.
+        epoch: u64,
+        /// Serialized checkpoint size.
+        bytes: u64,
+        /// Time spent storing it.
+        dur_ns: u64,
+    },
+    /// A store coordinator observed a changed membership view.
+    ViewChange {
+        /// Live replicas in the new view.
+        members: u32,
+        /// Effective write quorum under the new view.
+        quorum: u32,
+    },
+    /// A store coordinator completed (or failed) a quorum write.
+    QuorumWrite {
+        /// Object id written.
+        object: String,
+        /// Checkpoint epoch written.
+        epoch: u64,
+        /// Replicas that acked (counting the coordinator).
+        acks: u32,
+        /// View size at the time of the write.
+        view: u32,
+        /// Effective quorum the write needed.
+        quorum: u32,
+    },
+    /// The FT proxy completed one logical request (critical-path
+    /// attribution, measured client-side on the virtual clock).
+    RequestDone {
+        /// Object id the request went to.
+        target: String,
+        /// Queue-wait share: backoff sleeps + resolve/re-create time.
+        wait_ns: u64,
+        /// Service share: the successful invocation round-trip.
+        service_ns: u64,
+        /// Checkpoint overhead appended to the request.
+        ckpt_ns: u64,
+    },
+    /// Kernel: a process was spawned.
+    ProcSpawn {
+        /// Process name.
+        name: String,
+    },
+    /// Kernel: a process exited cleanly.
+    ProcExit {
+        /// Process name.
+        name: String,
+    },
+    /// Kernel: a process was killed.
+    ProcKill {
+        /// Process name.
+        name: String,
+    },
+    /// Kernel: a host crashed.
+    HostCrash,
+    /// Kernel: a crashed host came back up.
+    HostRestart,
+}
+
+impl EventBody {
+    /// Stable kind label used in counters, flight-recorder lines, and the
+    /// doctor report.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EventBody::LoadReport { .. } => "load-report",
+            EventBody::Placement { .. } => "placement",
+            EventBody::FailureDetected { .. } => "failure-detected",
+            EventBody::RecoveryStarted { .. } => "recovery-started",
+            EventBody::RecoveryFinished { .. } => "recovery-finished",
+            EventBody::CheckpointStored { .. } => "checkpoint-stored",
+            EventBody::ViewChange { .. } => "view-change",
+            EventBody::QuorumWrite { .. } => "quorum-write",
+            EventBody::RequestDone { .. } => "request-done",
+            EventBody::ProcSpawn { .. } => "proc-spawn",
+            EventBody::ProcExit { .. } => "proc-exit",
+            EventBody::ProcKill { .. } => "proc-kill",
+            EventBody::HostCrash => "host-crash",
+            EventBody::HostRestart => "host-restart",
+        }
+    }
+
+    /// Deterministic one-line detail rendering (integers only) for the
+    /// flight recorder.
+    pub fn detail(&self) -> String {
+        match self {
+            EventBody::LoadReport {
+                runnable,
+                load_milli,
+                cpu_milli,
+            } => format!("runnable={runnable} load_milli={load_milli} cpu_milli={cpu_milli}"),
+            EventBody::Placement {
+                chosen,
+                chosen_load_milli,
+                min_load_milli,
+            } => format!(
+                "chosen=h{chosen} load_milli={chosen_load_milli} min_milli={min_load_milli}"
+            ),
+            EventBody::FailureDetected { target, reason } => {
+                format!("target={target} reason={reason}")
+            }
+            EventBody::RecoveryStarted { target, attempt } => {
+                format!("target={target} attempt={attempt}")
+            }
+            EventBody::RecoveryFinished { target, dur_ns } => {
+                format!("target={target} dur_ns={dur_ns}")
+            }
+            EventBody::CheckpointStored {
+                target,
+                epoch,
+                bytes,
+                dur_ns,
+            } => format!("target={target} epoch={epoch} bytes={bytes} dur_ns={dur_ns}"),
+            EventBody::ViewChange { members, quorum } => {
+                format!("members={members} quorum={quorum}")
+            }
+            EventBody::QuorumWrite {
+                object,
+                epoch,
+                acks,
+                view,
+                quorum,
+            } => format!("object={object} epoch={epoch} acks={acks} view={view} quorum={quorum}"),
+            EventBody::RequestDone {
+                target,
+                wait_ns,
+                service_ns,
+                ckpt_ns,
+            } => format!(
+                "target={target} wait_ns={wait_ns} service_ns={service_ns} ckpt_ns={ckpt_ns}"
+            ),
+            EventBody::ProcSpawn { name }
+            | EventBody::ProcExit { name }
+            | EventBody::ProcKill { name } => format!("name={name}"),
+            EventBody::HostCrash | EventBody::HostRestart => String::new(),
+        }
+    }
+}
+
+// Discriminants of the hand-encoded union. Kept explicit (not derived from
+// declaration order) so reordering variants cannot silently change the
+// wire format.
+const TAG_LOAD_REPORT: u32 = 0;
+const TAG_PLACEMENT: u32 = 1;
+const TAG_FAILURE_DETECTED: u32 = 2;
+const TAG_RECOVERY_STARTED: u32 = 3;
+const TAG_RECOVERY_FINISHED: u32 = 4;
+const TAG_CHECKPOINT_STORED: u32 = 5;
+const TAG_VIEW_CHANGE: u32 = 6;
+const TAG_QUORUM_WRITE: u32 = 7;
+const TAG_REQUEST_DONE: u32 = 8;
+const TAG_PROC_SPAWN: u32 = 9;
+const TAG_PROC_EXIT: u32 = 10;
+const TAG_PROC_KILL: u32 = 11;
+const TAG_HOST_CRASH: u32 = 12;
+const TAG_HOST_RESTART: u32 = 13;
+
+impl CdrWrite for EventBody {
+    fn write(&self, enc: &mut CdrEncoder) {
+        match self {
+            EventBody::LoadReport {
+                runnable,
+                load_milli,
+                cpu_milli,
+            } => {
+                TAG_LOAD_REPORT.write(enc);
+                runnable.write(enc);
+                load_milli.write(enc);
+                cpu_milli.write(enc);
+            }
+            EventBody::Placement {
+                chosen,
+                chosen_load_milli,
+                min_load_milli,
+            } => {
+                TAG_PLACEMENT.write(enc);
+                chosen.write(enc);
+                chosen_load_milli.write(enc);
+                min_load_milli.write(enc);
+            }
+            EventBody::FailureDetected { target, reason } => {
+                TAG_FAILURE_DETECTED.write(enc);
+                target.write(enc);
+                reason.write(enc);
+            }
+            EventBody::RecoveryStarted { target, attempt } => {
+                TAG_RECOVERY_STARTED.write(enc);
+                target.write(enc);
+                attempt.write(enc);
+            }
+            EventBody::RecoveryFinished { target, dur_ns } => {
+                TAG_RECOVERY_FINISHED.write(enc);
+                target.write(enc);
+                dur_ns.write(enc);
+            }
+            EventBody::CheckpointStored {
+                target,
+                epoch,
+                bytes,
+                dur_ns,
+            } => {
+                TAG_CHECKPOINT_STORED.write(enc);
+                target.write(enc);
+                epoch.write(enc);
+                bytes.write(enc);
+                dur_ns.write(enc);
+            }
+            EventBody::ViewChange { members, quorum } => {
+                TAG_VIEW_CHANGE.write(enc);
+                members.write(enc);
+                quorum.write(enc);
+            }
+            EventBody::QuorumWrite {
+                object,
+                epoch,
+                acks,
+                view,
+                quorum,
+            } => {
+                TAG_QUORUM_WRITE.write(enc);
+                object.write(enc);
+                epoch.write(enc);
+                acks.write(enc);
+                view.write(enc);
+                quorum.write(enc);
+            }
+            EventBody::RequestDone {
+                target,
+                wait_ns,
+                service_ns,
+                ckpt_ns,
+            } => {
+                TAG_REQUEST_DONE.write(enc);
+                target.write(enc);
+                wait_ns.write(enc);
+                service_ns.write(enc);
+                ckpt_ns.write(enc);
+            }
+            EventBody::ProcSpawn { name } => {
+                TAG_PROC_SPAWN.write(enc);
+                name.write(enc);
+            }
+            EventBody::ProcExit { name } => {
+                TAG_PROC_EXIT.write(enc);
+                name.write(enc);
+            }
+            EventBody::ProcKill { name } => {
+                TAG_PROC_KILL.write(enc);
+                name.write(enc);
+            }
+            EventBody::HostCrash => TAG_HOST_CRASH.write(enc),
+            EventBody::HostRestart => TAG_HOST_RESTART.write(enc),
+        }
+    }
+}
+
+impl CdrRead for EventBody {
+    fn read(dec: &mut CdrDecoder<'_>) -> CdrResult<Self> {
+        let tag = u32::read(dec)?;
+        Ok(match tag {
+            TAG_LOAD_REPORT => EventBody::LoadReport {
+                runnable: u32::read(dec)?,
+                load_milli: u64::read(dec)?,
+                cpu_milli: u64::read(dec)?,
+            },
+            TAG_PLACEMENT => EventBody::Placement {
+                chosen: u32::read(dec)?,
+                chosen_load_milli: u64::read(dec)?,
+                min_load_milli: u64::read(dec)?,
+            },
+            TAG_FAILURE_DETECTED => EventBody::FailureDetected {
+                target: String::read(dec)?,
+                reason: String::read(dec)?,
+            },
+            TAG_RECOVERY_STARTED => EventBody::RecoveryStarted {
+                target: String::read(dec)?,
+                attempt: u32::read(dec)?,
+            },
+            TAG_RECOVERY_FINISHED => EventBody::RecoveryFinished {
+                target: String::read(dec)?,
+                dur_ns: u64::read(dec)?,
+            },
+            TAG_CHECKPOINT_STORED => EventBody::CheckpointStored {
+                target: String::read(dec)?,
+                epoch: u64::read(dec)?,
+                bytes: u64::read(dec)?,
+                dur_ns: u64::read(dec)?,
+            },
+            TAG_VIEW_CHANGE => EventBody::ViewChange {
+                members: u32::read(dec)?,
+                quorum: u32::read(dec)?,
+            },
+            TAG_QUORUM_WRITE => EventBody::QuorumWrite {
+                object: String::read(dec)?,
+                epoch: u64::read(dec)?,
+                acks: u32::read(dec)?,
+                view: u32::read(dec)?,
+                quorum: u32::read(dec)?,
+            },
+            TAG_REQUEST_DONE => EventBody::RequestDone {
+                target: String::read(dec)?,
+                wait_ns: u64::read(dec)?,
+                service_ns: u64::read(dec)?,
+                ckpt_ns: u64::read(dec)?,
+            },
+            TAG_PROC_SPAWN => EventBody::ProcSpawn {
+                name: String::read(dec)?,
+            },
+            TAG_PROC_EXIT => EventBody::ProcExit {
+                name: String::read(dec)?,
+            },
+            TAG_PROC_KILL => EventBody::ProcKill {
+                name: String::read(dec)?,
+            },
+            TAG_HOST_CRASH => EventBody::HostCrash,
+            TAG_HOST_RESTART => EventBody::HostRestart,
+            other => return Err(CdrError::InvalidEnumTag(other)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(body: EventBody) {
+        let ev = Event {
+            time_ns: 42,
+            host: 3,
+            pid: 7,
+            seq: 9,
+            body,
+        };
+        let bytes = cdr::to_bytes(&ev);
+        let back: Event = cdr::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        roundtrip(EventBody::LoadReport {
+            runnable: 2,
+            load_milli: 1500,
+            cpu_milli: 900,
+        });
+        roundtrip(EventBody::Placement {
+            chosen: 4,
+            chosen_load_milli: 100,
+            min_load_milli: 100,
+        });
+        roundtrip(EventBody::FailureDetected {
+            target: "w".into(),
+            reason: "COMM_FAILURE".into(),
+        });
+        roundtrip(EventBody::RecoveryStarted {
+            target: "w".into(),
+            attempt: 1,
+        });
+        roundtrip(EventBody::RecoveryFinished {
+            target: "w".into(),
+            dur_ns: 5,
+        });
+        roundtrip(EventBody::CheckpointStored {
+            target: "w".into(),
+            epoch: 3,
+            bytes: 128,
+            dur_ns: 7,
+        });
+        roundtrip(EventBody::ViewChange {
+            members: 3,
+            quorum: 2,
+        });
+        roundtrip(EventBody::QuorumWrite {
+            object: "o".into(),
+            epoch: 1,
+            acks: 2,
+            view: 3,
+            quorum: 2,
+        });
+        roundtrip(EventBody::RequestDone {
+            target: "w".into(),
+            wait_ns: 1,
+            service_ns: 2,
+            ckpt_ns: 3,
+        });
+        roundtrip(EventBody::ProcSpawn { name: "p".into() });
+        roundtrip(EventBody::ProcExit { name: "p".into() });
+        roundtrip(EventBody::ProcKill { name: "p".into() });
+        roundtrip(EventBody::HostCrash);
+        roundtrip(EventBody::HostRestart);
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let bytes = cdr::to_bytes(&99u32);
+        assert!(matches!(
+            cdr::from_bytes::<EventBody>(&bytes),
+            Err(CdrError::InvalidEnumTag(99))
+        ));
+    }
+}

@@ -1,0 +1,93 @@
+//! The publisher half: a small client any process (or servant) embeds to
+//! push typed events at the channel.
+//!
+//! Publishers learn the channel's address from a [`Shared`] cell the
+//! channel fills once it is serving (the same pattern the Winner system
+//! manager uses for its IOR). Until the cell is filled, events buffer
+//! locally and flush — original timestamps intact — on the first publish
+//! after the address appears; the channel counts any that arrive behind
+//! its watermark as late instead of dropping them.
+//!
+//! Pushes are `oneway`, so publishing never blocks: servants can publish
+//! from inside `dispatch` without nesting a synchronous call.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use orb::{Ior, Orb};
+use simnet::{Ctx, Shared, SimResult};
+
+use crate::events::{ops, Event, EventBody};
+
+struct PubInner {
+    cell: Shared<Option<String>>,
+    ior: Option<Ior>,
+    pending: Vec<Event>,
+    seq: u64,
+    host: u32,
+    pid: u32,
+}
+
+/// A handle for publishing events. Cheap to clone; clones share one
+/// per-process sequence counter, so several publishers in one process
+/// (e.g. the manager's per-worker FT proxies) never collide on the
+/// `(time, host, pid, seq)` stream key.
+#[derive(Clone)]
+pub struct Publisher(Rc<RefCell<PubInner>>);
+
+impl Publisher {
+    /// Publisher for the process behind `ctx`, pushing to the channel
+    /// whose IOR will appear in `cell`.
+    pub fn new(cell: Shared<Option<String>>, ctx: &Ctx) -> Self {
+        Publisher(Rc::new(RefCell::new(PubInner {
+            cell,
+            ior: None,
+            pending: Vec::new(),
+            seq: 0,
+            host: ctx.host().0,
+            pid: ctx.pid().0,
+        })))
+    }
+
+    /// Stamp and push one event. Buffered while the channel address is
+    /// unknown; otherwise sent immediately as a `oneway` batch.
+    pub fn publish(&self, orb: &mut Orb, ctx: &mut Ctx, body: EventBody) -> SimResult<()> {
+        let mut inner = self.0.borrow_mut();
+        let seq = inner.seq;
+        inner.seq += 1;
+        let ev = Event {
+            time_ns: ctx.now().as_nanos(),
+            host: inner.host,
+            pid: inner.pid,
+            seq,
+            body,
+        };
+        inner.pending.push(ev);
+        inner.flush(orb, ctx)
+    }
+}
+
+impl PubInner {
+    fn flush(&mut self, orb: &mut Orb, ctx: &mut Ctx) -> SimResult<()> {
+        if self.ior.is_none() {
+            let Some(s) = self.cell.get() else {
+                return Ok(()); // channel not up yet; keep buffering
+            };
+            match Ior::destringify(&s) {
+                Ok(ior) => self.ior = Some(ior),
+                Err(_) => {
+                    // The cell is only ever written with `Ior::stringify`
+                    // output; an unparsable value means monitoring is
+                    // broken — drop the buffer rather than grow forever.
+                    self.pending.clear();
+                    return Ok(());
+                }
+            }
+        }
+        let Some(ior) = self.ior.clone() else {
+            return Ok(());
+        };
+        let batch = std::mem::take(&mut self.pending);
+        orb.invoke_oneway(ctx, &ior, ops::PUSH, cdr::to_bytes(&(batch,)))
+    }
+}

@@ -78,9 +78,12 @@ impl Obs {
                     Metric::Histogram(h) => {
                         let buckets: Vec<String> = h.counts.iter().map(|c| c.to_string()).collect();
                         out.push_str(&format!(
-                            "hist {name} count={} sum={} buckets={}\n",
+                            "hist {name} count={} sum={} p50={} p95={} p99={} buckets={}\n",
                             h.count,
                             h.sum,
+                            h.percentile(50),
+                            h.percentile(95),
+                            h.percentile(99),
                             buckets.join(",")
                         ));
                     }
@@ -102,6 +105,9 @@ impl Obs {
                     Metric::Histogram(h) => {
                         out.push_str(&format!("hist,{name},count,{}\n", h.count));
                         out.push_str(&format!("hist,{name},sum,{}\n", h.sum));
+                        for p in [50, 95, 99] {
+                            out.push_str(&format!("hist,{name},p{p},{}\n", h.percentile(p)));
+                        }
                         for (b, c) in h.counts.iter().enumerate() {
                             let field = match BUCKET_BOUNDS.get(b) {
                                 Some(bound) => format!("le_{bound}"),
@@ -195,7 +201,10 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0], "counter x.calls 7");
         assert_eq!(lines[1], "gauge x.level 0.250000");
-        assert!(lines[2].starts_with("hist x.ns count=1 sum=1500 buckets="));
+        // 1500 sits alone in the (1000, 10000] bucket, so every
+        // percentile interpolates to that bucket's top.
+        assert!(lines[2]
+            .starts_with("hist x.ns count=1 sum=1500 p50=10000 p95=10000 p99=10000 buckets="));
     }
 
     #[test]
@@ -204,6 +213,8 @@ mod tests {
         assert!(csv.starts_with("kind,name,field,value\n"));
         assert!(csv.contains("counter,x.calls,value,7\n"));
         assert!(csv.contains("hist,x.ns,count,1\n"));
+        assert!(csv.contains("hist,x.ns,p50,10000\n"));
+        assert!(csv.contains("hist,x.ns,p99,10000\n"));
         assert!(csv.contains("hist,x.ns,le_100,0\n"));
         assert!(csv.contains("hist,x.ns,overflow,0\n"));
     }

@@ -58,6 +58,41 @@ impl Histogram {
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
     }
+
+    /// Estimated value at percentile `p` (0–100), linearly interpolated
+    /// within the containing bucket — the usual fixed-bucket estimator
+    /// (Prometheus `histogram_quantile` style), in integer math so
+    /// exports stay byte-deterministic.
+    ///
+    /// The target rank is `ceil(p·count/100)` (at least 1); the rank's
+    /// position inside its bucket `(lo, hi]` is interpolated as
+    /// `lo + (hi−lo)·into/bucket_count`. The overflow bucket has no upper
+    /// bound, so it clamps to the last finite bound. An empty histogram
+    /// reports 0.
+    pub fn percentile(&self, p: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (p * self.count).div_ceil(100).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = cum;
+            cum += c;
+            if cum >= rank {
+                let lo = if i == 0 { 0 } else { BUCKET_BOUNDS[i - 1] };
+                let Some(&hi) = BUCKET_BOUNDS.get(i) else {
+                    return lo; // overflow bucket: clamp to last bound
+                };
+                let into = rank - before; // 1..=c
+                return lo + (hi - lo) * into / c;
+            }
+        }
+        // count > 0 guarantees some bucket reached the rank above.
+        BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1]
+    }
 }
 
 /// One registered metric.
@@ -85,6 +120,42 @@ impl Metric {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        // Four values in the (100, 1000] bucket: the rank-k estimate is
+        // 100 + 900·k/4.
+        let mut h = Histogram::default();
+        for v in [200, 400, 600, 800] {
+            h.observe(v);
+        }
+        assert_eq!(h.percentile(50), 550); // rank 2 -> 100 + 900*2/4
+        assert_eq!(h.percentile(95), 1000); // rank 4 -> bucket top
+        assert_eq!(h.percentile(99), 1000);
+
+        // Two buckets: ranks 1–2 land in [0,100], ranks 3–4 in (100,1000].
+        let mut h = Histogram::default();
+        for v in [10, 20, 300, 700] {
+            h.observe(v);
+        }
+        assert_eq!(h.percentile(50), 100); // rank 2 -> 0 + 100*2/2
+        assert_eq!(h.percentile(95), 1000); // rank 4 -> 100 + 900*2/2
+    }
+
+    #[test]
+    fn percentiles_edge_cases() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(50), 0); // empty
+
+        let mut h = Histogram::default();
+        h.observe(u64::MAX); // overflow bucket clamps to the last bound
+        assert_eq!(h.percentile(50), BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1]);
+
+        let mut h = Histogram::default();
+        h.observe(50);
+        assert_eq!(h.percentile(0), 100); // rank clamps to 1 -> 0 + 100*1/1
+        assert_eq!(h.percentile(100), 100);
+    }
 
     #[test]
     fn histogram_buckets_and_sum() {

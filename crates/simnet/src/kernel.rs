@@ -190,10 +190,53 @@ pub struct Kernel {
     stats: KernelStats,
     panicked: Option<(Pid, String)>,
     tracer: Option<Tracer>,
+    event_hook: Option<EventHook>,
 }
 
 /// A tracing callback: `(virtual time, line)`.
 pub type Tracer = Box<dyn FnMut(SimTime, &str)>;
+
+/// A structured process/host lifecycle event, the machine-readable twin of
+/// the textual [`Tracer`] lines. Fired at the same five points: spawn,
+/// kill, exit, host crash, host restart.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KernelEvent {
+    /// A process was spawned (its start event is scheduled).
+    ProcSpawn {
+        /// Pid assigned to the new process.
+        pid: Pid,
+        /// Process name.
+        name: String,
+        /// Host the process runs on.
+        host: HostId,
+    },
+    /// A process was killed (by `kill`, host crash, or kernel shutdown).
+    ProcKill {
+        /// Pid of the killed process.
+        pid: Pid,
+        /// Process name.
+        name: String,
+        /// Host the process ran on.
+        host: HostId,
+    },
+    /// A process body returned (clean exit).
+    ProcExit {
+        /// Pid of the exited process.
+        pid: Pid,
+        /// Process name.
+        name: String,
+        /// Host the process ran on.
+        host: HostId,
+    },
+    /// A host crashed; every process on it was killed first (each with its
+    /// own `ProcKill` event).
+    HostCrash(HostId),
+    /// A crashed host came back up (empty).
+    HostRestart(HostId),
+}
+
+/// A structured event callback: `(virtual time, event)`.
+pub type EventHook = Box<dyn FnMut(SimTime, &KernelEvent)>;
 
 fn pair(a: HostId, b: HostId) -> (HostId, HostId) {
     if a <= b {
@@ -231,6 +274,7 @@ impl Kernel {
             stats: KernelStats::default(),
             panicked: None,
             tracer: None,
+            event_hook: None,
         }
     }
 
@@ -298,6 +342,11 @@ impl Kernel {
         self.stats.spawned += 1;
         let pname = self.procs[pid.0 as usize].name.clone();
         self.trace(&format!("spawn {pid} {pname} on {host}"));
+        self.emit_proc(pid, |pid, name, host| KernelEvent::ProcSpawn {
+            pid,
+            name,
+            host,
+        });
         self.push_event(at.max(self.now), EventKind::Start(pid));
         pid
     }
@@ -311,6 +360,13 @@ impl Kernel {
     /// kernel events. Intended for debugging.
     pub fn set_tracer(&mut self, f: impl FnMut(SimTime, &str) + 'static) {
         self.tracer = Some(Box::new(f));
+    }
+
+    /// Install a structured event callback invoked with `(time, event)` at
+    /// the same lifecycle points the textual tracer covers. At most one
+    /// hook is installed; a second call replaces the first.
+    pub fn set_event_hook(&mut self, f: impl FnMut(SimTime, &KernelEvent) + 'static) {
+        self.event_hook = Some(Box::new(f));
     }
 
     /// Current virtual time.
@@ -414,6 +470,20 @@ impl Kernel {
     fn trace(&mut self, line: &str) {
         if let Some(t) = self.tracer.as_mut() {
             t(self.now, line);
+        }
+    }
+
+    fn emit(&mut self, ev: KernelEvent) {
+        if let Some(h) = self.event_hook.as_mut() {
+            h(self.now, &ev);
+        }
+    }
+
+    fn emit_proc(&mut self, pid: Pid, make: fn(Pid, String, HostId) -> KernelEvent) {
+        if self.event_hook.is_some() {
+            let p = &self.procs[pid.0 as usize];
+            let (name, host) = (p.name.clone(), p.host);
+            self.emit(make(pid, name, host));
         }
     }
 
@@ -608,6 +678,7 @@ impl Kernel {
                     hs.up = true;
                 }
                 self.trace(&format!("restart {h}"));
+                self.emit(KernelEvent::HostRestart(h));
             }
             Fault::Partition(a, b, blocked) => {
                 if blocked {
@@ -680,6 +751,11 @@ impl Kernel {
         }
         self.stats.killed += 1;
         self.trace(&format!("kill {pid}"));
+        self.emit_proc(pid, |pid, name, host| KernelEvent::ProcKill {
+            pid,
+            name,
+            host,
+        });
     }
 
     fn do_crash_host(&mut self, h: HostId) {
@@ -703,6 +779,7 @@ impl Kernel {
             self.do_kill(pid);
         }
         self.trace(&format!("crash {h}"));
+        self.emit(KernelEvent::HostCrash(h));
     }
 
     // ------------------------------------------------------------------
@@ -959,6 +1036,11 @@ impl Kernel {
             self.reschedule_cpu(host);
         }
         self.trace(&format!("exit {pid}"));
+        self.emit_proc(pid, |pid, name, host| KernelEvent::ProcExit {
+            pid,
+            name,
+            host,
+        });
     }
 }
 

@@ -52,7 +52,9 @@ mod time;
 
 pub use cpu::{HostConfig, HostSnapshot};
 pub use ids::{Addr, HostId, Pid, Port};
-pub use kernel::{Fault, Kernel, KernelConfig, KernelStats, NetConfig, Tracer};
+pub use kernel::{
+    EventHook, Fault, Kernel, KernelConfig, KernelEvent, KernelStats, NetConfig, Tracer,
+};
 pub use msg::{Msg, Payload};
 pub use process::{Ctx, Killed, ProcessBody, SimResult};
 pub use shared::Shared;

@@ -58,6 +58,9 @@ pub struct StoreConfig {
     /// CPU cost model of one replica (same knobs as the paper's single
     /// store).
     pub costs: StoreCosts,
+    /// When set, replicas publish view changes and quorum-write outcomes
+    /// to the monitoring event channel whose IOR appears in this cell.
+    pub monitor: Option<simnet::Shared<Option<String>>>,
 }
 
 impl Default for StoreConfig {
@@ -70,6 +73,7 @@ impl Default for StoreConfig {
             detector_period: SimDuration::from_millis(250),
             suspect_after: 2,
             costs: StoreCosts::default(),
+            monitor: None,
         }
     }
 }

@@ -32,6 +32,7 @@ use cdr::{Any, TypeCode, Value};
 use cosnaming::{Name, NamingClient};
 use ftproxy::service::ops as client_ops;
 use ftproxy::{Checkpoint, CHECKPOINT_SERVICE_NAME};
+use monitor::{EventBody, Publisher};
 use orb::{reply, CallCtx, Exception, Ior, Servant, SystemException};
 use simnet::{Ctx, HostId, SimDuration, SimResult, SimTime};
 
@@ -93,6 +94,12 @@ pub struct StoreReplica {
     pub gc_epochs: u64,
     /// Superseded per-value chunks reclaimed.
     pub gc_chunks: u64,
+    /// When set, view changes and quorum-write outcomes are published to
+    /// the monitoring event channel.
+    pub monitor: Option<Publisher>,
+    /// Last `(members, quorum)` published, to emit view changes only on
+    /// actual membership transitions.
+    last_view_published: Option<(u32, u32)>,
 }
 
 impl StoreReplica {
@@ -112,6 +119,16 @@ impl StoreReplica {
             quorum_failures: 0,
             gc_epochs: 0,
             gc_chunks: 0,
+            monitor: None,
+            last_view_published: None,
+        }
+    }
+
+    /// Publish a monitoring event if a publisher is attached.
+    fn publish(&self, call: &mut CallCtx<'_>, body: EventBody) -> Result<(), Exception> {
+        match &self.monitor {
+            Some(p) => p.publish(call.orb, call.ctx, body).map_err(|_| killed()),
+            None => Ok(()),
         }
     }
 
@@ -258,6 +275,12 @@ impl StoreReplica {
         peers.sort_by_key(|a| (a.host, a.port, a.key));
         peers.dedup();
         self.view_cache = Some((now, peers.clone()));
+        let members = (peers.len() + 1) as u32;
+        let quorum = self.cfg.write_quorum.clamp(1, peers.len() + 1) as u32;
+        if self.last_view_published != Some((members, quorum)) {
+            self.last_view_published = Some((members, quorum));
+            self.publish(call, EventBody::ViewChange { members, quorum })?;
+        }
         Ok(peers)
     }
 
@@ -269,11 +292,23 @@ impl StoreReplica {
         call: &mut CallCtx<'_>,
         op: &str,
         args: &[u8],
+        object: &str,
+        epoch: u64,
     ) -> Result<(), Exception> {
         let peers = self.view(call)?;
         let view_size = peers.len() + 1; // the coordinator is in the view
         let w_eff = self.cfg.write_quorum.clamp(1, view_size);
         if w_eff <= 1 && peers.is_empty() {
+            self.publish(
+                call,
+                EventBody::QuorumWrite {
+                    object: object.to_string(),
+                    epoch,
+                    acks: 1,
+                    view: 1,
+                    quorum: 1,
+                },
+            )?;
             return Ok(());
         }
         let po = call.orb.obs().cloned();
@@ -320,6 +355,16 @@ impl StoreReplica {
             }
             o.end(call.ctx.now());
         }
+        self.publish(
+            call,
+            EventBody::QuorumWrite {
+                object: object.to_string(),
+                epoch,
+                acks: acks as u32,
+                view: view_size as u32,
+                quorum: w_eff as u32,
+            },
+        )?;
         if ok {
             Ok(())
         } else {
@@ -356,8 +401,9 @@ impl Servant for StoreReplica {
                     cdr::from_bytes(args).map_err(SystemException::marshal)?;
                 self.compute(call, self.bulk_work(ckpt.state.len()))?;
                 self.stores += 1;
+                let (object, epoch) = (ckpt.object_id.clone(), ckpt.epoch);
                 self.apply_bulk(ckpt);
-                self.replicate(call, ops::REPL_STORE, args)?;
+                self.replicate(call, ops::REPL_STORE, args, &object, epoch)?;
                 reply(&())
             }
             client_ops::STORE_VALUE => {
@@ -365,14 +411,19 @@ impl Servant for StoreReplica {
                     cdr::from_bytes(args).map_err(SystemException::marshal)?;
                 self.compute(call, self.cfg.costs.value_fixed)?;
                 self.value_stores += 1;
+                let epoch = if key == "header" {
+                    header_epoch_of(&value).unwrap_or(0)
+                } else {
+                    0
+                };
                 self.apply_value(&id, &key, value);
-                self.replicate(call, ops::REPL_STORE_VALUE, args)?;
+                self.replicate(call, ops::REPL_STORE_VALUE, args, &id, epoch)?;
                 reply(&())
             }
             client_ops::DELETE => {
                 let (id,): (String,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
                 let deleted = self.apply_delete(&id);
-                self.replicate(call, ops::REPL_DELETE, args)?;
+                self.replicate(call, ops::REPL_DELETE, args, &id, 0)?;
                 reply(&deleted)
             }
             // ---------------- replica-to-replica applies ---------------
@@ -471,7 +522,11 @@ pub fn run_store_replica(
     }
     orb.listen(ctx)?;
     let poa = orb::Poa::new();
+    let monitor_cell = cfg.monitor.clone();
     let replica = std::rc::Rc::new(std::cell::RefCell::new(StoreReplica::new(cfg, naming_host)));
+    if let Some(cell) = monitor_cell {
+        replica.borrow_mut().monitor = Some(Publisher::new(cell, ctx));
+    }
     let key = poa.activate(ftproxy::CHECKPOINT_SERVICE_TYPE, replica.clone());
     let ior = orb.ior(ftproxy::CHECKPOINT_SERVICE_TYPE, key);
     replica.borrow_mut().self_ior = Some(ior.clone());

@@ -82,7 +82,11 @@ pub fn run_system_manager_obs(
     }
     orb.listen(ctx)?;
     let poa = orb::Poa::new();
+    let monitor_cell = cfg.monitor.clone();
     let servant = std::rc::Rc::new(std::cell::RefCell::new(SystemManager::new(cfg, policy)));
+    if let Some(cell) = monitor_cell {
+        servant.borrow_mut().monitor = Some(monitor::Publisher::new(cell, ctx));
+    }
     let key = poa.activate(SYSTEM_MANAGER_TYPE, servant);
     publish(orb.ior(SYSTEM_MANAGER_TYPE, key));
     orb.serve_forever(ctx, &poa)

@@ -2,9 +2,10 @@
 //! measuring the node's performance and system load … collected by the
 //! host operating system", and sending it to the system manager (§2).
 
+use monitor::{EventBody, Publisher};
 use orb::{Ior, ObjectRef, Orb};
 use rand::Rng;
-use simnet::{Ctx, SimDuration, SimResult};
+use simnet::{Ctx, Shared, SimDuration, SimResult};
 
 use crate::client::SystemManagerClient;
 use crate::protocol::LoadReport;
@@ -18,15 +19,19 @@ pub struct NodeManagerConfig {
     pub interval: SimDuration,
     /// CPU work spent taking one sample (reading `/proc` is not free).
     pub sample_cost: f64,
+    /// When set, each load sample is also published to the monitoring
+    /// event channel whose IOR appears in this cell.
+    pub monitor: Option<Shared<Option<String>>>,
 }
 
 impl NodeManagerConfig {
-    /// Defaults: 1 s period, 50 µs sampling cost.
+    /// Defaults: 1 s period, 50 µs sampling cost, no monitoring.
     pub fn new(system_manager: Ior) -> Self {
         NodeManagerConfig {
             system_manager,
             interval: SimDuration::from_secs(1),
             sample_cost: 50e-6,
+            monitor: None,
         }
     }
 }
@@ -37,6 +42,7 @@ impl NodeManagerConfig {
 pub fn run_node_manager(ctx: &mut Ctx, cfg: NodeManagerConfig) -> SimResult<()> {
     let mut orb = Orb::init(ctx);
     let client = SystemManagerClient::new(ObjectRef::new(cfg.system_manager.clone()));
+    let publisher = cfg.monitor.clone().map(|cell| Publisher::new(cell, ctx));
     // Stagger node managers so reports do not arrive in lockstep.
     let jitter_ns = ctx.rng().random_range(0..cfg.interval.as_nanos().max(1));
     ctx.sleep(SimDuration::from_nanos(jitter_ns))?;
@@ -62,6 +68,17 @@ pub fn run_node_manager(ctx: &mut Ctx, cfg: NodeManagerConfig) -> SimResult<()> 
             seq,
         };
         client.report(&mut orb, ctx, &report)?;
+        if let Some(p) = &publisher {
+            p.publish(
+                &mut orb,
+                ctx,
+                EventBody::LoadReport {
+                    runnable: snap.runnable,
+                    load_milli: monitor::milli(snap.load_avg),
+                    cpu_milli: monitor::milli(snap.cpu_util),
+                },
+            )?;
+        }
         ctx.sleep(cfg.interval)?;
     }
 }

@@ -4,8 +4,9 @@
 
 use std::collections::BTreeMap;
 
+use monitor::{EventBody, Publisher};
 use orb::{reply, CallCtx, Exception, Servant, SystemException};
-use simnet::{SimDuration, SimTime};
+use simnet::{Shared, SimDuration, SimTime};
 
 use crate::policy::{performance_score, HostView, SelectionPolicy};
 use crate::protocol::{ops, HostStatus, LoadReport, SelectRequest};
@@ -20,6 +21,9 @@ pub struct SystemManagerConfig {
     /// Covers the window between placing a process and that process
     /// showing up in the next load report.
     pub reservation_ttl: SimDuration,
+    /// When set, every answered `select` is also published as a placement
+    /// event to the monitoring channel whose IOR appears in this cell.
+    pub monitor: Option<Shared<Option<String>>>,
 }
 
 impl Default for SystemManagerConfig {
@@ -27,6 +31,7 @@ impl Default for SystemManagerConfig {
         SystemManagerConfig {
             stale_after: SimDuration::from_millis(3500),
             reservation_ttl: SimDuration::from_millis(1500),
+            monitor: None,
         }
     }
 }
@@ -49,6 +54,12 @@ pub struct SystemManager {
     pub stale_reports_dropped: u64,
     /// Selections answered.
     pub selections: u64,
+    /// Monitoring publisher (set by the server wrapper when configured).
+    pub monitor: Option<Publisher>,
+    /// The loads behind the most recent successful `select`: `(chosen
+    /// host, its effective load, the candidates' minimum)` in milli-units.
+    /// Consumed by `dispatch` to publish the placement event.
+    last_placement: Option<(u32, u64, u64)>,
 }
 
 impl SystemManager {
@@ -61,6 +72,8 @@ impl SystemManager {
             reports_received: 0,
             stale_reports_dropped: 0,
             selections: 0,
+            monitor: None,
+            last_placement: None,
         }
     }
 
@@ -119,6 +132,17 @@ impl SystemManager {
         self.selections += 1;
         let views = self.views(now, candidates);
         let pick = self.policy.select(&views)?;
+        let chosen_load = views
+            .iter()
+            .find(|v| v.host == pick)
+            .map(|v| v.eff_load)
+            .unwrap_or(0.0);
+        let min_load = views.iter().fold(f64::INFINITY, |m, v| m.min(v.eff_load));
+        self.last_placement = Some((
+            pick,
+            monitor::milli(chosen_load),
+            monitor::milli(if min_load.is_finite() { min_load } else { 0.0 }),
+        ));
         if let Some(rec) = self.hosts.get_mut(&pick) {
             rec.reservations.push(now + self.cfg.reservation_ttl);
         }
@@ -210,6 +234,23 @@ impl Servant for SystemManager {
                         None => o.counter_add("winner.select_misses", 1),
                     }
                     o.gauge_set("winner.alive_hosts", self.alive_hosts(now) as f64);
+                }
+                if let (Some(publisher), Some((chosen, chosen_m, min_m))) =
+                    (self.monitor.clone(), self.last_placement.take())
+                {
+                    // Oneway, so publishing from inside dispatch never
+                    // blocks; Err only means this process is being killed.
+                    publisher
+                        .publish(
+                            call.orb,
+                            call.ctx,
+                            EventBody::Placement {
+                                chosen,
+                                chosen_load_milli: chosen_m,
+                                min_load_milli: min_m,
+                            },
+                        )
+                        .map_err(|_| SystemException::transient("killed mid-dispatch"))?;
                 }
                 // (found, host) — mirrors the IDL out-params.
                 reply(&(pick.is_some(), pick.unwrap_or(0)))
