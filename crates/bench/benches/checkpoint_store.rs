@@ -8,7 +8,7 @@ use std::hint::black_box;
 fn ckpt(size: usize) -> Checkpoint {
     Checkpoint {
         object_id: "bench-object".into(),
-        epoch: 1,
+        epoch: cdr::Epoch(1),
         state: vec![0xAB; size],
         stamp_ns: 42,
     }

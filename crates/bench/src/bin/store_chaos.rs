@@ -24,12 +24,12 @@ const REPLICAS: usize = 3;
 #[derive(Clone, Debug, Default)]
 struct CellStats {
     /// Epochs the driver got a quorum ack for.
-    acked: u64,
+    acked: cdr::Epoch,
     /// Store attempts that failed (quorum loss or a dead coordinator)
     /// and were retried after re-resolving the group.
     retries: u64,
     /// Epoch of the record read back after the chaos window closed.
-    final_epoch: u64,
+    final_epoch: cdr::Epoch,
     /// Crash faults the plan injected.
     crashes: usize,
 }
@@ -107,13 +107,13 @@ fn run_cell(seed: u64, scale: f64) -> CellOutcome {
         orb.set_obs(obs::ProcessObs::new(driver_sink, ctx));
         let mut client = resolve_store(&mut orb, ctx, naming_host);
         let mut s = CellStats::default();
-        let mut epoch = 0u64;
+        let mut epoch = cdr::Epoch::ZERO;
         while ctx.now() < write_end {
-            epoch += 1;
+            epoch = epoch.next();
             let ckpt = Checkpoint {
                 object_id: "chaos-obj".into(),
                 epoch,
-                state: epoch.to_be_bytes().to_vec(),
+                state: epoch.get().to_be_bytes().to_vec(),
                 stamp_ns: ctx.now().as_nanos(),
             };
             // Retry through crashes: a dead coordinator or a lost quorum
@@ -172,7 +172,7 @@ fn main() {
     for &seed in &args.seeds {
         let outcome = run_cell(seed, args.scale);
         assert!(
-            outcome.stats.acked > 0,
+            outcome.stats.acked > cdr::Epoch::ZERO,
             "seed {seed}: no write ever succeeded"
         );
         assert_eq!(

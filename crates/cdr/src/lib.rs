@@ -25,6 +25,7 @@
 mod any;
 mod decode;
 mod encode;
+mod epoch;
 mod error;
 mod traits;
 mod typecode;
@@ -32,6 +33,7 @@ mod typecode;
 pub use any::{Any, Value};
 pub use decode::CdrDecoder;
 pub use encode::{ByteOrder, CdrEncoder};
+pub use epoch::Epoch;
 pub use error::{CdrError, CdrResult};
 pub use traits::{from_bytes, to_bytes, CdrRead, CdrWrite};
 pub use typecode::TypeCode;

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::PathBuf;
 
-use cdr::{cdr_struct, Any};
+use cdr::{cdr_struct, Any, Epoch};
 
 cdr_struct!(
     /// One stored checkpoint of a service object's state.
@@ -18,7 +18,7 @@ cdr_struct!(
         /// Logical identity of the service (stable across restarts).
         object_id: String,
         /// Monotone version: a recovery restores the highest epoch.
-        epoch: u64,
+        epoch: Epoch,
         /// Opaque CDR-encoded service state.
         state: Vec<u8>,
         /// Virtual time (ns) at which the checkpoint was taken.
@@ -309,7 +309,7 @@ mod tests {
     fn ckpt(id: &str, epoch: u64) -> Checkpoint {
         Checkpoint {
             object_id: id.to_string(),
-            epoch,
+            epoch: Epoch(epoch),
             state: vec![1, 2, 3],
             stamp_ns: 99,
         }
@@ -321,7 +321,7 @@ mod tests {
         backend.store(ckpt("w2", 1)).unwrap();
         backend.store(ckpt("w1", 2)).unwrap(); // replace
         let got = backend.retrieve("w1").unwrap().unwrap();
-        assert_eq!(got.epoch, 2);
+        assert_eq!(got.epoch, Epoch(2));
         assert_eq!(backend.list().unwrap(), vec!["w1", "w2"]);
 
         backend.store_value("w1", "x0", Any::double(1.5)).unwrap();
@@ -365,7 +365,7 @@ mod tests {
         {
             let mut b = DiskBackend::new(&dir).unwrap();
             let got = b.retrieve("svc/1").unwrap().unwrap();
-            assert_eq!(got.epoch, 7);
+            assert_eq!(got.epoch, Epoch(7));
             assert_eq!(got.object_id, "svc/1");
         }
         std::fs::remove_dir_all(&dir).unwrap();
@@ -399,7 +399,7 @@ mod tests {
 
         // The intact frame still reads back.
         std::fs::write(&path, &good).unwrap();
-        assert_eq!(b.retrieve("w1").unwrap().unwrap().epoch, 5);
+        assert_eq!(b.retrieve("w1").unwrap().unwrap().epoch, Epoch(5));
 
         // Same validation on the values file.
         b.store_value("w1", "x0", Any::double(1.0)).unwrap();

@@ -439,6 +439,37 @@ fn request_proxy_poll_path() {
 }
 
 #[test]
+fn late_argument_poisons_request_with_bad_inv_order() {
+    // Adding an argument after send is caller misuse. The chained
+    // builder API cannot return an error from add_typed itself, so the
+    // request is poisoned and the *outcome* is BAD_INV_ORDER — a
+    // diagnosable exception instead of a sim-wide panic.
+    let mut sim = Kernel::with_seed(7);
+    let hosts = standard_bed(&mut sim, 2);
+    let out = cell::<Vec<bool>>();
+    let o = out.clone();
+    let h0 = hosts[0];
+    let driver = sim.spawn(hosts[1], "driver", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let mut proxy = proxy_for(h0, &mut orb, ctx, CheckpointMode::None);
+        let mut env = ProxyEnv { orb: &mut orb, ctx };
+        let mut req = FtRequest::new("slow_inc");
+        req.add_typed(&1i64).add_typed(&1.0f64);
+        req.send_deferred(&mut proxy, &mut env).unwrap();
+        req.add_typed(&9i64); // too late: poisons the request
+        let outcome = req.get_response(&mut proxy, &mut env).unwrap();
+        let poisoned = matches!(
+            outcome,
+            Err(orb::Exception::System(ref s)) if s.kind == orb::SysKind::BadInvOrder
+        );
+        o.lock().unwrap().push(poisoned);
+    });
+    sim.run_until_exit(driver);
+    assert_eq!(*out.lock().unwrap(), vec![true]);
+}
+
+#[test]
 fn detector_evicts_dead_members() {
     let mut sim = Kernel::with_seed(8);
     let hosts = standard_bed(&mut sim, 3);
@@ -693,7 +724,7 @@ fn disk_backed_checkpoint_service_works_in_sim() {
         let ckpt = ckpt_client(&mut orb, ctx, h0);
         let c = crate::checkpoint::Checkpoint {
             object_id: "disk-test".into(),
-            epoch: 3,
+            epoch: cdr::Epoch(3),
             state: vec![9; 100],
             stamp_ns: ctx.now().as_nanos(),
         };

@@ -22,6 +22,9 @@ pub struct FtRequest {
     body: Vec<u8>,
     args: Option<CdrEncoder>,
     inner: Option<DiiRequest>,
+    /// Set when an argument is added after the request was sent; the
+    /// outcome then becomes `BAD_INV_ORDER` instead of a panic.
+    poisoned: bool,
     attempts: u32,
     done: Option<Result<Vec<u8>, Exception>>,
     // Monitoring timestamps: request creation, the winning (re)send, and
@@ -39,6 +42,7 @@ impl FtRequest {
             body: Vec::new(),
             args: Some(CdrEncoder::big_endian()),
             inner: None,
+            poisoned: false,
             attempts: 0,
             done: None,
             started: None,
@@ -49,29 +53,46 @@ impl FtRequest {
 
     /// Append a dynamically-typed argument.
     ///
-    /// # Panics
-    /// If the request was already sent.
+    /// Adding an argument after the request was sent is a caller error;
+    /// the chained `&mut Self` API cannot carry a `Result`, so the
+    /// request is poisoned and its outcome becomes `BAD_INV_ORDER`.
     pub fn add_arg(&mut self, arg: &Any) -> &mut Self {
-        // ldft-lint: allow(P1, documented builder contract: adding args after send() is caller misuse and the chained &mut Self API cannot carry a Result)
-        let enc = self.args.as_mut().expect("request already sent");
-        arg.write_value(enc);
+        match self.args.as_mut() {
+            Some(enc) => arg.write_value(enc),
+            None => self.poisoned = true,
+        }
         self
     }
 
     /// Append a statically-typed argument.
     ///
-    /// # Panics
-    /// If the request was already sent.
+    /// Same late-add contract as [`FtRequest::add_arg`]: arguments added
+    /// after send poison the request with `BAD_INV_ORDER`.
     pub fn add_typed<T: CdrWrite>(&mut self, arg: &T) -> &mut Self {
-        // ldft-lint: allow(P1, documented builder contract: adding args after send() is caller misuse and the chained &mut Self API cannot carry a Result)
-        let enc = self.args.as_mut().expect("request already sent");
-        arg.write(enc);
+        match self.args.as_mut() {
+            Some(enc) => arg.write(enc),
+            None => self.poisoned = true,
+        }
         self
+    }
+
+    /// Replace the outcome with `BAD_INV_ORDER` if the builder was
+    /// misused; returns whether it was.
+    fn check_poisoned(&mut self) -> bool {
+        if self.poisoned {
+            self.done = Some(Err(Exception::System(SystemException::bad_inv_order(
+                "argument added after send_deferred",
+            ))));
+        }
+        self.poisoned
     }
 
     /// Fire the request at the proxy's current (or freshly acquired)
     /// target without waiting.
     pub fn send_deferred(&mut self, proxy: &mut FtProxy, env: &mut ProxyEnv<'_>) -> SimResult<()> {
+        if self.check_poisoned() {
+            return Ok(());
+        }
         if let Some(enc) = self.args.take() {
             self.body = enc.into_bytes();
         }
@@ -142,6 +163,9 @@ impl FtRequest {
         proxy: &mut FtProxy,
         env: &mut ProxyEnv<'_>,
     ) -> SimResult<bool> {
+        if self.check_poisoned() {
+            return Ok(true);
+        }
         if self.done.is_some() {
             return Ok(true);
         }
@@ -169,6 +193,7 @@ impl FtRequest {
         proxy: &mut FtProxy,
         env: &mut ProxyEnv<'_>,
     ) -> SimResult<Result<Vec<u8>, Exception>> {
+        self.check_poisoned();
         loop {
             if let Some(done) = &self.done {
                 return Ok(done.clone());

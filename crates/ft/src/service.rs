@@ -124,7 +124,7 @@ impl Servant for CheckpointService {
                         false,
                         Checkpoint {
                             object_id: id,
-                            epoch: 0,
+                            epoch: cdr::Epoch::ZERO,
                             state: Vec::new(),
                             stamp_ns: 0,
                         },

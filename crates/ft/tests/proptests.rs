@@ -15,7 +15,7 @@ fn ckpt_strategy() -> impl Strategy<Value = Checkpoint> {
     )
         .prop_map(|(object_id, epoch, state, stamp_ns)| Checkpoint {
             object_id,
-            epoch,
+            epoch: cdr::Epoch(epoch),
             state,
             stamp_ns,
         })

@@ -44,6 +44,8 @@ pub struct FileAnalysis {
     pub fn_spans: Vec<FnSpan>,
     /// All allow directives found in comments.
     pub allows: Vec<AllowDirective>,
+    /// Token-level AST (v2 rules: wire conformance, lock graph, E-rules).
+    pub ast: crate::ast::FileAst,
 }
 
 impl FileAnalysis {
@@ -61,6 +63,7 @@ impl FileAnalysis {
             }
         }
         let allows = collect_allows(&lines);
+        let ast = crate::ast::FileAst::parse(&lines);
         FileAnalysis {
             path: path.to_string(),
             crate_dir: crate_dir.map(str::to_string),
@@ -69,6 +72,7 @@ impl FileAnalysis {
             test_line,
             fn_spans,
             allows,
+            ast,
         }
     }
 

@@ -1,0 +1,1067 @@
+//! A lightweight hand-rolled Rust AST for the v2 rules.
+//!
+//! Built on top of the lexical pass ([`crate::lexer`]): comments are gone
+//! and string-literal contents are blanked in `code` but preserved in
+//! `SourceLine::literals`, so this module can tokenize line-by-line and
+//! re-attach literal values as `Lit` tokens. On top of the token stream it
+//! recognizes the handful of constructs the wire-conformance (W) and
+//! lock-graph (L) rules need:
+//!
+//! - function items with parsed parameter lists and return types,
+//! - `impl` blocks (`impl Trait for Type`),
+//! - `match` expressions with per-arm pattern and body spans,
+//! - call expressions with receiver chains and split argument lists,
+//! - `pub const NAME: &str = "value"` string constants,
+//! - struct definitions (including `cdr_struct!` bodies), tuple-struct
+//!   newtypes, and enum definitions with per-variant fields,
+//! - the brace-scope tree (for guard-liveness in the lock graph).
+//!
+//! This is *not* a general Rust parser: generics are skipped heuristically
+//! and expression structure inside bodies is only recovered where a rule
+//! needs it. That is enough because the workspace is rustfmt-formatted and
+//! the constructs the rules inspect are all first-order.
+
+use crate::lexer::SourceLine;
+use std::collections::BTreeMap;
+
+/// Token kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier, keyword, or numeric literal.
+    Ident,
+    /// Punctuation; multi-char operators `::`, `->`, `=>` are one token.
+    Punct,
+    /// String literal; `text` is the literal *value* (no quotes).
+    Lit,
+}
+
+/// One token with its source line (1-indexed).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl Tok {
+    /// True when this token is the exact ident/punct `s` (never a literal).
+    pub fn is(&self, s: &str) -> bool {
+        self.kind != TokKind::Lit && self.text == s
+    }
+}
+
+/// A brace-delimited block: token indices of `{` and `}`.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope {
+    pub open: usize,
+    pub close: usize,
+}
+
+/// One parsed parameter or struct field: `name: ty`.
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub name: String,
+    /// Joined type text (normalized spacing), empty for `self` receivers.
+    pub ty: String,
+    /// Source line of the declaration (1-indexed).
+    pub line: usize,
+}
+
+/// A function item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    pub params: Vec<Param>,
+    /// Return type text; empty when the fn returns `()` implicitly.
+    pub ret: String,
+    /// Line of the `fn` keyword.
+    pub line: usize,
+    /// Body block (token indices of the braces); `None` for trait decls.
+    pub body: Option<Scope>,
+}
+
+/// An `impl` block.
+#[derive(Debug, Clone)]
+pub struct ImplBlock {
+    /// `impl Trait for Type` — the trait path's last segment, if any.
+    pub trait_name: Option<String>,
+    /// The implementing type path's last segment.
+    pub type_name: String,
+    pub line: usize,
+    pub body: Scope,
+}
+
+/// One match arm.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    /// Pattern + guard text (joined tokens, literal values quoted).
+    pub pattern: String,
+    /// Token range of the pattern (inclusive start, exclusive end).
+    pub pat: (usize, usize),
+    /// Token range of the body (inclusive start, exclusive end).
+    pub body: (usize, usize),
+    pub line: usize,
+}
+
+/// A match expression.
+#[derive(Debug, Clone)]
+pub struct MatchExpr {
+    /// Scrutinee text between `match` and `{`.
+    pub scrutinee: String,
+    pub line: usize,
+    pub body: Scope,
+    pub arms: Vec<Arm>,
+}
+
+/// One argument of a call: its token range (inclusive, exclusive).
+#[derive(Debug, Clone, Copy)]
+pub struct Arg {
+    pub toks: (usize, usize),
+}
+
+/// A call expression `recv.method(args)` or `method(args)`.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Last identifier of the receiver chain (`self.state.lock()` → `state`);
+    /// `None` for free calls or computed receivers (`f().g()`).
+    pub recv_tail: Option<String>,
+    pub method: String,
+    pub line: usize,
+    /// True for `recv.method(...)`, false for `method(...)`.
+    pub is_method: bool,
+    pub args: Vec<Arg>,
+    /// Token index of the method-name identifier.
+    pub name_tok: usize,
+}
+
+/// A struct definition (plain `struct` or a `cdr_struct!` body).
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    pub name: String,
+    pub fields: Vec<Param>,
+    pub line: usize,
+    /// Declared through the `cdr_struct!` wire-struct macro.
+    pub is_cdr: bool,
+}
+
+/// One enum variant with its named fields (tuple fields get empty names).
+#[derive(Debug, Clone)]
+pub struct Variant {
+    pub name: String,
+    pub fields: Vec<Param>,
+    pub line: usize,
+}
+
+/// An enum definition.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    pub name: String,
+    pub variants: Vec<Variant>,
+    pub line: usize,
+}
+
+/// The parsed file.
+#[derive(Debug, Default)]
+pub struct FileAst {
+    pub toks: Vec<Tok>,
+    pub scopes: Vec<Scope>,
+    pub fns: Vec<FnItem>,
+    pub impls: Vec<ImplBlock>,
+    pub matches: Vec<MatchExpr>,
+    pub calls: Vec<Call>,
+    /// `const NAME: &str = "value"` — (name, value, line).
+    pub str_consts: Vec<(String, String, usize)>,
+    pub structs: Vec<StructDef>,
+    pub enums: Vec<EnumDef>,
+    /// Tuple-struct newtypes: name → inner type text (`Epoch` → `u64`).
+    pub newtypes: Vec<(String, String)>,
+    /// Matching-close map for parens, kept for later passes (arg splits).
+    pub paren_close: BTreeMap<usize, usize>,
+}
+
+const KEYWORDS_BEFORE_PAREN: &[&str] = &[
+    "if", "while", "for", "match", "return", "fn", "in", "loop", "move", "else", "impl", "where",
+    "as", "use", "pub", "let", "mut", "ref", "box", "await", "dyn",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize the preprocessed lines, substituting captured literal values.
+pub fn tokenize(lines: &[SourceLine]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    for (idx, sl) in lines.iter().enumerate() {
+        let line = idx + 1;
+        let chars: Vec<char> = sl.code.chars().collect();
+        let mut lit_iter = sl.literals.iter();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if is_ident_start(c) {
+                let mut j = i;
+                while j < chars.len() && is_ident_start(chars[j]) {
+                    j += 1;
+                }
+                let text: String = chars[i..j].iter().collect();
+                // `r` / `r#` prefix of a raw string: fold into the literal.
+                if (text == "r" || text == "b" || text == "br")
+                    && chars.get(j).map(|&c| c == '"' || c == '#').unwrap_or(false)
+                {
+                    i = j;
+                    continue;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            if c == '"' {
+                // Skip to the closing quote (contents are blanks); the
+                // value comes from the captured literal list. A raw
+                // string's `#` suffix chars are skipped as punctuation.
+                let mut j = i + 1;
+                while j < chars.len() && chars[j] != '"' {
+                    j += 1;
+                }
+                let value = lit_iter.next().cloned().unwrap_or_default();
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: value,
+                    line,
+                });
+                i = (j + 1).min(chars.len());
+                while i < chars.len() && chars[i] == '#' {
+                    i += 1;
+                }
+                continue;
+            }
+            if c == '#' && chars.get(i + 1) == Some(&'"') {
+                // Interior hash of an unterminated raw-string prefix.
+                i += 1;
+                continue;
+            }
+            if c == '\'' {
+                // Char literal ('x') or lifetime ('a). Either way, skip.
+                if chars.get(i + 2) == Some(&'\'') {
+                    i += 3;
+                } else {
+                    let mut j = i + 1;
+                    while j < chars.len() && is_ident_start(chars[j]) {
+                        j += 1;
+                    }
+                    i = j;
+                }
+                continue;
+            }
+            // Multi-char operators the parser cares about.
+            let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+            if two == "::" || two == "->" || two == "=>" {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: two,
+                    line,
+                });
+                i += 2;
+                continue;
+            }
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+        }
+    }
+    toks
+}
+
+impl FileAst {
+    /// Parse the file. Never fails: unrecognized constructs are skipped.
+    pub fn parse(lines: &[SourceLine]) -> FileAst {
+        let toks = tokenize(lines);
+        let mut ast = FileAst {
+            scopes: match_braces(&toks),
+            ..FileAst::default()
+        };
+        let brace_close = close_map(&ast.scopes);
+        let paren_close = match_pairs(&toks, "(", ")");
+        let bracket_close = match_pairs(&toks, "[", "]");
+        ast.paren_close = paren_close.clone();
+
+        let mut i = 0usize;
+        while i < toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                // Method / free call recognition happens on the name token.
+                i += 1;
+                continue;
+            }
+            match t.text.as_str() {
+                "fn" => {
+                    if let Some((item, next)) = parse_fn(&toks, i, &paren_close, &brace_close) {
+                        ast.fns.push(item);
+                        i = next;
+                        continue;
+                    }
+                }
+                "impl" => {
+                    if let Some((block, next)) = parse_impl(&toks, i, &brace_close) {
+                        ast.impls.push(block);
+                        i = next;
+                        continue;
+                    }
+                }
+                "match" => {
+                    if let Some(m) =
+                        parse_match(&toks, i, &brace_close, &paren_close, &bracket_close)
+                    {
+                        ast.matches.push(m);
+                        // Do not skip the body: nested matches and the
+                        // calls inside arms must still be collected.
+                    }
+                }
+                "const" => {
+                    if let Some(c) = parse_str_const(&toks, i) {
+                        ast.str_consts.push(c);
+                    }
+                }
+                "struct" => {
+                    parse_struct(&toks, i, &paren_close, &brace_close, &mut ast);
+                }
+                "cdr_struct" => {
+                    parse_cdr_struct(&toks, i, &brace_close, &mut ast);
+                }
+                "enum" => {
+                    if let Some(e) = parse_enum(&toks, i, &paren_close, &brace_close) {
+                        ast.enums.push(e);
+                    }
+                }
+                _ => {
+                    if let Some(call) = parse_call(&toks, i, &paren_close) {
+                        ast.calls.push(call);
+                    }
+                }
+            }
+            i += 1;
+        }
+        ast.toks = toks;
+        ast
+    }
+
+    /// Joined text of a token range (exclusive end), literal values quoted.
+    pub fn text(&self, range: (usize, usize)) -> String {
+        join_tokens(&self.toks[range.0..range.1.min(self.toks.len())])
+    }
+
+    /// Innermost scope containing token index `ti`, if any.
+    pub fn enclosing_scope(&self, ti: usize) -> Option<Scope> {
+        self.scopes
+            .iter()
+            .filter(|s| s.open < ti && ti < s.close)
+            .min_by_key(|s| s.close - s.open)
+            .copied()
+    }
+
+    /// The function item whose body contains token index `ti` (innermost).
+    pub fn enclosing_fn(&self, ti: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.map(|b| b.open < ti && ti < b.close).unwrap_or(false))
+            .min_by_key(|f| {
+                let b = f.body.unwrap();
+                b.close - b.open
+            })
+    }
+
+    /// True when token `ti` falls inside any match-arm pattern.
+    pub fn in_match_pattern(&self, ti: usize) -> bool {
+        self.matches
+            .iter()
+            .flat_map(|m| &m.arms)
+            .any(|a| a.pat.0 <= ti && ti < a.pat.1)
+    }
+}
+
+/// Join tokens with normalized spacing (space only between two idents).
+pub fn join_tokens(toks: &[Tok]) -> String {
+    let mut out = String::new();
+    let mut prev_ident = false;
+    for t in toks {
+        let text = match t.kind {
+            TokKind::Lit => format!("\"{}\"", t.text),
+            _ => t.text.clone(),
+        };
+        let cur_ident =
+            t.kind == TokKind::Ident && text.chars().next().map(is_ident_start).unwrap_or(false);
+        if prev_ident && cur_ident {
+            out.push(' ');
+        }
+        out.push_str(&text);
+        prev_ident = cur_ident && t.kind == TokKind::Ident;
+    }
+    out
+}
+
+/// All brace scopes by token index.
+fn match_braces(toks: &[Tok]) -> Vec<Scope> {
+    let mut stack = Vec::new();
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is("{") {
+            stack.push(i);
+        } else if t.is("}") {
+            if let Some(open) = stack.pop() {
+                out.push(Scope { open, close: i });
+            }
+        }
+    }
+    out.sort_by_key(|s| s.open);
+    out
+}
+
+fn close_map(scopes: &[Scope]) -> std::collections::BTreeMap<usize, usize> {
+    scopes.iter().map(|s| (s.open, s.close)).collect()
+}
+
+/// Matching-close map for one bracket pair.
+fn match_pairs(toks: &[Tok], open: &str, close: &str) -> std::collections::BTreeMap<usize, usize> {
+    let mut stack = Vec::new();
+    let mut out = std::collections::BTreeMap::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is(open) {
+            stack.push(i);
+        } else if t.is(close) {
+            if let Some(o) = stack.pop() {
+                out.insert(o, i);
+            }
+        }
+    }
+    out
+}
+
+/// Skip a generics list starting at `<`; returns the index after `>`, or
+/// `i` unchanged when this is not a well-formed generics list.
+fn skip_generics(toks: &[Tok], i: usize) -> usize {
+    if !toks.get(i).map(|t| t.is("<")).unwrap_or(false) {
+        return i;
+    }
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() && j < i + 120 {
+        let t = &toks[j];
+        if t.is("<") {
+            depth += 1;
+        } else if t.is(">") {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        } else if t.is(";") || t.is("{") {
+            return i;
+        }
+        j += 1;
+    }
+    i
+}
+
+/// Split a token range on top-level commas (tracking (), [], {}, <>).
+pub fn split_commas(toks: &[Tok], start: usize, end: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    let mut seg = start;
+    for i in start..end {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                // Angle brackets only nest in type position: after an
+                // ident or `::`. A bare `<` is a comparison.
+                "<" if i > start
+                    && (toks[i - 1].kind == TokKind::Ident || toks[i - 1].is("::")) =>
+                {
+                    angle += 1;
+                }
+                ">" if angle > 0 => {
+                    angle -= 1;
+                }
+                "," if depth == 0 && angle == 0 => {
+                    if i > seg {
+                        out.push((seg, i));
+                    }
+                    seg = i + 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    if end > seg {
+        out.push((seg, end));
+    }
+    out
+}
+
+/// Parse one `name: ty` segment into a [`Param`].
+fn parse_param(toks: &[Tok], start: usize, end: usize) -> Option<Param> {
+    // `self`, `&self`, `&mut self` receivers.
+    if toks[start..end].iter().any(|t| t.is("self")) && !toks[start..end].iter().any(|t| t.is(":"))
+    {
+        return Some(Param {
+            name: "self".to_string(),
+            ty: String::new(),
+            line: toks[start].line,
+        });
+    }
+    let colon = (start..end).find(|&i| toks[i].is(":"))?;
+    let name_tok = toks[start..colon]
+        .iter()
+        .rev()
+        .find(|t| t.kind == TokKind::Ident && t.text != "mut" && t.text != "ref")?;
+    Some(Param {
+        name: name_tok.text.clone(),
+        ty: join_tokens(&toks[colon + 1..end]),
+        line: name_tok.line,
+    })
+}
+
+fn parse_fn(
+    toks: &[Tok],
+    i: usize,
+    paren_close: &std::collections::BTreeMap<usize, usize>,
+    brace_close: &std::collections::BTreeMap<usize, usize>,
+) -> Option<(FnItem, usize)> {
+    let name_tok = toks.get(i + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let mut j = skip_generics(toks, i + 2);
+    if !toks.get(j)?.is("(") {
+        return None;
+    }
+    let close = *paren_close.get(&j)?;
+    let params = split_commas(toks, j + 1, close)
+        .into_iter()
+        .filter_map(|(s, e)| parse_param(toks, s, e))
+        .collect();
+    j = close + 1;
+    let mut ret = String::new();
+    if toks.get(j).map(|t| t.is("->")).unwrap_or(false) {
+        let ret_start = j + 1;
+        while j < toks.len() && !toks[j].is("{") && !toks[j].is(";") && !toks[j].is("where") {
+            j += 1;
+        }
+        ret = join_tokens(&toks[ret_start..j]);
+    }
+    while j < toks.len() && !toks[j].is("{") && !toks[j].is(";") {
+        j += 1;
+    }
+    let body = if toks.get(j).map(|t| t.is("{")).unwrap_or(false) {
+        brace_close.get(&j).map(|&c| Scope { open: j, close: c })
+    } else {
+        None
+    };
+    Some((
+        FnItem {
+            name: name_tok.text.clone(),
+            params,
+            ret,
+            line: toks[i].line,
+            body,
+        },
+        // Resume right after the signature: the body still gets scanned
+        // for nested items and calls by the main loop.
+        j,
+    ))
+}
+
+fn parse_impl(
+    toks: &[Tok],
+    i: usize,
+    brace_close: &std::collections::BTreeMap<usize, usize>,
+) -> Option<(ImplBlock, usize)> {
+    let mut j = skip_generics(toks, i + 1);
+    let mut first_path: Vec<String> = Vec::new();
+    let mut second_path: Vec<String> = Vec::new();
+    let mut saw_for = false;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is("{") || t.is("where") {
+            break;
+        }
+        if t.is("for") {
+            saw_for = true;
+        } else if t.kind == TokKind::Ident {
+            if saw_for {
+                second_path.push(t.text.clone());
+            } else {
+                first_path.push(t.text.clone());
+            }
+            j = skip_generics(toks, j + 1);
+            continue;
+        }
+        j += 1;
+    }
+    while j < toks.len() && !toks[j].is("{") {
+        j += 1;
+    }
+    let close = *brace_close.get(&j)?;
+    let (trait_name, type_name) = if saw_for {
+        (first_path.last().cloned(), second_path.last().cloned()?)
+    } else {
+        (None, first_path.last().cloned()?)
+    };
+    Some((
+        ImplBlock {
+            trait_name,
+            type_name,
+            line: toks[i].line,
+            body: Scope { open: j, close },
+        },
+        j,
+    ))
+}
+
+fn parse_match(
+    toks: &[Tok],
+    i: usize,
+    brace_close: &std::collections::BTreeMap<usize, usize>,
+    paren_close: &std::collections::BTreeMap<usize, usize>,
+    bracket_close: &std::collections::BTreeMap<usize, usize>,
+) -> Option<MatchExpr> {
+    // Scrutinee: tokens until the first `{` not nested in (), [].
+    let mut j = i + 1;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is("(") {
+            j = *paren_close.get(&j)? + 1;
+            continue;
+        }
+        if t.is("[") {
+            j = *bracket_close.get(&j)? + 1;
+            continue;
+        }
+        if t.is("{") {
+            break;
+        }
+        if t.is(";") {
+            return None;
+        }
+        j += 1;
+    }
+    if j <= i + 1 || j >= toks.len() {
+        return None;
+    }
+    let body_open = j;
+    let body_close = *brace_close.get(&body_open)?;
+    let scrutinee = join_tokens(&toks[i + 1..body_open]);
+
+    // Arms: pattern tokens until `=>` at arm level; body is either the
+    // following brace block or tokens until the next top-level `,`.
+    let mut arms = Vec::new();
+    let mut k = body_open + 1;
+    while k < body_close {
+        let pat_start = k;
+        let mut depth = 0i32;
+        let mut arrow = None;
+        let mut p = k;
+        while p < body_close {
+            let t = &toks[p];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "=>" if depth == 0 => {
+                        arrow = Some(p);
+                    }
+                    _ => {}
+                }
+            }
+            if arrow.is_some() {
+                break;
+            }
+            p += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        let (body_start, body_end, next) =
+            if toks.get(arrow + 1).map(|t| t.is("{")).unwrap_or(false) {
+                let c = *brace_close.get(&(arrow + 1))?;
+                let mut n = c + 1;
+                if toks.get(n).map(|t| t.is(",")).unwrap_or(false) {
+                    n += 1;
+                }
+                (arrow + 1, c + 1, n)
+            } else {
+                let mut depth = 0i32;
+                let mut q = arrow + 1;
+                while q < body_close {
+                    let t = &toks[q];
+                    if t.kind == TokKind::Punct {
+                        match t.text.as_str() {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => depth -= 1,
+                            "," if depth == 0 => break,
+                            _ => {}
+                        }
+                    }
+                    q += 1;
+                }
+                (arrow + 1, q, (q + 1).min(body_close))
+            };
+        arms.push(Arm {
+            pattern: join_tokens(&toks[pat_start..arrow]),
+            pat: (pat_start, arrow),
+            body: (body_start, body_end),
+            line: toks[pat_start].line,
+        });
+        k = next.max(k + 1);
+    }
+    Some(MatchExpr {
+        scrutinee,
+        line: toks[i].line,
+        body: Scope {
+            open: body_open,
+            close: body_close,
+        },
+        arms,
+    })
+}
+
+fn parse_str_const(toks: &[Tok], i: usize) -> Option<(String, String, usize)> {
+    let name = toks.get(i + 1)?;
+    if name.kind != TokKind::Ident || !toks.get(i + 2)?.is(":") {
+        return None;
+    }
+    // Type tokens until `=`; must mention `str`.
+    let mut j = i + 3;
+    let mut is_str = false;
+    while j < toks.len() && !toks[j].is("=") && !toks[j].is(";") {
+        if toks[j].is("str") {
+            is_str = true;
+        }
+        j += 1;
+    }
+    if !is_str || !toks.get(j)?.is("=") {
+        return None;
+    }
+    let val = toks.get(j + 1)?;
+    if val.kind != TokKind::Lit {
+        return None;
+    }
+    Some((name.text.clone(), val.text.clone(), toks[i].line))
+}
+
+fn parse_fields(toks: &[Tok], open: usize, close: usize) -> Vec<Param> {
+    split_commas(toks, open + 1, close)
+        .into_iter()
+        .filter_map(|(s, e)| {
+            // Strip leading attributes `#[...]` and `pub`.
+            let mut s = s;
+            while s < e {
+                if toks[s].is("#") {
+                    // Skip `#[...]`.
+                    let mut depth = 0i32;
+                    let mut q = s + 1;
+                    while q < e {
+                        if toks[q].is("[") {
+                            depth += 1;
+                        } else if toks[q].is("]") {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        q += 1;
+                    }
+                    s = q + 1;
+                } else if toks[s].is("pub") {
+                    s += 1;
+                    if toks.get(s).map(|t| t.is("(")).unwrap_or(false) {
+                        while s < e && !toks[s].is(")") {
+                            s += 1;
+                        }
+                        s += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            parse_param(toks, s, e)
+        })
+        .collect()
+}
+
+fn parse_struct(
+    toks: &[Tok],
+    i: usize,
+    paren_close: &std::collections::BTreeMap<usize, usize>,
+    brace_close: &std::collections::BTreeMap<usize, usize>,
+    ast: &mut FileAst,
+) {
+    let Some(name) = toks.get(i + 1) else { return };
+    if name.kind != TokKind::Ident {
+        return;
+    }
+    let j = skip_generics(toks, i + 2);
+    let Some(t) = toks.get(j) else { return };
+    if t.is("(") {
+        // Tuple struct: single-field ones are wire newtypes.
+        let Some(&close) = paren_close.get(&j) else {
+            return;
+        };
+        let elems = split_commas(toks, j + 1, close);
+        if elems.len() == 1 {
+            let (s, e) = elems[0];
+            let start = if toks[s].is("pub") { s + 1 } else { s };
+            ast.newtypes
+                .push((name.text.clone(), join_tokens(&toks[start..e])));
+        }
+    } else if t.is("{") {
+        let Some(&close) = brace_close.get(&j) else {
+            return;
+        };
+        ast.structs.push(StructDef {
+            name: name.text.clone(),
+            fields: parse_fields(toks, j, close),
+            line: toks[i].line,
+            is_cdr: false,
+        });
+    }
+}
+
+/// `cdr_struct!( Name { field: ty, ... } );` — possibly with doc comments
+/// (already stripped) and attributes between the paren and the name.
+fn parse_cdr_struct(
+    toks: &[Tok],
+    i: usize,
+    brace_close: &std::collections::BTreeMap<usize, usize>,
+    ast: &mut FileAst,
+) {
+    if !toks.get(i + 1).map(|t| t.is("!")).unwrap_or(false) {
+        return;
+    }
+    // Find `Name {` within the macro body.
+    let mut j = i + 2;
+    while j + 1 < toks.len() && j < i + 40 {
+        if toks[j].kind == TokKind::Ident && toks[j + 1].is("{") {
+            let Some(&close) = brace_close.get(&(j + 1)) else {
+                return;
+            };
+            ast.structs.push(StructDef {
+                name: toks[j].text.clone(),
+                fields: parse_fields(toks, j + 1, close),
+                line: toks[j].line,
+                is_cdr: true,
+            });
+            return;
+        }
+        j += 1;
+    }
+}
+
+fn parse_enum(
+    toks: &[Tok],
+    i: usize,
+    paren_close: &std::collections::BTreeMap<usize, usize>,
+    brace_close: &std::collections::BTreeMap<usize, usize>,
+) -> Option<EnumDef> {
+    let name = toks.get(i + 1)?;
+    if name.kind != TokKind::Ident {
+        return None;
+    }
+    let j = skip_generics(toks, i + 2);
+    if !toks.get(j)?.is("{") {
+        return None;
+    }
+    let close = *brace_close.get(&j)?;
+    let mut variants = Vec::new();
+    for (s, e) in split_commas(toks, j + 1, close) {
+        // Skip attributes.
+        let mut s = s;
+        while s < e && toks[s].is("#") {
+            while s < e && !toks[s].is("]") {
+                s += 1;
+            }
+            s += 1;
+        }
+        if s >= e || toks[s].kind != TokKind::Ident {
+            continue;
+        }
+        let vname = toks[s].text.clone();
+        let vline = toks[s].line;
+        let fields = match toks.get(s + 1) {
+            Some(t) if t.is("{") => {
+                let c = brace_close.get(&(s + 1)).copied().unwrap_or(e);
+                parse_fields(toks, s + 1, c.min(e))
+            }
+            Some(t) if t.is("(") => {
+                let c = paren_close.get(&(s + 1)).copied().unwrap_or(e);
+                split_commas(toks, s + 2, c.min(e))
+                    .into_iter()
+                    .map(|(fs, fe)| Param {
+                        name: String::new(),
+                        ty: join_tokens(&toks[fs..fe]),
+                        line: toks[fs].line,
+                    })
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+        variants.push(Variant {
+            name: vname,
+            fields,
+            line: vline,
+        });
+    }
+    Some(EnumDef {
+        name: name.text.clone(),
+        variants,
+        line: toks[i].line,
+    })
+}
+
+fn parse_call(
+    toks: &[Tok],
+    i: usize,
+    paren_close: &std::collections::BTreeMap<usize, usize>,
+) -> Option<Call> {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident || KEYWORDS_BEFORE_PAREN.contains(&t.text.as_str()) {
+        return None;
+    }
+    // Name may be followed by a turbofish: `from_bytes::<T>(...)`.
+    let mut j = i + 1;
+    if toks.get(j).map(|x| x.is("::")).unwrap_or(false)
+        && toks.get(j + 1).map(|x| x.is("<")).unwrap_or(false)
+    {
+        let after = skip_generics(toks, j + 1);
+        if after > j + 1 {
+            j = after;
+        }
+    }
+    if !toks.get(j).map(|x| x.is("(")).unwrap_or(false) {
+        return None;
+    }
+    let close = *paren_close.get(&j)?;
+    let is_method = i > 0 && toks[i - 1].is(".");
+    // Receiver chain: walk back over `ident . ident . ... .`
+    let recv_tail = if is_method {
+        let mut p = i - 1; // at `.`
+        let mut tail = None;
+        loop {
+            if p == 0 {
+                break;
+            }
+            let prev = &toks[p - 1];
+            if prev.kind == TokKind::Ident {
+                if tail.is_none() {
+                    tail = Some(prev.text.clone());
+                }
+                if p >= 2 && toks[p - 2].is(".") {
+                    p -= 2;
+                    continue;
+                }
+            }
+            break;
+        }
+        tail
+    } else {
+        None
+    };
+    let args = split_commas(toks, j + 1, close)
+        .into_iter()
+        .map(|toks_range| Arg { toks: toks_range })
+        .collect();
+    Some(Call {
+        recv_tail,
+        method: t.text.clone(),
+        line: t.line,
+        is_method,
+        args,
+        name_tok: i,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ast_of(src: &str) -> FileAst {
+        FileAst::parse(&crate::lexer::preprocess(src))
+    }
+
+    #[test]
+    fn fn_items_and_params() {
+        let a = ast_of("fn add(a: f64, b: f64) -> f64 { a + b }\n");
+        assert_eq!(a.fns.len(), 1);
+        let f = &a.fns[0];
+        assert_eq!(f.name, "add");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[1].ty, "f64");
+        assert_eq!(f.ret, "f64");
+        assert!(f.body.is_some());
+    }
+
+    #[test]
+    fn impl_trait_for_type() {
+        let a = ast_of("impl Servant for EventChannel {\n fn dispatch(&mut self) {}\n}\n");
+        assert_eq!(a.impls.len(), 1);
+        assert_eq!(a.impls[0].trait_name.as_deref(), Some("Servant"));
+        assert_eq!(a.impls[0].type_name, "EventChannel");
+    }
+
+    #[test]
+    fn match_arms_with_ops_and_literals() {
+        let a = ast_of(
+            "fn d(op: &str) {\n match op {\n ops::PUSH => { x(); }\n \"add\" | \"div\" => y(),\n _ => z(),\n }\n}\n",
+        );
+        let m = &a.matches[0];
+        assert_eq!(m.arms.len(), 3);
+        assert!(m.arms[0].pattern.contains("ops::PUSH"));
+        assert!(m.arms[1].pattern.contains("\"add\""));
+        assert!(m.arms[1].pattern.contains("\"div\""));
+    }
+
+    #[test]
+    fn calls_receiver_and_args() {
+        let a = ast_of("fn f() { self.obj.call(orb, ctx, \"add\", &(a, b,)); }\n");
+        let c = a.calls.iter().find(|c| c.method == "call").unwrap();
+        assert_eq!(c.recv_tail.as_deref(), Some("obj"));
+        assert_eq!(c.args.len(), 4);
+    }
+
+    #[test]
+    fn const_and_newtype_and_enum() {
+        let a = ast_of(
+            "pub const PUSH: &str = \"push\";\npub struct Epoch(pub u64);\npub enum E { A { x: u32 }, B, C(u8) }\n",
+        );
+        assert_eq!(
+            a.str_consts,
+            vec![("PUSH".to_string(), "push".to_string(), 1)]
+        );
+        assert_eq!(a.newtypes, vec![("Epoch".to_string(), "u64".to_string())]);
+        assert_eq!(a.enums.len(), 1);
+        assert_eq!(a.enums[0].variants.len(), 3);
+        assert_eq!(a.enums[0].variants[0].fields[0].name, "x");
+    }
+
+    #[test]
+    fn cdr_struct_macro_fields() {
+        let a = ast_of("cdr_struct!(\n Checkpoint {\n object_id: String,\n epoch: u64,\n }\n);\n");
+        assert_eq!(a.structs.len(), 1);
+        let s = &a.structs[0];
+        assert!(s.is_cdr);
+        assert_eq!(s.name, "Checkpoint");
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[1].name, "epoch");
+        assert_eq!(s.fields[1].ty, "u64");
+    }
+}

@@ -1,0 +1,702 @@
+//! Permissive OMG-IDL parser for `idl/*.idl`.
+//!
+//! The wire-conformance rules (W1–W4) need to know, for every IDL
+//! operation, its wire name and the Rust-side types of its `in`
+//! parameters. This parser extracts exactly that — modules, interfaces,
+//! operations (including `oneway` and `raises` clauses), attributes
+//! (expanded to the `_get_x`/`_set_x` pseudo-operations the ORB uses on
+//! the wire), typedefs, structs, enums, exceptions, and `native`
+//! declarations — and maps IDL types onto the canonical Rust spellings
+//! used by `crates/cdr`.
+//!
+//! It is *permissive*: unknown constructs are skipped at brace/semicolon
+//! granularity rather than rejected, so the lint never hard-fails on an
+//! IDL file the real `idlc` would accept.
+
+use std::collections::BTreeMap;
+
+/// One operation as it appears on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdlOp {
+    /// Wire name (`add`, `_get_op_count`, ...).
+    pub name: String,
+    /// Canonical Rust types of the `in`/`inout` parameters, in IDL order.
+    pub ins: Vec<String>,
+    /// Canonical Rust return type (`()` for void / attribute setters).
+    pub ret: String,
+    /// True for `oneway` operations (fire-and-forget; no reply).
+    pub oneway: bool,
+    /// 1-indexed line of the declaration in the IDL file.
+    pub line: usize,
+    /// True when this op was synthesized from an `attribute` declaration.
+    pub from_attribute: bool,
+}
+
+/// One `interface` block.
+#[derive(Debug, Clone)]
+pub struct IdlInterface {
+    /// Enclosing module path (`Demo`), empty if at top level.
+    pub module: String,
+    /// Interface name (`Calculator`).
+    pub name: String,
+    /// 1-indexed declaration line.
+    pub line: usize,
+    /// All operations, attributes already expanded.
+    pub ops: Vec<IdlOp>,
+}
+
+/// One `struct`/`exception` body (used by W4 field-order checks).
+#[derive(Debug, Clone)]
+pub struct IdlStruct {
+    /// Type name.
+    pub name: String,
+    /// `(field name, canonical Rust type)` in declaration order.
+    pub fields: Vec<(String, String)>,
+    /// 1-indexed declaration line.
+    pub line: usize,
+    /// True when declared with `exception` rather than `struct`.
+    pub is_exception: bool,
+}
+
+/// Parse result for one `.idl` file.
+#[derive(Debug, Clone, Default)]
+pub struct IdlFile {
+    /// Path as reported in diagnostics.
+    pub path: String,
+    /// All interfaces, in declaration order.
+    pub interfaces: Vec<IdlInterface>,
+    /// `typedef` table: alias → canonical Rust type.
+    pub typedefs: BTreeMap<String, String>,
+    /// Structs and exceptions.
+    pub structs: Vec<IdlStruct>,
+    /// `native` opaque type names (mapped to themselves in Rust).
+    pub natives: Vec<String>,
+    /// Enum names (mapped to themselves in Rust).
+    pub enums: Vec<String>,
+}
+
+impl IdlFile {
+    /// Every operation across all interfaces.
+    pub fn all_ops(&self) -> impl Iterator<Item = (&IdlInterface, &IdlOp)> {
+        self.interfaces
+            .iter()
+            .flat_map(|i| i.ops.iter().map(move |o| (i, o)))
+    }
+}
+
+/// One token of IDL source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum T {
+    Ident(String),
+    Punct(char),
+}
+
+impl T {
+    fn ident(&self) -> Option<&str> {
+        match self {
+            T::Ident(s) => Some(s),
+            T::Punct(_) => None,
+        }
+    }
+}
+
+/// Tokenize IDL source, stripping `//` and `/* */` comments and `#pragma`
+/// lines. Returns tokens plus each token's 1-indexed line.
+fn tokenize(src: &str) -> Vec<(T, usize)> {
+    let mut out = Vec::new();
+    let mut chars = src.char_indices().peekable();
+    let mut line = 1usize;
+    let bytes = src.as_bytes();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '\n' => line += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                for (_, c2) in chars.by_ref() {
+                    if c2 == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                chars.next();
+                let mut prev = ' ';
+                for (_, c2) in chars.by_ref() {
+                    if c2 == '\n' {
+                        line += 1;
+                    }
+                    if prev == '*' && c2 == '/' {
+                        break;
+                    }
+                    prev = c2;
+                }
+            }
+            '#' => {
+                // Preprocessor directive: skip to end of line.
+                for (_, c2) in chars.by_ref() {
+                    if c2 == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut word = String::new();
+                word.push(c);
+                while let Some(&(_, c2)) = chars.peek() {
+                    if c2.is_alphanumeric() || c2 == '_' {
+                        word.push(c2);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push((T::Ident(word), line));
+            }
+            c if c.is_whitespace() => {}
+            _ => out.push((T::Punct(c), line)),
+        }
+    }
+    out
+}
+
+/// Cursor over the token stream.
+struct Cur<'a> {
+    toks: &'a [(T, usize)],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn peek(&self) -> Option<&'a T> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+    fn next(&mut self) -> Option<&'a T> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t);
+        self.pos += 1;
+        t
+    }
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if self.peek().and_then(T::ident) == Some(word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+    fn eat_punct(&mut self, p: char) -> bool {
+        if self.peek() == Some(&T::Punct(p)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+    /// Skip forward past the next `;`, balancing braces on the way (so a
+    /// skipped `union X { ... };` is consumed whole).
+    fn skip_item(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.next() {
+            match t {
+                T::Punct('{') => depth += 1,
+                T::Punct('}') => depth = depth.saturating_sub(1),
+                T::Punct(';') if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Map a parsed IDL type (already joined, e.g. `unsigned long` or
+/// `sequence<double>`) to its canonical Rust spelling.
+fn rust_type(idl: &str, file: &IdlFile) -> String {
+    let idl = idl.trim();
+    // sequence<T> → Vec<T>
+    if let Some(inner) = idl
+        .strip_prefix("sequence<")
+        .and_then(|s| s.strip_suffix('>'))
+    {
+        return format!("Vec<{}>", rust_type(inner, file));
+    }
+    match idl {
+        "void" => "()".into(),
+        "boolean" => "bool".into(),
+        "octet" | "char" => "u8".into(),
+        "short" => "i16".into(),
+        "unsigned short" => "u16".into(),
+        "long" => "i32".into(),
+        "unsigned long" => "u32".into(),
+        "long long" => "i64".into(),
+        "unsigned long long" => "u64".into(),
+        "float" => "f32".into(),
+        "double" => "f64".into(),
+        "string" => "String".into(),
+        "any" => "Any".into(),
+        "Object" => "Ior".into(),
+        other => {
+            // Strip module scoping (`Demo::DoubleSeq` arrives as the last
+            // segment because `::` tokenizes as two puncts we joined out).
+            let last = other.rsplit(' ').next().unwrap_or(other);
+            if let Some(t) = file.typedefs.get(last) {
+                t.clone()
+            } else {
+                last.to_string()
+            }
+        }
+    }
+}
+
+/// Read one type from the cursor: handles multi-word integer types,
+/// `sequence<...>` (possibly nested) and scoped names `A::B`.
+fn read_type(cur: &mut Cur) -> String {
+    let mut words: Vec<String> = Vec::new();
+    while let Some(t) = cur.peek() {
+        match t {
+            T::Ident(w) => {
+                let w = w.clone();
+                cur.pos += 1;
+                if w == "sequence" {
+                    // sequence < type [, bound] >
+                    let mut s = String::from("sequence<");
+                    if cur.eat_punct('<') {
+                        s.push_str(&read_type(cur));
+                        // Optional bound: `, 10`
+                        if cur.eat_punct(',') {
+                            while !matches!(cur.peek(), Some(T::Punct('>')) | None) {
+                                cur.pos += 1;
+                            }
+                        }
+                        cur.eat_punct('>');
+                    }
+                    s.push('>');
+                    words.push(s);
+                    break;
+                }
+                let multiword = matches!(w.as_str(), "unsigned" | "long" | "short");
+                words.push(w);
+                if !multiword {
+                    // A scoped name `A::B` continues; anything else ends it.
+                    if cur.peek() == Some(&T::Punct(':')) {
+                        continue;
+                    }
+                    break;
+                }
+                // `long` may be followed by `long` or end the type; `unsigned`
+                // must be followed by more. Peek: if next is one of the
+                // integer words, continue, else stop.
+                match cur.peek().and_then(T::ident) {
+                    Some("long") | Some("short") => continue,
+                    _ => break,
+                }
+            }
+            T::Punct(':') => {
+                // Scoped name `A::B` — keep only the tail.
+                cur.pos += 1;
+                cur.eat_punct(':');
+                words.clear();
+            }
+            _ => break,
+        }
+    }
+    words.join(" ")
+}
+
+/// Parse a parameter list `( in T a, out U b, ... )`; returns canonical
+/// Rust types of `in`/`inout` params.
+fn read_params(cur: &mut Cur, file: &IdlFile) -> Vec<String> {
+    let mut ins = Vec::new();
+    if !cur.eat_punct('(') {
+        return ins;
+    }
+    loop {
+        match cur.peek() {
+            None | Some(T::Punct(')')) => {
+                cur.eat_punct(')');
+                break;
+            }
+            Some(T::Punct(',')) => {
+                cur.pos += 1;
+            }
+            _ => {
+                let dir_in = if cur.eat_ident("in") || cur.eat_ident("inout") {
+                    true
+                } else {
+                    // `out` params never travel in the request body.
+                    !cur.eat_ident("out")
+                };
+                let ty = read_type(cur);
+                // Parameter name.
+                if matches!(cur.peek(), Some(T::Ident(_))) {
+                    cur.pos += 1;
+                }
+                if dir_in && !ty.is_empty() {
+                    ins.push(rust_type(&ty, file));
+                }
+            }
+        }
+    }
+    ins
+}
+
+/// Parse an `interface` body after its `{`.
+fn parse_interface(cur: &mut Cur, module: &str, name: String, line: usize, file: &mut IdlFile) {
+    let mut iface = IdlInterface {
+        module: module.to_string(),
+        name,
+        line,
+        ops: Vec::new(),
+    };
+    loop {
+        let line = cur.line();
+        match cur.peek() {
+            None => break,
+            Some(T::Punct('}')) => {
+                cur.pos += 1;
+                cur.eat_punct(';');
+                break;
+            }
+            _ => {}
+        }
+        if cur.eat_ident("readonly") {
+            // readonly attribute T name [, name]* ;
+            cur.eat_ident("attribute");
+            let ty = read_type(cur);
+            let rty = rust_type(&ty, file);
+            while let Some(T::Ident(attr)) = cur.peek() {
+                iface.ops.push(IdlOp {
+                    name: format!("_get_{attr}"),
+                    ins: Vec::new(),
+                    ret: rty.clone(),
+                    oneway: false,
+                    line,
+                    from_attribute: true,
+                });
+                cur.pos += 1;
+                if !cur.eat_punct(',') {
+                    break;
+                }
+            }
+            cur.eat_punct(';');
+        } else if cur.eat_ident("attribute") {
+            let ty = read_type(cur);
+            let rty = rust_type(&ty, file);
+            while let Some(T::Ident(attr)) = cur.peek() {
+                iface.ops.push(IdlOp {
+                    name: format!("_get_{attr}"),
+                    ins: Vec::new(),
+                    ret: rty.clone(),
+                    oneway: false,
+                    line,
+                    from_attribute: true,
+                });
+                iface.ops.push(IdlOp {
+                    name: format!("_set_{attr}"),
+                    ins: vec![rty.clone()],
+                    ret: "()".into(),
+                    oneway: false,
+                    line,
+                    from_attribute: true,
+                });
+                cur.pos += 1;
+                if !cur.eat_punct(',') {
+                    break;
+                }
+            }
+            cur.eat_punct(';');
+        } else {
+            // Operation: [oneway] ret name ( params ) [raises (...)] ;
+            let oneway = cur.eat_ident("oneway");
+            let ret = read_type(cur);
+            let Some(T::Ident(op_name)) = cur.peek() else {
+                cur.skip_item();
+                continue;
+            };
+            let op_name = op_name.clone();
+            cur.pos += 1;
+            if cur.peek() != Some(&T::Punct('(')) {
+                cur.skip_item();
+                continue;
+            }
+            let ins = read_params(cur, file);
+            if cur.eat_ident("raises") {
+                // raises ( Exc [, Exc]* )
+                if cur.eat_punct('(') {
+                    while !matches!(cur.peek(), Some(T::Punct(')')) | None) {
+                        cur.pos += 1;
+                    }
+                    cur.eat_punct(')');
+                }
+            }
+            cur.eat_punct(';');
+            iface.ops.push(IdlOp {
+                name: op_name,
+                ins,
+                ret: rust_type(&ret, file),
+                oneway,
+                line,
+                from_attribute: false,
+            });
+        }
+    }
+    file.interfaces.push(iface);
+}
+
+/// Parse a `struct`/`exception` body after the name.
+fn parse_struct(cur: &mut Cur, name: String, line: usize, is_exception: bool, file: &mut IdlFile) {
+    let mut fields = Vec::new();
+    if cur.eat_punct('{') {
+        loop {
+            match cur.peek() {
+                None => break,
+                Some(T::Punct('}')) => {
+                    cur.pos += 1;
+                    cur.eat_punct(';');
+                    break;
+                }
+                Some(T::Punct(_)) => {
+                    cur.pos += 1;
+                }
+                Some(T::Ident(_)) => {
+                    let ty = read_type(cur);
+                    let rty = rust_type(&ty, file);
+                    while let Some(T::Ident(fname)) = cur.peek() {
+                        fields.push((fname.clone(), rty.clone()));
+                        cur.pos += 1;
+                        if !cur.eat_punct(',') {
+                            break;
+                        }
+                    }
+                    cur.eat_punct(';');
+                }
+            }
+        }
+    }
+    file.structs.push(IdlStruct {
+        name,
+        fields,
+        line,
+        is_exception,
+    });
+}
+
+/// Parse one `.idl` source file.
+pub fn parse(path: &str, src: &str) -> IdlFile {
+    let toks = tokenize(src);
+    let mut cur = Cur {
+        toks: &toks,
+        pos: 0,
+    };
+    let mut file = IdlFile {
+        path: path.to_string(),
+        ..IdlFile::default()
+    };
+    let mut modules: Vec<String> = Vec::new();
+    loop {
+        let line = cur.line();
+        let Some(t) = cur.peek() else { break };
+        match t {
+            T::Punct('}') => {
+                cur.pos += 1;
+                cur.eat_punct(';');
+                modules.pop();
+            }
+            T::Punct(_) => {
+                cur.pos += 1;
+            }
+            T::Ident(w) => match w.as_str() {
+                "module" => {
+                    cur.pos += 1;
+                    if let Some(T::Ident(name)) = cur.peek() {
+                        modules.push(name.clone());
+                        cur.pos += 1;
+                    }
+                    cur.eat_punct('{');
+                }
+                "interface" => {
+                    cur.pos += 1;
+                    let Some(T::Ident(name)) = cur.peek() else {
+                        cur.skip_item();
+                        continue;
+                    };
+                    let name = name.clone();
+                    cur.pos += 1;
+                    // Optional inheritance: `: Base [, Base]*`
+                    if cur.eat_punct(':') {
+                        while !matches!(cur.peek(), Some(T::Punct('{')) | None) {
+                            cur.pos += 1;
+                        }
+                    }
+                    if cur.eat_punct('{') {
+                        parse_interface(&mut cur, &modules.join("::"), name, line, &mut file);
+                    } else {
+                        // Forward declaration `interface X;`.
+                        cur.eat_punct(';');
+                    }
+                }
+                "typedef" => {
+                    cur.pos += 1;
+                    let ty = read_type(&mut cur);
+                    let rty = rust_type(&ty, &file);
+                    if let Some(T::Ident(alias)) = cur.peek() {
+                        file.typedefs.insert(alias.clone(), rty);
+                        cur.pos += 1;
+                    }
+                    cur.skip_item();
+                }
+                "struct" | "exception" => {
+                    let is_exception = w == "exception";
+                    cur.pos += 1;
+                    let Some(T::Ident(name)) = cur.peek() else {
+                        cur.skip_item();
+                        continue;
+                    };
+                    let name = name.clone();
+                    cur.pos += 1;
+                    parse_struct(&mut cur, name, line, is_exception, &mut file);
+                }
+                "enum" => {
+                    cur.pos += 1;
+                    if let Some(T::Ident(name)) = cur.peek() {
+                        file.enums.push(name.clone());
+                        cur.pos += 1;
+                    }
+                    cur.skip_item();
+                }
+                "native" => {
+                    cur.pos += 1;
+                    if let Some(T::Ident(name)) = cur.peek() {
+                        file.natives.push(name.clone());
+                        cur.pos += 1;
+                    }
+                    cur.skip_item();
+                }
+                "const" => {
+                    cur.pos += 1;
+                    cur.skip_item();
+                }
+                _ => {
+                    // Unknown top-level construct; skip conservatively.
+                    cur.skip_item();
+                }
+            },
+        }
+    }
+    file
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calculator_shape() {
+        let src = r#"
+module Demo {
+    typedef sequence<double> DoubleSeq;
+    typedef sequence<octet> OctetSeq;
+    exception MathError { string reason; };
+    interface Calculator {
+        readonly attribute unsigned long op_count;
+        attribute double precision;
+        double add(in double a, in double b);
+        double div(in double a, in double b) raises (MathError);
+        DoubleSeq scale(in DoubleSeq values, in double factor);
+        void stats(out unsigned long ops, out double last);
+        oneway void log(in string message);
+        OctetSeq get_checkpoint();
+        void restore_checkpoint(in OctetSeq state);
+    };
+};
+"#;
+        let f = parse("idl/calculator.idl", src);
+        assert_eq!(f.interfaces.len(), 1);
+        let calc = &f.interfaces[0];
+        assert_eq!(calc.module, "Demo");
+        assert_eq!(calc.name, "Calculator");
+        let names: Vec<&str> = calc.ops.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "_get_op_count",
+                "_get_precision",
+                "_set_precision",
+                "add",
+                "div",
+                "scale",
+                "stats",
+                "log",
+                "get_checkpoint",
+                "restore_checkpoint",
+            ]
+        );
+        let add = calc.ops.iter().find(|o| o.name == "add").unwrap();
+        assert_eq!(add.ins, vec!["f64", "f64"]);
+        assert_eq!(add.ret, "f64");
+        let scale = calc.ops.iter().find(|o| o.name == "scale").unwrap();
+        assert_eq!(scale.ins, vec!["Vec<f64>", "f64"]);
+        let stats = calc.ops.iter().find(|o| o.name == "stats").unwrap();
+        assert!(stats.ins.is_empty());
+        let log = calc.ops.iter().find(|o| o.name == "log").unwrap();
+        assert!(log.oneway);
+        assert_eq!(log.ins, vec!["String"]);
+        let get = calc
+            .ops
+            .iter()
+            .find(|o| o.name == "get_checkpoint")
+            .unwrap();
+        assert_eq!(get.ret, "Vec<u8>");
+        let err = f.structs.iter().find(|s| s.name == "MathError").unwrap();
+        assert!(err.is_exception);
+        assert_eq!(err.fields, vec![("reason".into(), "String".into())]);
+    }
+
+    #[test]
+    fn native_struct_enum_and_scoped_names() {
+        let src = r#"
+module Mon {
+    native EventBody;
+    enum Severity { INFO, WARN };
+    typedef unsigned long long Epoch;
+    struct Event {
+        unsigned long long seq;
+        EventBody body;
+        Severity sev;
+    };
+    interface Channel {
+        void push(in sequence<Event> batch);
+        Epoch epoch_of(in Mon::Event e);
+    };
+};
+"#;
+        let f = parse("idl/mon.idl", src);
+        assert_eq!(f.natives, vec!["EventBody"]);
+        assert_eq!(f.enums, vec!["Severity"]);
+        let ev = &f.structs[0];
+        assert_eq!(
+            ev.fields,
+            vec![
+                ("seq".into(), "u64".into()),
+                ("body".into(), "EventBody".into()),
+                ("sev".into(), "Severity".into()),
+            ]
+        );
+        let ch = &f.interfaces[0];
+        assert_eq!(ch.ops[0].ins, vec!["Vec<Event>"]);
+        assert_eq!(ch.ops[1].ins, vec!["Event"]);
+        assert_eq!(ch.ops[1].ret, "u64");
+    }
+
+    #[test]
+    fn unknown_constructs_are_skipped() {
+        let src = "union U switch(long) { case 1: long a; };\ninterface I { void f(); };\n";
+        let f = parse("x.idl", src);
+        assert_eq!(f.interfaces.len(), 1);
+        assert_eq!(f.interfaces[0].ops[0].name, "f");
+    }
+}

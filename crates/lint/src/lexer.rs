@@ -24,6 +24,10 @@ pub struct SourceLine {
     pub depth: u32,
     /// True when the line's `code` is all whitespace (comment/blank line).
     pub comment_only: bool,
+    /// Contents of each string literal *starting* on this line, in source
+    /// order. Literal contents are blanked in `code`, but the AST layer
+    /// needs the values to resolve operation names.
+    pub literals: Vec<String>,
 }
 
 /// Strip comments and literal contents from `source`, preserving line
@@ -40,8 +44,13 @@ pub fn preprocess(source: &str) -> Vec<SourceLine> {
     let mut out = Vec::new();
     let mut state = State::Normal;
     let mut depth: u32 = 0;
+    // String-literal capture: value being accumulated, the 0-based line it
+    // started on, and all completed (line, value) pairs.
+    let mut cur_lit = String::new();
+    let mut lit_start = 0usize;
+    let mut lit_events: Vec<(usize, String)> = Vec::new();
 
-    for raw in source.lines() {
+    for (line_idx, raw) in source.lines().enumerate() {
         let mut code = String::with_capacity(raw.len());
         let mut comment = String::new();
         let start_depth = depth;
@@ -72,14 +81,18 @@ pub fn preprocess(source: &str) -> Vec<SourceLine> {
                         code.push(' ');
                         if i + 1 < bytes.len() {
                             code.push(' ');
+                            cur_lit.push(c);
+                            cur_lit.push(bytes[i + 1]);
                         }
                         i += 2;
                     } else if c == '"' {
                         code.push('"');
                         state = State::Normal;
+                        lit_events.push((lit_start, std::mem::take(&mut cur_lit)));
                         i += 1;
                     } else {
                         code.push(' ');
+                        cur_lit.push(c);
                         i += 1;
                     }
                 }
@@ -98,11 +111,13 @@ pub fn preprocess(source: &str) -> Vec<SourceLine> {
                                 code.push('#');
                             }
                             state = State::Normal;
+                            lit_events.push((lit_start, std::mem::take(&mut cur_lit)));
                             i += 1 + hashes as usize;
                             continue;
                         }
                     }
                     code.push(' ');
+                    cur_lit.push(c);
                     i += 1;
                 }
                 State::Normal => {
@@ -128,10 +143,14 @@ pub fn preprocess(source: &str) -> Vec<SourceLine> {
                         }
                         code.push('"');
                         state = State::RawStr(hashes);
+                        lit_start = line_idx;
+                        cur_lit.clear();
                         i = j + 1;
                     } else if c == '"' {
                         code.push('"');
                         state = State::Str;
+                        lit_start = line_idx;
+                        cur_lit.clear();
                         i += 1;
                     } else if c == '\'' {
                         // Char literal vs lifetime. A char literal is 'x',
@@ -162,13 +181,23 @@ pub fn preprocess(source: &str) -> Vec<SourceLine> {
             }
         }
 
+        if matches!(state, State::Str | State::RawStr(_)) {
+            // Multi-line literal: keep line structure inside the value.
+            cur_lit.push('\n');
+        }
         let comment_only = code.trim().is_empty();
         out.push(SourceLine {
             code,
             comment: comment.trim().to_string(),
             depth: start_depth,
             comment_only,
+            literals: Vec::new(),
         });
+    }
+    for (line, value) in lit_events {
+        if let Some(sl) = out.get_mut(line) {
+            sl.literals.push(value);
+        }
     }
     out
 }
@@ -336,6 +365,17 @@ mod tests {
         assert_eq!(normalize(" . unwrap ( )"), ".unwrap()");
         assert_eq!(normalize("let  x"), "let x");
         assert_eq!(normalize("std :: time"), "std::time");
+    }
+
+    #[test]
+    fn literal_values_are_captured() {
+        let lines = preprocess("call(orb, \"add\", x); let s = \"two\";\n");
+        assert_eq!(
+            lines[0].literals,
+            vec!["add".to_string(), "two".to_string()]
+        );
+        let raw = preprocess("let s = r#\"raw body\"#;\n");
+        assert_eq!(raw[0].literals, vec!["raw body".to_string()]);
     }
 
     #[test]

@@ -24,11 +24,15 @@
 //! suppresses nothing is a warning (`A2`). See `crates/lint/README.md`.
 
 pub mod analysis;
+pub mod ast;
+pub mod idlparse;
 pub mod lexer;
+pub mod lockgraph;
 pub mod rules;
+pub mod wire;
 
 use analysis::FileAnalysis;
-use rules::{check_file, Finding, Severity, WorkspaceIndex};
+use rules::{check_file_raw, finalize, Finding, Severity, WorkspaceIndex};
 use std::path::{Path, PathBuf};
 
 /// Result of a lint run.
@@ -38,6 +42,12 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of files parsed.
     pub files: usize,
+    /// IDL operations cross-checked against stub/skeleton/CDR (wire pass).
+    pub wire_ops: usize,
+    /// `simnet::Shared` acquisition sites covered by the lock graph.
+    pub lock_sites: usize,
+    /// Distinct lock classes in the acquisition graph.
+    pub lock_classes: usize,
 }
 
 impl Report {
@@ -82,7 +92,9 @@ pub fn crate_dir_of(rel_path: &str) -> Option<String> {
 }
 
 /// Analyze a single in-memory source (fixture tests and `--crate-name`
-/// runs). `crate_dir` drives rule scoping.
+/// runs). `crate_dir` drives rule scoping. Runs the per-file rules plus a
+/// single-file lock-graph pass; the wire pass needs the whole workspace
+/// and only runs under [`run_workspace`].
 pub fn analyze_source(
     path_label: &str,
     crate_dir: Option<&str>,
@@ -90,7 +102,9 @@ pub fn analyze_source(
     index: &WorkspaceIndex,
 ) -> Vec<Finding> {
     let fa = FileAnalysis::new(path_label, crate_dir, source);
-    check_file(&fa, index)
+    let mut findings = check_file_raw(&fa, index);
+    findings.extend(lockgraph::check(std::slice::from_ref(&fa)).findings);
+    finalize(&fa, findings)
 }
 
 /// Collect every workspace `.rs` file under `root`, sorted for
@@ -127,10 +141,29 @@ pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
+/// The workspace `idl/*.idl` contract files, sorted.
+pub fn idl_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let dir = root.join("idl");
+    let mut out = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(&dir) {
+        for e in entries.flatten() {
+            let path = e.path();
+            if path.extension().and_then(|x| x.to_str()) == Some("idl") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
 /// Run the analyzer over the whole workspace rooted at `root`.
 ///
-/// Two passes: the first builds the [`WorkspaceIndex`] (P2's one-hop call
-/// graph over the orb stub API), the second evaluates every rule.
+/// Three stages: the first parses every `.rs` and `.idl` file and builds
+/// the [`WorkspaceIndex`] (P2's one-hop call graph over the orb stub API),
+/// the second evaluates the per-file rules plus the cross-file wire
+/// (W1–W4) and lock-graph (L1–L3) passes, and the third routes every
+/// finding back to its file so allow directives apply uniformly.
 pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
     let files = workspace_files(root)?;
     let mut analyses = Vec::with_capacity(files.len());
@@ -147,12 +180,70 @@ pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
         index.absorb(&fa);
         analyses.push(fa);
     }
+    // IDL contracts: parsed for the wire pass, plus a pseudo-analysis per
+    // file so `// ldft-lint: allow(...)` directives work in .idl comments.
+    let mut idls = Vec::new();
+    let mut idl_analyses = Vec::new();
+    for path in idl_files(root)? {
+        let source = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        idls.push(idlparse::parse(&rel, &source));
+        idl_analyses.push(FileAnalysis::new(&rel, None, &source));
+    }
+
     let mut report = Report {
         findings: Vec::new(),
-        files: analyses.len(),
+        files: analyses.len() + idl_analyses.len(),
+        ..Report::default()
     };
+
+    // Per-file rules, keyed by path for cross-file routing.
+    let mut by_file: std::collections::BTreeMap<String, Vec<Finding>> =
+        std::collections::BTreeMap::new();
     for fa in &analyses {
-        report.findings.extend(check_file(fa, &index));
+        by_file.insert(fa.path.clone(), check_file_raw(fa, &index));
+    }
+    for fa in &idl_analyses {
+        by_file.insert(fa.path.clone(), Vec::new());
+    }
+
+    // Cross-file passes.
+    let wire_report = wire::check(&analyses, &idls);
+    report.wire_ops = wire_report.ops_checked;
+    let lock_report = lockgraph::check(&analyses);
+    report.lock_sites = lock_report.sites;
+    report.lock_classes = lock_report.classes;
+    for f in wire_report.findings.into_iter().chain(lock_report.findings) {
+        by_file.entry(f.file.clone()).or_default().push(f);
+    }
+
+    // Allow application, per file. Allowlist *hygiene* (A1/A2) only runs
+    // on policed files — sim crates and the IDL contracts — so that doc
+    // examples quoting the directive syntax elsewhere don't trip A1.
+    for fa in analyses.iter().chain(idl_analyses.iter()) {
+        let mut raw = by_file.remove(&fa.path).unwrap_or_default();
+        let policed = fa
+            .crate_dir
+            .as_deref()
+            .map(|d| rules::SIM_CRATES.contains(&d))
+            .unwrap_or(false)
+            || fa.path.ends_with(".idl");
+        if policed {
+            report.findings.extend(finalize(fa, raw));
+        } else {
+            rules::apply_allows(fa, &mut raw);
+            raw.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+            report.findings.extend(raw);
+        }
+    }
+    // Findings attributed to paths we never analyzed (should not happen;
+    // keep them rather than lose them).
+    for (_, rest) in by_file {
+        report.findings.extend(rest);
     }
     Ok(report)
 }

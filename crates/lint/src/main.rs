@@ -1,23 +1,80 @@
 //! ldft-lint CLI.
 //!
 //! ```text
-//! ldft-lint --workspace [--root DIR] [--verbose]
-//! ldft-lint [--crate-name NAME] FILE...
+//! ldft-lint --workspace [--root DIR] [--verbose] [--format text|json]
+//! ldft-lint [--crate-name NAME] [--format text|json] FILE...
 //! ldft-lint --list-rules
 //! ```
 //!
 //! Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+//!
+//! Text diagnostics render as `file:line: severity[RULE]: message`, which
+//! `.github/problem-matchers/ldft-lint.json` turns into GitHub
+//! annotations. `--format json` emits one machine-readable object with
+//! the findings and the coverage counters instead.
 
-use ldft_lint::rules::{rule_summary, WorkspaceIndex, RULE_IDS};
+use ldft_lint::rules::{rule_summary, Finding, WorkspaceIndex, RULE_IDS};
 use ldft_lint::{analyze_source, crate_dir_of, find_workspace_root, run_workspace, Report};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ldft-lint --workspace [--root DIR] [--verbose]\n       ldft-lint [--crate-name NAME] FILE...\n       ldft-lint --list-rules"
+        "usage: ldft-lint --workspace [--root DIR] [--verbose] [--format text|json]\n       ldft-lint [--crate-name NAME] [--format text|json] FILE...\n       ldft-lint --list-rules"
     );
     ExitCode::from(2)
+}
+
+/// Minimal JSON string escaping (the output has no exotic content, but
+/// messages may quote source with backslashes and quotes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_finding(f: &Finding) -> String {
+    let reason = match &f.allow_reason {
+        Some(r) => json_str(r),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"rule\":{},\"severity\":{},\"file\":{},\"line\":{},\"message\":{},\"allowed\":{},\"allow_reason\":{}}}",
+        json_str(f.rule),
+        json_str(&f.severity.to_string()),
+        json_str(&f.file),
+        f.line,
+        json_str(&f.message),
+        f.allowed,
+        reason
+    )
+}
+
+fn print_json(report: &Report, errors: usize, warnings: usize, allowed: usize) {
+    let findings: Vec<String> = report.findings.iter().map(json_finding).collect();
+    println!(
+        "{{\"files\":{},\"errors\":{},\"warnings\":{},\"allowed\":{},\"wire_ops\":{},\"lock_sites\":{},\"lock_classes\":{},\"findings\":[{}]}}",
+        report.files,
+        errors,
+        warnings,
+        allowed,
+        report.wire_ops,
+        report.lock_sites,
+        report.lock_classes,
+        findings.join(",")
+    );
 }
 
 fn main() -> ExitCode {
@@ -25,6 +82,7 @@ fn main() -> ExitCode {
     let mut workspace = false;
     let mut verbose = false;
     let mut list_rules = false;
+    let mut json = false;
     let mut root: Option<PathBuf> = None;
     let mut crate_name: Option<String> = None;
     let mut files: Vec<PathBuf> = Vec::new();
@@ -35,6 +93,11 @@ fn main() -> ExitCode {
             "--workspace" => workspace = true,
             "--verbose" | "-v" => verbose = true,
             "--list-rules" => list_rules = true,
+            "--format" => match it.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                _ => return usage(),
+            },
             "--root" => match it.next() {
                 Some(d) => root = Some(PathBuf::from(d)),
                 None => return usage(),
@@ -98,26 +161,28 @@ fn main() -> ExitCode {
         report
     };
 
-    let mut errors = 0usize;
-    for f in report.errors() {
-        println!("{}", f.render());
-        errors += 1;
-    }
-    let mut warnings = 0usize;
-    for f in report.warnings() {
-        println!("{}", f.render());
-        warnings += 1;
-    }
+    let errors = report.errors().count();
+    let warnings = report.warnings().count();
     let allowed = report.allowed().count();
-    if verbose {
-        for f in report.allowed() {
+    if json {
+        print_json(&report, errors, warnings, allowed);
+    } else {
+        for f in report.errors() {
             println!("{}", f.render());
         }
+        for f in report.warnings() {
+            println!("{}", f.render());
+        }
+        if verbose {
+            for f in report.allowed() {
+                println!("{}", f.render());
+            }
+        }
+        println!(
+            "ldft-lint: {} file(s), {errors} error(s), {warnings} warning(s), {allowed} allowed",
+            report.files
+        );
     }
-    println!(
-        "ldft-lint: {} file(s), {errors} error(s), {warnings} warning(s), {allowed} allowed",
-        report.files
-    );
     if errors > 0 {
         ExitCode::FAILURE
     } else {

@@ -79,7 +79,9 @@ pub const SIM_CRATES: &[&str] = &[
 ];
 
 /// All rule IDs, in report order.
-pub const RULE_IDS: &[&str] = &["D1", "D2", "D3", "D4", "P1", "P2", "P3"];
+pub const RULE_IDS: &[&str] = &[
+    "D1", "D2", "D3", "D4", "P1", "P2", "P3", "W1", "W2", "W3", "W4", "L1", "L2", "L3", "E1", "E2",
+];
 
 /// Human-readable one-liner per rule, for `--list-rules`.
 pub fn rule_summary(id: &str) -> &'static str {
@@ -91,6 +93,15 @@ pub fn rule_summary(id: &str) -> &'static str {
         "P1" => "panicking call in library code (unwrap/expect/panic!/unreachable!/todo!)",
         "P2" => "discarded remote-invocation result (let _ = ...invoke-like(...))",
         "P3" => "FT proxy method invokes without checkpoint-after-success",
+        "W1" => "IDL operation with no client-side call site (stub drift)",
+        "W2" => "IDL operation without a skeleton dispatch arm, or a dispatch arm for an op absent from the IDL",
+        "W3" => "CDR request tuple disagrees with the IDL in-parameter list (server types / client arity)",
+        "W4" => "CdrWrite/CdrRead pair marshals asymmetrically (tag or field-order mismatch)",
+        "L1" => "lock-order inversion across simnet::Shared classes (acquisition-graph cycle)",
+        "L2" => "re-entrant acquisition of a Shared cell while its guard is live",
+        "L3" => "blocking call (sleep/recv/compute/invoke) while holding a Shared guard",
+        "E1" => "caught COMM_FAILURE/TRANSIENT dropped on the floor (no retry, no propagation)",
+        "E2" => "checkpoint epoch crossing a fn/struct boundary as bare u64 (use cdr::Epoch)",
         "A1" => "allow directive missing a reason",
         "A2" => "allow directive names no finding (unused)",
         _ => "unknown rule",
@@ -242,10 +253,11 @@ const PATTERN_RULES: &[PatternRule] = &[
     },
 ];
 
-/// Run every rule against one analyzed file. `index` feeds P2's call
-/// graph. Findings suppressed by a valid allow directive come back with
-/// `allowed = true`; allowlist-hygiene problems are reported as `A1`.
-pub fn check_file(fa: &FileAnalysis, index: &WorkspaceIndex) -> Vec<Finding> {
+/// Run every *per-file* rule against one analyzed file, without applying
+/// allow directives. `index` feeds P2's call graph. The workspace driver
+/// merges these raw findings with the cross-file passes ([`crate::wire`],
+/// [`crate::lockgraph`]) before calling [`finalize`].
+pub fn check_file_raw(fa: &FileAnalysis, index: &WorkspaceIndex) -> Vec<Finding> {
     let mut findings = Vec::new();
     let Some(dir) = fa.crate_dir.as_deref() else {
         return findings;
@@ -279,6 +291,14 @@ pub fn check_file(fa: &FileAnalysis, index: &WorkspaceIndex) -> Vec<Finding> {
 
     check_p2(fa, index, &mut findings);
     check_p3(fa, &mut findings);
+    check_e1(fa, &mut findings);
+    check_e2(fa, &mut findings);
+    findings
+}
+
+/// [`check_file_raw`] + allow application, for single-file callers.
+pub fn check_file(fa: &FileAnalysis, index: &WorkspaceIndex) -> Vec<Finding> {
+    let findings = check_file_raw(fa, index);
     finalize(fa, findings)
 }
 
@@ -384,10 +404,124 @@ fn check_p3(fa: &FileAnalysis, findings: &mut Vec<Finding>) {
     }
 }
 
-/// Apply allow directives to raw findings and append allowlist-hygiene
-/// diagnostics (A1: missing reason — error; A2: unused directive —
-/// warning).
-fn finalize(fa: &FileAnalysis, mut findings: Vec<Finding>) -> Vec<Finding> {
+/// Pattern idents that mark a match arm as catching a *recoverable* CORBA
+/// failure (`COMM_FAILURE`/`TRANSIENT`).
+const E1_MARKERS: &[&str] = &[
+    "CommFailure",
+    "COMM_FAILURE",
+    "Transient",
+    "TRANSIENT",
+    "is_recoverable",
+    "is_comm_failure",
+];
+
+/// E1: a match arm that catches a recoverable CORBA failure with an empty
+/// body drops the only signal that drives retry/backoff — recoverable
+/// failures must flow into a retry path or propagate to the caller.
+fn check_e1(fa: &FileAnalysis, findings: &mut Vec<Finding>) {
+    use crate::ast::TokKind;
+    let ast = &fa.ast;
+    for m in &ast.matches {
+        for arm in &m.arms {
+            if fa.is_test_line(arm.line) {
+                continue;
+            }
+            let marked = ast.toks[arm.pat.0..arm.pat.1]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && E1_MARKERS.contains(&t.text.as_str()));
+            if !marked {
+                continue;
+            }
+            let trivial = !ast.toks[arm.body.0..arm.body.1]
+                .iter()
+                .any(|t| matches!(t.kind, TokKind::Ident | TokKind::Lit));
+            if trivial {
+                findings.push(Finding {
+                    rule: "E1",
+                    severity: Severity::Error,
+                    file: fa.path.clone(),
+                    line: arm.line,
+                    message: "recoverable CORBA failure (COMM_FAILURE/TRANSIENT) caught and dropped; feed it into retry-with-backoff or propagate it — silent drops hide partitions".to_string(),
+                    allowed: false,
+                    allow_reason: None,
+                });
+            }
+        }
+    }
+}
+
+/// True when a type spelling is bare `u64` (possibly behind `&`/`&mut` or
+/// `Option<..>`).
+fn is_bare_u64(ty: &str) -> bool {
+    let t: String = ty.replace("&", "").replace("mut ", "").replace(' ', "");
+    t == "u64" || t == "Option<u64>" || t == "mutu64"
+}
+
+/// E2: checkpoint epochs must cross fn/struct boundaries as `cdr::Epoch`,
+/// never bare `u64` — the newtype keeps epoch arithmetic explicit and lets
+/// the CDR layer reject mixed-epoch reassembly at the type level.
+fn check_e2(fa: &FileAnalysis, findings: &mut Vec<Finding>) {
+    // `simnet` sits below the wire types and cannot depend on `cdr`.
+    if fa.crate_dir.as_deref() == Some("simnet") {
+        return;
+    }
+    let ast = &fa.ast;
+    let mut push = |line: usize, what: String| {
+        if fa.is_test_line(line) {
+            return;
+        }
+        findings.push(Finding {
+            rule: "E2",
+            severity: Severity::Error,
+            file: fa.path.clone(),
+            line,
+            message: format!(
+                "{what} carries a checkpoint epoch as bare u64; use the `cdr::Epoch` newtype so epochs cannot be confused with other counters"
+            ),
+            allowed: false,
+            allow_reason: None,
+        });
+    };
+    for f in &ast.fns {
+        for p in &f.params {
+            if p.name.to_ascii_lowercase().contains("epoch") && is_bare_u64(&p.ty) {
+                push(p.line, format!("fn `{}` parameter `{}`", f.name, p.name));
+            }
+        }
+        if f.name.to_ascii_lowercase().contains("epoch") && is_bare_u64(&f.ret) {
+            push(f.line, format!("fn `{}` return type", f.name));
+        }
+    }
+    for st in &ast.structs {
+        for fld in &st.fields {
+            if fld.name.to_ascii_lowercase().contains("epoch") && is_bare_u64(&fld.ty) {
+                push(
+                    fld.line,
+                    format!("struct `{}` field `{}`", st.name, fld.name),
+                );
+            }
+        }
+    }
+    for en in &ast.enums {
+        for v in &en.variants {
+            for fld in &v.fields {
+                if fld.name.to_ascii_lowercase().contains("epoch") && is_bare_u64(&fld.ty) {
+                    push(
+                        fld.line,
+                        format!(
+                            "enum variant `{}::{}` field `{}`",
+                            en.name, v.name, fld.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Mark findings suppressed by a matching allow directive. Returns the
+/// per-directive "used" bitmap so [`finalize`] can report unused ones.
+pub fn apply_allows(fa: &FileAnalysis, findings: &mut [Finding]) -> Vec<bool> {
     let mut used: Vec<bool> = vec![false; fa.allows.len()];
     for f in findings.iter_mut() {
         for a in fa.allows_for_line(f.line) {
@@ -408,6 +542,14 @@ fn finalize(fa: &FileAnalysis, mut findings: Vec<Finding>) -> Vec<Finding> {
             }
         }
     }
+    used
+}
+
+/// Apply allow directives to raw findings and append allowlist-hygiene
+/// diagnostics (A1: missing reason — error; A2: unused directive —
+/// warning).
+pub fn finalize(fa: &FileAnalysis, mut findings: Vec<Finding>) -> Vec<Finding> {
+    let used = apply_allows(fa, &mut findings);
     for (a, was_used) in fa.allows.iter().zip(used.iter()) {
         if !RULE_IDS.contains(&a.rule.as_str()) {
             findings.push(Finding {

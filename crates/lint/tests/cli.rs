@@ -110,3 +110,85 @@ fn workspace_run_is_clean_on_the_committed_tree() {
     );
     assert!(stdout.contains("0 error(s)"), "{stdout}");
 }
+
+#[test]
+fn json_format_reports_findings_and_exit_code() {
+    let out = lint()
+        .args([
+            "--crate-name",
+            "orb",
+            "--format",
+            "json",
+            &fixture("d1_bad.rs"),
+        ])
+        .output()
+        .expect("spawn ldft-lint");
+    assert_eq!(out.status.code(), Some(1), "findings still fail the run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // One JSON object, no text diagnostics mixed in.
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    assert!(stdout.contains("\"rule\":\"D1\""), "{stdout}");
+    assert!(stdout.contains("\"severity\":\"error\""), "{stdout}");
+    assert!(stdout.contains("\"allowed\":false"), "{stdout}");
+    assert!(!stdout.contains("error[D1]"), "{stdout}");
+}
+
+#[test]
+fn json_format_workspace_carries_coverage_counters() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let out = lint()
+        .args(["--workspace", "--format", "json", "--root"])
+        .arg(root)
+        .output()
+        .expect("spawn ldft-lint");
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"errors\":0"), "{stdout}");
+    assert!(stdout.contains("\"wire_ops\":54"), "{stdout}");
+    assert!(stdout.contains("\"lock_sites\":"), "{stdout}");
+}
+
+#[test]
+fn bad_format_value_is_a_usage_error() {
+    let out = lint()
+        .args(["--format", "yaml"])
+        .output()
+        .expect("spawn ldft-lint");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn text_diagnostics_match_the_problem_matcher_regex() {
+    // `.github/problem-matchers/ldft-lint.json` parses
+    // `file:line: severity[RULE]: message`; keep the shapes in lockstep.
+    let matcher_src = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .join(".github/problem-matchers/ldft-lint.json"),
+    )
+    .expect("problem matcher file exists");
+    assert!(
+        matcher_src.contains("^(.+):(\\\\d+): (error|warning)\\\\[(\\\\w+)\\\\]: (.*)$"),
+        "matcher regex drifted:\n{matcher_src}"
+    );
+    let out = lint()
+        .args(["--crate-name", "orb", &fixture("d1_bad.rs")])
+        .output()
+        .expect("spawn ldft-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let diag = stdout.lines().next().expect("at least one diagnostic");
+    // Hand-check the line against the regex's shape.
+    let (loc, rest) = diag.split_once(": ").expect("`file:line: ` prefix");
+    let (_, line_no) = loc.rsplit_once(':').expect("line number");
+    assert!(line_no.chars().all(|c| c.is_ascii_digit()), "{diag}");
+    assert!(
+        rest.starts_with("error[") || rest.starts_with("warning["),
+        "{diag}"
+    );
+    assert!(rest.contains("]: "), "{diag}");
+}

@@ -1,0 +1,16 @@
+//! E1 fixture: recoverable CORBA failures caught and dropped.
+
+fn swallow(r: Result<(), Exception>) {
+    match r {
+        Ok(()) => {}
+        Err(e) if e.is_recoverable() => {}
+        Err(_) => {}
+    }
+}
+
+fn swallow_kind(k: SysKind) {
+    match k {
+        SysKind::CommFailure => (),
+        _ => (),
+    }
+}

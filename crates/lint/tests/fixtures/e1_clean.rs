@@ -1,0 +1,11 @@
+//! E1 counterpart: the recoverable arm feeds a retry path or propagates.
+
+fn retry(r: Result<(), Exception>, tries: &mut u32) -> Result<(), Exception> {
+    match r {
+        Err(e) if e.is_recoverable() => {
+            *tries += 1;
+            Err(e)
+        }
+        other => other,
+    }
+}

@@ -1,0 +1,15 @@
+//! E2 fixture: checkpoint epochs crossing boundaries as bare u64.
+
+pub struct Snapshot {
+    pub epoch: u64,
+    pub state: Vec<u8>,
+}
+
+pub fn newest_epoch(object_id: &str) -> u64 {
+    let _ = object_id;
+    0
+}
+
+pub fn replicate(epoch: u64, state: &[u8]) {
+    let _ = (epoch, state);
+}

@@ -1,0 +1,17 @@
+//! E2 counterpart: boundaries carry `cdr::Epoch`; locals may stay u64.
+
+pub struct Snapshot {
+    pub epoch: cdr::Epoch,
+    pub stamp_ns: u64,
+    pub state: Vec<u8>,
+}
+
+pub fn newest_epoch(object_id: &str) -> cdr::Epoch {
+    let _ = object_id;
+    let raw: u64 = 0;
+    cdr::Epoch(raw)
+}
+
+pub fn replicate(epoch: cdr::Epoch, state: &[u8]) {
+    let _ = (epoch, state);
+}

@@ -1,0 +1,22 @@
+//! L1 fixture: two lock classes acquired in opposite orders.
+
+struct S {
+    a: simnet::Shared<u32>,
+    b: simnet::Shared<u32>,
+}
+
+impl S {
+    fn ab(&self) {
+        let g = self.a.lock();
+        let h = self.b.lock();
+        drop(h);
+        drop(g);
+    }
+
+    fn ba(&self) {
+        let g = self.b.lock();
+        let h = self.a.lock();
+        drop(h);
+        drop(g);
+    }
+}

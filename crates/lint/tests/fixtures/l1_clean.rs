@@ -1,0 +1,22 @@
+//! L1 counterpart: every path takes `a` before `b`.
+
+struct S {
+    a: simnet::Shared<u32>,
+    b: simnet::Shared<u32>,
+}
+
+impl S {
+    fn ab(&self) {
+        let g = self.a.lock();
+        let h = self.b.lock();
+        drop(h);
+        drop(g);
+    }
+
+    fn ab_again(&self) {
+        let g = self.a.lock();
+        drop(g);
+        let h = self.b.lock();
+        drop(h);
+    }
+}

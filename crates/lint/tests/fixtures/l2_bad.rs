@@ -1,0 +1,13 @@
+//! L2 fixture: re-entrant acquisition while the guard is live.
+
+struct S {
+    state: simnet::Shared<u32>,
+}
+
+impl S {
+    fn bump(&self) -> u32 {
+        let g = self.state.lock();
+        let again = self.state.get();
+        *g + again
+    }
+}

@@ -1,0 +1,15 @@
+//! L2 counterpart: the guard is dropped before the second acquisition.
+
+struct S {
+    state: simnet::Shared<u32>,
+}
+
+impl S {
+    fn bump(&self) -> u32 {
+        let g = self.state.lock();
+        let held = *g;
+        drop(g);
+        let again = self.state.get();
+        held + again
+    }
+}

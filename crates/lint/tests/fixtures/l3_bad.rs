@@ -1,0 +1,13 @@
+//! L3 fixture: blocking call while a guard is live.
+
+struct S {
+    state: simnet::Shared<u32>,
+}
+
+impl S {
+    fn wait_holding(&self, ctx: &mut Ctx) {
+        let g = self.state.lock();
+        ctx.sleep(SimDuration::from_millis(1));
+        drop(g);
+    }
+}

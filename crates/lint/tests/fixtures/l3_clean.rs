@@ -1,0 +1,20 @@
+//! L3 counterpart: release first; fire-and-forget sends are fine held.
+
+struct S {
+    state: simnet::Shared<u32>,
+    ior: Ior,
+}
+
+impl S {
+    fn wait_released(&self, ctx: &mut Ctx) {
+        let g = self.state.lock();
+        drop(g);
+        ctx.sleep(SimDuration::from_millis(1));
+    }
+
+    fn send_holding(&self, orb: &mut Orb, ctx: &mut Ctx) {
+        let g = self.state.lock();
+        orb.invoke_oneway(ctx, &self.ior, "push", Vec::new());
+        drop(g);
+    }
+}

@@ -1,0 +1,7 @@
+//! Bad stub: the `add` request tuple has three elements, not two.
+
+pub fn drive(obj: &ObjectRef, orb: &mut Orb, ctx: &mut Ctx) {
+    let _: f64 = obj.call(orb, ctx, "add", &(1u32, 2u32, 3u32)).unwrap();
+    let _: u64 = obj.call(orb, ctx, "total", &()).unwrap();
+    orb.invoke_oneway(ctx, &obj.ior, "reset", Vec::new()).unwrap();
+}

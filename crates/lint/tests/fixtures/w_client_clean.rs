@@ -1,0 +1,8 @@
+//! Clean stub: every request tuple matches the IDL in-params.
+
+pub fn drive(obj: &ObjectRef, orb: &mut Orb, ctx: &mut Ctx) {
+    let _: f64 = obj.call(orb, ctx, "add", &(1u32, 2u32)).unwrap();
+    let _: u64 = obj.call(orb, ctx, "total", &()).unwrap();
+    orb.invoke_oneway(ctx, &obj.ior, "reset", Vec::new()).unwrap();
+    let _: String = obj.call(orb, ctx, "missing_arm", &("hi",)).unwrap();
+}

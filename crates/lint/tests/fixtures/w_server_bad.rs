@@ -1,0 +1,16 @@
+//! Bad skeleton: wrong decode tuple, an undeclared arm, a missing arm.
+
+impl Servant for CalcServant {
+    fn dispatch(&mut self, op: &str, body: &[u8]) -> Vec<u8> {
+        match op {
+            "add" => {
+                let (a,): (u32,) = cdr::from_bytes(body).unwrap();
+                cdr::to_bytes(&(a as f64))
+            }
+            "total" => cdr::to_bytes(&self.total),
+            "reset" => Vec::new(),
+            "bogus" => Vec::new(),
+            _ => Vec::new(),
+        }
+    }
+}

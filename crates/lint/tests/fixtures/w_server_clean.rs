@@ -1,0 +1,19 @@
+//! Clean skeleton: every op has an arm decoding the declared in-params.
+
+impl Servant for CalcServant {
+    fn dispatch(&mut self, op: &str, body: &[u8]) -> Vec<u8> {
+        match op {
+            "add" => {
+                let (a, b): (u32, u32) = cdr::from_bytes(body).unwrap();
+                cdr::to_bytes(&((a + b) as f64))
+            }
+            "total" => cdr::to_bytes(&self.total),
+            "reset" => Vec::new(),
+            "missing_arm" => {
+                let (note,): (String,) = cdr::from_bytes(body).unwrap();
+                cdr::to_bytes(&note)
+            }
+            _ => Vec::new(),
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Golden test over the committed `idl/*.idl` contracts: the parser must
+//! see exactly the interfaces, operations, typedefs, and type mappings
+//! the Rust side implements. If an IDL file gains or loses an operation,
+//! this test fails alongside the wire pass — update both deliberately.
+
+use ldft_lint::idlparse::{parse, IdlFile};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+}
+
+fn parsed() -> Vec<IdlFile> {
+    ldft_lint::idl_files(workspace_root())
+        .expect("list idl/")
+        .iter()
+        .map(|p| {
+            let src = std::fs::read_to_string(p).expect("read idl");
+            let rel = p
+                .strip_prefix(workspace_root())
+                .unwrap()
+                .to_string_lossy()
+                .replace('\\', "/");
+            parse(&rel, &src)
+        })
+        .collect()
+}
+
+#[test]
+fn every_contract_parses_to_the_expected_surface() {
+    // (file, interface, op count) — op counts include attribute
+    // pseudo-ops (`_get_x`/`_set_x`).
+    let want: &[(&str, &str, usize)] = &[
+        ("idl/calculator.idl", "Calculator", 10),
+        ("idl/ft.idl", "CheckpointService", 7),
+        ("idl/ft.idl", "ServiceFactory", 3),
+        ("idl/monitor.idl", "EventChannel", 4),
+        ("idl/naming.idl", "BindingIterator", 3),
+        ("idl/naming.idl", "NamingContext", 11),
+        ("idl/naming.idl", "Lookup", 3),
+        ("idl/optim.idl", "Worker", 4),
+        ("idl/store.idl", "Replication", 6),
+        ("idl/winner.idl", "SystemManager", 3),
+    ];
+    let got: Vec<(String, String, usize)> = parsed()
+        .iter()
+        .flat_map(|f| {
+            f.interfaces
+                .iter()
+                .map(|i| (f.path.clone(), i.name.clone(), i.ops.len()))
+        })
+        .collect();
+    let want: Vec<(String, String, usize)> = want
+        .iter()
+        .map(|(f, i, n)| (f.to_string(), i.to_string(), *n))
+        .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn total_op_count_is_asserted() {
+    // The workspace wire pass cross-checks exactly this many operations
+    // (see `tests/selfcheck.rs`, which asserts `wire_ops` equals it).
+    let total: usize = parsed()
+        .iter()
+        .flat_map(|f| f.interfaces.iter())
+        .map(|i| i.ops.len())
+        .sum();
+    assert_eq!(total, 54);
+}
+
+#[test]
+fn typedefs_map_to_canonical_rust_spellings() {
+    let by_path: BTreeMap<String, IdlFile> =
+        parsed().into_iter().map(|f| (f.path.clone(), f)).collect();
+    let ft = &by_path["idl/ft.idl"];
+    assert_eq!(ft.typedefs["Epoch"], "u64", "FT::Epoch is wire-u64");
+    assert_eq!(ft.typedefs["OctetSeq"], "Vec<u8>");
+    let naming = &by_path["idl/naming.idl"];
+    assert_eq!(naming.typedefs["Name"], "Vec<NameComponent>");
+    assert_eq!(naming.enums, vec!["BindingType".to_string()]);
+    let winner = &by_path["idl/winner.idl"];
+    assert_eq!(winner.typedefs["HostSeq"], "Vec<u32>");
+    assert_eq!(winner.typedefs["HostStatusSeq"], "Vec<HostStatus>");
+    let monitor = &by_path["idl/monitor.idl"];
+    assert_eq!(
+        monitor.natives,
+        vec!["EventBody".to_string()],
+        "the event body is a native (Rust-defined) type"
+    );
+}
+
+#[test]
+fn attributes_expand_to_wire_pseudo_ops() {
+    let files = parsed();
+    let calc = files
+        .iter()
+        .find(|f| f.path == "idl/calculator.idl")
+        .unwrap();
+    let ops: Vec<&str> = calc.interfaces[0]
+        .ops
+        .iter()
+        .filter(|o| o.from_attribute)
+        .map(|o| o.name.as_str())
+        .collect();
+    // `readonly attribute unsigned long op_count` → getter only;
+    // `attribute double precision` → getter + setter.
+    assert_eq!(
+        ops,
+        vec!["_get_op_count", "_get_precision", "_set_precision"]
+    );
+    let optim = files.iter().find(|f| f.path == "idl/optim.idl").unwrap();
+    let worker = &optim.interfaces[0];
+    let solve_count = worker
+        .ops
+        .iter()
+        .find(|o| o.name == "_get_solve_count")
+        .expect("readonly attribute expanded");
+    assert!(solve_count.ins.is_empty());
+    assert_eq!(solve_count.ret, "u32");
+}
+
+#[test]
+fn struct_fields_carry_canonical_types() {
+    let files = parsed();
+    let ft = files.iter().find(|f| f.path == "idl/ft.idl").unwrap();
+    let ckpt = ft.structs.iter().find(|s| s.name == "Checkpoint").unwrap();
+    let fields: Vec<(&str, &str)> = ckpt
+        .fields
+        .iter()
+        .map(|(n, t)| (n.as_str(), t.as_str()))
+        .collect();
+    assert_eq!(
+        fields,
+        vec![
+            ("object_id", "String"),
+            // Typedefs (`Epoch`, `OctetSeq`) are resolved to their wire
+            // spellings already at parse time.
+            ("epoch", "u64"),
+            ("state", "Vec<u8>"),
+            ("stamp_ns", "u64"),
+        ]
+    );
+}
+
+#[test]
+fn oneway_ops_are_flagged() {
+    let oneway: Vec<String> = parsed()
+        .iter()
+        .flat_map(|f| f.all_ops().map(|(i, o)| (i.name.clone(), o.clone())))
+        .filter(|(_, o)| o.oneway)
+        .map(|(i, o)| format!("{i}::{}", o.name))
+        .collect();
+    assert_eq!(
+        oneway,
+        vec![
+            "Calculator::log".to_string(),
+            "EventChannel::push".to_string(),
+            "SystemManager::report".to_string(),
+        ]
+    );
+}

@@ -93,7 +93,7 @@ pub struct Doctor {
     /// Hosts currently down: host -> crash time.
     down_hosts: BTreeMap<u32, u64>,
     /// Last stored checkpoint per target: target -> (time_ns, epoch).
-    last_ckpt: BTreeMap<String, (u64, u64)>,
+    last_ckpt: BTreeMap<String, (u64, cdr::Epoch)>,
     /// Per-invariant (checks, violations).
     invariants: BTreeMap<&'static str, (u64, u64)>,
     /// One line per recovery episode (budget verdicts, OK or not).
@@ -414,7 +414,7 @@ mod tests {
         });
         let qw = |acks, view| EventBody::QuorumWrite {
             object: "o".into(),
-            epoch: 1,
+            epoch: cdr::Epoch(1),
             acks,
             view,
             quorum: 2,
@@ -465,7 +465,7 @@ mod tests {
                 0,
                 EventBody::CheckpointStored {
                     target: "w".into(),
-                    epoch,
+                    epoch: cdr::Epoch(epoch),
                     bytes: 8,
                     dur_ns: 1,
                 },

@@ -31,7 +31,7 @@
 //! consumer formats them with integer arithmetic — a determinism
 //! constraint, not a bandwidth one (DESIGN.md §10).
 
-use cdr::{cdr_struct, CdrDecoder, CdrEncoder, CdrError, CdrRead, CdrResult, CdrWrite};
+use cdr::{cdr_struct, CdrDecoder, CdrEncoder, CdrError, CdrRead, CdrResult, CdrWrite, Epoch};
 
 /// Repository id of the event channel interface.
 pub const EVENT_CHANNEL_TYPE: &str = "IDL:Monitor/EventChannel:1.0";
@@ -134,7 +134,7 @@ pub enum EventBody {
         /// Object id checkpointed.
         target: String,
         /// Checkpoint epoch.
-        epoch: u64,
+        epoch: Epoch,
         /// Serialized checkpoint size.
         bytes: u64,
         /// Time spent storing it.
@@ -152,7 +152,7 @@ pub enum EventBody {
         /// Object id written.
         object: String,
         /// Checkpoint epoch written.
-        epoch: u64,
+        epoch: Epoch,
         /// Replicas that acked (counting the coordinator).
         acks: u32,
         /// View size at the time of the write.
@@ -417,7 +417,7 @@ impl CdrRead for EventBody {
             },
             TAG_CHECKPOINT_STORED => EventBody::CheckpointStored {
                 target: String::read(dec)?,
-                epoch: u64::read(dec)?,
+                epoch: Epoch::read(dec)?,
                 bytes: u64::read(dec)?,
                 dur_ns: u64::read(dec)?,
             },
@@ -427,7 +427,7 @@ impl CdrRead for EventBody {
             },
             TAG_QUORUM_WRITE => EventBody::QuorumWrite {
                 object: String::read(dec)?,
-                epoch: u64::read(dec)?,
+                epoch: Epoch::read(dec)?,
                 acks: u32::read(dec)?,
                 view: u32::read(dec)?,
                 quorum: u32::read(dec)?,
@@ -497,7 +497,7 @@ mod tests {
         });
         roundtrip(EventBody::CheckpointStored {
             target: "w".into(),
-            epoch: 3,
+            epoch: Epoch(3),
             bytes: 128,
             dur_ns: 7,
         });
@@ -507,7 +507,7 @@ mod tests {
         });
         roundtrip(EventBody::QuorumWrite {
             object: "o".into(),
-            epoch: 1,
+            epoch: Epoch(1),
             acks: 2,
             view: 3,
             quorum: 2,

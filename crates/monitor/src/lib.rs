@@ -31,8 +31,10 @@ mod channel;
 mod doctor;
 mod events;
 mod publisher;
+mod subscriber;
 
 pub use channel::{ChannelState, EventChannel, MonitorHandle, KERNEL_PID};
 pub use doctor::{Doctor, MonitorConfig};
 pub use events::{milli, ops, Event, EventBody, EVENT_CHANNEL_NAME, EVENT_CHANNEL_TYPE};
 pub use publisher::Publisher;
+pub use subscriber::Subscription;

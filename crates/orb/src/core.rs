@@ -242,7 +242,7 @@ impl Orb {
     /// # Panics
     /// If the ORB is not listening.
     pub fn ior(&self, type_id: impl Into<String>, key: ObjectKey) -> Ior {
-        // ldft-lint: allow(P1, documented API contract: minting an IOR before listen() has no meaningful endpoint to encode)
+        // ldft-lint: allow(P1, documented API contract: minting an IOR before listen() has no meaningful endpoint to encode; re-audited 2026-08 — returning Result would push an unreachable error arm into every server, expiry 2027-06)
         let port = self.port.expect("Orb::ior requires listen() first");
         Ior::new(type_id, self.host, port, key)
     }

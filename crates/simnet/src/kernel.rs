@@ -425,7 +425,7 @@ impl Kernel {
             self.drain_runnable();
             if let Some((pid, msg)) = self.panicked.take() {
                 let name = &self.procs[pid.0 as usize].name;
-                // ldft-lint: allow(P1, by design: re-raises a sim-process panic on the driver thread so bugs fail the run instead of vanishing with one thread)
+                // ldft-lint: allow(P1, by design: re-raises a sim-process panic on the driver thread so bugs fail the run instead of vanishing with one thread; re-audited 2026-08 — the kernel driver is host-side test harness and P1's exception contract does not apply, expiry 2027-06)
                 panic!("simulated process {pid} ({name}) panicked: {msg}");
             }
             if stop(self) {
@@ -446,7 +446,7 @@ impl Kernel {
             self.now = ev.time;
             self.stats.events += 1;
             if self.stats.events > self.cfg.max_events {
-                // ldft-lint: allow(P1, by design: explicit runaway-loop guard; stopping silently would report results from a truncated run)
+                // ldft-lint: allow(P1, by design: explicit runaway-loop guard; stopping silently would report results from a truncated run; re-audited 2026-08 — a Result return would let callers ignore a truncated run, expiry 2027-06)
                 panic!(
                     "simnet: exceeded max_events={} at {:?} — runaway event loop?",
                     self.cfg.max_events, self.now

@@ -1,0 +1,53 @@
+//! Anti-entropy / operations client for a store replica.
+//!
+//! Replicas talk to each other with `oneway` pushes inside the write
+//! path; this is the *synchronous* side — the surface quorum-read
+//! tooling and operators use (`repl_get`, `gc`, `store_status` in
+//! `idl/store.idl`). Tests and the deployment doctor drive it instead of
+//! hand-rolling `orb.invoke` calls per op.
+
+use ftproxy::Checkpoint;
+use orb::{Exception, ObjectRef, Orb};
+use simnet::{Ctx, SimResult};
+
+use crate::protocol::ops;
+
+/// A typed handle on one replica's maintenance interface.
+pub struct ReplicaAdmin {
+    obj: ObjectRef,
+}
+
+impl ReplicaAdmin {
+    /// Wrap a replica reference.
+    pub fn new(obj: ObjectRef) -> Self {
+        ReplicaAdmin { obj }
+    }
+
+    /// This replica's newest local epoch for `object_id` —
+    /// `(found, checkpoint)`; the checkpoint is a zeroed placeholder when
+    /// `found` is false. Reads *local* state only (no quorum), which is
+    /// exactly what anti-entropy comparison wants.
+    pub fn repl_get(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        object_id: &str,
+    ) -> SimResult<Result<(bool, Checkpoint), Exception>> {
+        self.obj.call(orb, ctx, ops::REPL_GET, &(object_id,))
+    }
+
+    /// Compact now: keep only the newest epoch per object. Returns
+    /// `(epochs_dropped, chunks_dropped)`.
+    pub fn gc(&self, orb: &mut Orb, ctx: &mut Ctx) -> SimResult<Result<(u64, u64), Exception>> {
+        self.obj.call(orb, ctx, ops::GC, &())
+    }
+
+    /// `(objects, retained epochs, values)` held locally.
+    pub fn store_status(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+    ) -> SimResult<Result<(u64, u64, u64), Exception>> {
+        self.obj.call(orb, ctx, ops::STORE_STATUS, &())
+    }
+}

@@ -30,11 +30,13 @@
 //! (cf. Dwork/Halpern/Waarts: recovery cost, not crash count, dominates
 //! useful work). See DESIGN.md §9 for the protocol rules.
 
+pub mod admin;
 pub mod chaos;
 pub mod deploy;
 pub mod protocol;
 pub mod replica;
 
+pub use admin::ReplicaAdmin;
 pub use chaos::{ChaosConfig, ChaosPlan};
 pub use deploy::{spawn_replicated_store, StoreDeployment};
 pub use protocol::{ops, StoreConfig};

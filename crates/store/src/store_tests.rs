@@ -4,7 +4,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use cdr::{Any, TypeCode, Value};
+use cdr::{Any, Epoch, TypeCode, Value};
 use cosnaming::{LbMode, Name, NamingClient};
 use ftproxy::{Checkpoint, CheckpointClient, CHECKPOINT_SERVICE_NAME};
 use orb::{Exception, Orb, SysKind, SystemException};
@@ -28,7 +28,7 @@ fn secs(s: f64) -> SimDuration {
 fn ckpt(id: &str, epoch: u64, state: &[u8]) -> Checkpoint {
     Checkpoint {
         object_id: id.to_string(),
-        epoch,
+        epoch: Epoch(epoch),
         state: state.to_vec(),
         stamp_ns: 0,
     }
@@ -79,7 +79,7 @@ fn retention_trims_old_bulk_epochs() {
         r.apply_bulk(ckpt("obj", e, b"state"));
     }
     let newest = r.local_newest("obj").unwrap();
-    assert_eq!(newest.epoch, 4);
+    assert_eq!(newest.epoch, Epoch(4));
     let (objects, epochs, _) = r.status();
     assert_eq!((objects, epochs), (1, 2), "retain K=2 epochs");
     assert_eq!(r.gc_epochs, 2, "epochs 1 and 2 trimmed");
@@ -113,7 +113,7 @@ fn compact_keeps_only_newest_epoch_and_chunks() {
     assert_eq!(chunks_dropped, 1, "epoch-2 chunk dropped");
     let (objects, epochs, values) = r.status();
     assert_eq!((objects, epochs, values), (1, 1, 2));
-    assert_eq!(r.local_newest("obj").unwrap().epoch, 3);
+    assert_eq!(r.local_newest("obj").unwrap().epoch, Epoch(3));
 }
 
 #[test]
@@ -236,7 +236,7 @@ fn replicated_store_survives_primary_replica_crash() {
     let mut sim = Kernel::with_seed(21);
     let hosts = store_bed(&mut sim, 3, StoreConfig::default());
     let h0 = hosts[0];
-    let out = cell::<Option<(u64, Vec<u8>)>>();
+    let out = cell::<Option<(Epoch, Vec<u8>)>>();
     let o = out.clone();
     let driver = sim.spawn(h0, "driver", move |ctx| {
         ctx.sleep(secs(1.0)).unwrap();
@@ -260,7 +260,7 @@ fn replicated_store_survives_primary_replica_crash() {
     });
     sim.run_until_exit(driver);
     let (epoch, state) = out.lock().unwrap().clone().unwrap();
-    assert_eq!(epoch, 7);
+    assert_eq!(epoch, Epoch(7));
     assert_eq!(state, b"payload");
 }
 
@@ -325,11 +325,8 @@ fn write_replicates_to_every_view_member() {
             .unwrap();
         assert_eq!(members.len(), 3);
         for m in members {
-            let obj = orb::ObjectRef::new(m);
-            let status: (u64, u64, u64) = obj
-                .call(&mut orb, ctx, crate::ops::STORE_STATUS, &())
-                .unwrap()
-                .unwrap();
+            let admin = crate::admin::ReplicaAdmin::new(orb::ObjectRef::new(m));
+            let status = admin.store_status(&mut orb, ctx).unwrap().unwrap();
             c.lock().unwrap().push(status);
         }
     });
@@ -397,11 +394,11 @@ fn unreachable_quorum_fails_the_write() {
 
 #[test]
 fn replicated_runs_are_deterministic() {
-    fn run(seed: u64) -> (u64, Vec<u8>) {
+    fn run(seed: u64) -> (Epoch, Vec<u8>) {
         let mut sim = Kernel::with_seed(seed);
         let hosts = store_bed(&mut sim, 3, StoreConfig::default());
         let h0 = hosts[0];
-        let out = cell::<Option<(u64, Vec<u8>)>>();
+        let out = cell::<Option<(Epoch, Vec<u8>)>>();
         let o = out.clone();
         let driver = sim.spawn(h0, "driver", move |ctx| {
             ctx.sleep(secs(1.0)).unwrap();
@@ -431,5 +428,52 @@ fn replicated_runs_are_deterministic() {
     let a = run(33);
     let b = run(33);
     assert_eq!(a, b, "same seed, same failover outcome");
-    assert_eq!(a.0, 4, "newest acked epoch survives the crash");
+    assert_eq!(a.0, Epoch(4), "newest acked epoch survives the crash");
+}
+
+#[test]
+fn admin_client_reads_and_compacts_over_the_wire() {
+    // Drive the maintenance surface (`repl_get`, `gc`, `store_status` in
+    // idl/store.idl) through the typed ReplicaAdmin client against every
+    // group member: each replica reports the replicated newest epoch,
+    // compacts its superseded epochs, and shows the shrunken status.
+    let mut sim = Kernel::with_seed(5);
+    let hosts = store_bed(&mut sim, 2, StoreConfig::default().with_retain_epochs(4));
+    let h0 = hosts[0];
+    let out = cell::<Vec<(bool, u64, u64, u64)>>();
+    let o = out.clone();
+    let driver = sim.spawn(h0, "driver", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let client = resolve_store(&mut orb, ctx, h0);
+        for e in 1..=3u64 {
+            client
+                .store(&mut orb, ctx, &ckpt("obj", e, b"s"))
+                .unwrap()
+                .unwrap();
+        }
+        let ns = NamingClient::root(h0);
+        let members = ns
+            .group_members(&mut orb, ctx, &Name::simple(CHECKPOINT_SERVICE_NAME))
+            .unwrap()
+            .unwrap();
+        assert_eq!(members.len(), 2);
+        for m in members {
+            let admin = crate::admin::ReplicaAdmin::new(orb::ObjectRef::new(m));
+            let (found, c) = admin.repl_get(&mut orb, ctx, "obj").unwrap().unwrap();
+            assert!(found, "every replica holds the replicated record");
+            let (epochs_dropped, _chunks) = admin.gc(&mut orb, ctx).unwrap().unwrap();
+            let (_objects, epochs_left, _values) =
+                admin.store_status(&mut orb, ctx).unwrap().unwrap();
+            o.lock()
+                .unwrap()
+                .push((found, c.epoch.get(), epochs_dropped, epochs_left));
+        }
+    });
+    sim.run_until_exit(driver);
+    assert_eq!(
+        *out.lock().unwrap(),
+        vec![(true, 3, 2, 1); 2],
+        "both replicas: newest epoch 3 visible, gc drops 2, one epoch left"
+    );
 }

@@ -25,13 +25,20 @@
 //!   };
 //!   typedef sequence<unsigned long> HostSeq;
 //!   typedef sequence<HostStatus> HostStatusSeq;
+//!   struct SelectRequest {
+//!     HostSeq candidates;
+//!   };
 //!   interface SystemManager {
 //!     oneway void report(in LoadReport load);
-//!     void select(in HostSeq candidates, out boolean found, out unsigned long host);
+//!     void select(in SelectRequest req, out boolean found, out unsigned long host);
 //!     HostStatusSeq snapshot();
 //!   };
 //! };
 //! ```
+//!
+//! The authoritative copy of this contract is `idl/winner.idl`; the
+//! lint's wire pass (W1–W3) cross-checks it against this module and the
+//! system-manager servant.
 
 use cdr::{cdr_struct, CdrRead, CdrResult, CdrWrite};
 

@@ -12,11 +12,12 @@ use std::rc::Rc;
 
 use corba_runtime::{run_experiment, CrashPlan, ExperimentSpec, NamingMode};
 use monitor::{
-    ChannelState, Event, EventBody, EventChannel, MonitorConfig, Publisher, EVENT_CHANNEL_TYPE,
+    ChannelState, Event, EventBody, EventChannel, MonitorConfig, Publisher, Subscription,
+    EVENT_CHANNEL_TYPE,
 };
 use obs::Obs;
 use optim::FtSettings;
-use orb::Orb;
+use orb::{Ior, ObjectRef, Orb};
 use simnet::{Ctx, Kernel, KernelConfig, Shared, SimDuration};
 
 /// Outcome of one mini-cluster monitoring run: the wide subscriber's
@@ -150,6 +151,132 @@ fn subscriber_backpressure_drops_deterministically_into_metrics() {
     // export are reproducible byte for byte.
     assert_eq!(a.delivered, b.delivered);
     assert_eq!(a.metrics_text, b.metrics_text);
+}
+
+#[test]
+fn remote_subscriber_pulls_over_the_wire() {
+    // A consumer on a third host goes through the typed `Subscription`
+    // client (`subscribe`/`pull`/`stats` in idl/monitor.idl) instead of
+    // touching `ChannelState` directly, and sees exactly the stream the
+    // watermark has released.
+    let mut kernel = Kernel::new(KernelConfig {
+        seed: 9,
+        ..KernelConfig::default()
+    });
+    let hosts = kernel.add_hosts(3);
+    let state = Shared::new(ChannelState::new(MonitorConfig::default(), None));
+    let cell: Shared<Option<String>> = Shared::new(None);
+    let out: Shared<Option<(Vec<Event>, u64, u64)>> = Shared::new(None);
+
+    {
+        let state = state.clone();
+        let cell = cell.clone();
+        kernel.spawn(hosts[0], "channel", move |ctx| {
+            let mut orb = Orb::init(ctx);
+            if orb.listen(ctx).is_err() {
+                return;
+            }
+            let poa = orb::Poa::new();
+            let key = poa.activate(
+                EVENT_CHANNEL_TYPE,
+                Rc::new(RefCell::new(EventChannel::new(state))),
+            );
+            cell.put(orb.ior(EVENT_CHANNEL_TYPE, key).stringify());
+            let _ = orb.serve_forever(ctx, &poa);
+        });
+    }
+    {
+        let cell = cell.clone();
+        kernel.spawn(hosts[1], "pub", move |ctx: &mut Ctx| {
+            let mut orb = Orb::init(ctx);
+            if orb.listen(ctx).is_err() {
+                return;
+            }
+            let publisher = Publisher::new(cell, ctx);
+            if ctx.sleep(SimDuration::from_millis(10)).is_err() {
+                return;
+            }
+            for n in 0..10u32 {
+                let sent = publisher.publish(
+                    &mut orb,
+                    ctx,
+                    EventBody::LoadReport {
+                        runnable: n,
+                        load_milli: 0,
+                        cpu_milli: 0,
+                    },
+                );
+                if sent.is_err() || ctx.sleep(SimDuration::from_millis(4)).is_err() {
+                    return;
+                }
+            }
+            // A late straggler pushes the 2 ms watermark far past the ten
+            // events above, so they are all released before the pull.
+            if ctx.sleep(SimDuration::from_millis(250)).is_err() {
+                return;
+            }
+            let _ = publisher.publish(
+                &mut orb,
+                ctx,
+                EventBody::LoadReport {
+                    runnable: 99,
+                    load_milli: 0,
+                    cpu_milli: 0,
+                },
+            );
+        });
+    }
+    {
+        let cell = cell.clone();
+        let out = out.clone();
+        kernel.spawn(hosts[2], "sub", move |ctx: &mut Ctx| {
+            let mut orb = Orb::init(ctx);
+            if orb.listen(ctx).is_err() {
+                return;
+            }
+            // Attach before any event clears the watermark, so the ring
+            // sees the whole released stream.
+            let ior = loop {
+                if let Some(s) = cell.get() {
+                    break Ior::destringify(&s).unwrap();
+                }
+                if ctx.sleep(SimDuration::from_millis(1)).is_err() {
+                    return;
+                }
+            };
+            let sub = Subscription::attach(ObjectRef::new(ior), &mut orb, ctx, 64)
+                .unwrap()
+                .unwrap();
+            if ctx.sleep(SimDuration::from_millis(500)).is_err() {
+                return;
+            }
+            let events = sub.pull(&mut orb, ctx, 100).unwrap().unwrap();
+            let stats = sub.stats(&mut orb, ctx).unwrap().unwrap();
+            out.put((events, stats.0, stats.1));
+        });
+    }
+
+    kernel.run_for(SimDuration::from_secs(1));
+    let (events, received, dropped) = out.get().expect("subscriber ran to completion");
+    assert_eq!(received, 11, "ten reports plus the straggler ingested");
+    assert_eq!(dropped, 0, "depth 64 never overflows");
+    assert_eq!(
+        events.len(),
+        10,
+        "released stream at pull time: the straggler is still behind the watermark"
+    );
+    assert!(
+        events.windows(2).all(|w| w[0].key() < w[1].key()),
+        "pulled out of publish order"
+    );
+    let runnables: Vec<u32> = events
+        .iter()
+        .map(|e| match e.body {
+            EventBody::LoadReport { runnable, .. } => runnable,
+            _ => panic!("unexpected event body"),
+        })
+        .collect();
+    assert_eq!(runnables, (0..10).collect::<Vec<u32>>());
 }
 
 #[test]
