@@ -20,6 +20,13 @@ use store::{spawn_replicated_store, ChaosConfig, ChaosPlan, StoreConfig};
 
 const REPLICAS: usize = 3;
 
+/// Retry budget for the driver's resolve/store/retrieve loops. Each
+/// retry sleeps 50–150 ms, so the budget is a ≥ 60 s sim-time window —
+/// far beyond the chaos horizon (≈ 13 s plus a 2 s restart tail). Blowing
+/// it means failover is wedged, which the run should report loudly
+/// instead of spinning forever.
+const RETRY_MAX_ATTEMPTS: u32 = 1200;
+
 /// What one chaos cell did.
 #[derive(Clone, Debug, Default)]
 struct CellStats {
@@ -34,22 +41,32 @@ struct CellStats {
     crashes: usize,
 }
 
-/// Outcome of one seeded cell, with its observability exports.
+/// Outcome of one seeded cell, with its observability exports and the
+/// flight recorder's post-mortems (kernel crash/restart lifecycle dumps).
 struct CellOutcome {
     stats: CellStats,
     trace_json: String,
     metrics_text: String,
+    post_mortems: String,
 }
 
 fn resolve_store(orb: &mut Orb, ctx: &mut Ctx, naming_host: simnet::HostId) -> CheckpointClient {
     let ns = NamingClient::root(naming_host);
+    let mut attempts = 0u32;
     loop {
         match ns
             .resolve(orb, ctx, &Name::simple(CHECKPOINT_SERVICE_NAME))
             .expect("driver host never crashes")
         {
             Ok(obj) => return CheckpointClient::new(obj),
-            Err(_) => ctx.sleep(SimDuration::from_millis(50)).unwrap(),
+            Err(_) => {
+                attempts += 1;
+                assert!(
+                    attempts < RETRY_MAX_ATTEMPTS,
+                    "store group unresolvable after {attempts} attempts — failover wedged"
+                );
+                ctx.sleep(SimDuration::from_millis(50)).unwrap();
+            }
         }
     }
 }
@@ -60,6 +77,15 @@ fn resolve_store(orb: &mut Orb, ctx: &mut Ctx, naming_host: simnet::HostId) -> C
 fn run_cell(seed: u64, scale: f64) -> CellOutcome {
     let mut sim = Kernel::with_seed(seed);
     let sink = obs::Obs::new();
+    // Flight recorder over the kernel's lifecycle stream: every injected
+    // crash/restart dumps a post-mortem tail, flushed to stderr if the run
+    // fails. No obs sink — the recorder must not perturb the trace/metrics
+    // exports the CI determinism gate `cmp`s.
+    let flight = monitor::MonitorHandle::new(monitor::MonitorConfig::default(), None);
+    {
+        let state = flight.state.clone();
+        sim.set_event_hook(move |now, ev| state.with(|s| s.ingest_kernel(now, ev)));
+    }
     let naming_host = sim.add_host(HostConfig::new("infra"));
     let replica_hosts: Vec<_> = (0..REPLICAS)
         .map(|i| sim.add_host(HostConfig::new(format!("store{i}"))))
@@ -118,7 +144,9 @@ fn run_cell(seed: u64, scale: f64) -> CellOutcome {
             };
             // Retry through crashes: a dead coordinator or a lost quorum
             // heals once the detector evicts the corpse (or the host
-            // restarts and re-binds), so keep re-resolving.
+            // restarts and re-binds), so keep re-resolving — within the
+            // failover budget.
+            let mut attempts = 0u32;
             loop {
                 match client.store(&mut orb, ctx, &ckpt).expect("driver lives") {
                     Ok(()) => {
@@ -126,6 +154,11 @@ fn run_cell(seed: u64, scale: f64) -> CellOutcome {
                         break;
                     }
                     Err(_) => {
+                        attempts += 1;
+                        assert!(
+                            attempts < RETRY_MAX_ATTEMPTS,
+                            "epoch {epoch} never acked after {attempts} attempts — failover wedged"
+                        );
                         s.retries += 1;
                         ctx.sleep(SimDuration::from_millis(150)).unwrap();
                         client = resolve_store(&mut orb, ctx, naming_host);
@@ -135,6 +168,7 @@ fn run_cell(seed: u64, scale: f64) -> CellOutcome {
             ctx.sleep(SimDuration::from_millis(200)).unwrap();
         }
         // The dust has settled: the newest acked epoch must be durable.
+        let mut attempts = 0u32;
         loop {
             if let Ok(Some(c)) = client
                 .retrieve(&mut orb, ctx, "chaos-obj")
@@ -143,13 +177,19 @@ fn run_cell(seed: u64, scale: f64) -> CellOutcome {
                 s.final_epoch = c.epoch;
                 break;
             }
+            attempts += 1;
+            assert!(
+                attempts < RETRY_MAX_ATTEMPTS,
+                "final read-back failed after {attempts} attempts — failover wedged"
+            );
             s.retries += 1;
             ctx.sleep(SimDuration::from_millis(150)).unwrap();
             client = resolve_store(&mut orb, ctx, naming_host);
         }
         *out.lock().unwrap() = s;
     });
-    sim.run_until_exit(driver);
+    let end = sim.run_until_exit(driver);
+    flight.finalize(end);
 
     let mut stats = stats.lock().unwrap().clone();
     stats.crashes = crashes;
@@ -157,6 +197,7 @@ fn run_cell(seed: u64, scale: f64) -> CellOutcome {
         stats,
         trace_json: sink.chrome_trace_json(),
         metrics_text: sink.metrics_text(),
+        post_mortems: flight.dumps(),
     }
 }
 
@@ -171,14 +212,23 @@ fn main() {
     let mut exports: Option<CellOutcome> = None;
     for &seed in &args.seeds {
         let outcome = run_cell(seed, args.scale);
-        assert!(
-            outcome.stats.acked > cdr::Epoch::ZERO,
-            "seed {seed}: no write ever succeeded"
-        );
-        assert_eq!(
-            outcome.stats.final_epoch, outcome.stats.acked,
-            "seed {seed}: an acked epoch was lost to the chaos schedule"
-        );
+        // Durability checks: a failing seed flushes the flight recorder's
+        // post-mortems before exiting so the loss is diagnosable from the
+        // job log alone.
+        if outcome.stats.acked == cdr::Epoch::ZERO {
+            eprintln!("store_chaos: seed {seed}: no write ever succeeded");
+            ldft_bench::flush_post_mortems("store_chaos", &outcome.post_mortems);
+            std::process::exit(1);
+        }
+        if outcome.stats.final_epoch != outcome.stats.acked {
+            eprintln!(
+                "store_chaos: seed {seed}: acked epoch {} was lost to the chaos \
+                 schedule (read back {})",
+                outcome.stats.acked, outcome.stats.final_epoch
+            );
+            ldft_bench::flush_post_mortems("store_chaos", &outcome.post_mortems);
+            std::process::exit(1);
+        }
         rows.push((seed, outcome.stats.clone()));
         if exports.is_none() {
             exports = Some(outcome);
@@ -247,6 +297,7 @@ fn main() {
     let exports = exports.expect("at least one seed ran");
     if let Err(e) = args.write_export_files(&exports.trace_json, &exports.metrics_text) {
         eprintln!("failed to write observability exports: {e}");
+        ldft_bench::flush_post_mortems("store_chaos", &exports.post_mortems);
         std::process::exit(1);
     }
 }

@@ -124,11 +124,28 @@ impl RunArgs {
     }
 
     /// [`RunArgs::write_exports`], with a write failure reported on
-    /// stderr and turned into a nonzero process exit code.
+    /// stderr — including the cell's flight-recorder post-mortems, so the
+    /// failed run stays diagnosable — and turned into a nonzero process
+    /// exit code.
     pub fn write_exports_or_exit(&self) {
-        if let Err(e) = self.write_exports() {
+        if !self.wants_exports() {
+            return;
+        }
+        let export = trace_cell(self);
+        if let Err(e) = self.write_export_files(&export.trace_json, &export.metrics_text) {
             eprintln!("failed to write observability exports: {e}");
+            flush_post_mortems("reference cell", &export.post_mortems);
             std::process::exit(1);
         }
+    }
+}
+
+/// Print flight-recorder post-mortems to stderr ahead of a failing exit,
+/// so a chaos or export failure is diagnosable from the job log alone.
+pub fn flush_post_mortems(label: &str, dumps: &str) {
+    if dumps.is_empty() {
+        eprintln!("{label}: flight recorder captured no post-mortems");
+    } else {
+        eprintln!("{label}: flight recorder post-mortems:\n{dumps}");
     }
 }

@@ -76,6 +76,10 @@ pub struct TraceExport {
     pub trace_json: String,
     /// Plain-text metrics dump (`counter` / `gauge` / `hist` lines).
     pub metrics_text: String,
+    /// Flight-recorder post-mortems of the cell (the crash and the close
+    /// of the recovery episode each dump one), flushed to stderr when the
+    /// export write fails so the run stays diagnosable.
+    pub post_mortems: String,
 }
 
 /// Run the instrumented *reference cell* — the 30-dim / 3-worker scenario
@@ -101,11 +105,20 @@ pub fn trace_cell(args: &RunArgs) -> TraceExport {
         now_host_index: 0,
         restart_after: Some(SimDuration::from_secs(2)),
     });
+    // Live monitoring rides along so the flight recorder captures the
+    // crash + recovery arc; its counters land in the metrics export, which
+    // stays deterministic (same seed ⇒ byte-identical, as CI asserts).
+    spec.monitor = Some(monitor::MonitorConfig::default());
     let seed = args.seeds.first().copied().unwrap_or(1);
     let outcome = run_experiment(&spec.seed(seed)).expect("trace cell failed");
     TraceExport {
         trace_json: outcome.obs.chrome_trace_json(),
         metrics_text: outcome.obs.metrics_text(),
+        post_mortems: outcome
+            .monitor
+            .as_ref()
+            .map(|h| h.dumps())
+            .unwrap_or_default(),
     }
 }
 

@@ -390,11 +390,11 @@ fn serve_monitor_channel(
     cell.put(ior.stringify());
     let ns = cosnaming::NamingClient::root(naming_host);
     let name = cosnaming::Name::simple(monitor::EVENT_CHANNEL_NAME);
-    loop {
-        match ns.rebind(&mut orb, ctx, &name, &ior)? {
-            Ok(()) => break,
-            Err(_naming_still_booting) => ctx.sleep(SimDuration::from_millis(50))?,
-        }
+    if ns.rebind_retry(&mut orb, ctx, &name, &ior)?.is_err() {
+        // Naming never came up within the registration budget: an
+        // unregistered channel can never be found, so die like a killed
+        // process instead of spinning forever.
+        return Err(simnet::Killed);
     }
     orb.serve_forever(ctx, &poa)
 }
@@ -414,11 +414,9 @@ fn serve_registered(ctx: &mut Ctx, service: CheckpointService, sink: Obs) -> sim
     let ior = orb.ior(ftproxy::CHECKPOINT_SERVICE_TYPE, key);
     let ns = cosnaming::NamingClient::root(naming_host);
     let name = cosnaming::Name::simple(ftproxy::CHECKPOINT_SERVICE_NAME);
-    loop {
-        match ns.rebind(&mut orb, ctx, &name, &ior)? {
-            Ok(()) => break,
-            Err(_) => ctx.sleep(SimDuration::from_millis(50))?,
-        }
+    if ns.rebind_retry(&mut orb, ctx, &name, &ior)?.is_err() {
+        // See serve_monitor_channel: registration budget exhausted.
+        return Err(simnet::Killed);
     }
     orb.serve_forever(ctx, &poa)
 }

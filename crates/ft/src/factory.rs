@@ -192,22 +192,19 @@ pub fn run_factory_obs(
 
     let ns = NamingClient::root(naming_host);
     let host = ctx.host();
-    // Register with the naming service, retrying while it boots. The
-    // per-host binding uses rebind to replace any stale registration from
-    // a previous incarnation of this host.
-    let retry = simnet::SimDuration::from_millis(100);
-    loop {
-        match ns.rebind(&mut orb, ctx, &factory_name(host), &ior)? {
-            Ok(()) => break,
-            Err(_) => ctx.sleep(retry)?,
-        }
-    }
-    loop {
-        match ns.bind_group_member(&mut orb, ctx, &factory_group(), &ior)? {
-            Ok(()) => break,
-            Err(e) if cosnaming::AlreadyBound::matches(&e) => break,
-            Err(_) => ctx.sleep(retry)?,
-        }
+    // Register with the naming service, retrying (bounded) while it
+    // boots. The per-host binding uses rebind to replace any stale
+    // registration from a previous incarnation of this host.
+    if ns
+        .rebind_retry(&mut orb, ctx, &factory_name(host), &ior)?
+        .is_err()
+        || ns
+            .bind_group_member_retry(&mut orb, ctx, &factory_group(), &ior)?
+            .is_err()
+    {
+        // Registration budget exhausted: an unregistered factory can
+        // never be asked to spawn anything — die instead of spinning.
+        return Err(simnet::Killed);
     }
     orb.serve_forever(ctx, &poa)
 }

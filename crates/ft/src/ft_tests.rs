@@ -502,11 +502,17 @@ fn detector_evicts_dead_members() {
                 .resolve(&mut orb, ctx, &factory_name(h))
                 .unwrap()
                 .unwrap();
-            let ior = FactoryClient::new(f)
+            let fc = FactoryClient::new(f);
+            let ior = fc
                 .create(&mut orb, ctx, "Counter")
                 .unwrap()
                 .unwrap()
                 .unwrap();
+            assert_eq!(
+                fc.instances(&mut orb, ctx).unwrap().unwrap(),
+                1,
+                "each factory created exactly one replica"
+            );
             ns.bind_group_member(&mut orb, ctx, &group, &ior)
                 .unwrap()
                 .unwrap();
@@ -731,6 +737,21 @@ fn disk_backed_checkpoint_service_works_in_sim() {
         ckpt.store(&mut orb, ctx, &c).unwrap().unwrap();
         let back = ckpt.retrieve(&mut orb, ctx, "disk-test").unwrap().unwrap();
         assert_eq!(back.unwrap().state, vec![9; 100]);
+        // Per-value ops over the wire: a stored chunk is countable, and
+        // delete erases the whole object (but leaves "disk-test" alone —
+        // its file is asserted below).
+        ckpt.store_value(&mut orb, ctx, "kv-test", "w0", &cdr::Any::long(7))
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            ckpt.value_count(&mut orb, ctx, "kv-test").unwrap().unwrap(),
+            1
+        );
+        assert!(ckpt.delete(&mut orb, ctx, "kv-test").unwrap().unwrap());
+        assert_eq!(
+            ckpt.value_count(&mut orb, ctx, "kv-test").unwrap().unwrap(),
+            0
+        );
         *d.lock().unwrap() = true;
     });
     sim.run_until_exit(driver);

@@ -25,6 +25,8 @@
 
 pub mod analysis;
 pub mod ast;
+pub mod callgraph;
+pub mod failpath;
 pub mod idlparse;
 pub mod lexer;
 pub mod lockgraph;
@@ -48,6 +50,14 @@ pub struct Report {
     pub lock_sites: usize,
     /// Distinct lock classes in the acquisition graph.
     pub lock_classes: usize,
+    /// Function nodes in the interprocedural call graph (F pass).
+    pub graph_nodes: usize,
+    /// Resolved call edges in the graph.
+    pub graph_edges: usize,
+    /// Remote invocation sites inventoried by the graph.
+    pub remote_sites: usize,
+    /// The call graph itself, for `--graph-out` and the selfcheck pins.
+    pub graph: callgraph::CallGraph,
 }
 
 impl Report {
@@ -217,7 +227,19 @@ pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
     let lock_report = lockgraph::check(&analyses);
     report.lock_sites = lock_report.sites;
     report.lock_classes = lock_report.classes;
-    for f in wire_report.findings.into_iter().chain(lock_report.findings) {
+    // Interprocedural failure-path pass (F1–F4) over the call graph.
+    let graph = callgraph::build(&analyses, &idls);
+    let fail_findings = failpath::check(&analyses, &graph);
+    report.graph_nodes = graph.nodes.len();
+    report.graph_edges = graph.edges.len();
+    report.remote_sites = graph.remote_sites.len();
+    report.graph = graph;
+    for f in wire_report
+        .findings
+        .into_iter()
+        .chain(lock_report.findings)
+        .chain(fail_findings)
+    {
         by_file.entry(f.file.clone()).or_default().push(f);
     }
 

@@ -81,6 +81,7 @@ pub const SIM_CRATES: &[&str] = &[
 /// All rule IDs, in report order.
 pub const RULE_IDS: &[&str] = &[
     "D1", "D2", "D3", "D4", "P1", "P2", "P3", "W1", "W2", "W3", "W4", "L1", "L2", "L3", "E1", "E2",
+    "F1", "F2", "F3", "F4",
 ];
 
 /// Human-readable one-liner per rule, for `--list-rules`.
@@ -102,6 +103,10 @@ pub fn rule_summary(id: &str) -> &'static str {
         "L3" => "blocking call (sleep/recv/compute/invoke) while holding a Shared guard",
         "E1" => "caught COMM_FAILURE/TRANSIENT dropped on the floor (no retry, no propagation)",
         "E2" => "checkpoint epoch crossing a fn/struct boundary as bare u64 (use cdr::Epoch)",
+        "F1" => "naked RPC: remote invocation site not dominated by a reply deadline on any call path",
+        "F2" => "retry loop/cycle around a remote call without a provable bound or without backoff",
+        "F3" => "recoverable failure caught but swallowed before reaching a recovery handler, the doctor, or the outcome (interprocedural E1)",
+        "F4" => "paired-resource lifecycle unbalanced (subscribe/unsubscribe, bind/unbind, group membership)",
         "A1" => "allow directive missing a reason",
         "A2" => "allow directive names no finding (unused)",
         _ => "unknown rule",

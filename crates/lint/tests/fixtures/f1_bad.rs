@@ -1,0 +1,12 @@
+//! F1 fixture: remote invocations with no deadline anywhere on the path.
+pub struct C {
+    obj: ObjectRef,
+}
+impl C {
+    pub fn naked(&self, orb: &mut Orb) {
+        self.obj.invoke(orb);
+    }
+    pub fn also_naked(&self, orb: &mut Orb) {
+        self.obj.call(orb, "op", &());
+    }
+}

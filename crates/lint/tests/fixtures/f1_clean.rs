@@ -1,0 +1,16 @@
+//! F1 clean: the deadline is explicit, local, or the call is oneway.
+pub struct C {
+    obj: ObjectRef,
+}
+impl C {
+    pub fn timed(&self, orb: &mut Orb) {
+        self.obj.invoke_with_timeout(orb);
+    }
+    pub fn deadline_local(&self, orb: &mut Orb) {
+        let deadline = 5;
+        self.obj.invoke(orb, deadline);
+    }
+    pub fn fire_and_forget(&self, orb: &mut Orb) {
+        self.obj.invoke_oneway(orb);
+    }
+}

@@ -1,0 +1,23 @@
+//! F2 fixture: an unbounded retry loop around a remote call, and a
+//! bounded one that hammers without backoff.
+fn remote(obj: &ObjectRef) {
+    obj.invoke_with_timeout(1);
+}
+pub fn unbounded(obj: &ObjectRef) {
+    loop {
+        remote(obj);
+        if done() {
+            break;
+        }
+    }
+}
+pub fn hammer(obj: &ObjectRef) {
+    let mut attempts = 0;
+    loop {
+        obj.invoke_with_timeout(1);
+        attempts += 1;
+        if attempts > 3 {
+            break;
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! F2 clean: bounded retries with backoff; for-loops and breakless
+//! daemon pumps are exempt by construction.
+fn remote(obj: &ObjectRef) {
+    obj.invoke_with_timeout(1);
+}
+pub fn capped(obj: &ObjectRef) {
+    let mut attempts = 0;
+    loop {
+        remote(obj);
+        attempts += 1;
+        if attempts > 3 {
+            break;
+        }
+        backoff_sleep();
+    }
+}
+pub fn fixed_rounds(obj: &ObjectRef) {
+    for _round in 0..3 {
+        remote(obj);
+    }
+}
+pub fn daemon(obj: &ObjectRef) {
+    loop {
+        remote(obj);
+        step();
+    }
+}

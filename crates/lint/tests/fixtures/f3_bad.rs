@@ -1,0 +1,11 @@
+//! F3 fixture: a recoverable failure caught and then dropped on the
+//! floor — no propagation, no retry, no record anyone can observe.
+pub fn swallow(r: R) -> u32 {
+    match r {
+        Ok(v) => v,
+        Err(e) if e.is_recoverable() => {
+            let fallback = 0;
+            fallback
+        }
+    }
+}

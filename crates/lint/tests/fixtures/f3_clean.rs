@@ -1,0 +1,16 @@
+//! F3 clean: recoverable failures reach a sink, propagate, or retry.
+pub fn sunk(r: R, d: &mut Doctor) -> u32 {
+    match r {
+        Ok(v) => v,
+        Err(e) if e.is_recoverable() => {
+            d.record_failure();
+            0
+        }
+    }
+}
+pub fn propagated(r: R) -> Result<u32, E> {
+    match r {
+        Ok(v) => Ok(v),
+        Err(e) if e.is_recoverable() => Err(e),
+    }
+}

@@ -1,0 +1,8 @@
+//! F4 fixture: a paired resource acquired in production code with no
+//! release path anywhere in the workspace.
+pub fn watch(st: &mut St) {
+    st.subscribe(16);
+}
+pub fn watch_again(st: &mut St) {
+    st.subscribe(4);
+}

@@ -1,0 +1,8 @@
+//! F4 clean: every acquire has a release counterpart somewhere (a test
+//! proving the path exists is enough).
+pub fn watch(st: &mut St) {
+    st.subscribe(16);
+}
+pub fn unwatch(st: &mut St, id: u32) {
+    st.unsubscribe(id);
+}

@@ -55,7 +55,82 @@ fn wire_pass_covers_every_idl_operation() {
         report.wire_ops, independent,
         "wire pass skipped operations the contracts declare"
     );
-    assert_eq!(independent, 54, "idl/*.idl op inventory changed");
+    assert_eq!(independent, 55, "idl/*.idl op inventory changed");
+}
+
+#[test]
+fn call_graph_covers_the_workspace() {
+    let report = run_workspace(workspace_root()).expect("lint the workspace");
+    let g = &report.graph;
+    assert_eq!(report.graph_nodes, g.nodes.len());
+    assert_eq!(report.graph_edges, g.edges.len());
+    assert_eq!(report.remote_sites, g.remote_sites.len());
+    // Pinned shape: the interprocedural pass currently sees this many fn
+    // nodes, resolved call edges, and remote invocation sites. The golden
+    // numbers document coverage (a resolution regression silently
+    // shrinking the graph would otherwise mute F1–F4); update them when
+    // functions or call sites are genuinely added or removed.
+    assert_eq!(
+        (g.nodes.len(), g.edges.len(), g.remote_sites.len()),
+        (940, 2952, 141),
+        "call-graph inventory changed — confirm the F pass still sees every site:\n{:?}",
+        g.crate_counts()
+    );
+    // Every policed crate contributes nodes and outgoing edges.
+    let counts = g.crate_counts();
+    for krate in [
+        "bench", "core", "ft", "monitor", "naming", "obs", "optim", "orb", "store", "tests",
+        "winner",
+    ] {
+        let (n, e) = counts.get(krate).copied().unwrap_or((0, 0));
+        assert!(n > 0 && e > 0, "crate {krate} vanished from the graph");
+    }
+}
+
+#[test]
+fn every_idl_op_stub_is_reachable_from_a_test_root() {
+    // Coverage closure: each IDL operation that has a client stub (a
+    // remote invocation site carrying its op name) must be reachable from
+    // a bench binary or a test fn — i.e. something actually exercises the
+    // stub end to end. A stub this assertion flags is dead client code.
+    let report = run_workspace(workspace_root()).expect("lint the workspace");
+    let g = &report.graph;
+    let roots: Vec<usize> = g
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.is_test || n.krate == "bench" || n.krate == "tests")
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        roots.len() > 300,
+        "root inventory collapsed: {}",
+        roots.len()
+    );
+    let reach = g.reachable(roots, |_| true);
+    let ops: std::collections::BTreeSet<&str> = g
+        .remote_sites
+        .iter()
+        .filter_map(|s| s.op.as_deref())
+        .collect();
+    assert!(
+        ops.len() >= 47,
+        "op-evidence inventory shrank: {}",
+        ops.len()
+    );
+    let dead: Vec<&str> = ops
+        .iter()
+        .filter(|op| {
+            !g.remote_sites
+                .iter()
+                .any(|s| s.op.as_deref() == Some(op) && reach.contains(&s.node))
+        })
+        .copied()
+        .collect();
+    assert!(
+        dead.is_empty(),
+        "client stubs no test or bench root reaches: {dead:?}"
+    );
 }
 
 #[test]
@@ -67,7 +142,7 @@ fn lock_graph_covers_the_shared_use_sites() {
         report.lock_sites,
         report.lock_classes
     );
-    // Pinned coverage: the graph currently sees 27 non-test `Shared`
+    // Pinned coverage: the graph currently sees 28 non-test `Shared`
     // acquisition sites across 7 lock classes in the policed crates. A
     // raw-string `.lock()` count is no substitute (tests drive hundreds
     // of `Arc<Mutex>` harness cells the graph rightly ignores), so the
@@ -75,7 +150,7 @@ fn lock_graph_covers_the_shared_use_sites() {
     // sites are genuinely added or removed.
     assert_eq!(
         (report.lock_sites, report.lock_classes),
-        (27, 7),
+        (28, 7),
         "Shared acquisition inventory changed — confirm the lock graph still sees every new site"
     );
 }

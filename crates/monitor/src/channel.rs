@@ -130,6 +130,9 @@ pub struct ChannelState {
     recorder: FlightRecorder,
     subs: BTreeMap<u32, SubRing>,
     next_sub: u32,
+    /// Ring drops carried over from unsubscribed rings, so `stats` stays
+    /// monotone across detaches.
+    retired_dropped: u64,
     kernel_seq: u64,
     received: u64,
     late: u64,
@@ -155,6 +158,7 @@ impl ChannelState {
             recorder,
             subs: BTreeMap::new(),
             next_sub: 1,
+            retired_dropped: 0,
             kernel_seq: 0,
             received: 0,
             late: 0,
@@ -297,6 +301,19 @@ impl ChannelState {
         id
     }
 
+    /// Drop a subscriber's ring; its pending events are discarded and its
+    /// drop count is folded into [`ChannelState::stats`]. Returns whether
+    /// the id was live.
+    pub fn unsubscribe(&mut self, sub_id: u32) -> bool {
+        match self.subs.remove(&sub_id) {
+            Some(sub) => {
+                self.retired_dropped += sub.dropped;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Drain up to `max` events from a subscriber's ring, oldest first.
     /// Unknown ids yield an empty batch.
     pub fn pull(&mut self, sub_id: u32, max: u32) -> Vec<Event> {
@@ -307,9 +324,13 @@ impl ChannelState {
         sub.ring.drain(..n).collect()
     }
 
-    /// `(events ingested, subscriber-ring drops)` so far.
+    /// `(events ingested, subscriber-ring drops)` so far. Drops include
+    /// rings already retired by [`ChannelState::unsubscribe`].
     pub fn stats(&self) -> (u64, u64) {
-        (self.received, self.subs.values().map(|s| s.dropped).sum())
+        (
+            self.received,
+            self.retired_dropped + self.subs.values().map(|s| s.dropped).sum::<u64>(),
+        )
     }
 
     /// Release everything the watermark still holds (end of run) and
@@ -441,6 +462,11 @@ impl Servant for EventChannel {
                 let id = self.state.lock().subscribe(depth);
                 reply(&id)
             }
+            ops::UNSUBSCRIBE => {
+                let (sub_id,): (u32,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let live = self.state.lock().unsubscribe(sub_id);
+                reply(&live)
+            }
             ops::PULL => {
                 let (sub_id, max): (u32, u32) =
                     cdr::from_bytes(args).map_err(SystemException::marshal)?;
@@ -528,6 +554,29 @@ mod tests {
         assert!(dump.contains("host h1 crashed"));
         assert!(dump.contains("host h1 down since 500ns"));
         assert!(dump.contains("proc-spawn"));
+    }
+
+    #[test]
+    fn unsubscribe_retires_ring_and_keeps_drop_stats() {
+        let mut st = state();
+        let keep = st.subscribe(2);
+        let gone = st.subscribe(2);
+        for i in 0..5u64 {
+            st.ingest(SimTime::from_nanos(1_000 + i), mk(i, 0, 1, i));
+        }
+        st.finalize(SimTime::from_nanos(10_000));
+        // Both depth-2 rings dropped 3 of the 5 events.
+        assert_eq!(st.stats(), (5, 6));
+        assert!(st.unsubscribe(gone));
+        assert!(!st.unsubscribe(gone), "second detach finds the id dead");
+        // The retired ring's drops survive; its pending events are gone.
+        assert_eq!(st.stats(), (5, 6));
+        assert!(st.pull(gone, 10).is_empty());
+        assert_eq!(st.pull(keep, 10).len(), 2, "live ring unaffected");
+        // New events no longer land in (or drop from) the retired ring.
+        st.ingest(SimTime::from_nanos(20_000), mk(6, 0, 1, 6));
+        st.finalize(SimTime::from_nanos(30_000));
+        assert_eq!(st.stats(), (6, 6));
     }
 
     #[test]

@@ -53,6 +53,9 @@ pub mod ops {
     /// `ulong subscribe(in ulong depth)` — register a subscriber with a
     /// bounded ring of `depth` events; returns the subscriber id.
     pub const SUBSCRIBE: &str = "subscribe";
+    /// `boolean unsubscribe(in ulong sub_id)` — drop a subscriber's ring;
+    /// returns whether the id was live.
+    pub const UNSUBSCRIBE: &str = "unsubscribe";
     /// `EventSeq pull(in ulong sub_id, in ulong max)` — drain up to `max`
     /// events from the subscriber's ring, in processed order.
     pub const PULL: &str = "pull";

@@ -52,4 +52,10 @@ impl Subscription {
     pub fn stats(&self, orb: &mut Orb, ctx: &mut Ctx) -> SimResult<Result<(u64, u64), Exception>> {
         self.obj.call(orb, ctx, ops::STATS, &())
     }
+
+    /// Deregister: drop the server-side ring. Consumes the subscription;
+    /// returns whether the id was still live on the channel.
+    pub fn detach(self, orb: &mut Orb, ctx: &mut Ctx) -> SimResult<Result<bool, Exception>> {
+        self.obj.call(orb, ctx, ops::UNSUBSCRIBE, &(self.id,))
+    }
 }

@@ -233,13 +233,14 @@ pub fn run_worker_server_obs(
     let key = poa.activate(WORKER_TYPE, servant);
     let ior = orb.ior(WORKER_TYPE, key);
     let ns = NamingClient::root(naming_host);
-    let retry = simnet::SimDuration::from_millis(100);
-    loop {
-        match ns.bind_group_member(&mut orb, ctx, &worker_group(), &ior)? {
-            Ok(()) => break,
-            Err(e) if cosnaming::AlreadyBound::matches(&e) => break,
-            Err(_) => ctx.sleep(retry)?,
-        }
+    // Bounded boot registration; see `NamingClient::bind_group_member_retry`.
+    if ns
+        .bind_group_member_retry(&mut orb, ctx, &worker_group(), &ior)?
+        .is_err()
+    {
+        // Registration budget exhausted: an unregistered worker never
+        // receives work — die instead of spinning.
+        return Err(simnet::Killed);
     }
     orb.serve_forever(ctx, &poa)
 }

@@ -34,7 +34,7 @@ use ftproxy::service::ops as client_ops;
 use ftproxy::{Checkpoint, CHECKPOINT_SERVICE_NAME};
 use monitor::{EventBody, Publisher};
 use orb::{reply, CallCtx, Exception, Ior, Servant, SystemException};
-use simnet::{Ctx, HostId, SimDuration, SimResult, SimTime};
+use simnet::{Ctx, HostId, SimResult, SimTime};
 
 use crate::protocol::{ops, StoreConfig};
 
@@ -537,12 +537,14 @@ pub fn run_store_replica(
     replica.borrow_mut().self_ior = Some(ior.clone());
     let ns = NamingClient::root(naming_host);
     let name = Name::simple(CHECKPOINT_SERVICE_NAME);
-    loop {
-        match ns.bind_group_member(&mut orb, ctx, &name, &ior)? {
-            Ok(()) => break,
-            Err(e) if cosnaming::AlreadyBound::matches(&e) => break,
-            Err(_naming_still_booting) => ctx.sleep(SimDuration::from_millis(50))?,
-        }
+    // Bounded boot registration; see `NamingClient::bind_group_member_retry`.
+    if ns
+        .bind_group_member_retry(&mut orb, ctx, &name, &ior)?
+        .is_err()
+    {
+        // Registration budget exhausted: an unregistered replica never
+        // receives checkpoints — die instead of spinning.
+        return Err(simnet::Killed);
     }
     orb.serve_forever(ctx, &poa)
 }

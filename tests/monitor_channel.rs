@@ -252,6 +252,9 @@ fn remote_subscriber_pulls_over_the_wire() {
             }
             let events = sub.pull(&mut orb, ctx, 100).unwrap().unwrap();
             let stats = sub.stats(&mut orb, ctx).unwrap().unwrap();
+            // Done observing: release the server-side ring. The id must
+            // still be live, and a second detach would find it gone.
+            assert!(sub.detach(&mut orb, ctx).unwrap().unwrap());
             out.put((events, stats.0, stats.1));
         });
     }
