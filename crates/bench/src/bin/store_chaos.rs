@@ -116,7 +116,7 @@ fn run_cell(seed: u64, scale: f64) -> CellOutcome {
             mean_interval: SimDuration::from_millis(1_500),
             restart_after: Some(SimDuration::from_secs(2)),
             max_concurrent_down: REPLICAS - 1,
-            partition_prob: 0.0,
+            ..ChaosConfig::default()
         },
         &replica_hosts,
     );

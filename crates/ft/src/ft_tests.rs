@@ -279,6 +279,115 @@ fn proxy_recovers_state_after_host_crash() {
     assert!(crash_cell.lock().unwrap().is_some());
 }
 
+/// A counter servant that counts how many times a checkpoint was
+/// restored into it — server-side evidence for duplicate-application
+/// tests, where the client's view of a restore (acked or not) can
+/// disagree with what actually happened.
+struct RestoreCountingCounter {
+    inner: Counter,
+    restores: Cell<u64>,
+}
+
+impl Servant for RestoreCountingCounter {
+    fn dispatch(
+        &mut self,
+        call: &mut CallCtx<'_>,
+        op: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, Exception> {
+        if op == "restore_checkpoint" {
+            *self.restores.lock().unwrap() += 1;
+        }
+        self.inner.dispatch(call, op, args)
+    }
+}
+
+/// Spawn a standalone counter replica bound into the "Counters" group.
+fn spawn_counter_member(sim: &mut Kernel, host: HostId, naming_host: HostId, restores: Cell<u64>) {
+    sim.spawn(host, format!("counter-{host}"), move |ctx| {
+        let mut orb = Orb::init(ctx);
+        orb.listen(ctx).unwrap();
+        let poa = orb::Poa::new();
+        let key = poa.activate(
+            COUNTER_TYPE,
+            Rc::new(RefCell::new(RestoreCountingCounter {
+                inner: Counter::default(),
+                restores,
+            })),
+        );
+        let ior = orb.ior(COUNTER_TYPE, key);
+        let ns = NamingClient::root(naming_host);
+        ns.bind_group_member_retry(&mut orb, ctx, &Name::simple("Counters"), &ior)
+            .unwrap()
+            .unwrap();
+        let _ = orb.serve_forever(ctx, &poa);
+    });
+}
+
+#[test]
+fn one_way_partition_does_not_double_restore() {
+    // The reply path from both counter hosts to the client dies while
+    // the request path stays up: every invoke still executes server-side
+    // but looks failed client-side, so the proxy keeps retargeting. It
+    // must not push the same checkpoint epoch into a replica twice — the
+    // first push applied; only its ack was lost.
+    let mut sim = Kernel::with_seed(7);
+    let hosts = standard_bed(&mut sim, 4);
+    let h0 = hosts[0];
+    let hd = sim.add_host(HostConfig::new("client"));
+    let c2_restores = cell::<u64>();
+    let c3_restores = cell::<u64>();
+    spawn_counter_member(&mut sim, hosts[2], h0, c2_restores.clone());
+    spawn_counter_member(&mut sim, hosts[3], h0, c3_restores.clone());
+    // t = 5 s: replies from both counter hosts stop reaching the client.
+    for &h in &hosts[2..] {
+        sim.schedule_fault(
+            simnet::SimTime::from_nanos(5_000_000_000),
+            simnet::Fault::DropOneWay {
+                from: h,
+                to: hd,
+                blocked: true,
+            },
+        );
+    }
+    let out = cell::<Vec<i64>>();
+    let o = out.clone();
+    let stats_out = cell::<Option<crate::proxy::FtProxyStats>>();
+    let so = stats_out.clone();
+    let driver = sim.spawn(hd, "driver", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let ckpt = ckpt_client(&mut orb, ctx, h0);
+        let mut cfg = FtProxyConfig::new(Name::simple("Counters"), "Counter", "counter-1").bulk();
+        cfg.max_recoveries_per_call = 6;
+        let mut proxy = FtProxy::new(cfg, NamingClient::root(h0), ckpt);
+        let mut env = ProxyEnv { orb: &mut orb, ctx };
+        for _ in 0..2 {
+            let v: i64 = proxy.call(&mut env, "inc", &(2i64,)).unwrap().unwrap();
+            o.lock().unwrap().push(v);
+        }
+        env.ctx.sleep(secs(5.0)).unwrap(); // into the one-way cut
+        for _ in 0..2 {
+            let v: i64 = proxy.call(&mut env, "inc", &(2i64,)).unwrap().unwrap();
+            o.lock().unwrap().push(v);
+        }
+        *so.lock().unwrap() = Some(proxy.stats);
+    });
+    sim.run_until_exit(driver);
+    // Counter continuity: the cut-off replicas' unacked increments are
+    // invisible; the surviving chain restores epoch-2 state (value 4).
+    assert_eq!(*out.lock().unwrap(), vec![2, 4, 6, 8]);
+    let s = stats_out.lock().unwrap().unwrap();
+    assert_eq!(s.duplicate_suppressed, 1, "{s:?}");
+    assert_eq!(
+        *c3_restores.lock().unwrap(),
+        1,
+        "the replica behind the one-way cut saw a duplicate restore"
+    );
+    assert_eq!(*c2_restores.lock().unwrap(), 0);
+    assert!(s.recoveries >= 2, "{s:?}");
+}
+
 #[test]
 fn bulk_mode_recovers_identically() {
     let mut sim = Kernel::with_seed(6);

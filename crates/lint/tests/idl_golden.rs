@@ -40,7 +40,7 @@ fn every_contract_parses_to_the_expected_surface() {
         ("idl/ft.idl", "ServiceFactory", 3),
         ("idl/monitor.idl", "EventChannel", 5),
         ("idl/naming.idl", "BindingIterator", 3),
-        ("idl/naming.idl", "NamingContext", 11),
+        ("idl/naming.idl", "NamingContext", 12),
         ("idl/naming.idl", "Lookup", 3),
         ("idl/optim.idl", "Worker", 4),
         ("idl/store.idl", "Replication", 6),
@@ -70,7 +70,7 @@ fn total_op_count_is_asserted() {
         .flat_map(|f| f.interfaces.iter())
         .map(|i| i.ops.len())
         .sum();
-    assert_eq!(total, 55);
+    assert_eq!(total, 56);
 }
 
 #[test]

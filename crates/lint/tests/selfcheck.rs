@@ -55,7 +55,7 @@ fn wire_pass_covers_every_idl_operation() {
         report.wire_ops, independent,
         "wire pass skipped operations the contracts declare"
     );
-    assert_eq!(independent, 55, "idl/*.idl op inventory changed");
+    assert_eq!(independent, 56, "idl/*.idl op inventory changed");
 }
 
 #[test]
@@ -72,7 +72,7 @@ fn call_graph_covers_the_workspace() {
     // functions or call sites are genuinely added or removed.
     assert_eq!(
         (g.nodes.len(), g.edges.len(), g.remote_sites.len()),
-        (940, 2952, 141),
+        (980, 3183, 145),
         "call-graph inventory changed — confirm the F pass still sees every site:\n{:?}",
         g.crate_counts()
     );

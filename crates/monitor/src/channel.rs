@@ -33,6 +33,22 @@ use crate::events::{ops, Event, EventBody};
 /// behind them).
 pub const KERNEL_PID: u32 = u32::MAX;
 
+/// A watermark hold for one publisher host the channel cannot currently
+/// hear from (a partition cut it off). While any hold is active the
+/// watermark stays at the earliest hold's floor, so events the host flushes
+/// after the heal are ordered normally instead of landing behind the
+/// high-water mark and being counted late (DESIGN.md §13).
+#[derive(Debug)]
+struct Hold {
+    /// Watermark cap: the virtual time the cut happened.
+    floor_ns: u64,
+    /// Overlapping cuts isolating this host; the hold lifts when the last
+    /// one heals (plus the flush grace).
+    depth: u32,
+    /// Once healed: drop the hold when the channel clock passes this.
+    release_at_ns: Option<u64>,
+}
+
 /// One subscriber's bounded ring.
 #[derive(Debug, Default)]
 struct SubRing {
@@ -136,6 +152,8 @@ pub struct ChannelState {
     kernel_seq: u64,
     received: u64,
     late: u64,
+    /// Publisher hosts currently cut off from the channel: host -> hold.
+    holds: BTreeMap<u32, Hold>,
 }
 
 impl ChannelState {
@@ -162,6 +180,7 @@ impl ChannelState {
             kernel_seq: 0,
             received: 0,
             late: 0,
+            holds: BTreeMap::new(),
         }
     }
 
@@ -189,8 +208,12 @@ impl ChannelState {
 
     /// Translate a kernel lifecycle event and ingest it. Kernel events are
     /// delivered at their exact fire time (no network between the kernel
-    /// and its own hook).
+    /// and its own hook) — which is also why partition events can install
+    /// watermark holds before any cut-off publisher data goes missing.
     pub fn ingest_kernel(&mut self, now: SimTime, kev: &KernelEvent) {
+        fn ids(hosts: &[simnet::HostId]) -> Vec<u32> {
+            hosts.iter().map(|h| h.0).collect()
+        }
         let (host, body) = match kev {
             KernelEvent::ProcSpawn { name, host, .. } => {
                 (host.0, EventBody::ProcSpawn { name: name.clone() })
@@ -203,6 +226,63 @@ impl ChannelState {
             }
             KernelEvent::HostCrash(h) => (h.0, EventBody::HostCrash),
             KernelEvent::HostRestart(h) => (h.0, EventBody::HostRestart),
+            KernelEvent::PartitionStart { a, b, oneway } => {
+                for h in self.hold_targets(a, b, *oneway) {
+                    let hold = self.holds.entry(h).or_insert(Hold {
+                        floor_ns: now.as_nanos(),
+                        depth: 0,
+                        release_at_ns: None,
+                    });
+                    hold.depth += 1;
+                    hold.floor_ns = hold.floor_ns.min(now.as_nanos());
+                    // A re-cut cancels any pending post-heal release.
+                    hold.release_at_ns = None;
+                }
+                (
+                    a.first().map(|h| h.0).unwrap_or(0),
+                    EventBody::PartitionStart {
+                        a_hosts: ids(a),
+                        b_hosts: ids(b),
+                        oneway: *oneway,
+                    },
+                )
+            }
+            KernelEvent::PartitionHeal { a, b, oneway } => {
+                let release_at = now.as_nanos() + self.cfg.heal_flush_grace.as_nanos();
+                for h in self.hold_targets(a, b, *oneway) {
+                    if let Some(hold) = self.holds.get_mut(&h) {
+                        hold.depth = hold.depth.saturating_sub(1);
+                        if hold.depth == 0 {
+                            hold.release_at_ns = Some(release_at);
+                        }
+                    }
+                }
+                (
+                    a.first().map(|h| h.0).unwrap_or(0),
+                    EventBody::PartitionHeal {
+                        a_hosts: ids(a),
+                        b_hosts: ids(b),
+                        oneway: *oneway,
+                    },
+                )
+            }
+            KernelEvent::LinkDegraded(x, y) => (
+                x.0,
+                EventBody::LinkDegraded {
+                    peer_a: x.0,
+                    peer_b: y.0,
+                },
+            ),
+            KernelEvent::LinkRestored(x, y) => (
+                x.0,
+                EventBody::LinkRestored {
+                    peer_a: x.0,
+                    peer_b: y.0,
+                },
+            ),
+            KernelEvent::ClockSkewSet(h, skew_ns) => {
+                (h.0, EventBody::ClockSkew { skew_ns: *skew_ns })
+            }
         };
         let seq = self.kernel_seq;
         self.kernel_seq += 1;
@@ -218,10 +298,37 @@ impl ChannelState {
         );
     }
 
+    /// Which publisher hosts a cut between `a` and `b` isolates from the
+    /// channel. For one-way cuts only the `a` → `b` direction is lost, and
+    /// pushes flow publisher → channel, so `a` is cut off only when the
+    /// channel sits in `b`.
+    fn hold_targets(&self, a: &[simnet::HostId], b: &[simnet::HostId], oneway: bool) -> Vec<u32> {
+        let ch = self.cfg.channel_host;
+        let in_a = a.iter().any(|h| h.0 == ch);
+        let in_b = b.iter().any(|h| h.0 == ch);
+        if oneway {
+            if in_b {
+                a.iter().map(|h| h.0).collect()
+            } else {
+                Vec::new()
+            }
+        } else if in_a {
+            b.iter().map(|h| h.0).collect()
+        } else if in_b {
+            a.iter().map(|h| h.0).collect()
+        } else {
+            Vec::new()
+        }
+    }
+
     fn advance(&mut self, now: SimTime) {
-        let wm = now
-            .as_nanos()
-            .saturating_sub(self.cfg.reorder_slack.as_nanos());
+        let now_ns = now.as_nanos();
+        self.holds
+            .retain(|_, h| h.release_at_ns.is_none_or(|r| now_ns < r));
+        let mut wm = now_ns.saturating_sub(self.cfg.reorder_slack.as_nanos());
+        for h in self.holds.values() {
+            wm = wm.min(h.floor_ns);
+        }
         if wm <= self.watermark_ns {
             return;
         }
@@ -333,15 +440,28 @@ impl ChannelState {
         )
     }
 
-    /// Release everything the watermark still holds (end of run) and
-    /// export summary gauges.
+    /// Release everything the watermark still holds (end of run), run the
+    /// doctor's end-of-run pass, and export summary gauges.
     pub fn finalize(&mut self, now: SimTime) {
+        self.holds.clear();
         self.advance(now);
         while let Some(entry) = self.pending.first_entry() {
             let ev = entry.remove();
             self.release(ev);
         }
         self.watermark_ns = now.as_nanos();
+        let fired = self.doctor.finalize(now.as_nanos());
+        if !fired.is_empty() {
+            self.recorder.dump(
+                now.as_nanos(),
+                &format!("invariant violated at end of run: {}", fired.join(", ")),
+                &self.doctor.open_episodes(),
+                self.doctor.verdicts(),
+            );
+            if let Some(o) = &self.obs {
+                o.counter_add("monitor.dumps", 1);
+            }
+        }
         if let Some(o) = self.obs.clone() {
             o.gauge_set("monitor.violations", self.doctor.violation_count() as f64);
             o.gauge_set("monitor.late_events", self.late as f64);
@@ -577,6 +697,86 @@ mod tests {
         st.ingest(SimTime::from_nanos(20_000), mk(6, 0, 1, 6));
         st.finalize(SimTime::from_nanos(30_000));
         assert_eq!(st.stats(), (6, 6));
+    }
+
+    #[test]
+    fn partition_hold_orders_post_heal_flush() {
+        use simnet::HostId;
+        let mut st = ChannelState::new(
+            MonitorConfig {
+                reorder_slack: SimDuration::from_nanos(100),
+                heal_flush_grace: SimDuration::from_nanos(1_000),
+                ..MonitorConfig::default()
+            },
+            None,
+        );
+        let sub = st.subscribe(32);
+        // Host 1 is cut off from the channel (host 0) at t=1000 and
+        // buffers everything it publishes during the outage.
+        st.ingest_kernel(
+            SimTime::from_nanos(1_000),
+            &KernelEvent::PartitionStart {
+                a: vec![HostId(1)],
+                b: vec![HostId(0)],
+                oneway: false,
+            },
+        );
+        // Host 2 keeps publishing through the outage; without the hold the
+        // watermark would race ahead to ~3_950ns here.
+        st.ingest(SimTime::from_nanos(2_050), mk(2_000, 2, 1, 0));
+        st.ingest(SimTime::from_nanos(4_050), mk(4_000, 2, 1, 1));
+        // Heal at 5_000; host 1 flushes its outage buffer shortly after.
+        st.ingest_kernel(
+            SimTime::from_nanos(5_000),
+            &KernelEvent::PartitionHeal {
+                a: vec![HostId(1)],
+                b: vec![HostId(0)],
+                oneway: false,
+            },
+        );
+        st.ingest(SimTime::from_nanos(5_100), mk(1_500, 1, 1, 0));
+        st.ingest(SimTime::from_nanos(5_100), mk(3_500, 1, 1, 1));
+        // Grace expires at 6_000; the next arrival lifts the hold.
+        st.ingest(SimTime::from_nanos(7_000), mk(6_800, 2, 1, 2));
+        assert_eq!(
+            st.late, 0,
+            "flushed events must not land behind the watermark"
+        );
+        let got = st.pull(sub, 32);
+        let times: Vec<u64> = got.iter().map(|e| e.time_ns).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "released order must equal publish order");
+        assert!(times.contains(&1_500) && times.contains(&3_500));
+        assert_eq!(st.violation_count(), 0);
+    }
+
+    #[test]
+    fn oneway_cut_away_from_channel_does_not_hold() {
+        use simnet::HostId;
+        let mut st = state();
+        // Channel host 0 -> host 1 drops; pushes from host 1 still arrive,
+        // so no hold is installed and the watermark advances normally.
+        st.ingest_kernel(
+            SimTime::from_nanos(1_000),
+            &KernelEvent::PartitionStart {
+                a: vec![HostId(0)],
+                b: vec![HostId(1)],
+                oneway: true,
+            },
+        );
+        assert!(st.holds.is_empty());
+        // The reverse direction cut does hold host 1's stream.
+        st.ingest_kernel(
+            SimTime::from_nanos(2_000),
+            &KernelEvent::PartitionStart {
+                a: vec![HostId(1)],
+                b: vec![HostId(0)],
+                oneway: true,
+            },
+        );
+        assert_eq!(st.holds.len(), 1);
+        assert!(st.holds.contains_key(&1));
     }
 
     #[test]

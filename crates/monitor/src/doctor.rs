@@ -44,6 +44,17 @@ pub struct MonitorConfig {
     /// Load-placement sanity: the chosen host's effective load may exceed
     /// the candidates' minimum by at most this many milli-load-units.
     pub placement_tolerance_milli: u64,
+    /// Healing-time budget: a partition episode (cut to heal) must close
+    /// within this long. Also the bound the finalize pass uses to flag
+    /// partitions still open when the run ends.
+    pub healing_budget: simnet::SimDuration,
+    /// Host the event channel runs on — the channel uses this to work out
+    /// which publishers a partition cuts off from it (watermark holds).
+    pub channel_host: u32,
+    /// How long after a partition heal the channel keeps the watermark
+    /// held, waiting for cut-off publishers to flush their outage buffers.
+    /// Must cover a publisher retry interval plus network delivery.
+    pub heal_flush_grace: simnet::SimDuration,
 }
 
 impl Default for MonitorConfig {
@@ -59,6 +70,11 @@ impl Default for MonitorConfig {
             quorum_floor: 1,
             checkpoint_freshness: simnet::SimDuration::from_secs(30),
             placement_tolerance_milli: 1_500,
+            // Chaos schedules heal their cuts within a few seconds; a
+            // partition outliving this is a stuck heal, not slow healing.
+            healing_budget: simnet::SimDuration::from_secs(10),
+            channel_host: 0,
+            heal_flush_grace: simnet::SimDuration::from_secs(1),
         }
     }
 }
@@ -72,10 +88,12 @@ struct Attribution {
     ckpt_ns: u64,
 }
 
-/// Names of the four invariants, in report order.
-const INVARIANTS: [&str; 4] = [
+/// Names of the six invariants, in report order.
+const INVARIANTS: [&str; 6] = [
     "checkpoint-freshness",
+    "healing-time",
     "load-placement",
+    "partition-health",
     "quorum-health",
     "recovery-budget",
 ];
@@ -92,6 +110,8 @@ pub struct Doctor {
     open_recoveries: BTreeMap<String, (u64, u32)>,
     /// Hosts currently down: host -> crash time.
     down_hosts: BTreeMap<u32, u64>,
+    /// Partitions currently open: partition key -> cut time.
+    open_partitions: BTreeMap<String, u64>,
     /// Last stored checkpoint per target: target -> (time_ns, epoch).
     last_ckpt: BTreeMap<String, (u64, cdr::Epoch)>,
     /// Per-invariant (checks, violations).
@@ -113,6 +133,7 @@ impl Doctor {
             total: Attribution::default(),
             open_recoveries: BTreeMap::new(),
             down_hosts: BTreeMap::new(),
+            open_partitions: BTreeMap::new(),
             last_ckpt: BTreeMap::new(),
             invariants,
             verdicts: Vec::new(),
@@ -257,7 +278,65 @@ impl Doctor {
             EventBody::HostRestart => {
                 self.down_hosts.remove(&ev.host);
             }
+            EventBody::PartitionStart {
+                a_hosts,
+                b_hosts,
+                oneway,
+            } => {
+                let key = EventBody::partition_key(a_hosts, b_hosts, *oneway);
+                // Re-cutting an already open partition keeps the original
+                // cut time; the episode is the full outage.
+                self.open_partitions.entry(key).or_insert(t);
+            }
+            EventBody::PartitionHeal {
+                a_hosts,
+                b_hosts,
+                oneway,
+            } => {
+                let key = EventBody::partition_key(a_hosts, b_hosts, *oneway);
+                let opened = self.open_partitions.remove(&key);
+                if self.check(
+                    "partition-health",
+                    t,
+                    opened.is_some(),
+                    format!("heal of {key} without a matching cut"),
+                ) {
+                    fired.push(format!("partition-health {key}"));
+                }
+                if let Some(since) = opened {
+                    let dur = t.saturating_sub(since);
+                    let budget = self.cfg.healing_budget.as_nanos();
+                    if self.check(
+                        "healing-time",
+                        t,
+                        dur <= budget,
+                        format!("{key} stayed cut {dur}ns (budget {budget}ns)"),
+                    ) {
+                        fired.push(format!("healing-time {key}"));
+                    }
+                }
+            }
             _ => {}
+        }
+        fired
+    }
+
+    /// End-of-run pass: every partition still open has no heal coming, so
+    /// it is a partition-health violation. Returns the fired invariants
+    /// like [`Doctor::on_event`] does.
+    pub fn finalize(&mut self, now_ns: u64) -> Vec<String> {
+        let open: Vec<(String, u64)> = std::mem::take(&mut self.open_partitions)
+            .into_iter()
+            .collect();
+        let mut fired = Vec::new();
+        for (key, since) in open {
+            self.check(
+                "partition-health",
+                now_ns,
+                false,
+                format!("{key} cut at {since}ns never healed"),
+            );
+            fired.push(format!("partition-health {key}"));
         }
         fired
     }
@@ -273,6 +352,9 @@ impl Doctor {
         }
         for (&host, &since) in &self.down_hosts {
             out.push(format!("host h{host} down since {since}ns"));
+        }
+        for (key, &since) in &self.open_partitions {
+            out.push(format!("partition {key} open since {since}ns"));
         }
         out
     }
@@ -474,6 +556,65 @@ mod tests {
         assert!(d.on_event(&ck(100, 1)).is_empty()); // first: no gap yet
         assert!(d.on_event(&ck(150, 2)).is_empty()); // gap 50 = bound
         assert_eq!(d.on_event(&ck(201, 3)).len(), 1); // gap 51 > bound
+    }
+
+    #[test]
+    fn partition_episodes_are_attributed_and_budgeted() {
+        let mut d = Doctor::new(MonitorConfig {
+            healing_budget: simnet::SimDuration::from_nanos(100),
+            ..MonitorConfig::default()
+        });
+        let cut = |a: &[u32], b: &[u32]| EventBody::PartitionStart {
+            a_hosts: a.to_vec(),
+            b_hosts: b.to_vec(),
+            oneway: false,
+        };
+        let heal = |a: &[u32], b: &[u32]| EventBody::PartitionHeal {
+            a_hosts: a.to_vec(),
+            b_hosts: b.to_vec(),
+            oneway: false,
+        };
+        assert!(d.on_event(&ev(10, 0, cut(&[0, 1], &[2]))).is_empty());
+        assert_eq!(
+            d.open_episodes(),
+            vec!["partition h0+h1|h2 open since 10ns".to_string()]
+        );
+        // Heals within budget, sides listed in either order.
+        assert!(d.on_event(&ev(100, 0, heal(&[2], &[1, 0]))).is_empty());
+        assert!(d.open_episodes().is_empty());
+        // Slow heal breaches healing-time.
+        d.on_event(&ev(200, 0, cut(&[0], &[1])));
+        assert_eq!(
+            d.on_event(&ev(500, 0, heal(&[0], &[1]))),
+            vec!["healing-time h0|h1".to_string()]
+        );
+        // A heal with no matching cut breaches partition-health.
+        assert_eq!(
+            d.on_event(&ev(600, 0, heal(&[3], &[4]))),
+            vec!["partition-health h3|h4".to_string()]
+        );
+        assert_eq!(d.violation_count(), 2);
+    }
+
+    #[test]
+    fn finalize_flags_partitions_that_never_heal() {
+        let mut d = Doctor::new(MonitorConfig::default());
+        d.on_event(&ev(
+            10,
+            0,
+            EventBody::PartitionStart {
+                a_hosts: vec![0],
+                b_hosts: vec![1],
+                oneway: true,
+            },
+        ));
+        assert_eq!(
+            d.finalize(1_000),
+            vec!["partition-health h0->h1".to_string()]
+        );
+        assert_eq!(d.violation_count(), 1);
+        // Idempotent: a second finalize has nothing left to flag.
+        assert!(d.finalize(2_000).is_empty());
     }
 
     #[test]

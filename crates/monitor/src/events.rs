@@ -194,6 +194,46 @@ pub enum EventBody {
     HostCrash,
     /// Kernel: a crashed host came back up.
     HostRestart,
+    /// Kernel: a partition cut the network between two host sets (for a
+    /// one-way drop, traffic from `a_hosts` to `b_hosts` is lost while the
+    /// reverse direction still flows).
+    PartitionStart {
+        /// Hosts on one side of the cut (the sending side for one-way).
+        a_hosts: Vec<u32>,
+        /// Hosts on the other side.
+        b_hosts: Vec<u32>,
+        /// Whether only the `a_hosts` → `b_hosts` direction is cut.
+        oneway: bool,
+    },
+    /// Kernel: a previously announced partition healed.
+    PartitionHeal {
+        /// Hosts on one side of the healed cut.
+        a_hosts: Vec<u32>,
+        /// Hosts on the other side.
+        b_hosts: Vec<u32>,
+        /// Whether the healed cut was one-way.
+        oneway: bool,
+    },
+    /// Kernel: a link entered gray-failure degradation (extra latency
+    /// and/or probabilistic drops).
+    LinkDegraded {
+        /// One endpoint host.
+        peer_a: u32,
+        /// The other endpoint host.
+        peer_b: u32,
+    },
+    /// Kernel: a degraded link returned to its healthy profile.
+    LinkRestored {
+        /// One endpoint host.
+        peer_a: u32,
+        /// The other endpoint host.
+        peer_b: u32,
+    },
+    /// Kernel: a host's wall clock was skewed relative to virtual time.
+    ClockSkew {
+        /// Signed offset applied to the host clock, nanoseconds.
+        skew_ns: i64,
+    },
 }
 
 impl EventBody {
@@ -215,6 +255,34 @@ impl EventBody {
             EventBody::ProcKill { .. } => "proc-kill",
             EventBody::HostCrash => "host-crash",
             EventBody::HostRestart => "host-restart",
+            EventBody::PartitionStart { .. } => "partition-start",
+            EventBody::PartitionHeal { .. } => "partition-heal",
+            EventBody::LinkDegraded { .. } => "link-degraded",
+            EventBody::LinkRestored { .. } => "link-restored",
+            EventBody::ClockSkew { .. } => "clock-skew",
+        }
+    }
+
+    /// Deterministic label of a partition: sorted host lists plus the
+    /// direction marker. Used as the episode key in the doctor so a heal
+    /// matches exactly the cut that opened it.
+    pub fn partition_key(a_hosts: &[u32], b_hosts: &[u32], oneway: bool) -> String {
+        let render = |hosts: &[u32]| {
+            let mut sorted = hosts.to_vec();
+            sorted.sort_unstable();
+            sorted
+                .iter()
+                .map(|h| format!("h{h}"))
+                .collect::<Vec<_>>()
+                .join("+")
+        };
+        let (a, b) = (render(a_hosts), render(b_hosts));
+        if oneway {
+            format!("{a}->{b}")
+        } else if a <= b {
+            format!("{a}|{b}")
+        } else {
+            format!("{b}|{a}")
         }
     }
 
@@ -271,6 +339,24 @@ impl EventBody {
             | EventBody::ProcExit { name }
             | EventBody::ProcKill { name } => format!("name={name}"),
             EventBody::HostCrash | EventBody::HostRestart => String::new(),
+            EventBody::PartitionStart {
+                a_hosts,
+                b_hosts,
+                oneway,
+            }
+            | EventBody::PartitionHeal {
+                a_hosts,
+                b_hosts,
+                oneway,
+            } => format!(
+                "cut={}",
+                EventBody::partition_key(a_hosts, b_hosts, *oneway)
+            ),
+            EventBody::LinkDegraded { peer_a, peer_b }
+            | EventBody::LinkRestored { peer_a, peer_b } => {
+                format!("link=h{peer_a}-h{peer_b}")
+            }
+            EventBody::ClockSkew { skew_ns } => format!("skew_ns={skew_ns}"),
         }
     }
 }
@@ -292,6 +378,11 @@ const TAG_PROC_EXIT: u32 = 10;
 const TAG_PROC_KILL: u32 = 11;
 const TAG_HOST_CRASH: u32 = 12;
 const TAG_HOST_RESTART: u32 = 13;
+const TAG_PARTITION_START: u32 = 14;
+const TAG_PARTITION_HEAL: u32 = 15;
+const TAG_LINK_DEGRADED: u32 = 16;
+const TAG_LINK_RESTORED: u32 = 17;
+const TAG_CLOCK_SKEW: u32 = 18;
 
 impl CdrWrite for EventBody {
     fn write(&self, enc: &mut CdrEncoder) {
@@ -388,6 +479,40 @@ impl CdrWrite for EventBody {
             }
             EventBody::HostCrash => TAG_HOST_CRASH.write(enc),
             EventBody::HostRestart => TAG_HOST_RESTART.write(enc),
+            EventBody::PartitionStart {
+                a_hosts,
+                b_hosts,
+                oneway,
+            } => {
+                TAG_PARTITION_START.write(enc);
+                a_hosts.write(enc);
+                b_hosts.write(enc);
+                oneway.write(enc);
+            }
+            EventBody::PartitionHeal {
+                a_hosts,
+                b_hosts,
+                oneway,
+            } => {
+                TAG_PARTITION_HEAL.write(enc);
+                a_hosts.write(enc);
+                b_hosts.write(enc);
+                oneway.write(enc);
+            }
+            EventBody::LinkDegraded { peer_a, peer_b } => {
+                TAG_LINK_DEGRADED.write(enc);
+                peer_a.write(enc);
+                peer_b.write(enc);
+            }
+            EventBody::LinkRestored { peer_a, peer_b } => {
+                TAG_LINK_RESTORED.write(enc);
+                peer_a.write(enc);
+                peer_b.write(enc);
+            }
+            EventBody::ClockSkew { skew_ns } => {
+                TAG_CLOCK_SKEW.write(enc);
+                skew_ns.write(enc);
+            }
         }
     }
 }
@@ -452,6 +577,27 @@ impl CdrRead for EventBody {
             },
             TAG_HOST_CRASH => EventBody::HostCrash,
             TAG_HOST_RESTART => EventBody::HostRestart,
+            TAG_PARTITION_START => EventBody::PartitionStart {
+                a_hosts: Vec::read(dec)?,
+                b_hosts: Vec::read(dec)?,
+                oneway: bool::read(dec)?,
+            },
+            TAG_PARTITION_HEAL => EventBody::PartitionHeal {
+                a_hosts: Vec::read(dec)?,
+                b_hosts: Vec::read(dec)?,
+                oneway: bool::read(dec)?,
+            },
+            TAG_LINK_DEGRADED => EventBody::LinkDegraded {
+                peer_a: u32::read(dec)?,
+                peer_b: u32::read(dec)?,
+            },
+            TAG_LINK_RESTORED => EventBody::LinkRestored {
+                peer_a: u32::read(dec)?,
+                peer_b: u32::read(dec)?,
+            },
+            TAG_CLOCK_SKEW => EventBody::ClockSkew {
+                skew_ns: i64::read(dec)?,
+            },
             other => return Err(CdrError::InvalidEnumTag(other)),
         })
     }
@@ -526,6 +672,33 @@ mod tests {
         roundtrip(EventBody::ProcKill { name: "p".into() });
         roundtrip(EventBody::HostCrash);
         roundtrip(EventBody::HostRestart);
+        roundtrip(EventBody::PartitionStart {
+            a_hosts: vec![0, 2],
+            b_hosts: vec![1, 3],
+            oneway: false,
+        });
+        roundtrip(EventBody::PartitionHeal {
+            a_hosts: vec![0],
+            b_hosts: vec![1],
+            oneway: true,
+        });
+        roundtrip(EventBody::LinkDegraded {
+            peer_a: 0,
+            peer_b: 2,
+        });
+        roundtrip(EventBody::LinkRestored {
+            peer_a: 0,
+            peer_b: 2,
+        });
+        roundtrip(EventBody::ClockSkew { skew_ns: -750_000 });
+    }
+
+    #[test]
+    fn partition_key_is_order_insensitive_for_two_way_cuts() {
+        assert_eq!(EventBody::partition_key(&[2, 0], &[1], false), "h0+h2|h1");
+        assert_eq!(EventBody::partition_key(&[1], &[0, 2], false), "h0+h2|h1");
+        // One-way cuts keep their direction.
+        assert_eq!(EventBody::partition_key(&[1], &[0], true), "h1->h0");
     }
 
     #[test]

@@ -232,6 +232,19 @@ impl NamingClient {
     ) -> SimResult<Result<Vec<Ior>, Exception>> {
         self.obj.call(orb, ctx, ops::GROUP_MEMBERS, &(name,))
     }
+
+    /// Extension: the group's membership revision plus its replicas. The
+    /// revision is bumped on every bind/unbind, so a quorum coordinator
+    /// can stamp writes with the view it used and replicas can reject a
+    /// coordinator still acting on a pre-heal view.
+    pub fn group_view(
+        &self,
+        orb: &mut Orb,
+        ctx: &mut Ctx,
+        name: &Name,
+    ) -> SimResult<Result<(u64, Vec<Ior>), Exception>> {
+        self.obj.call(orb, ctx, ops::GROUP_VIEW, &(name,))
+    }
 }
 
 /// What `list` returns: the first page plus an iterator over the rest.

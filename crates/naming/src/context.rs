@@ -48,8 +48,14 @@ enum Entry {
     /// A child context. `node` is set for contexts local to this server
     /// (traversable); foreign contexts are stored but cannot be traversed.
     Context { node: Option<u64>, ior: Ior },
-    /// A service group: multiple replicas under one name.
-    Group { members: Vec<Ior>, rr: usize },
+    /// A service group: multiple replicas under one name. `revision`
+    /// counts membership changes (bind/unbind), so a coordinator can
+    /// prove to replicas that its view of the group is current.
+    Group {
+        members: Vec<Ior>,
+        rr: usize,
+        revision: u64,
+    },
 }
 
 struct Node {
@@ -247,7 +253,7 @@ impl NamingContext {
         }
         let mut tree = self.tree.borrow_mut();
         tree.fallback_picks += 1;
-        let Some(Entry::Group { members, rr }) = tree
+        let Some(Entry::Group { members, rr, .. }) = tree
             .nodes
             .get_mut(&node)
             .ok_or_else(dead_context)?
@@ -447,14 +453,18 @@ impl Servant for NamingContext {
                             Entry::Group {
                                 members: vec![ior],
                                 rr: 0,
+                                revision: 1,
                             },
                         );
                     }
-                    Some(Entry::Group { members, .. }) => {
+                    Some(Entry::Group {
+                        members, revision, ..
+                    }) => {
                         if members.contains(&ior) {
                             return Err(AlreadyBound.raise());
                         }
                         members.push(ior);
+                        *revision += 1;
                     }
                     Some(_) => return Err(AlreadyBound.raise()),
                 }
@@ -467,7 +477,9 @@ impl Servant for NamingContext {
                 let mut tree = self.tree.borrow_mut();
                 let entries = &mut tree.nodes.get_mut(&node).ok_or_else(dead_context)?.entries;
                 match entries.get_mut(&last) {
-                    Some(Entry::Group { members, .. }) => {
+                    Some(Entry::Group {
+                        members, revision, ..
+                    }) => {
                         let before = members.len();
                         members.retain(|m| m != &ior);
                         if members.len() == before {
@@ -477,6 +489,7 @@ impl Servant for NamingContext {
                             }
                             .raise());
                         }
+                        *revision += 1;
                         reply(&())
                     }
                     _ => Err(NotFound {
@@ -498,6 +511,27 @@ impl Servant for NamingContext {
                     .get(&last)
                 {
                     Some(Entry::Group { members, .. }) => reply(&members.clone()),
+                    _ => Err(NotFound {
+                        why: NotFoundReason::MissingNode,
+                        rest_of_name: Name(vec![last]),
+                    }
+                    .raise()),
+                }
+            }
+            ops::GROUP_VIEW => {
+                let (name,): (Name,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let (node, last) = self.walk(&name)?;
+                let tree = self.tree.borrow();
+                match tree
+                    .nodes
+                    .get(&node)
+                    .ok_or_else(dead_context)?
+                    .entries
+                    .get(&last)
+                {
+                    Some(Entry::Group {
+                        members, revision, ..
+                    }) => reply(&(*revision, members.clone())),
                     _ => Err(NotFound {
                         why: NotFoundReason::MissingNode,
                         rest_of_name: Name(vec![last]),

@@ -45,6 +45,12 @@ pub mod ops {
     pub const UNBIND_GROUP_MEMBER: &str = "unbind_group_member";
     /// Extension: `IorSeq group_members(in Name n)`.
     pub const GROUP_MEMBERS: &str = "group_members";
+    /// Extension: `IorSeq group_view(in Name n, out unsigned long long
+    /// revision)` — the members plus the group's membership revision,
+    /// bumped on every bind/unbind. Quorum coordinators carry the revision
+    /// on writes so replicas can reject a stale view after a partition
+    /// heals.
+    pub const GROUP_VIEW: &str = "group_view";
     /// BindingIterator: `boolean next_one(out Binding b)`.
     pub const NEXT_ONE: &str = "next_one";
     /// BindingIterator: `boolean next_n(in unsigned long how_many, out BindingList bl)`.

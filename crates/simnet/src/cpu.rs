@@ -72,6 +72,10 @@ pub struct HostSnapshot {
     pub load_avg: f64,
     /// EWMA of CPU busyness in [0, 1].
     pub cpu_util: f64,
+    /// Offset of this host's wall clock from virtual time, in nanoseconds
+    /// (fault-injected; zero on a healthy host). Readers that stamp
+    /// wall-clock times (e.g. Winner load reports) add this to `now`.
+    pub clock_skew_ns: i64,
 }
 
 /// Dynamic state of one host: its CPU, its jobs, and its metrics.
@@ -90,6 +94,8 @@ pub(crate) struct HostState {
     cpu_util: f64,
     /// EWMA time constant.
     tau: f64,
+    /// Fault-injected wall-clock offset, surfaced via [`HostSnapshot`].
+    pub(crate) clock_skew_ns: i64,
 }
 
 impl HostState {
@@ -103,6 +109,7 @@ impl HostState {
             load_avg: 0.0,
             cpu_util: 0.0,
             tau: tau.as_secs_f64().max(1e-9),
+            clock_skew_ns: 0,
         }
     }
 
@@ -215,6 +222,7 @@ impl HostState {
             runnable: self.jobs.len() as u32,
             load_avg: self.load_avg,
             cpu_util: self.cpu_util,
+            clock_skew_ns: self.clock_skew_ns,
         }
     }
 

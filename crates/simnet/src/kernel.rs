@@ -88,7 +88,7 @@ pub struct KernelStats {
 }
 
 /// A fault-injection command, schedulable at an absolute virtual time.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Fault {
     /// Kill one process.
     KillProcess(Pid),
@@ -98,6 +98,46 @@ pub enum Fault {
     RestartHost(HostId),
     /// Block or heal the link between two hosts.
     Partition(HostId, HostId, bool),
+    /// Block or heal every link between `side` and the rest of the host
+    /// set (a named-sides group partition, not just one pairwise link).
+    /// Healing removes exactly the pairwise blocks the matching block
+    /// installed.
+    PartitionGroup {
+        /// Hosts on one side of the cut.
+        side: Vec<HostId>,
+        /// `true` to install the cut, `false` to heal it.
+        blocked: bool,
+    },
+    /// Block or restore message flow in one direction only: requests from
+    /// `from` still reach `to`'s peers, but nothing flows back (the
+    /// asymmetric gray failure that makes a live server look dead).
+    DropOneWay {
+        /// Messages *from* this host are dropped …
+        from: HostId,
+        /// … when addressed to this host.
+        to: HostId,
+        /// `true` to install the drop, `false` to restore the direction.
+        blocked: bool,
+    },
+    /// Degrade the link between two hosts (both directions): add one-way
+    /// latency and drop each message with probability `drop_milli`/1000
+    /// (drawn from the kernel's own seeded RNG, so runs stay
+    /// deterministic). Zero latency and zero drop restores the link.
+    DegradeLink {
+        /// One endpoint.
+        a: HostId,
+        /// The other endpoint.
+        b: HostId,
+        /// Extra one-way latency added on top of the latency model.
+        extra_latency: SimDuration,
+        /// Per-message drop probability in thousandths (0..=1000).
+        drop_milli: u32,
+    },
+    /// Skew the host's wall clock by this many nanoseconds relative to
+    /// virtual time. Surfaces in [`crate::HostSnapshot::clock_skew_ns`];
+    /// readers that stamp wall-clock times (Winner load reports) pick it
+    /// up from there. Zero restores an honest clock.
+    SetClockSkew(HostId, i64),
     /// Override the one-way latency between two hosts (e.g. a WAN link
     /// between two LANs, or a degrading path). `None` restores the
     /// default model.
@@ -185,6 +225,14 @@ pub struct Kernel {
     syscall_rx: Receiver<(Pid, Syscall)>,
     syscall_tx: Sender<(Pid, Syscall)>,
     partitions: BTreeSet<(HostId, HostId)>,
+    /// Directional drops: messages from `.0` to `.1` are discarded.
+    oneway_blocks: BTreeSet<(HostId, HostId)>,
+    /// Degraded (gray) links: extra one-way latency plus a per-message
+    /// drop probability in thousandths, keyed by the ordered host pair.
+    degraded: BTreeMap<(HostId, HostId), (SimDuration, u32)>,
+    /// Kernel-owned RNG for degraded-link drop draws, seeded from the
+    /// config seed so the fault layer stays a pure function of the seed.
+    net_rng: rand::rngs::SmallRng,
     /// Per-link one-way latency overrides (WAN modelling).
     link_latency: BTreeMap<(HostId, HostId), SimDuration>,
     stats: KernelStats,
@@ -233,6 +281,32 @@ pub enum KernelEvent {
     HostCrash(HostId),
     /// A crashed host came back up (empty).
     HostRestart(HostId),
+    /// A partition was installed: messages between `a`-side and `b`-side
+    /// hosts are dropped (only `a` → `b` when `oneway`).
+    PartitionStart {
+        /// Hosts on the first side (the `from` side for one-way drops).
+        a: Vec<HostId>,
+        /// Hosts on the other side.
+        b: Vec<HostId>,
+        /// Whether only the `a` → `b` direction is blocked.
+        oneway: bool,
+    },
+    /// A partition healed: the matching `PartitionStart` cut is gone.
+    PartitionHeal {
+        /// Hosts on the first side (the `from` side for one-way drops).
+        a: Vec<HostId>,
+        /// Hosts on the other side.
+        b: Vec<HostId>,
+        /// Whether only the `a` → `b` direction had been blocked.
+        oneway: bool,
+    },
+    /// A link was degraded (extra latency and/or probabilistic drop).
+    LinkDegraded(HostId, HostId),
+    /// A degraded link was restored to the plain latency model.
+    LinkRestored(HostId, HostId),
+    /// A host's wall clock was skewed by this many nanoseconds (zero
+    /// restores an honest clock).
+    ClockSkewSet(HostId, i64),
 }
 
 /// A structured event callback: `(virtual time, event)`.
@@ -257,6 +331,11 @@ impl Kernel {
     pub fn new(cfg: KernelConfig) -> Self {
         install_quiet_kill_hook();
         let (syscall_tx, syscall_rx) = channel();
+        let net_rng = {
+            use rand::SeedableRng as _;
+            // Domain-separated from the per-process RNG streams.
+            rand::rngs::SmallRng::seed_from_u64(cfg.seed ^ 0x6E65_745F_6472_6F70)
+        };
         Kernel {
             cfg,
             now: SimTime::ZERO,
@@ -270,6 +349,9 @@ impl Kernel {
             syscall_rx,
             syscall_tx,
             partitions: BTreeSet::new(),
+            oneway_blocks: BTreeSet::new(),
+            degraded: BTreeMap::new(),
+            net_rng,
             link_latency: BTreeMap::new(),
             stats: KernelStats::default(),
             panicked: None,
@@ -582,7 +664,7 @@ impl Kernel {
                         return;
                     }
                 };
-                if !hs.up || self.partitions.contains(&pair(msg.from_host, h)) {
+                if !hs.up || self.link_blocked(msg.from_host, h) {
                     self.stats.msgs_dropped += 1;
                     return;
                 }
@@ -605,11 +687,22 @@ impl Kernel {
                 return;
             }
         };
-        if !self.hosts[dst_host.0 as usize].up
-            || self.partitions.contains(&pair(msg.from_host, dst_host))
-        {
+        if !self.hosts[dst_host.0 as usize].up || self.link_blocked(msg.from_host, dst_host) {
             self.stats.msgs_dropped += 1;
             return;
+        }
+        // Gray-failure drop: one draw per delivered message (this is the
+        // single path every message funnels through).
+        if msg.from_host != dst_host {
+            if let Some(&(_, drop_milli)) = self.degraded.get(&pair(msg.from_host, dst_host)) {
+                if drop_milli > 0 {
+                    use rand::Rng as _;
+                    if self.net_rng.random_range(0..1000u32) < drop_milli {
+                        self.stats.msgs_dropped += 1;
+                        return;
+                    }
+                }
+            }
         }
         self.stats.msgs_delivered += 1;
         let now = self.now;
@@ -669,6 +762,12 @@ impl Kernel {
         }
     }
 
+    /// Whether a message from `from` to `to` is currently cut off (by a
+    /// symmetric partition or a directional drop).
+    fn link_blocked(&self, from: HostId, to: HostId) -> bool {
+        self.partitions.contains(&pair(from, to)) || self.oneway_blocks.contains(&(from, to))
+    }
+
     fn apply_fault(&mut self, f: Fault) {
         match f {
             Fault::KillProcess(pid) => self.do_kill(pid),
@@ -686,6 +785,70 @@ impl Kernel {
                 } else {
                     self.partitions.remove(&pair(a, b));
                 }
+                self.trace(&format!(
+                    "partition {a}-{b} {}",
+                    if blocked { "cut" } else { "healed" }
+                ));
+                self.emit_partition(vec![a], vec![b], false, blocked);
+            }
+            Fault::PartitionGroup { side, blocked } => {
+                let other: Vec<HostId> = self
+                    .host_ids()
+                    .into_iter()
+                    .filter(|h| !side.contains(h))
+                    .collect();
+                for &a in &side {
+                    for &b in &other {
+                        if blocked {
+                            self.partitions.insert(pair(a, b));
+                        } else {
+                            self.partitions.remove(&pair(a, b));
+                        }
+                    }
+                }
+                self.trace(&format!(
+                    "partition-group {side:?} {}",
+                    if blocked { "cut" } else { "healed" }
+                ));
+                self.emit_partition(side, other, false, blocked);
+            }
+            Fault::DropOneWay { from, to, blocked } => {
+                if blocked {
+                    self.oneway_blocks.insert((from, to));
+                } else {
+                    self.oneway_blocks.remove(&(from, to));
+                }
+                self.trace(&format!(
+                    "oneway-drop {from}->{to} {}",
+                    if blocked { "cut" } else { "healed" }
+                ));
+                self.emit_partition(vec![from], vec![to], true, blocked);
+            }
+            Fault::DegradeLink {
+                a,
+                b,
+                extra_latency,
+                drop_milli,
+            } => {
+                if extra_latency == SimDuration::ZERO && drop_milli == 0 {
+                    self.degraded.remove(&pair(a, b));
+                    self.trace(&format!("link {a}-{b} restored"));
+                    self.emit(KernelEvent::LinkRestored(a, b));
+                } else {
+                    self.degraded
+                        .insert(pair(a, b), (extra_latency, drop_milli.min(1000)));
+                    self.trace(&format!(
+                        "link {a}-{b} degraded +{extra_latency:?} drop {drop_milli}/1000"
+                    ));
+                    self.emit(KernelEvent::LinkDegraded(a, b));
+                }
+            }
+            Fault::SetClockSkew(h, skew_ns) => {
+                if let Some(hs) = self.hosts.get_mut(h.0 as usize) {
+                    hs.clock_skew_ns = skew_ns;
+                }
+                self.trace(&format!("clock-skew {h} {skew_ns}ns"));
+                self.emit(KernelEvent::ClockSkewSet(h, skew_ns));
             }
             Fault::SetLinkLatency(a, b, lat) => match lat {
                 Some(d) => {
@@ -698,6 +861,16 @@ impl Kernel {
         }
     }
 
+    /// Emit the partition lifecycle event for a just-applied cut or heal.
+    fn emit_partition(&mut self, a: Vec<HostId>, b: Vec<HostId>, oneway: bool, blocked: bool) {
+        let ev = if blocked {
+            KernelEvent::PartitionStart { a, b, oneway }
+        } else {
+            KernelEvent::PartitionHeal { a, b, oneway }
+        };
+        self.emit(ev);
+    }
+
     /// Override the one-way latency between two hosts (symmetric). Used to
     /// model WAN links between LANs — the metacomputing scenario the paper
     /// lists as future work. Takes effect for messages sent after the call.
@@ -708,13 +881,18 @@ impl Kernel {
     /// One-way latency for a message between two hosts under the current
     /// model (default local/remote, or a per-link override).
     fn latency_between(&self, a: HostId, b: HostId) -> SimDuration {
-        if let Some(&d) = self.link_latency.get(&pair(a, b)) {
-            return d;
-        }
-        if a == b {
+        let base = if let Some(&d) = self.link_latency.get(&pair(a, b)) {
+            d
+        } else if a == b {
             self.cfg.net.latency_local
         } else {
             self.cfg.net.latency_remote
+        };
+        // Gray-failure degradation stacks on top of whatever the healthy
+        // link latency is, so restoring the link restores the old value.
+        match self.degraded.get(&pair(a, b)) {
+            Some(&(extra, _)) => base + extra,
+            None => base,
         }
     }
 

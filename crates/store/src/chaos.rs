@@ -1,39 +1,77 @@
-//! Deterministic fault-injection harness for the replicated store.
+//! Deterministic fault-injection adversary for the replicated store.
 //!
-//! A [`ChaosPlan`] is a *precomputed*, seeded schedule of host crashes,
-//! restarts, and link partitions — generated before the simulation runs
-//! and applied via `Kernel::schedule_fault`, so the same seed always
-//! yields the same fault timeline regardless of what the workload does.
-//! The generator never takes more replicas down concurrently than
-//! `max_concurrent_down` allows, so a plan can be tuned to stay within
-//! (or deliberately exceed) what the write quorum tolerates.
+//! A [`ChaosPlan`] is a *precomputed*, seeded schedule of fault episodes —
+//! host crashes/restarts, group partitions, one-way link drops, gray-failure
+//! link degradation, crash/restart flap trains, and clock skew — generated
+//! before the simulation runs and applied via `Kernel::schedule_fault`, so
+//! the same seed always yields the same fault timeline regardless of what
+//! the workload does.
+//!
+//! Every episode is **bounded**: each cut has a matching heal, each crash
+//! in a train has a matching restart, and every heal lands strictly before
+//! `end`. The generator runs one disruption ledger across *all* fault
+//! families, so no host is under two overlapping disruptions and at most
+//! `max_concurrent_down` hosts are disrupted at any instant — a plan can be
+//! tuned to stay within (or deliberately exceed) what the write quorum
+//! tolerates.
+//!
+//! [`ChaosPlan::minimize`] shrinks a failing schedule: classic
+//! delta-debugging over whole episodes (so the matched-heal invariant
+//! survives shrinking), down to a locally minimal set of episodes that
+//! still reproduces the failure.
 
 use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use simnet::{Fault, HostId, Kernel, SimDuration, SimTime};
 
-/// Tuning for [`ChaosPlan::generate`].
+/// Tuning for [`ChaosPlan::generate`]. The per-family probabilities are
+/// cumulative weights of one draw per injection slot; whatever they leave
+/// of the unit interval goes to plain crash/restart.
 #[derive(Clone, Debug)]
 pub struct ChaosConfig {
     /// Seed of the fault schedule (independent of the kernel seed).
     pub seed: u64,
     /// Faults are injected from this time on.
     pub start: SimTime,
-    /// No fault is injected at or after this time.
+    /// No fault fires at or after this time — heals included.
     pub end: SimTime,
     /// Mean time between consecutive fault injections; actual gaps are
     /// drawn uniformly from `[0.5, 1.5) ×` this.
     pub mean_interval: SimDuration,
-    /// Crashed hosts come back after this long. `None` means crashes are
-    /// permanent (and each host is crashed at most once).
+    /// Disrupted hosts recover after this long (restart, heal, restore,
+    /// skew reset). `None` means crashes are permanent (each host is
+    /// crashed at most once) and the non-crash families are disabled,
+    /// since they need a bounded episode.
     pub restart_after: Option<SimDuration>,
-    /// Upper bound on replicas down at the same instant.
+    /// Upper bound on hosts disrupted — by *any* family — at one instant.
     pub max_concurrent_down: usize,
-    /// Probability that an injection is a transient link partition (both
-    /// hosts stay up) instead of a crash. Partitions require
-    /// `restart_after` (which doubles as the heal delay) and at least two
-    /// targets; otherwise this is ignored.
+    /// Probability that an injection is a transient pairwise partition.
     pub partition_prob: f64,
+    /// Probability of a group partition: a randomly sized side of the
+    /// target set is cut off from everything else.
+    pub group_partition_prob: f64,
+    /// Probability of an asymmetric one-way link drop.
+    pub oneway_prob: f64,
+    /// Probability of gray-failure link degradation (extra latency plus
+    /// probabilistic drops, the link stays "up").
+    pub degrade_prob: f64,
+    /// Probability of a crash/restart flap train.
+    pub flap_prob: f64,
+    /// Probability of a clock-skew episode.
+    pub skew_prob: f64,
+    /// Extra one-way latency a degraded link carries.
+    pub degrade_extra_latency: SimDuration,
+    /// Per-message drop probability of a degraded link, in milli-units
+    /// (0..=1000).
+    pub degrade_drop_milli: u32,
+    /// Crash/restart cycles in one flap train.
+    pub flap_cycles: u32,
+    /// Length of one flap cycle (down for half, up for half).
+    pub flap_period: SimDuration,
+    /// Clock skew magnitude bound: skews are drawn from
+    /// `[-max_skew_ns, max_skew_ns]`, nonzero.
+    pub max_skew_ns: i64,
 }
 
 impl Default for ChaosConfig {
@@ -46,12 +84,22 @@ impl Default for ChaosConfig {
             restart_after: Some(SimDuration::from_secs(2)),
             max_concurrent_down: 1,
             partition_prob: 0.0,
+            group_partition_prob: 0.0,
+            oneway_prob: 0.0,
+            degrade_prob: 0.0,
+            flap_prob: 0.0,
+            skew_prob: 0.0,
+            degrade_extra_latency: SimDuration::from_millis(5),
+            degrade_drop_milli: 200,
+            flap_cycles: 3,
+            flap_period: SimDuration::from_millis(600),
+            max_skew_ns: 500_000_000,
         }
     }
 }
 
 /// One scheduled fault.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChaosEvent {
     /// When the fault fires.
     pub at: SimTime,
@@ -64,82 +112,325 @@ pub struct ChaosEvent {
 pub struct ChaosPlan {
     /// The schedule, in firing order.
     pub events: Vec<ChaosEvent>,
+    /// The same schedule grouped into self-contained episodes (a cut and
+    /// its heal, a whole flap train, …) — the unit [`ChaosPlan::minimize`]
+    /// removes, so shrinking cannot orphan a heal.
+    pub episodes: Vec<Vec<ChaosEvent>>,
+}
+
+/// Which fault family one injection slot drew.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Family {
+    Crash,
+    Partition,
+    GroupPartition,
+    OneWay,
+    Degrade,
+    Flap,
+    Skew,
 }
 
 impl ChaosPlan {
-    /// Generate a seeded schedule of crashes/restarts (and optionally
-    /// partitions) over `targets`. Pure function of the config and the
-    /// target list: same inputs, same plan.
+    /// Generate a seeded schedule over `targets`. Pure function of the
+    /// config and the target list: same inputs, same plan.
     pub fn generate(cfg: &ChaosConfig, targets: &[HostId]) -> ChaosPlan {
-        let mut plan = ChaosPlan::default();
-        if targets.is_empty() || cfg.max_concurrent_down == 0 {
-            return plan;
+        let mut episodes: Vec<Vec<ChaosEvent>> = Vec::new();
+        if targets.is_empty() || cfg.max_concurrent_down == 0 || cfg.start >= cfg.end {
+            return ChaosPlan::default();
         }
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        // (host, up-again-at); MAX means "never restarts".
-        let mut down: Vec<(HostId, SimTime)> = Vec::new();
-        let mut crashed_forever: Vec<HostId> = Vec::new();
+        // The disruption ledger: (host, recovered-at); MAX means "never".
+        let mut disrupted: Vec<(HostId, SimTime)> = Vec::new();
+        // Heals must fire strictly before `end`.
+        let last = SimTime::from_nanos(cfg.end.as_nanos().saturating_sub(1));
         let mut t = cfg.start;
         while t < cfg.end {
-            down.retain(|&(_, up_at)| up_at > t);
-            let cut = rng.random_range(0.5..1.5);
-            let gap_ns = (cfg.mean_interval.as_nanos() as f64 * cut) as u64;
-            let partition = cfg.partition_prob > 0.0
-                && cfg.restart_after.is_some()
-                && targets.len() >= 2
-                && rng.random_bool(cfg.partition_prob);
-            if partition {
-                let a = targets[rng.random_range(0..targets.len())];
-                let b = loop {
-                    let c = targets[rng.random_range(0..targets.len())];
-                    if c != a {
-                        break c;
-                    }
-                };
-                let heal = cfg.restart_after.unwrap_or(SimDuration::ZERO);
-                plan.events.push(ChaosEvent {
-                    at: t,
-                    fault: Fault::Partition(a, b, true),
-                });
-                plan.events.push(ChaosEvent {
-                    at: t.saturating_add(heal),
-                    fault: Fault::Partition(a, b, false),
-                });
-            } else {
-                let up: Vec<HostId> = targets
-                    .iter()
-                    .copied()
-                    .filter(|h| !down.iter().any(|&(d, _)| d == *h) && !crashed_forever.contains(h))
-                    .collect();
-                if !up.is_empty() && down.len() < cfg.max_concurrent_down {
-                    let victim = up[rng.random_range(0..up.len())];
-                    plan.events.push(ChaosEvent {
-                        at: t,
-                        fault: Fault::CrashHost(victim),
-                    });
-                    match cfg.restart_after {
-                        Some(d) => {
-                            let up_at = t.saturating_add(d);
-                            plan.events.push(ChaosEvent {
-                                at: up_at,
-                                fault: Fault::RestartHost(victim),
-                            });
-                            down.push((victim, up_at));
-                        }
-                        None => crashed_forever.push(victim),
-                    }
+            disrupted.retain(|&(_, until)| until > t);
+            let gap_frac: f64 = rng.random_range(0.5..1.5);
+            let gap_ns = (cfg.mean_interval.as_nanos() as f64 * gap_frac) as u64;
+            let free: Vec<HostId> = targets
+                .iter()
+                .copied()
+                .filter(|h| !disrupted.iter().any(|&(d, _)| d == *h))
+                .collect();
+            let slots = cfg.max_concurrent_down.saturating_sub(disrupted.len());
+            if let Some(ep) = Self::episode(cfg, &mut rng, &free, slots, t, last) {
+                for &(h, until) in &ep.holds {
+                    disrupted.push((h, until));
                 }
+                episodes.push(ep.events);
             }
             t = t.saturating_add(SimDuration::from_nanos(gap_ns.max(1)));
         }
-        plan.events.sort_by_key(|e| e.at);
-        plan
+        Self::from_episodes(episodes)
+    }
+
+    /// Draw one episode at `t`, or `None` if the slot stays empty (budget
+    /// exhausted, or the drawn family is infeasible right now).
+    fn episode(
+        cfg: &ChaosConfig,
+        rng: &mut SmallRng,
+        free: &[HostId],
+        slots: usize,
+        t: SimTime,
+        last: SimTime,
+    ) -> Option<Episode> {
+        // One family draw per slot, taken even when the slot turns out to
+        // be infeasible, so feasibility does not perturb the RNG stream of
+        // later slots more than it must.
+        let family = {
+            let u: f64 = rng.random_range(0.0..1.0);
+            let mut acc = 0.0;
+            let table = [
+                (Family::Partition, cfg.partition_prob),
+                (Family::GroupPartition, cfg.group_partition_prob),
+                (Family::OneWay, cfg.oneway_prob),
+                (Family::Degrade, cfg.degrade_prob),
+                (Family::Flap, cfg.flap_prob),
+                (Family::Skew, cfg.skew_prob),
+            ];
+            let mut chosen = Family::Crash;
+            for (f, p) in table {
+                acc += p;
+                if u < acc {
+                    chosen = f;
+                    break;
+                }
+            }
+            chosen
+        };
+        if slots == 0 || free.is_empty() {
+            return None;
+        }
+        // Everything except a permanent crash needs a bounded episode.
+        let dur = cfg.restart_after;
+        let family = if dur.is_none() { Family::Crash } else { family };
+        let heal_at = |at: SimTime| {
+            at.saturating_add(dur.unwrap_or(SimDuration::ZERO))
+                .min(last)
+        };
+        match family {
+            Family::Crash => {
+                let victim = free[rng.random_range(0..free.len())];
+                match dur {
+                    Some(_) => {
+                        let up = heal_at(t);
+                        Some(Episode {
+                            events: vec![
+                                ChaosEvent {
+                                    at: t,
+                                    fault: Fault::CrashHost(victim),
+                                },
+                                ChaosEvent {
+                                    at: up,
+                                    fault: Fault::RestartHost(victim),
+                                },
+                            ],
+                            holds: vec![(victim, up)],
+                        })
+                    }
+                    None => Some(Episode {
+                        events: vec![ChaosEvent {
+                            at: t,
+                            fault: Fault::CrashHost(victim),
+                        }],
+                        holds: vec![(victim, SimTime::MAX)],
+                    }),
+                }
+            }
+            Family::Partition | Family::OneWay | Family::Degrade => {
+                // All three need a pair; the second endpoint may be any
+                // target (a disrupted peer just makes the cut redundant),
+                // but the ledger slot is charged to the first.
+                if free.len() < 2 {
+                    return None;
+                }
+                let mut pick = free.to_vec();
+                pick.shuffle(rng);
+                let (a, b) = (pick[0], pick[1]);
+                let heal = heal_at(t);
+                let (cut, mend) = match family {
+                    Family::Partition => {
+                        (Fault::Partition(a, b, true), Fault::Partition(a, b, false))
+                    }
+                    Family::OneWay => (
+                        Fault::DropOneWay {
+                            from: a,
+                            to: b,
+                            blocked: true,
+                        },
+                        Fault::DropOneWay {
+                            from: a,
+                            to: b,
+                            blocked: false,
+                        },
+                    ),
+                    _ => (
+                        Fault::DegradeLink {
+                            a,
+                            b,
+                            extra_latency: cfg.degrade_extra_latency,
+                            drop_milli: cfg.degrade_drop_milli,
+                        },
+                        Fault::DegradeLink {
+                            a,
+                            b,
+                            extra_latency: SimDuration::ZERO,
+                            drop_milli: 0,
+                        },
+                    ),
+                };
+                Some(Episode {
+                    events: vec![
+                        ChaosEvent { at: t, fault: cut },
+                        ChaosEvent {
+                            at: heal,
+                            fault: mend,
+                        },
+                    ],
+                    holds: vec![(a, heal)],
+                })
+            }
+            Family::GroupPartition => {
+                // The cut side must leave at least one target outside it,
+                // and every side member occupies a ledger slot.
+                let max_side = slots.min(free.len().saturating_sub(1));
+                if max_side == 0 {
+                    return None;
+                }
+                let size = rng.random_range(1..=max_side);
+                let mut pick = free.to_vec();
+                pick.shuffle(rng);
+                let mut side: Vec<HostId> = pick.into_iter().take(size).collect();
+                side.sort_unstable_by_key(|h| h.0);
+                let heal = heal_at(t);
+                Some(Episode {
+                    events: vec![
+                        ChaosEvent {
+                            at: t,
+                            fault: Fault::PartitionGroup {
+                                side: side.clone(),
+                                blocked: true,
+                            },
+                        },
+                        ChaosEvent {
+                            at: heal,
+                            fault: Fault::PartitionGroup {
+                                side: side.clone(),
+                                blocked: false,
+                            },
+                        },
+                    ],
+                    holds: side.into_iter().map(|h| (h, heal)).collect(),
+                })
+            }
+            Family::Flap => {
+                // A crash/restart train: down half a period, up half a
+                // period, `flap_cycles` times — truncated at the horizon.
+                let victim = free[rng.random_range(0..free.len())];
+                let half = SimDuration::from_nanos((cfg.flap_period.as_nanos() / 2).max(1));
+                let mut events = Vec::new();
+                let mut at = t;
+                for _ in 0..cfg.flap_cycles.max(1) {
+                    if at >= last {
+                        break;
+                    }
+                    let up = at.saturating_add(half).min(last);
+                    events.push(ChaosEvent {
+                        at,
+                        fault: Fault::CrashHost(victim),
+                    });
+                    events.push(ChaosEvent {
+                        at: up,
+                        fault: Fault::RestartHost(victim),
+                    });
+                    at = up.saturating_add(half);
+                }
+                if events.is_empty() {
+                    return None;
+                }
+                let until = events.last().map(|e| e.at).unwrap_or(t);
+                Some(Episode {
+                    events,
+                    holds: vec![(victim, until)],
+                })
+            }
+            Family::Skew => {
+                let victim = free[rng.random_range(0..free.len())];
+                let max = cfg.max_skew_ns.max(1);
+                let mut skew: i64 = rng.random_range(-max..=max);
+                if skew == 0 {
+                    skew = max;
+                }
+                let heal = heal_at(t);
+                Some(Episode {
+                    events: vec![
+                        ChaosEvent {
+                            at: t,
+                            fault: Fault::SetClockSkew(victim, skew),
+                        },
+                        ChaosEvent {
+                            at: heal,
+                            fault: Fault::SetClockSkew(victim, 0),
+                        },
+                    ],
+                    holds: vec![(victim, heal)],
+                })
+            }
+        }
+    }
+
+    /// Assemble a plan from a set of episodes: flatten and sort into
+    /// firing order (stable, so same-instant events keep episode order).
+    pub fn from_episodes(episodes: Vec<Vec<ChaosEvent>>) -> ChaosPlan {
+        let mut events: Vec<ChaosEvent> = episodes.iter().flatten().cloned().collect();
+        events.sort_by_key(|e| e.at);
+        ChaosPlan { events, episodes }
+    }
+
+    /// Shrink a failing schedule to a locally minimal episode set: classic
+    /// ddmin over whole episodes. `fails` must return `true` when the
+    /// candidate plan still reproduces the failure; it is re-invoked on
+    /// progressively smaller candidates (so it should be a pure function
+    /// of the plan — re-run the sim, re-check the predicate). Returns the
+    /// smallest failing plan found; if the full plan does not fail, it is
+    /// returned unchanged.
+    pub fn minimize(&self, mut fails: impl FnMut(&ChaosPlan) -> bool) -> ChaosPlan {
+        let mut episodes = self.episodes.clone();
+        if episodes.len() < 2 || !fails(&Self::from_episodes(episodes.clone())) {
+            return self.clone();
+        }
+        let mut n = 2usize;
+        while episodes.len() >= 2 {
+            let chunk = episodes.len().div_ceil(n);
+            let mut reduced = false;
+            let mut i = 0;
+            while i < episodes.len() {
+                let hi = (i + chunk).min(episodes.len());
+                let mut candidate: Vec<Vec<ChaosEvent>> = episodes[..i].to_vec();
+                candidate.extend_from_slice(&episodes[hi..]);
+                if !candidate.is_empty() && fails(&Self::from_episodes(candidate.clone())) {
+                    episodes = candidate;
+                    n = n.saturating_sub(1).max(2);
+                    reduced = true;
+                    break;
+                }
+                i = hi;
+            }
+            if !reduced {
+                if n >= episodes.len() {
+                    break;
+                }
+                n = (n * 2).min(episodes.len());
+            }
+        }
+        Self::from_episodes(episodes)
     }
 
     /// Install every event of the plan into the kernel.
     pub fn schedule(&self, kernel: &mut Kernel) {
         for e in &self.events {
-            kernel.schedule_fault(e.at, e.fault);
+            kernel.schedule_fault(e.at, e.fault.clone());
         }
     }
 
@@ -151,4 +442,17 @@ impl ChaosPlan {
             .filter(|e| matches!(e.fault, Fault::CrashHost(_)))
             .count()
     }
+
+    /// Count of events whose fault belongs to the given family predicate.
+    pub fn count_matching(&self, pred: impl Fn(&Fault) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(&e.fault)).count()
+    }
+}
+
+/// A self-contained fault episode plus the ledger slots it occupies.
+struct Episode {
+    events: Vec<ChaosEvent>,
+    /// `(host, disrupted-until)` — what the generator's concurrency ledger
+    /// charges for this episode.
+    holds: Vec<(HostId, SimTime)>,
 }

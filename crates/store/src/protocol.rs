@@ -12,12 +12,22 @@ use simnet::SimDuration;
 use ftproxy::StoreCosts;
 
 /// Replica-to-replica operation names.
+///
+/// The three `repl_*` *write* ops share one wire shape:
+/// `(unsigned long long view_revision, sequence<octet> body)` — the
+/// naming group's membership revision the coordinator acted on, then the
+/// original client request body. A replica that has witnessed a newer
+/// revision rejects the write with `TRANSIENT`, so a coordinator still on
+/// a pre-partition-heal view cannot assemble a quorum.
 pub mod ops {
-    /// `void repl_store(in Checkpoint c)` — apply a bulk record locally.
+    /// `void repl_store(in ViewStamped s)` — body is
+    /// `(in Checkpoint c)`; apply a bulk record locally.
     pub const REPL_STORE: &str = "repl_store";
-    /// `void repl_store_value(in string id, in string key, in any v)`.
+    /// `void repl_store_value(in ViewStamped s)` — body is
+    /// `(in string id, in string key, in any v)`.
     pub const REPL_STORE_VALUE: &str = "repl_store_value";
-    /// `boolean repl_delete(in string id)` — apply a delete locally.
+    /// `boolean repl_delete(in ViewStamped s)` — body is
+    /// `(in string id)`; apply a delete locally.
     pub const REPL_DELETE: &str = "repl_delete";
     /// `(boolean, Checkpoint) repl_get(in string id)` — local newest
     /// epoch, for quorum reads and anti-entropy tooling.

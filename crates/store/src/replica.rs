@@ -19,6 +19,18 @@
 //! lone survivor of an N=2 deployment keeps accepting writes instead of
 //! deadlocking on its dead peer.
 //!
+//! ## View revisions
+//!
+//! Every view carries the naming group's **membership revision** (bumped
+//! on each bind/unbind). The coordinator stamps that revision on each
+//! `repl_*` fan-out, and replicas reject writes stamped with a revision
+//! older than one they have already witnessed — a coordinator still
+//! acting on a pre-heal view cannot assemble a quorum until it refreshes.
+//! Symmetrically, a coordinator that cannot *reach* the naming service
+//! does not guess "solo": an unconfirmable view fails the write with
+//! `TRANSIENT`, because silently shrinking to a one-replica view is
+//! exactly the split-brain a partition minority would otherwise commit.
+//!
 //! With the default `W = view` every live replica holds every acked
 //! write, so reads are served locally by whichever replica the client
 //! resolved — "any live replica holding the newest acked epoch". A
@@ -29,7 +41,7 @@
 use std::collections::BTreeMap;
 
 use cdr::{Any, Epoch, TypeCode, Value};
-use cosnaming::{Name, NamingClient};
+use cosnaming::{Name, NamingClient, NotFound};
 use ftproxy::service::ops as client_ops;
 use ftproxy::{Checkpoint, CHECKPOINT_SERVICE_NAME};
 use monitor::{EventBody, Publisher};
@@ -76,8 +88,13 @@ pub struct StoreReplica {
     /// This replica's own reference; set by [`run_store_replica`] after
     /// activation so the view can exclude it.
     pub self_ior: Option<Ior>,
-    /// Cached membership view (fetched from the naming group).
-    view_cache: Option<(SimTime, Vec<Ior>)>,
+    /// Cached membership view: `(fetched_at, revision, peers)`.
+    view_cache: Option<(SimTime, u64, Vec<Ior>)>,
+    /// Highest membership revision witnessed, from our own view fetches
+    /// or stamped on incoming `repl_*` writes.
+    highest_view_revision: u64,
+    /// Replicated writes rejected for carrying a stale membership view.
+    pub stale_view_rejects: u64,
     /// Epoch-versioned bulk checkpoints: object id → epoch → record.
     bulks: BTreeMap<String, BTreeMap<Epoch, Checkpoint>>,
     /// Per-value records (the paper's proof-of-concept interface).
@@ -113,6 +130,8 @@ impl StoreReplica {
             group: Name::simple(CHECKPOINT_SERVICE_NAME),
             self_ior: None,
             view_cache: None,
+            highest_view_revision: 0,
+            stale_view_rejects: 0,
             bulks: BTreeMap::new(),
             values: BTreeMap::new(),
             stores: 0,
@@ -256,42 +275,75 @@ impl StoreReplica {
     // Replication
     // ------------------------------------------------------------------
 
-    /// The current peer view: the naming group's members, deduplicated,
-    /// sorted by `(host, port, key)` for deterministic fan-out order, and
-    /// excluding this replica itself. Cached for `view_ttl`.
-    fn view(&mut self, call: &mut CallCtx<'_>) -> Result<Vec<Ior>, Exception> {
+    /// The current peer view: the group's membership revision plus its
+    /// members, deduplicated, sorted by `(host, port, key)` for
+    /// deterministic fan-out order, and excluding this replica itself.
+    /// Cached for `view_ttl` — but a cached view is also discarded early
+    /// when a peer's stamped write has already proven it stale.
+    fn view(&mut self, call: &mut CallCtx<'_>) -> Result<(u64, Vec<Ior>), Exception> {
         let now = call.ctx.now();
-        if let Some((at, v)) = &self.view_cache {
-            if now.since(*at) <= self.cfg.view_ttl {
-                return Ok(v.clone());
+        if let Some((at, rev, v)) = &self.view_cache {
+            if now.since(*at) <= self.cfg.view_ttl && *rev >= self.highest_view_revision {
+                return Ok((*rev, v.clone()));
             }
         }
         let ns = NamingClient::root(self.naming_host);
-        // On a naming error (the name is not a group — a legacy
-        // single-store binding): coordinate solo.
-        let members = ns
-            .group_members(call.orb, call.ctx, &self.group)
+        let (revision, members) = match ns
+            .group_view(call.orb, call.ctx, &self.group)
             .map_err(|_| killed())?
-            .unwrap_or_default();
+        {
+            Ok(rv) => rv,
+            // The name is not a group (a legacy single-store binding):
+            // coordinate solo, under the pre-group revision 0.
+            Err(e) if NotFound::extract(&e).is_some() => (0, Vec::new()),
+            // Naming unreachable — crashed, or we are on the wrong side
+            // of a partition. An unconfirmable view must NOT collapse to
+            // "solo": that is the split-brain a partition minority would
+            // commit. Fail the write; the client retries elsewhere.
+            Err(_) => {
+                return Err(Exception::System(SystemException::transient(
+                    "membership view unavailable (naming unreachable)",
+                )))
+            }
+        };
+        self.highest_view_revision = self.highest_view_revision.max(revision);
         let mut peers: Vec<Ior> = members
             .into_iter()
             .filter(|m| self.self_ior.as_ref() != Some(m))
             .collect();
         peers.sort_by_key(|a| (a.host, a.port, a.key));
         peers.dedup();
-        self.view_cache = Some((now, peers.clone()));
+        self.view_cache = Some((now, revision, peers.clone()));
         let members = (peers.len() + 1) as u32;
         let quorum = self.cfg.write_quorum.clamp(1, peers.len() + 1) as u32;
         if self.last_view_published != Some((members, quorum)) {
             self.last_view_published = Some((members, quorum));
             self.publish(call, EventBody::ViewChange { members, quorum })?;
         }
-        Ok(peers)
+        Ok((revision, peers))
+    }
+
+    /// Admit (or reject) a peer-coordinated write stamped with the
+    /// membership revision the coordinator acted on. Older than one this
+    /// replica has witnessed means the coordinator is still on a pre-heal
+    /// view: reject, so it cannot assemble a quorum without refreshing.
+    fn note_coordinator_view(&mut self, revision: u64) -> Result<(), Exception> {
+        if revision < self.highest_view_revision {
+            self.stale_view_rejects += 1;
+            return Err(Exception::System(SystemException::transient(format!(
+                "stale membership view: write stamped revision {revision}, \
+                 replica has witnessed {}",
+                self.highest_view_revision
+            ))));
+        }
+        self.highest_view_revision = revision;
+        Ok(())
     }
 
     /// Fan a locally applied write out to the peers in the view and
-    /// enforce the quorum. `op` is the `repl_*` operation; `args` is the
-    /// original request body (identical signatures by construction).
+    /// enforce the quorum. `op` is the `repl_*` operation; its body is
+    /// the original client request body wrapped as
+    /// `(view_revision, body)` so replicas can reject a stale view.
     fn replicate(
         &mut self,
         call: &mut CallCtx<'_>,
@@ -300,7 +352,7 @@ impl StoreReplica {
         object: &str,
         epoch: Epoch,
     ) -> Result<(), Exception> {
-        let peers = self.view(call)?;
+        let (revision, peers) = self.view(call)?;
         let view_size = peers.len() + 1; // the coordinator is in the view
         let w_eff = self.cfg.write_quorum.clamp(1, view_size);
         if w_eff <= 1 && peers.is_empty() {
@@ -321,13 +373,14 @@ impl StoreReplica {
             o.begin(call.ctx.now(), "store.replicate");
             o.tag("op", op);
         }
+        let stamped = cdr::to_bytes(&(revision, args.to_vec()));
         let mut acks = 1usize; // the coordinator's local apply
         for peer in &peers {
             let outcome = call.orb.invoke_with_timeout(
                 call.ctx,
                 peer,
                 op,
-                args.to_vec(),
+                stamped.clone(),
                 Some(self.cfg.repl_timeout),
             );
             match outcome {
@@ -404,6 +457,11 @@ impl Servant for StoreReplica {
             client_ops::STORE => {
                 let (ckpt,): (Checkpoint,) =
                     cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                // Confirm the membership view BEFORE applying locally: a
+                // coordinator that cannot read the view (a partition
+                // minority) must fail cleanly, not leave a divergent
+                // epoch behind for a post-heal reader to find.
+                self.view(call)?;
                 self.compute(call, self.bulk_work(ckpt.state.len()))?;
                 self.stores += 1;
                 let (object, epoch) = (ckpt.object_id.clone(), ckpt.epoch);
@@ -414,6 +472,7 @@ impl Servant for StoreReplica {
             client_ops::STORE_VALUE => {
                 let (id, key, value): (String, String, Any) =
                     cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                self.view(call)?;
                 self.compute(call, self.cfg.costs.value_fixed)?;
                 self.value_stores += 1;
                 let epoch = if key == "header" {
@@ -427,29 +486,42 @@ impl Servant for StoreReplica {
             }
             client_ops::DELETE => {
                 let (id,): (String,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                self.view(call)?;
                 let deleted = self.apply_delete(&id);
                 self.replicate(call, ops::REPL_DELETE, args, &id, Epoch::ZERO)?;
                 reply(&deleted)
             }
             // ---------------- replica-to-replica applies ---------------
+            // Each carries `(view_revision, body)`: the membership
+            // revision the coordinator acted on, then the original client
+            // request body. Stale revisions are rejected before applying.
             ops::REPL_STORE => {
-                let (ckpt,): (Checkpoint,) =
+                let (revision, body): (u64, Vec<u8>) =
                     cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                self.note_coordinator_view(revision)?;
+                let (ckpt,): (Checkpoint,) =
+                    cdr::from_bytes(&body).map_err(SystemException::marshal)?;
                 self.compute(call, self.bulk_work(ckpt.state.len()))?;
                 self.repl_applied += 1;
                 self.apply_bulk(ckpt);
                 reply(&())
             }
             ops::REPL_STORE_VALUE => {
-                let (id, key, value): (String, String, Any) =
+                let (revision, body): (u64, Vec<u8>) =
                     cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                self.note_coordinator_view(revision)?;
+                let (id, key, value): (String, String, Any) =
+                    cdr::from_bytes(&body).map_err(SystemException::marshal)?;
                 self.compute(call, self.cfg.costs.value_fixed)?;
                 self.repl_applied += 1;
                 self.apply_value(&id, &key, value);
                 reply(&())
             }
             ops::REPL_DELETE => {
-                let (id,): (String,) = cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                let (revision, body): (u64, Vec<u8>) =
+                    cdr::from_bytes(args).map_err(SystemException::marshal)?;
+                self.note_coordinator_view(revision)?;
+                let (id,): (String,) = cdr::from_bytes(&body).map_err(SystemException::marshal)?;
                 self.repl_applied += 1;
                 reply(&self.apply_delete(&id))
             }

@@ -152,7 +152,7 @@ fn chaos_plan_respects_max_concurrent_down() {
         mean_interval: SimDuration::from_millis(400),
         restart_after: Some(SimDuration::from_secs(2)),
         max_concurrent_down: 2,
-        partition_prob: 0.0,
+        ..ChaosConfig::default()
     };
     let plan = ChaosPlan::generate(&cfg, &targets);
     assert!(plan.crashes() >= 10, "dense schedule: {}", plan.crashes());
@@ -198,6 +198,55 @@ fn chaos_without_restart_crashes_each_host_at_most_once() {
         }
     }
     assert_eq!(crashed.len(), 3, "eventually every target dies");
+}
+
+#[test]
+fn minimize_shrinks_a_failing_schedule_to_one_episode() {
+    // A dense multi-family schedule; the "failure" reproduces whenever
+    // host 2 crashes at all — so the minimal reproducer is one
+    // crash/restart episode. ddmin must find it and nothing more.
+    let targets = [HostId(1), HostId(2), HostId(3), HostId(4)];
+    let cfg = ChaosConfig {
+        seed: 5,
+        start: SimTime::from_nanos(0),
+        end: SimTime::from_nanos(60_000_000_000),
+        mean_interval: SimDuration::from_millis(500),
+        restart_after: Some(SimDuration::from_secs(1)),
+        max_concurrent_down: 3,
+        partition_prob: 0.15,
+        group_partition_prob: 0.15,
+        oneway_prob: 0.15,
+        degrade_prob: 0.1,
+        flap_prob: 0.1,
+        skew_prob: 0.1,
+        ..ChaosConfig::default()
+    };
+    let plan = ChaosPlan::generate(&cfg, &targets);
+    assert!(
+        plan.episodes.len() > 20,
+        "need a dense schedule to shrink: {}",
+        plan.episodes.len()
+    );
+    let fails = |p: &ChaosPlan| {
+        p.events
+            .iter()
+            .any(|e| matches!(e.fault, Fault::CrashHost(HostId(2))))
+    };
+    assert!(fails(&plan), "seeded schedule reproduces the failure");
+    let small = plan.minimize(fails);
+    assert!(fails(&small), "minimization must preserve the failure");
+    assert_eq!(small.episodes.len(), 1, "one episode suffices");
+    assert!(
+        small.events.len() <= 3,
+        "shrunk to {} events: {:?}",
+        small.events.len(),
+        small.events
+    );
+    // The shrunken schedule is still well-formed: the crash still heals.
+    assert!(small
+        .events
+        .iter()
+        .any(|e| matches!(e.fault, Fault::RestartHost(HostId(2)))));
 }
 
 // ---------------------------------------------------------------------
@@ -429,6 +478,143 @@ fn replicated_runs_are_deterministic() {
     let b = run(33);
     assert_eq!(a, b, "same seed, same failover outcome");
     assert_eq!(a.0, Epoch(4), "newest acked epoch survives the crash");
+}
+
+#[test]
+fn partition_heal_keeps_a_single_linear_epoch_history() {
+    // Five replicas; cut {s1, s2} plus a minority-side client away from
+    // naming and the majority, write on BOTH sides, then heal. The
+    // minority coordinator cannot confirm a membership view, so its
+    // write must fail cleanly — no divergent epoch left behind — and
+    // after the heal every replica's newest record lies on the single
+    // acked chain (a stale prefix on the evicted minority is fine;
+    // a branch is not).
+    let mut sim = Kernel::with_seed(17);
+    let hosts = store_bed(&mut sim, 5, StoreConfig::default());
+    let h0 = hosts[0];
+    let (s1, s2) = (hosts[1], hosts[2]);
+    let ha = sim.add_host(HostConfig::new("client-minority"));
+    let hb = sim.add_host(HostConfig::new("client-majority"));
+    sim.schedule_fault(
+        SimTime::from_nanos(2_000_000_000),
+        Fault::PartitionGroup {
+            side: vec![s1, s2, ha],
+            blocked: true,
+        },
+    );
+    sim.schedule_fault(
+        SimTime::from_nanos(8_000_000_000),
+        Fault::PartitionGroup {
+            side: vec![s1, s2, ha],
+            blocked: false,
+        },
+    );
+
+    let minority_write_failed = cell::<Option<bool>>();
+    let majority_acked = cell::<Option<bool>>();
+    let sweep = cell::<Vec<(HostId, bool, u64, Vec<u8>)>>();
+
+    let ma = majority_acked.clone();
+    sim.spawn(hb, "majority-client", move |ctx| {
+        // Mid-partition: the detector has evicted the minority replicas
+        // by now, so the shrunken view still reaches quorum.
+        ctx.sleep(secs(4.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let mut attempts = 0u32;
+        loop {
+            let client = resolve_store(&mut orb, ctx, h0);
+            match client
+                .store(&mut orb, ctx, &ckpt("obj", 10, b"majority"))
+                .unwrap()
+            {
+                Ok(()) => break,
+                Err(_) => {
+                    attempts += 1;
+                    assert!(attempts < 100, "majority write wedged during partition");
+                    ctx.sleep(secs(0.1)).unwrap();
+                }
+            }
+        }
+        *ma.lock().unwrap() = Some(true);
+    });
+
+    let f = minority_write_failed.clone();
+    let sw = sweep.clone();
+    let driver_a = sim.spawn(ha, "minority-client", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap();
+        let mut orb = Orb::init(ctx);
+        let ns = NamingClient::root(h0);
+        let members = ns
+            .group_members(&mut orb, ctx, &Name::simple(CHECKPOINT_SERVICE_NAME))
+            .unwrap()
+            .unwrap();
+        assert_eq!(members.len(), 5, "all replicas registered before the cut");
+        // Talk to the replica on s1 directly — our side of the cut.
+        let m = members.iter().find(|m| m.host == s1).unwrap().clone();
+        let client = CheckpointClient::new(orb::ObjectRef::new(m));
+        client
+            .store(&mut orb, ctx, &ckpt("obj", 5, b"pre"))
+            .unwrap()
+            .unwrap();
+        // t ≈ 3 s: inside the partition, past the coordinator's view TTL.
+        // The coordinator cannot reach naming, must not coordinate solo.
+        ctx.sleep(secs(2.0)).unwrap();
+        let r = client
+            .store(&mut orb, ctx, &ckpt("obj", 6, b"split-brain"))
+            .unwrap();
+        *f.lock().unwrap() = Some(r.is_err());
+        // Past the heal: write through the (shrunken) group, then audit
+        // every original replica's newest record.
+        ctx.sleep(secs(5.0)).unwrap();
+        let mut attempts = 0u32;
+        loop {
+            let client = resolve_store(&mut orb, ctx, h0);
+            match client
+                .store(&mut orb, ctx, &ckpt("obj", 11, b"post"))
+                .unwrap()
+            {
+                Ok(()) => break,
+                Err(_) => {
+                    attempts += 1;
+                    assert!(attempts < 100, "post-heal write wedged");
+                    ctx.sleep(secs(0.1)).unwrap();
+                }
+            }
+        }
+        for m in &members {
+            let admin = crate::admin::ReplicaAdmin::new(orb::ObjectRef::new(m.clone()));
+            let (found, c) = admin.repl_get(&mut orb, ctx, "obj").unwrap().unwrap();
+            sw.lock()
+                .unwrap()
+                .push((m.host, found, c.epoch.get(), c.state));
+        }
+    });
+    sim.run_until_exit(driver_a);
+
+    assert_eq!(
+        *minority_write_failed.lock().unwrap(),
+        Some(true),
+        "a coordinator that cannot confirm the view must not ack"
+    );
+    assert_eq!(*majority_acked.lock().unwrap(), Some(true));
+    let sweep = sweep.lock().unwrap().clone();
+    assert_eq!(sweep.len(), 5);
+    for (host, found, epoch, state) in sweep {
+        assert!(found, "replica on {host:?} lost the object");
+        if host == s1 || host == s2 {
+            assert_eq!(
+                (epoch, state.as_slice()),
+                (5, &b"pre"[..]),
+                "minority replica on {host:?} holds an epoch off the acked chain"
+            );
+        } else {
+            assert_eq!(
+                (epoch, state.as_slice()),
+                (11, &b"post"[..]),
+                "majority replica on {host:?} missed the post-heal chain"
+            );
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,173 @@
+//! Property tests for the chaos adversary: for arbitrary configurations,
+//! generated schedules are deterministic in the seed, honor the shared
+//! disruption ledger across *every* fault family, and never orphan a cut
+//! — each one heals strictly before the horizon.
+
+use ldft_store::{ChaosConfig, ChaosPlan};
+use proptest::prelude::*;
+use simnet::{Fault, HostId, SimDuration, SimTime};
+
+/// Arbitrary-but-sane chaos configs: the six family weights sum to at
+/// most ~0.96, leaving the remainder for plain crash/restart.
+fn cfg_strategy() -> impl Strategy<Value = ChaosConfig> {
+    (
+        any::<u64>(),
+        (1u64..40).prop_map(SimDuration::from_secs), // window length
+        (100u64..2_000).prop_map(SimDuration::from_millis), // mean interval
+        prop_oneof![
+            Just(None),
+            (200u64..3_000).prop_map(|ms| Some(SimDuration::from_millis(ms))),
+        ],
+        1usize..4,
+        proptest::collection::vec(0.0f64..0.16, 6),
+    )
+        .prop_map(
+            |(seed, len, mean_interval, restart_after, down, w)| ChaosConfig {
+                seed,
+                start: SimTime::from_nanos(1_000_000),
+                end: SimTime::from_nanos(1_000_000 + len.as_nanos()),
+                mean_interval,
+                restart_after,
+                max_concurrent_down: down,
+                partition_prob: w[0],
+                group_partition_prob: w[1],
+                oneway_prob: w[2],
+                degrade_prob: w[3],
+                flap_prob: w[4],
+                skew_prob: w[5],
+                ..ChaosConfig::default()
+            },
+        )
+}
+
+fn targets_strategy() -> impl Strategy<Value = Vec<HostId>> {
+    (2u32..8).prop_map(|n| (1..=n).map(HostId).collect())
+}
+
+/// The hosts one episode charges against the concurrency ledger, and
+/// when the charge expires — reconstructed from the episode's events,
+/// mirroring what `ChaosPlan::generate` promises.
+fn episode_charge(ep: &[ldft_store::chaos::ChaosEvent]) -> (Vec<HostId>, SimTime) {
+    let first = ep.first().expect("episodes are never empty");
+    let until = ep.last().unwrap().at;
+    let hosts = match &first.fault {
+        Fault::CrashHost(h) | Fault::RestartHost(h) => vec![*h],
+        Fault::Partition(a, _, _) => vec![*a],
+        Fault::DropOneWay { from, .. } => vec![*from],
+        Fault::DegradeLink { a, .. } => vec![*a],
+        Fault::PartitionGroup { side, .. } => side.clone(),
+        Fault::SetClockSkew(h, _) => vec![*h],
+        other => panic!("generator never emits {other:?}"),
+    };
+    (hosts, until)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn plans_are_pure_functions_of_their_inputs(
+        cfg in cfg_strategy(),
+        targets in targets_strategy(),
+    ) {
+        let a = ChaosPlan::generate(&cfg, &targets);
+        let b = ChaosPlan::generate(&cfg, &targets);
+        prop_assert_eq!(&a.events, &b.events);
+        prop_assert_eq!(&a.episodes, &b.episodes);
+        // Byte-identical, not just structurally equal.
+        prop_assert_eq!(format!("{:?}", a.events), format!("{:?}", b.events));
+    }
+
+    /// At most `max_concurrent_down` hosts are under a disruption at any
+    /// instant, counting every family — partitions, drops, degradations,
+    /// flap trains, and skews included, not just crashes.
+    #[test]
+    fn concurrency_ledger_spans_all_families(
+        cfg in cfg_strategy(),
+        targets in targets_strategy(),
+    ) {
+        let plan = ChaosPlan::generate(&cfg, &targets);
+        // (until, charged hosts) for episodes still disrupting.
+        let mut active: Vec<(SimTime, Vec<HostId>)> = Vec::new();
+        for ep in &plan.episodes {
+            let start = ep.first().unwrap().at;
+            let (hosts, until) = episode_charge(ep);
+            // A host recovering exactly at `start` is free again.
+            active.retain(|(u, _)| *u > start);
+            for (_, held) in &active {
+                for h in &hosts {
+                    prop_assert!(
+                        !held.contains(h),
+                        "host {h:?} disrupted twice at {start:?}"
+                    );
+                }
+            }
+            active.push((until, hosts));
+            let load: usize = active.iter().map(|(_, hs)| hs.len()).sum();
+            prop_assert!(
+                load <= cfg.max_concurrent_down,
+                "{load} hosts disrupted at {start:?}, cap {}",
+                cfg.max_concurrent_down
+            );
+        }
+    }
+
+    /// Every cut heals, every crash restarts (when restarts are enabled),
+    /// every degradation is restored and every skew reset — strictly
+    /// before `end`.
+    #[test]
+    fn every_disruption_has_a_matching_heal(
+        cfg in cfg_strategy(),
+        targets in targets_strategy(),
+    ) {
+        let plan = ChaosPlan::generate(&cfg, &targets);
+        for e in &plan.events {
+            prop_assert!(e.at < cfg.end, "event at/after the horizon: {e:?}");
+        }
+        for ep in &plan.episodes {
+            // Pair each "breaking" event with a later "mending" twin.
+            let breaking = |f: &Fault| match f {
+                Fault::CrashHost(_) => cfg.restart_after.is_some(),
+                Fault::Partition(_, _, blocked)
+                | Fault::PartitionGroup { blocked, .. }
+                | Fault::DropOneWay { blocked, .. } => *blocked,
+                Fault::DegradeLink { drop_milli, extra_latency, .. } => {
+                    *drop_milli > 0 || extra_latency.as_nanos() > 0
+                }
+                Fault::SetClockSkew(_, s) => *s != 0,
+                _ => false,
+            };
+            let mends = |b: &Fault, m: &Fault| match (b, m) {
+                (Fault::CrashHost(h), Fault::RestartHost(r)) => h == r,
+                (Fault::Partition(a, b1, true), Fault::Partition(c, d, false)) => {
+                    a == c && b1 == d
+                }
+                (
+                    Fault::PartitionGroup { side: s1, blocked: true },
+                    Fault::PartitionGroup { side: s2, blocked: false },
+                ) => s1 == s2,
+                (
+                    Fault::DropOneWay { from: f1, to: t1, blocked: true },
+                    Fault::DropOneWay { from: f2, to: t2, blocked: false },
+                ) => f1 == f2 && t1 == t2,
+                (
+                    Fault::DegradeLink { a: a1, b: b1, .. },
+                    Fault::DegradeLink { a: a2, b: b2, drop_milli: 0, extra_latency },
+                ) => a1 == a2 && b1 == b2 && extra_latency.as_nanos() == 0,
+                (Fault::SetClockSkew(h, _), Fault::SetClockSkew(r, 0)) => h == r,
+                _ => false,
+            };
+            for (i, ev) in ep.iter().enumerate() {
+                if breaking(&ev.fault) {
+                    prop_assert!(
+                        ep[i + 1..].iter().any(|later| {
+                            later.at >= ev.at && mends(&ev.fault, &later.fault)
+                        }),
+                        "unhealed disruption {:?} in episode {ep:?}",
+                        ev.fault
+                    );
+                }
+            }
+        }
+    }
+}

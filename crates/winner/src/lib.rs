@@ -30,7 +30,7 @@ pub use policy::{
 pub use protocol::{
     HostStatus, LoadReport, SelectRequest, SYSTEM_MANAGER_NAME, SYSTEM_MANAGER_TYPE,
 };
-pub use system_manager::{SystemManager, SystemManagerConfig};
+pub use system_manager::{ReportOutcome, SystemManager, SystemManagerConfig};
 
 #[cfg(test)]
 mod winner_tests;

@@ -66,6 +66,10 @@ pub fn run_node_manager(ctx: &mut Ctx, cfg: NodeManagerConfig) -> SimResult<()> 
             load_avg: snap.load_avg,
             cpu_util: snap.cpu_util,
             seq,
+            // The node's *wall clock*, which a fault-injected skew shifts
+            // away from virtual time — exactly what a real node manager
+            // reading the local clock would report.
+            stamp_ns: ctx.now().as_nanos() as i64 + snap.clock_skew_ns,
         };
         client.report(&mut orb, ctx, &report)?;
         if let Some(p) = &publisher {

@@ -12,6 +12,7 @@
 //!     double load_avg;
 //!     double cpu_util;
 //!     unsigned long long seq;
+//!     long long stamp_ns;
 //!   };
 //!   struct HostStatus {
 //!     unsigned long host;
@@ -66,6 +67,11 @@ cdr_struct!(
         cpu_util: f64,
         /// Monotone per-node sequence number (stale reports are dropped).
         seq: u64,
+        /// The node's wall-clock reading at sampling time, in nanoseconds.
+        /// On a healthy host this equals virtual time; a fault-injected
+        /// clock skew shifts it, and the system manager quarantines
+        /// reports whose stamp strays too far from its own clock.
+        stamp_ns: i64,
     }
 );
 
@@ -136,6 +142,7 @@ mod tests {
             load_avg: 1.8,
             cpu_util: 0.9,
             seq: 17,
+            stamp_ns: -3_000_000,
         };
         let back: LoadReport = cdr::from_bytes(&cdr::to_bytes(&r)).unwrap();
         assert_eq!(r, back);
@@ -174,6 +181,7 @@ mod tests {
               struct LoadReport {
                 unsigned long host; double speed; unsigned long runnable;
                 double load_avg; double cpu_util; unsigned long long seq;
+                long long stamp_ns;
               };
               struct HostStatus {
                 unsigned long host; double speed; double load_avg;

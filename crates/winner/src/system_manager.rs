@@ -24,6 +24,12 @@ pub struct SystemManagerConfig {
     /// When set, every answered `select` is also published as a placement
     /// event to the monitoring channel whose IOR appears in this cell.
     pub monitor: Option<Shared<Option<String>>>,
+    /// Quarantine bound on report wall-clock stamps: a report whose
+    /// `stamp_ns` strays further than this from the manager's own clock
+    /// is rejected — its host's load data is not to be trusted (its clock
+    /// is broken, or the report spent absurdly long in flight). The bound
+    /// must comfortably exceed report latency plus one sampling interval.
+    pub max_report_skew: SimDuration,
 }
 
 impl Default for SystemManagerConfig {
@@ -32,8 +38,20 @@ impl Default for SystemManagerConfig {
             stale_after: SimDuration::from_millis(3500),
             reservation_ttl: SimDuration::from_millis(1500),
             monitor: None,
+            max_report_skew: SimDuration::from_millis(100),
         }
     }
+}
+
+/// What [`SystemManager::ingest`] did with a report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReportOutcome {
+    /// The report replaced (or created) its host's record.
+    Accepted,
+    /// Dropped: an equal-or-newer sequence number was already recorded.
+    StaleSeq,
+    /// Dropped: the wall-clock stamp strayed beyond `max_report_skew`.
+    SkewQuarantined,
 }
 
 struct HostRecord {
@@ -52,6 +70,9 @@ pub struct SystemManager {
     pub reports_received: u64,
     /// Reports dropped because a newer sequence number was already seen.
     pub stale_reports_dropped: u64,
+    /// Reports quarantined for a wall-clock stamp outside
+    /// `max_report_skew` (fault-injected clock skew, usually).
+    pub skewed_reports_quarantined: u64,
     /// Selections answered.
     pub selections: u64,
     /// Monitoring publisher (set by the server wrapper when configured).
@@ -71,21 +92,30 @@ impl SystemManager {
             hosts: BTreeMap::new(),
             reports_received: 0,
             stale_reports_dropped: 0,
+            skewed_reports_quarantined: 0,
             selections: 0,
             monitor: None,
             last_placement: None,
         }
     }
 
-    /// Ingest one load report. Returns whether the report was accepted
-    /// (false when dropped as out of order).
-    pub fn ingest(&mut self, now: SimTime, report: LoadReport) -> bool {
+    /// Ingest one load report.
+    pub fn ingest(&mut self, now: SimTime, report: LoadReport) -> ReportOutcome {
         self.reports_received += 1;
+        // Quarantine far-skewed stamps before they touch the record: a
+        // skewed clock corrupts every time-derived quantity (load EWMA,
+        // staleness), so the host simply goes silent to the selector
+        // until its clock is sane again.
+        let delta = (now.as_nanos() as i64).abs_diff(report.stamp_ns);
+        if delta > self.cfg.max_report_skew.as_nanos() {
+            self.skewed_reports_quarantined += 1;
+            return ReportOutcome::SkewQuarantined;
+        }
         match self.hosts.get_mut(&report.host) {
             Some(rec) => {
                 if report.seq <= rec.last.seq {
                     self.stale_reports_dropped += 1;
-                    return false;
+                    return ReportOutcome::StaleSeq;
                 }
                 rec.last = report;
                 rec.last_seen = now;
@@ -101,7 +131,7 @@ impl SystemManager {
                 );
             }
         }
-        true
+        ReportOutcome::Accepted
     }
 
     /// The current selectable views: fresh hosts only, with reservations
@@ -198,11 +228,13 @@ impl Servant for SystemManager {
             ops::REPORT => {
                 let (report,): (LoadReport,) =
                     cdr::from_bytes(args).map_err(SystemException::marshal)?;
-                let accepted = self.ingest(now, report);
+                let outcome = self.ingest(now, report);
                 if let Some(o) = call.orb.obs().cloned() {
                     o.counter_add("winner.reports", 1);
-                    if !accepted {
-                        o.counter_add("winner.stale_reports", 1);
+                    match outcome {
+                        ReportOutcome::Accepted => {}
+                        ReportOutcome::StaleSeq => o.counter_add("winner.stale_reports", 1),
+                        ReportOutcome::SkewQuarantined => o.counter_add("winner.skewed_reports", 1),
                     }
                 }
                 reply(&())
@@ -282,6 +314,15 @@ mod tests {
             load_avg: load,
             cpu_util: if load > 0.0 { 1.0 } else { 0.0 },
             seq,
+            stamp_ns: 0,
+        }
+    }
+
+    /// A report whose wall-clock stamp agrees with the ingest time.
+    fn report_at(host: u32, load: f64, seq: u64, at: SimTime) -> LoadReport {
+        LoadReport {
+            stamp_ns: at.as_nanos() as i64,
+            ..report(host, load, seq)
         }
     }
 
@@ -309,7 +350,7 @@ mod tests {
     fn stale_hosts_are_not_selected() {
         let mut m = mgr();
         m.ingest(t(0.0), report(0, 0.0, 1));
-        m.ingest(t(10.0), report(1, 5.0, 1));
+        m.ingest(t(10.0), report_at(1, 5.0, 1, t(10.0)));
         // At t=10, host 0's report is 10s old (stale_after 3.5s).
         assert_eq!(m.select(t(10.0), &[]), Some(1));
         assert_eq!(m.alive_hosts(t(10.0)), 1);
@@ -339,7 +380,7 @@ mod tests {
         assert!(snap[0].reservations > 0.9);
         // …which expires (TTL 1.5s), but the report also goes stale, so
         // re-ingest a fresh report first.
-        m.ingest(t(3.0), report(0, 0.0, 2));
+        m.ingest(t(3.0), report_at(0, 0.0, 2, t(3.0)));
         let snap = m.snapshot(t(3.0));
         assert_eq!(snap[0].reservations, 0.0);
     }
@@ -352,6 +393,42 @@ mod tests {
         assert_eq!(m.stale_reports_dropped, 1);
         let snap = m.snapshot(t(0.2));
         assert_eq!(snap[0].load_avg, 0.0);
+    }
+
+    #[test]
+    fn far_skewed_reports_are_quarantined() {
+        let mut m = mgr();
+        m.ingest(t(1.0), report_at(0, 0.0, 1, t(1.0)));
+        // Host 1's clock is half a second ahead — beyond the 100 ms
+        // quarantine bound. Its reports never reach the record, so it is
+        // invisible to selection.
+        let skewed = LoadReport {
+            stamp_ns: t(1.5).as_nanos() as i64,
+            ..report(1, 0.0, 1)
+        };
+        assert_eq!(m.ingest(t(1.0), skewed), ReportOutcome::SkewQuarantined);
+        assert_eq!(m.skewed_reports_quarantined, 1);
+        assert_eq!(m.select(t(1.1), &[]), Some(0));
+        assert_eq!(m.snapshot(t(1.1)).len(), 1, "quarantined host unknown");
+        // Skew healed: the same host's sane report is accepted again.
+        assert_eq!(
+            m.ingest(t(2.0), report_at(1, 0.0, 2, t(2.0))),
+            ReportOutcome::Accepted
+        );
+        assert_eq!(m.snapshot(t(2.0)).len(), 2);
+    }
+
+    #[test]
+    fn skew_bound_is_inclusive_of_ordinary_latency() {
+        let mut m = mgr();
+        // 100 ms behind — exactly at the bound, still accepted (report
+        // latency plus a sampling gap must not look like skew).
+        let r = LoadReport {
+            stamp_ns: t(0.9).as_nanos() as i64,
+            ..report(0, 0.0, 1)
+        };
+        assert_eq!(m.ingest(t(1.0), r), ReportOutcome::Accepted);
+        assert_eq!(m.skewed_reports_quarantined, 0);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use monitor::{
 use obs::Obs;
 use optim::FtSettings;
 use orb::{Ior, ObjectRef, Orb};
-use simnet::{Ctx, Kernel, KernelConfig, Shared, SimDuration};
+use simnet::{Ctx, Fault, Kernel, KernelConfig, Shared, SimDuration, SimTime};
 
 /// Outcome of one mini-cluster monitoring run: the wide subscriber's
 /// delivered stream, the channel's `(received, dropped)` stats, and the
@@ -280,6 +280,192 @@ fn remote_subscriber_pulls_over_the_wire() {
         })
         .collect();
     assert_eq!(runnables, (0..10).collect::<Vec<u32>>());
+}
+
+#[test]
+fn partition_heal_flush_stays_in_publish_order() {
+    // Regression for watermark reordering across a partition: host 2's
+    // publisher is cut off from the channel mid-stream, buffers its outage
+    // window (reliable mode), and re-delivers it after the heal. Without
+    // the watermark hold the channel's clock — advanced by host 1's
+    // uninterrupted stream — would have released right past the outage
+    // window, and the flush would land behind the watermark as late,
+    // out-of-order events.
+    let mut kernel = Kernel::new(KernelConfig {
+        seed: 11,
+        ..KernelConfig::default()
+    });
+    let hosts = kernel.add_hosts(3);
+    let cfg = MonitorConfig {
+        reorder_slack: SimDuration::from_millis(10),
+        // Covers one publisher retry cycle (10 ms push timeout + 4 ms
+        // publish stagger) with room to spare.
+        heal_flush_grace: SimDuration::from_millis(60),
+        ..MonitorConfig::default()
+    };
+    let obs = Obs::new();
+    let state = Shared::new(ChannelState::new(cfg, Some(obs.clone())));
+    let wide = state.lock().subscribe(256);
+    {
+        // Kernel lifecycle events reach the channel directly; partition
+        // start/heal install and lift the watermark holds.
+        let state = state.clone();
+        kernel.set_event_hook(move |t, kev| state.lock().ingest_kernel(t, kev));
+    }
+    let cell: Shared<Option<String>> = Shared::new(None);
+    {
+        let state = state.clone();
+        let cell = cell.clone();
+        kernel.spawn(hosts[0], "channel", move |ctx| {
+            let mut orb = Orb::init(ctx);
+            if orb.listen(ctx).is_err() {
+                return;
+            }
+            let poa = orb::Poa::new();
+            let key = poa.activate(
+                EVENT_CHANNEL_TYPE,
+                Rc::new(RefCell::new(EventChannel::new(state))),
+            );
+            cell.put(orb.ior(EVENT_CHANNEL_TYPE, key).stringify());
+            let _ = orb.serve_forever(ctx, &poa);
+        });
+    }
+    {
+        // Host 1: steady oneway publisher, never partitioned — its stream
+        // keeps the channel clock moving through the outage.
+        let cell = cell.clone();
+        kernel.spawn(hosts[1], "pub-steady", move |ctx: &mut Ctx| {
+            let mut orb = Orb::init(ctx);
+            if orb.listen(ctx).is_err() {
+                return;
+            }
+            let publisher = Publisher::new(cell, ctx);
+            if ctx.sleep(SimDuration::from_millis(10)).is_err() {
+                return;
+            }
+            for n in 0..40u32 {
+                let sent = publisher.publish(
+                    &mut orb,
+                    ctx,
+                    EventBody::LoadReport {
+                        runnable: n,
+                        load_milli: 0,
+                        cpu_milli: 0,
+                    },
+                );
+                if sent.is_err() || ctx.sleep(SimDuration::from_millis(4)).is_err() {
+                    return;
+                }
+            }
+        });
+    }
+    let backlog_out: Shared<Option<(usize, u64)>> = Shared::new(None);
+    {
+        // Host 2: reliable publisher behind the cut. The short push
+        // timeout makes each failed push re-queue within a publish period.
+        let cell = cell.clone();
+        let bout = backlog_out.clone();
+        kernel.spawn(hosts[2], "pub-cutoff", move |ctx: &mut Ctx| {
+            let mut orb = Orb::new(
+                ctx,
+                orb::OrbConfig {
+                    request_timeout: SimDuration::from_millis(10),
+                    ..orb::OrbConfig::default()
+                },
+            );
+            if orb.listen(ctx).is_err() {
+                return;
+            }
+            let publisher = Publisher::reliable(cell, ctx);
+            if ctx.sleep(SimDuration::from_millis(11)).is_err() {
+                return;
+            }
+            for n in 0..40u32 {
+                let sent = publisher.publish(
+                    &mut orb,
+                    ctx,
+                    EventBody::LoadReport {
+                        runnable: n,
+                        load_milli: 0,
+                        cpu_milli: 0,
+                    },
+                );
+                if sent.is_err() || ctx.sleep(SimDuration::from_millis(4)).is_err() {
+                    return;
+                }
+            }
+            // Drain the buffer: the last batch may still be in flight.
+            for _ in 0..200 {
+                if publisher.backlog().0 == 0 {
+                    break;
+                }
+                if publisher.pump(&mut orb, ctx).is_err()
+                    || ctx.sleep(SimDuration::from_millis(5)).is_err()
+                {
+                    return;
+                }
+            }
+            bout.put(publisher.backlog());
+        });
+    }
+    // Cut host 2 off from the channel side for 70 ms of the stream.
+    kernel.schedule_fault(
+        SimTime::from_nanos(50_000_000),
+        Fault::PartitionGroup {
+            side: vec![hosts[2]],
+            blocked: true,
+        },
+    );
+    kernel.schedule_fault(
+        SimTime::from_nanos(120_000_000),
+        Fault::PartitionGroup {
+            side: vec![hosts[2]],
+            blocked: false,
+        },
+    );
+
+    kernel.run_for(SimDuration::from_secs(1));
+    let now = kernel.now();
+    let mut st = state.lock();
+    st.finalize(now);
+    let delivered = st.pull(wide, 1_000);
+
+    // The publisher delivered everything it buffered, with retries.
+    let (backlog, retries) = backlog_out.get().expect("cut-off publisher drained");
+    assert_eq!(backlog, 0, "outage buffer never fully flushed");
+    assert!(retries >= 1, "the cut never forced a re-queue");
+    // Released order is publish order across the heal...
+    assert!(
+        delivered.windows(2).all(|w| w[0].key() < w[1].key()),
+        "delivered out of publish order"
+    );
+    // ...and nothing from the outage window was counted late: the hold
+    // kept the watermark at the cut time until the flush grace expired.
+    let metrics = obs.metrics_text();
+    assert!(
+        metrics.contains("gauge monitor.late_events 0"),
+        "flushed events landed behind the watermark:\n{metrics}"
+    );
+    // Both full streams are present and per-host ordered.
+    for host in [1u32, 2] {
+        let runnables: Vec<u32> = delivered
+            .iter()
+            .filter(|e| e.host == host && e.pid != monitor::KERNEL_PID)
+            .map(|e| match &e.body {
+                EventBody::LoadReport { runnable, .. } => *runnable,
+                other => panic!("unexpected publisher event {other:?}"),
+            })
+            .collect();
+        assert_eq!(runnables, (0..40).collect::<Vec<u32>>(), "host {host}");
+    }
+    // The kernel's partition lifecycle made it into the same stream.
+    assert!(delivered
+        .iter()
+        .any(|e| matches!(e.body, EventBody::PartitionStart { .. })));
+    assert!(delivered
+        .iter()
+        .any(|e| matches!(e.body, EventBody::PartitionHeal { .. })));
+    assert_eq!(st.violation_count(), 0, "{}", st.render_report());
 }
 
 #[test]
