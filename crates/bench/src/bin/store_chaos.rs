@@ -7,7 +7,8 @@
 //! determinism gate runs this binary twice and `cmp`s the files).
 //!
 //! Usage: `cargo run --release -p ldft-bench --bin store_chaos
-//! [--quick] [--seeds N] [--trace-out PATH] [--metrics-out PATH]`
+//! [--quick] [--seeds N] [--trace-out PATH] [--metrics-out PATH]
+//! [--bench-out PATH]`
 
 use std::sync::{Arc, Mutex};
 
@@ -45,6 +46,9 @@ struct CellStats {
 /// flight recorder's post-mortems (kernel crash/restart lifecycle dumps).
 struct CellOutcome {
     stats: CellStats,
+    /// Virtual time at which the driver exited — the cell's deterministic
+    /// end-to-end runtime for the `BENCH_*.json` report.
+    end_ns: u64,
     trace_json: String,
     metrics_text: String,
     post_mortems: String,
@@ -195,6 +199,7 @@ fn run_cell(seed: u64, scale: f64) -> CellOutcome {
     stats.crashes = crashes;
     CellOutcome {
         stats,
+        end_ns: end.as_nanos(),
         trace_json: sink.chrome_trace_json(),
         metrics_text: sink.metrics_text(),
         post_mortems: flight.dumps(),
@@ -209,6 +214,7 @@ fn main() {
     );
 
     let mut rows: Vec<(u64, CellStats)> = Vec::new();
+    let mut bench_records = Vec::new();
     let mut exports: Option<CellOutcome> = None;
     for &seed in &args.seeds {
         let outcome = run_cell(seed, args.scale);
@@ -230,6 +236,11 @@ fn main() {
             std::process::exit(1);
         }
         rows.push((seed, outcome.stats.clone()));
+        bench_records.push(ldft_bench::perf::macro_record(
+            format!("store_chaos/seed{seed}"),
+            "chaos",
+            outcome.end_ns,
+        ));
         if exports.is_none() {
             exports = Some(outcome);
         }
@@ -291,6 +302,8 @@ fn main() {
             )
         );
     }
+
+    args.write_bench_records("store_chaos", bench_records);
 
     // Observability exports of the first seed's cell (the CI determinism
     // gate runs this twice and compares byte-for-byte).

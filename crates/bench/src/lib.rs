@@ -1,6 +1,7 @@
 //! Shared harness code for the experiment binaries: argument parsing,
 //! table/CSV rendering, and the sweep drivers for the paper's figures.
 
+pub mod perf;
 pub mod report;
 pub mod sweeps;
 
@@ -25,6 +26,9 @@ pub struct RunArgs {
     /// Write a plain-text metrics dump of the instrumented reference cell
     /// to this path.
     pub metrics_out: Option<String>,
+    /// Write this bin's measurements as a `BENCH_*.json` report (the
+    /// standardized perf schema, see [`perf`]) to this path.
+    pub bench_out: Option<String>,
 }
 
 impl Default for RunArgs {
@@ -35,13 +39,15 @@ impl Default for RunArgs {
             csv: true,
             trace_out: None,
             metrics_out: None,
+            bench_out: None,
         }
     }
 }
 
 impl RunArgs {
     /// Parse from `std::env::args`: `[--quick] [--scale F] [--seeds N]
-    /// [--no-csv] [--trace-out PATH] [--metrics-out PATH]`.
+    /// [--no-csv] [--trace-out PATH] [--metrics-out PATH]
+    /// [--bench-out PATH]`.
     pub fn parse() -> RunArgs {
         RunArgs::parse_from(std::env::args().skip(1).collect())
     }
@@ -73,6 +79,9 @@ impl RunArgs {
                 }
                 "--metrics-out" => {
                     out.metrics_out = Some(args.next().expect("--metrics-out takes a path"));
+                }
+                "--bench-out" => {
+                    out.bench_out = Some(args.next().expect("--bench-out takes a path"));
                 }
                 other => {
                     eprintln!("ignoring unknown argument {other:?}");
@@ -121,6 +130,28 @@ impl RunArgs {
             eprintln!("wrote metrics export to {path}");
         }
         Ok(())
+    }
+
+    /// Write this bin's measurements to `--bench-out` as a schema-stable
+    /// `BENCH_*.json` report (no-op without the flag). Suite is stamped
+    /// with the bin's name; seed is the first seed, scale the run scale.
+    /// A write failure is reported and turns into a nonzero exit.
+    pub fn write_bench_records(&self, suite: &str, benches: Vec<perf::BenchRecord>) {
+        let Some(path) = &self.bench_out else {
+            return;
+        };
+        let report = perf::BenchReport {
+            schema_version: perf::SCHEMA_VERSION,
+            suite: suite.to_string(),
+            scale: self.scale,
+            seed: self.seeds.first().copied().unwrap_or(1),
+            benches,
+        };
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("failed to write bench report to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote bench report to {path}");
     }
 
     /// [`RunArgs::write_exports`], with a write failure reported on

@@ -1,0 +1,244 @@
+//! Contract tests for the standardized perf suite (`BENCH_*.json`):
+//! schema stability, comparator gate semantics, virtual-time determinism,
+//! and the criterion shim's schema compatibility.
+
+use ldft_bench::perf::{
+    compare, macro_record, run_suite, BenchRecord, BenchReport, SCHEMA_VERSION,
+};
+use ldft_bench::RunArgs;
+
+fn sample_report() -> BenchReport {
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        suite: "perf".to_string(),
+        scale: 0.1,
+        seed: 1,
+        benches: vec![
+            BenchRecord {
+                name: "giop_roundtrip".to_string(),
+                kind: "macro".to_string(),
+                wall_ns: 123_456_789,
+                virtual_ns: 135_480_800,
+                throughput_ops_s: 1476.4,
+                p50_ns: 550_000,
+                p95_ns: 940_000,
+                p99_ns: 990_000,
+                wasted_work_ppm: 0,
+            },
+            BenchRecord {
+                name: "chaos_wasted_work".to_string(),
+                kind: "chaos".to_string(),
+                wall_ns: 2_000_000,
+                virtual_ns: 4_187_331_266,
+                throughput_ops_s: 0.0,
+                p50_ns: 0,
+                p95_ns: 0,
+                p99_ns: 0,
+                wasted_work_ppm: 12_070,
+            },
+        ],
+    }
+}
+
+/// The golden schema: the exact rendered field set is pinned, so any
+/// change to the wire format is a deliberate, reviewed diff here.
+#[test]
+fn golden_schema_is_pinned() {
+    let report = BenchReport {
+        schema_version: SCHEMA_VERSION,
+        suite: "golden".to_string(),
+        scale: 1.0,
+        seed: 7,
+        benches: vec![BenchRecord {
+            name: "one".to_string(),
+            kind: "micro".to_string(),
+            wall_ns: 10,
+            virtual_ns: 20,
+            throughput_ops_s: 2.5,
+            p50_ns: 1,
+            p95_ns: 2,
+            p99_ns: 3,
+            wasted_work_ppm: 4,
+        }],
+    };
+    let golden = "{\n  \"schema_version\": 1,\n  \"suite\": \"golden\",\n  \"scale\": 1,\n  \"seed\": 7,\n  \"benches\": [\n    {\n      \"name\": \"one\",\n      \"kind\": \"micro\",\n      \"wall_ns\": 10,\n      \"virtual_ns\": 20,\n      \"throughput_ops_s\": 2.5,\n      \"p50_ns\": 1,\n      \"p95_ns\": 2,\n      \"p99_ns\": 3,\n      \"wasted_work_ppm\": 4\n    }\n  ]\n}\n";
+    assert_eq!(report.to_json(), golden, "BENCH schema drifted");
+}
+
+#[test]
+fn schema_round_trips_through_json() {
+    let report = sample_report();
+    let parsed = BenchReport::from_json(&report.to_json()).expect("own output parses");
+    assert_eq!(parsed.schema_version, report.schema_version);
+    assert_eq!(parsed.suite, report.suite);
+    assert_eq!(parsed.scale, report.scale);
+    assert_eq!(parsed.seed, report.seed);
+    assert_eq!(parsed.benches.len(), report.benches.len());
+    for (a, b) in parsed.benches.iter().zip(&report.benches) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.kind, b.kind);
+        assert_eq!(a.wall_ns, b.wall_ns);
+        assert_eq!(a.virtual_ns, b.virtual_ns);
+        assert!((a.throughput_ops_s - b.throughput_ops_s).abs() < 1e-9);
+        assert_eq!(
+            (a.p50_ns, a.p95_ns, a.p99_ns, a.wasted_work_ppm),
+            (b.p50_ns, b.p95_ns, b.p99_ns, b.wasted_work_ppm)
+        );
+    }
+}
+
+/// Unknown fields are schema drift, and drift must be loud.
+#[test]
+fn unknown_fields_are_rejected() {
+    let mut json = sample_report().to_json();
+    json = json.replace("\"seed\": 1,", "\"seed\": 1,\n  \"surprise\": true,");
+    let err = BenchReport::from_json(&json).expect_err("unknown top-level field");
+    assert!(err.contains("surprise"), "error names the field: {err}");
+
+    let mut json = sample_report().to_json();
+    json = json.replace(
+        "\"wasted_work_ppm\": 0\n",
+        "\"wasted_work_ppm\": 0,\n      \"extra\": 1\n",
+    );
+    let err = BenchReport::from_json(&json).expect_err("unknown bench field");
+    assert!(err.contains("extra"), "error names the field: {err}");
+}
+
+#[test]
+fn wrong_schema_version_is_rejected() {
+    let json = sample_report()
+        .to_json()
+        .replace("\"schema_version\": 1", "\"schema_version\": 2");
+    assert!(BenchReport::from_json(&json).is_err());
+}
+
+/// The CI gate contract: identical reports pass, a synthetic 2× slowdown
+/// of any deterministic field fails.
+#[test]
+fn gate_passes_on_identical_and_fails_on_2x_slowdown() {
+    let baseline = sample_report();
+    let same = sample_report();
+    assert!(
+        compare(&same, &baseline, 20, None).is_empty(),
+        "identical run must pass the gate"
+    );
+
+    let mut slow = sample_report();
+    for b in &mut slow.benches {
+        b.virtual_ns *= 2;
+    }
+    let violations = compare(&slow, &baseline, 20, None);
+    assert!(
+        !violations.is_empty(),
+        "2× virtual slowdown must fail the gate"
+    );
+    assert!(violations.iter().any(|v| v.contains("giop_roundtrip")));
+
+    let mut wasteful = sample_report();
+    wasteful.benches[1].wasted_work_ppm *= 2;
+    assert!(
+        !compare(&wasteful, &baseline, 20, None).is_empty(),
+        "2× wasted work must fail the gate"
+    );
+}
+
+#[test]
+fn gate_tolerates_regressions_within_the_threshold() {
+    let baseline = sample_report();
+    let mut slightly = sample_report();
+    for b in &mut slightly.benches {
+        b.virtual_ns += b.virtual_ns / 10; // +10% < the 20% gate
+    }
+    assert!(compare(&slightly, &baseline, 20, None).is_empty());
+}
+
+#[test]
+fn gate_ignores_wall_time_unless_opted_in() {
+    let baseline = sample_report();
+    let mut slow_wall = sample_report();
+    for b in &mut slow_wall.benches {
+        b.wall_ns *= 10;
+    }
+    assert!(
+        compare(&slow_wall, &baseline, 20, None).is_empty(),
+        "wall time is machine-dependent, not gated by default"
+    );
+    assert!(
+        !compare(&slow_wall, &baseline, 20, Some(50)).is_empty(),
+        "explicit --gate-wall-pct does gate wall time"
+    );
+}
+
+#[test]
+fn missing_bench_is_a_violation() {
+    let baseline = sample_report();
+    let mut current = sample_report();
+    current.benches.pop();
+    let violations = compare(&current, &baseline, 20, None);
+    assert!(violations
+        .iter()
+        .any(|v| v.contains("chaos_wasted_work") && v.contains("not run")));
+}
+
+/// Two same-seed runs of the whole suite must render byte-identical
+/// virtual sections — the property the CI double-run `cmp` relies on.
+#[test]
+fn virtual_section_is_deterministic_across_runs() {
+    let args = RunArgs {
+        seeds: vec![1],
+        scale: 0.01, // floor-clamped iteration counts: smallest real run
+        csv: false,
+        ..RunArgs::default()
+    };
+    let first = run_suite(&args);
+    let second = run_suite(&args);
+    assert_eq!(
+        first.report.virtual_section(),
+        second.report.virtual_section(),
+        "virtual section must be byte-identical for the same seed"
+    );
+    // And the deterministic half of the flat profile too: the chaos
+    // cell's span rollup is virtual-time only.
+    let virtual_half = |s: &str| {
+        s.lines()
+            .take_while(|l| !l.contains("wall"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        virtual_half(&first.flat_profile),
+        virtual_half(&second.flat_profile)
+    );
+}
+
+/// Sweep bins emit deterministic-only macro records.
+#[test]
+fn macro_records_carry_only_virtual_time() {
+    let r = macro_record("fig3/CORBA_30/3/loaded0", "macro", 42);
+    assert_eq!(r.virtual_ns, 42);
+    assert_eq!(r.wall_ns, 0);
+    assert_eq!(r.wasted_work_ppm, 0);
+}
+
+/// The criterion shim's `CRITERION_BENCH_OUT` output must stay parseable
+/// by the same schema reader the gate uses.
+#[test]
+fn criterion_shim_output_matches_the_schema() {
+    use std::time::Duration;
+    let mut c = criterion::Criterion::default()
+        .sample_size(2)
+        .measurement_time(Duration::from_millis(5));
+    c.bench_function("shim_compat", |b| b.iter(|| criterion::black_box(1 + 1)));
+    let json = criterion::render_bench_json("shim_suite");
+    let report = BenchReport::from_json(&json).expect("shim output parses");
+    assert_eq!(report.schema_version, SCHEMA_VERSION);
+    assert_eq!(report.suite, "shim_suite");
+    let rec = report
+        .benches
+        .iter()
+        .find(|b| b.name == "shim_compat")
+        .expect("measurement recorded");
+    assert_eq!(rec.kind, "micro");
+    assert!(rec.wall_ns >= 1);
+    assert_eq!(rec.virtual_ns, 0);
+}

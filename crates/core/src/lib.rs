@@ -23,7 +23,7 @@
 pub mod runtime;
 pub mod scenario;
 
-pub use runtime::{Cluster, ClusterConfig, NamingMode, WinnerPolicy};
+pub use runtime::{publish_kernel_profile, Cluster, ClusterConfig, NamingMode, WinnerPolicy};
 pub use scenario::{
     averaged_runtime, run_experiment, CrashPlan, ExperimentOutcome, ExperimentSpec, StoreCrashPlan,
 };

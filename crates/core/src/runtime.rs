@@ -420,3 +420,22 @@ fn serve_registered(ctx: &mut Ctx, service: CheckpointService, sink: Obs) -> sim
     }
     orb.serve_forever(ctx, &poa)
 }
+
+/// Publish the kernel's deterministic run profile into the observability
+/// sink: queue-depth peaks as `sched.*` gauges and per-process virtual CPU
+/// attribution as `cpu.proc.<name>` counters (nanoseconds, summed over
+/// same-named processes — all `worker` servers fold into one series).
+///
+/// Everything published is a pure function of the seed, so the metrics
+/// exports stay byte-deterministic — which is exactly why the *wall-clock*
+/// side of profiling (the [`simnet::ProfileMark`] consumer) is kept out of
+/// the sink.
+pub fn publish_kernel_profile(kernel: &Kernel, obs: &Obs) {
+    let profile = kernel.profile();
+    obs.gauge_set("sched.runnable_peak", profile.runnable_peak as f64);
+    obs.gauge_set("sched.event_queue_peak", profile.event_queue_peak as f64);
+    obs.gauge_set("sched.mailbox_peak", profile.mailbox_peak as f64);
+    for c in &profile.cpu_by_proc {
+        obs.counter_add(&format!("cpu.proc.{}", c.name), c.cpu_ns);
+    }
+}

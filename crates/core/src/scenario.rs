@@ -267,6 +267,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> Result<ExperimentOutcome, String
     if let Some(handle) = &cluster.monitor {
         handle.finalize(cluster.kernel.now());
     }
+    crate::runtime::publish_kernel_profile(&cluster.kernel, &cluster.obs);
     let report = match report_cell.take() {
         Some(Ok(report)) => report,
         Some(Err(e)) => return Err(format!("experiment manager failed: {e}")),

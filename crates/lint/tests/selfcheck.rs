@@ -72,7 +72,7 @@ fn call_graph_covers_the_workspace() {
     // functions or call sites are genuinely added or removed.
     assert_eq!(
         (g.nodes.len(), g.edges.len(), g.remote_sites.len()),
-        (980, 3183, 145),
+        (1035, 3452, 146),
         "call-graph inventory changed — confirm the F pass still sees every site:\n{:?}",
         g.crate_counts()
     );

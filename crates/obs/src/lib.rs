@@ -26,9 +26,11 @@
 
 mod export;
 mod metrics;
+mod profile;
 mod recorder;
 mod span;
 
 pub use metrics::{Metric, BUCKET_BOUNDS};
+pub use profile::FlatProfileEntry;
 pub use recorder::{Obs, ProcessObs};
 pub use span::{SpanContext, SpanRecord, TRACE_CONTEXT_ID};

@@ -5,7 +5,14 @@
 //! fixed sample, no statistics, no HTML reports). Wall-clock time is fine
 //! here: benches measure the host machine, not the simulation — they are
 //! deliberately outside `ldft-lint`'s determinism scope.
+//!
+//! Beyond printing, every measurement is collected in a process-global
+//! registry so the results can flow into the repo's standardized
+//! `BENCH_*.json` schema: set `CRITERION_BENCH_OUT=/path.json` and the
+//! `criterion_main!`-generated `main` writes all measurements there as a
+//! schema-version-1 report (micro records, wall fields only) on exit.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export for convenience parity with the real crate.
@@ -195,6 +202,77 @@ fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, budget: Duration,
     }
     let ns_per_iter = best.as_nanos() as f64 / iters as f64;
     println!("{id:<48} {ns_per_iter:>14.1} ns/iter  (best of {samples}, {iters} iters/sample)");
+    record_measurement(id, ns_per_iter);
+}
+
+/// Every measurement taken by this process, in run order.
+static MEASUREMENTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+fn record_measurement(id: &str, ns_per_iter: f64) {
+    MEASUREMENTS
+        .lock()
+        .expect("measurement registry")
+        .push((id.to_string(), ns_per_iter));
+}
+
+/// Render every measurement taken so far as a `BENCH_*.json` report —
+/// the same schema (version 1) the `perf` suite emits, with each bench a
+/// `micro` record: `wall_ns` is the per-iteration time, throughput its
+/// reciprocal, and the virtual-time fields zero (criterion benches run on
+/// the host clock, not the simulation's).
+pub fn render_bench_json(suite: &str) -> String {
+    let measurements = MEASUREMENTS.lock().expect("measurement registry");
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"suite\": \"{}\",\n", suite.replace('"', "'")));
+    out.push_str("  \"scale\": 1,\n");
+    out.push_str("  \"seed\": 0,\n");
+    out.push_str("  \"benches\": [\n");
+    for (i, (name, ns)) in measurements.iter().enumerate() {
+        let wall_ns = ns.round().max(1.0) as u64;
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      \"name\": \"{}\",\n",
+            name.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+        out.push_str("      \"kind\": \"micro\",\n");
+        out.push_str(&format!("      \"wall_ns\": {wall_ns},\n"));
+        out.push_str("      \"virtual_ns\": 0,\n");
+        out.push_str(&format!(
+            "      \"throughput_ops_s\": {},\n",
+            1e9 / wall_ns as f64
+        ));
+        out.push_str("      \"p50_ns\": 0,\n");
+        out.push_str("      \"p95_ns\": 0,\n");
+        out.push_str("      \"p99_ns\": 0,\n");
+        out.push_str("      \"wasted_work_ppm\": 0\n");
+        out.push_str(if i + 1 == measurements.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write the collected measurements to the path in `CRITERION_BENCH_OUT`,
+/// if set. Called by the `criterion_main!` expansion; harmless to call
+/// again (later writes include earlier measurements).
+pub fn write_bench_out(suite: &str) {
+    if let Ok(path) = std::env::var("CRITERION_BENCH_OUT") {
+        if path.is_empty() {
+            return;
+        }
+        match std::fs::write(&path, render_bench_json(suite)) {
+            Ok(()) => eprintln!("wrote bench json to {path}"),
+            Err(e) => {
+                eprintln!("failed to write bench json to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 /// Group benchmarks into a callable set.
@@ -214,12 +292,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emit `main` running the given groups.
+/// Emit `main` running the given groups, then flushing the collected
+/// measurements to `CRITERION_BENCH_OUT` (when set) in the repo's
+/// `BENCH_*.json` schema, under the bench binary's name as the suite.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_bench_out(env!("CARGO_CRATE_NAME"));
         }
     };
 }

@@ -13,6 +13,8 @@
 //! runnable jobs, an exponentially-weighted moving average of that count
 //! (the "load average"), and a utilization EWMA.
 
+use std::collections::BTreeMap;
+
 use crate::ids::Pid;
 use crate::time::{SimDuration, SimTime};
 
@@ -96,6 +98,13 @@ pub(crate) struct HostState {
     tau: f64,
     /// Fault-injected wall-clock offset, surfaced via [`HostSnapshot`].
     pub(crate) clock_skew_ns: i64,
+    /// Virtual-time CPU attribution: nanoseconds of CPU delivered to each
+    /// process that ever computed on this host. Under processor sharing a
+    /// job receives `dt / n` CPU-seconds over an interval with `n` runnable
+    /// jobs, independent of host speed (speed scales the *work* done, not
+    /// the CPU-time share). Purely a function of the event sequence, so
+    /// same-seed runs attribute identically.
+    pub(crate) cpu_by_pid: BTreeMap<Pid, u64>,
 }
 
 impl HostState {
@@ -110,6 +119,7 @@ impl HostState {
             cpu_util: 0.0,
             tau: tau.as_secs_f64().max(1e-9),
             clock_skew_ns: 0,
+            cpu_by_pid: BTreeMap::new(),
         }
     }
 
@@ -120,9 +130,13 @@ impl HostState {
             let n = self.jobs.len();
             if n > 0 {
                 let per_job = dt * self.cfg.speed / n as f64;
+                // Integer CPU-time share per job (truncation loses < 1 ns
+                // per advance; attribution is a profile, not a ledger).
+                let per_job_cpu_ns = now.since(self.last_update).as_nanos() / n as u64;
                 for j in &mut self.jobs {
                     // `inf - x` stays `inf`, so spinners are handled for free.
                     j.remaining -= per_job;
+                    *self.cpu_by_pid.entry(j.pid).or_insert(0) += per_job_cpu_ns;
                 }
             }
             // EWMA update: metrics held their pre-advance value over [last, now].

@@ -239,6 +239,8 @@ pub struct Kernel {
     panicked: Option<(Pid, String)>,
     tracer: Option<Tracer>,
     event_hook: Option<EventHook>,
+    profile_hook: Option<ProfileHook>,
+    peaks: Peaks,
 }
 
 /// A tracing callback: `(virtual time, line)`.
@@ -312,6 +314,75 @@ pub enum KernelEvent {
 /// A structured event callback: `(virtual time, event)`.
 pub type EventHook = Box<dyn FnMut(SimTime, &KernelEvent)>;
 
+/// A profiling mark: the kernel is entering or leaving one unit of work.
+/// Marks never nest — every `OpBegin` is followed by the matching `OpEnd`
+/// before the next `OpBegin` — so a consumer needs no stack: remember the
+/// wall instant at `OpBegin`, charge the difference to `op` at `OpEnd`.
+///
+/// The kernel itself never reads a wall clock (the simulation is a pure
+/// function of the seed; see `ldft-lint` rule D1). Wall-clock cost
+/// accounting is the *consumer's* job: the `perf` bench bin installs a
+/// hook that timestamps each mark and aggregates per-op totals into
+/// `BENCH_results.json`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProfileMark {
+    /// The kernel is about to execute the named unit of work.
+    OpBegin(&'static str),
+    /// The unit of work finished.
+    OpEnd(&'static str),
+}
+
+/// A profiling callback, invoked with paired [`ProfileMark`]s around every
+/// event dispatch (`event.*`), every process syscall (`sys.*`), and every
+/// scheduler handoff wait (`sched.handoff` — the kernel parked on the
+/// process thread's next syscall, which is the wall-clock ceiling of the
+/// whole simulator).
+pub type ProfileHook = Box<dyn FnMut(ProfileMark)>;
+
+/// Per-process virtual-time CPU attribution, one entry per process that
+/// ever held the CPU.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcCpu {
+    /// The process.
+    pub pid: Pid,
+    /// Its name at spawn time.
+    pub name: String,
+    /// The host whose CPU it consumed.
+    pub host: HostId,
+    /// Virtual nanoseconds of CPU delivered to it (processor-sharing
+    /// share, independent of host speed).
+    pub cpu_ns: u64,
+}
+
+/// A deterministic profile of one run: who consumed the virtual CPU, and
+/// how deep the kernel's queues ever got. Everything here is a pure
+/// function of the seed — two same-seed runs snapshot identical profiles —
+/// so the values are safe to feed into the byte-compared `obs` exports.
+/// Wall-clock accounting deliberately lives outside this snapshot (see
+/// [`ProfileMark`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KernelProfile {
+    /// CPU attribution per process, ordered by pid.
+    pub cpu_by_proc: Vec<ProcCpu>,
+    /// Peak length of the runnable queue (processes with a pending resume
+    /// waiting for the scheduler) — the virtual analogue of scheduler lag.
+    pub runnable_peak: u64,
+    /// Peak length of the event queue.
+    pub event_queue_peak: u64,
+    /// Peak depth of any process mailbox (messages queued behind a
+    /// receiver that wasn't blocked in `recv`).
+    pub mailbox_peak: u64,
+}
+
+/// Running queue-depth maxima, updated inline at the push sites (plain
+/// fields so the updates stay legal under split borrows of `Kernel`).
+#[derive(Clone, Copy, Debug, Default)]
+struct Peaks {
+    runnable: u64,
+    event_queue: u64,
+    mailbox: u64,
+}
+
 fn pair(a: HostId, b: HostId) -> (HostId, HostId) {
     if a <= b {
         (a, b)
@@ -357,6 +428,8 @@ impl Kernel {
             panicked: None,
             tracer: None,
             event_hook: None,
+            profile_hook: None,
+            peaks: Peaks::default(),
         }
     }
 
@@ -451,6 +524,42 @@ impl Kernel {
         self.event_hook = Some(Box::new(f));
     }
 
+    /// Install a profiling callback fired with paired [`ProfileMark`]s
+    /// around every event dispatch, syscall, and scheduler handoff. At most
+    /// one hook is installed; a second call replaces the first. The hook
+    /// runs on the driver thread and must not call back into the kernel.
+    pub fn set_profile_hook(&mut self, f: impl FnMut(ProfileMark) + 'static) {
+        self.profile_hook = Some(Box::new(f));
+    }
+
+    /// Snapshot the deterministic run profile: per-process virtual CPU
+    /// attribution and the kernel queue-depth peaks seen so far.
+    pub fn profile(&self) -> KernelProfile {
+        let mut cpu_by_proc = Vec::new();
+        for (hi, hs) in self.hosts.iter().enumerate() {
+            for (&pid, &cpu_ns) in &hs.cpu_by_pid {
+                let name = self
+                    .procs
+                    .get(pid.0 as usize)
+                    .map(|p| p.name.clone())
+                    .unwrap_or_default();
+                cpu_by_proc.push(ProcCpu {
+                    pid,
+                    name,
+                    host: HostId(hi as u32),
+                    cpu_ns,
+                });
+            }
+        }
+        cpu_by_proc.sort_by_key(|c| c.pid);
+        KernelProfile {
+            cpu_by_proc,
+            runnable_peak: self.peaks.runnable,
+            event_queue_peak: self.peaks.event_queue,
+            mailbox_peak: self.peaks.mailbox,
+        }
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -534,7 +643,14 @@ impl Kernel {
                     self.cfg.max_events, self.now
                 );
             }
-            self.handle_event(ev.kind);
+            if self.profile_hook.is_some() {
+                let op = Kernel::event_op(&ev.kind);
+                self.mark(ProfileMark::OpBegin(op));
+                self.handle_event(ev.kind);
+                self.mark(ProfileMark::OpEnd(op));
+            } else {
+                self.handle_event(ev.kind);
+            }
         }
         self.now
     }
@@ -547,6 +663,46 @@ impl Kernel {
         let seq = self.seq;
         self.seq += 1;
         self.events.push(Reverse(Event { time, seq, kind }));
+        self.peaks.event_queue = self.peaks.event_queue.max(self.events.len() as u64);
+    }
+
+    fn mark(&mut self, m: ProfileMark) {
+        if let Some(h) = self.profile_hook.as_mut() {
+            h(m);
+        }
+    }
+
+    /// Stable op label for an event, used in profile marks.
+    fn event_op(kind: &EventKind) -> &'static str {
+        match kind {
+            EventKind::Start(_) => "event.start",
+            EventKind::Timer { .. } => "event.timer",
+            EventKind::Deliver(_) => "event.deliver",
+            EventKind::CpuCheck { .. } => "event.cpu_check",
+            EventKind::Fault(_) => "event.fault",
+        }
+    }
+
+    /// Stable op label for a syscall, used in profile marks.
+    fn syscall_op(sc: &Syscall) -> &'static str {
+        match sc {
+            Syscall::Sleep(_) => "sys.sleep",
+            Syscall::Compute(_) => "sys.compute",
+            Syscall::Send { .. } => "sys.send",
+            Syscall::Recv { .. } => "sys.recv",
+            Syscall::TryRecv => "sys.try_recv",
+            Syscall::BindPort => "sys.bind_port",
+            Syscall::BindPortExact(_) => "sys.bind_port",
+            Syscall::UnbindPort(_) => "sys.unbind_port",
+            Syscall::Spawn { .. } => "sys.spawn",
+            Syscall::Kill(_) => "sys.kill",
+            Syscall::CrashHost(_) => "sys.crash_host",
+            Syscall::RestartHost(_) => "sys.restart_host",
+            Syscall::HostInfo(_) => "sys.host_info",
+            Syscall::Partition { .. } => "sys.partition",
+            Syscall::Exit => "sys.exit",
+            Syscall::Panicked(_) => "sys.exit",
+        }
     }
 
     fn trace(&mut self, line: &str) {
@@ -632,6 +788,7 @@ impl Kernel {
         p.pending = Some(Resume::Start { now: self.now });
         p.status = Status::Runnable;
         self.runnable.push_back(pid);
+        self.peaks.runnable = self.peaks.runnable.max(self.runnable.len() as u64);
     }
 
     fn fire_timer(&mut self, pid: Pid, epoch: u64) {
@@ -652,6 +809,7 @@ impl Kernel {
         p.timer_epoch += 1;
         p.status = Status::Runnable;
         self.runnable.push_back(pid);
+        self.peaks.runnable = self.peaks.runnable.max(self.runnable.len() as u64);
     }
 
     fn deliver(&mut self, msg: Msg) {
@@ -712,8 +870,10 @@ impl Kernel {
             p.pending = Some(Resume::Msg { now, msg });
             p.status = Status::Runnable;
             self.runnable.push_back(target);
+            self.peaks.runnable = self.peaks.runnable.max(self.runnable.len() as u64);
         } else {
             p.mailbox.push_back(msg);
+            self.peaks.mailbox = self.peaks.mailbox.max(p.mailbox.len() as u64);
         }
     }
 
@@ -746,6 +906,7 @@ impl Kernel {
             p.pending = Some(Resume::Done { now });
             p.status = Status::Runnable;
             self.runnable.push_back(pid);
+            self.peaks.runnable = self.peaks.runnable.max(self.runnable.len() as u64);
         }
         self.reschedule_cpu(host);
     }
@@ -1001,11 +1162,18 @@ impl Kernel {
             return;
         }
         loop {
-            let Some(sc) = self.wait_syscall(pid) else {
+            self.mark(ProfileMark::OpBegin("sched.handoff"));
+            let sc = self.wait_syscall(pid);
+            self.mark(ProfileMark::OpEnd("sched.handoff"));
+            let Some(sc) = sc else {
                 self.do_kill(pid);
                 return;
             };
-            match self.handle_syscall(pid, sc) {
+            let op = Kernel::syscall_op(&sc);
+            self.mark(ProfileMark::OpBegin(op));
+            let flow = self.handle_syscall(pid, sc);
+            self.mark(ProfileMark::OpEnd(op));
+            match flow {
                 Flow::Reply(r) => {
                     if tx.send(r).is_err() {
                         self.do_kill(pid);

@@ -738,3 +738,119 @@ fn self_crash_host_terminates_the_process() {
     drop(sim); // join the unwinding thread before asserting
     assert!(*out.lock());
 }
+
+// ---------------------------------------------------------------------
+// Kernel profiling: CPU attribution, queue peaks, profile marks
+// ---------------------------------------------------------------------
+
+#[test]
+fn cpu_attribution_follows_processor_sharing() {
+    let mut sim = Kernel::with_seed(1);
+    let h = sim.add_host(HostConfig::new("a"));
+    let mut pids = Vec::new();
+    for name in ["p", "q"] {
+        pids.push(sim.spawn(h, name, move |ctx| {
+            ctx.compute(1.0).unwrap();
+        }));
+    }
+    sim.run_until_idle();
+    let profile = sim.profile();
+    // Two equal jobs share the unit CPU over [0, 2]; each is attributed
+    // exactly half the elapsed virtual time.
+    assert_eq!(profile.cpu_by_proc.len(), 2);
+    for (c, pid) in profile.cpu_by_proc.iter().zip(&pids) {
+        assert_eq!(c.pid, *pid);
+        assert_eq!(c.host, h);
+        let secs = c.cpu_ns as f64 / 1e9;
+        assert!((secs - 1.0).abs() < 1e-3, "{:?}", profile.cpu_by_proc);
+    }
+}
+
+#[test]
+fn cpu_attribution_is_speed_independent() {
+    // CPU share is measured in virtual seconds of CPU *time*, not work
+    // units: a lone job on a 4x host occupies the CPU for work/speed.
+    let mut sim = Kernel::with_seed(1);
+    let h = sim.add_host(HostConfig::new("fast").speed(4.0));
+    let pid = sim.spawn(h, "w", move |ctx| {
+        ctx.compute(2.0).unwrap();
+    });
+    sim.run_until_idle();
+    let profile = sim.profile();
+    assert_eq!(profile.cpu_by_proc.len(), 1);
+    let c = &profile.cpu_by_proc[0];
+    assert_eq!((c.pid, c.host), (pid, h));
+    assert!((c.cpu_ns as f64 / 1e9 - 0.5).abs() < 1e-3);
+}
+
+#[test]
+fn profile_reports_queue_peaks() {
+    let mut sim = Kernel::with_seed(1);
+    let a = sim.add_host(HostConfig::new("a"));
+    let receiver = sim.spawn(a, "rx", move |ctx| {
+        ctx.sleep(secs(1.0)).unwrap(); // let the mailbox fill
+        while ctx.try_recv().unwrap().is_some() {}
+    });
+    sim.spawn(a, "tx", move |ctx| {
+        for _ in 0..3 {
+            ctx.send(Addr::Pid(receiver), b"m".to_vec()).unwrap();
+        }
+    });
+    sim.run_until_idle();
+    let profile = sim.profile();
+    assert!(profile.mailbox_peak >= 3, "{profile:?}");
+    assert!(profile.event_queue_peak >= 1, "{profile:?}");
+    assert!(profile.runnable_peak >= 1, "{profile:?}");
+}
+
+#[test]
+fn profile_marks_pair_up_and_never_nest() {
+    use crate::ProfileMark;
+    let marks = cell::<Vec<ProfileMark>>();
+    let m = marks.clone();
+    let mut sim = Kernel::with_seed(1);
+    let a = sim.add_host(HostConfig::new("a"));
+    sim.set_profile_hook(move |mark| m.lock().push(mark));
+    let server = sim.spawn(a, "server", move |ctx| {
+        let _ = ctx.recv().unwrap();
+    });
+    sim.spawn(a, "client", move |ctx| {
+        ctx.sleep(secs(0.01)).unwrap();
+        ctx.compute(0.001).unwrap();
+        ctx.send(Addr::Pid(server), b"hi".to_vec()).unwrap();
+    });
+    sim.run_until_idle();
+    let marks = marks.lock();
+    assert!(!marks.is_empty());
+    // Flat structure: every begin is immediately closed by its own end.
+    let mut open: Option<&'static str> = None;
+    let mut ops = std::collections::BTreeSet::new();
+    for mark in marks.iter() {
+        match *mark {
+            ProfileMark::OpBegin(op) => {
+                assert!(open.is_none(), "nested begin {op} inside {open:?}");
+                open = Some(op);
+            }
+            ProfileMark::OpEnd(op) => {
+                assert_eq!(open, Some(op), "unbalanced end {op}");
+                ops.insert(op);
+                open = None;
+            }
+        }
+    }
+    assert!(open.is_none(), "trailing unclosed {open:?}");
+    for expected in [
+        "sched.handoff",
+        "sys.sleep",
+        "sys.compute",
+        "sys.send",
+        "sys.recv",
+        "sys.exit",
+        "event.start",
+        "event.timer",
+        "event.deliver",
+        "event.cpu_check",
+    ] {
+        assert!(ops.contains(expected), "missing op {expected}: {ops:?}");
+    }
+}

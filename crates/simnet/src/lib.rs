@@ -53,7 +53,8 @@ mod time;
 pub use cpu::{HostConfig, HostSnapshot};
 pub use ids::{Addr, HostId, Pid, Port};
 pub use kernel::{
-    EventHook, Fault, Kernel, KernelConfig, KernelEvent, KernelStats, NetConfig, Tracer,
+    EventHook, Fault, Kernel, KernelConfig, KernelEvent, KernelProfile, KernelStats, NetConfig,
+    ProcCpu, ProfileHook, ProfileMark, Tracer,
 };
 pub use msg::{Msg, Payload};
 pub use process::{Ctx, Killed, ProcessBody, SimResult};
