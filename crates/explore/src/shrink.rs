@@ -1,0 +1,116 @@
+//! ddmin-style shrinking of a violating deviation plan.
+//!
+//! A counterexample found deep in the deviation tree carries every
+//! deviation on its path, but usually only one or two of them matter.
+//! [`ddmin`] minimizes the deviation list with the classic
+//! delta-debugging loop (Zeller & Hildebrandt): partition into `n`
+//! chunks, try each chunk alone and each complement, recurse with finer
+//! granularity until 1-minimal or out of budget. Every probe is a full
+//! deterministic re-run of the target, so the caller bounds the probe
+//! count.
+
+use std::collections::BTreeMap;
+
+/// Minimize `plan` while `still_fails` keeps returning `true`, probing at
+/// most `budget` candidate plans. Returns the smallest failing plan found
+/// (possibly `plan` itself) and the number of probes spent.
+pub fn ddmin(
+    plan: &BTreeMap<u64, usize>,
+    budget: usize,
+    mut still_fails: impl FnMut(&BTreeMap<u64, usize>) -> bool,
+) -> (BTreeMap<u64, usize>, usize) {
+    let mut current: Vec<(u64, usize)> = plan.iter().map(|(&o, &i)| (o, i)).collect();
+    let mut probes = 0usize;
+    let mut n = 2usize;
+    while current.len() >= 2 && n <= current.len() && probes < budget {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        // Chunks first, then complements — at most 2n probes per round.
+        let mut trials: Vec<Vec<(u64, usize)>> = Vec::new();
+        for c in current.chunks(chunk) {
+            trials.push(c.to_vec());
+        }
+        if n > 2 {
+            for start in (0..current.len()).step_by(chunk) {
+                let mut complement = current.clone();
+                complement.drain(start..(start + chunk).min(complement.len()));
+                trials.push(complement);
+            }
+        }
+        for trial in trials {
+            if trial.len() >= current.len() || probes >= budget {
+                continue;
+            }
+            probes += 1;
+            if still_fails(&trial.iter().copied().collect()) {
+                n = 2.max(n - 1);
+                current = trial;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            if n >= current.len() {
+                break;
+            }
+            n = (n * 2).min(current.len());
+        }
+    }
+    // Final 1-minimality pass: drop single deviations while they stay
+    // redundant.
+    let mut k = 0;
+    while k < current.len() && current.len() > 1 && probes < budget {
+        let mut trial = current.clone();
+        trial.remove(k);
+        probes += 1;
+        if still_fails(&trial.iter().copied().collect()) {
+            current = trial;
+        } else {
+            k += 1;
+        }
+    }
+    (current.into_iter().collect(), probes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(pairs: &[(u64, usize)]) -> BTreeMap<u64, usize> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn shrinks_to_the_single_relevant_deviation() {
+        let full = plan(&[(1, 1), (5, 2), (9, 1), (12, 3), (20, 1)]);
+        // Only ordinal 9 matters.
+        let (min, probes) = ddmin(&full, 200, |p| p.get(&9) == Some(&1));
+        assert_eq!(min, plan(&[(9, 1)]));
+        assert!(probes <= 200);
+    }
+
+    #[test]
+    fn shrinks_to_a_relevant_pair() {
+        let full = plan(&[(1, 1), (5, 2), (9, 1), (12, 3)]);
+        let (min, _) = ddmin(&full, 200, |p| {
+            p.get(&1) == Some(&1) && p.get(&12) == Some(&3)
+        });
+        assert_eq!(min, plan(&[(1, 1), (12, 3)]));
+    }
+
+    #[test]
+    fn budget_zero_returns_input() {
+        let full = plan(&[(1, 1), (2, 1)]);
+        let (min, probes) = ddmin(&full, 0, |_| true);
+        assert_eq!(min, full);
+        assert_eq!(probes, 0);
+    }
+
+    #[test]
+    fn singleton_plan_is_already_minimal() {
+        let full = plan(&[(4, 2)]);
+        let (min, probes) = ddmin(&full, 50, |p| !p.is_empty());
+        assert_eq!(min, full);
+        assert_eq!(probes, 0);
+    }
+}

@@ -35,7 +35,9 @@ pub use factory::{
     factory_group, factory_name, run_factory, run_factory_obs, FactoryClient, ForwardingAgent,
     ServantBuilder, ServiceFactory, FACTORY_TYPE,
 };
-pub use migration::{migrate_member, run_migration_manager, MigrationConfig, MigrationStats};
+pub use migration::{
+    migrate_member, run_migration_manager, MemberMove, MigrationConfig, MigrationStats,
+};
 pub use proxy::{CheckpointMode, FtProxy, FtProxyConfig, FtProxyStats, ProxyEnv};
 pub use request_proxy::FtRequest;
 pub use service::{

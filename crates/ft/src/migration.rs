@@ -61,21 +61,43 @@ pub struct MigrationStats {
     pub failures: u64,
 }
 
-/// Move one group member to `dest_host`: checkpoint → create replacement
+/// One planned member move: everything [`migrate_member`] needs beyond
+/// the live ORB/context handles.
+#[derive(Clone, Debug)]
+pub struct MemberMove<'a> {
+    /// Host running the naming service.
+    pub naming_host: HostId,
+    /// The service group the member belongs to.
+    pub group: &'a Name,
+    /// The member being moved.
+    pub member: &'a Ior,
+    /// Destination host (must run a factory).
+    pub dest_host: HostId,
+    /// Service type to instantiate at the destination.
+    pub service_type: &'a str,
+    /// Operation fetching the service state.
+    pub checkpoint_op: &'a str,
+    /// Operation restoring the service state.
+    pub restore_op: &'a str,
+}
+
+/// Move one group member per the plan: checkpoint → create replacement
 /// via the destination factory → restore → swap naming bindings → leave a
 /// forwarding agent behind. Returns the new member's reference.
-#[allow(clippy::too_many_arguments)] // a one-shot orchestration primitive
 pub fn migrate_member(
     orb: &mut Orb,
     ctx: &mut Ctx,
-    naming_host: HostId,
-    group: &Name,
-    member: &Ior,
-    dest_host: HostId,
-    service_type: &str,
-    checkpoint_op: &str,
-    restore_op: &str,
+    mv: &MemberMove<'_>,
 ) -> SimResult<Result<Ior, Exception>> {
+    let MemberMove {
+        naming_host,
+        group,
+        member,
+        dest_host,
+        service_type,
+        checkpoint_op,
+        restore_op,
+    } = *mv;
     let ns = NamingClient::root(naming_host);
     let old = ObjectRef::new(member.clone());
 
@@ -133,7 +155,6 @@ pub fn migrate_member(
 /// The migration manager process: periodically compare each member's host
 /// against the cluster's best host (per Winner) and migrate when the
 /// improvement exceeds the configured factor.
-#[allow(clippy::too_many_arguments)]
 pub fn run_migration_manager(
     ctx: &mut Ctx,
     naming_host: HostId,
@@ -171,13 +192,15 @@ pub fn run_migration_manager(
                 let r = migrate_member(
                     &mut orb,
                     ctx,
-                    naming_host,
-                    &cfg.group,
-                    &member,
-                    HostId(best.host),
-                    &cfg.service_type,
-                    &cfg.checkpoint_op,
-                    &cfg.restore_op,
+                    &MemberMove {
+                        naming_host,
+                        group: &cfg.group,
+                        member: &member,
+                        dest_host: HostId(best.host),
+                        service_type: &cfg.service_type,
+                        checkpoint_op: &cfg.checkpoint_op,
+                        restore_op: &cfg.restore_op,
+                    },
                 )?;
                 let mut s = stats.lock();
                 match r {

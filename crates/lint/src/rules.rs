@@ -76,6 +76,7 @@ impl Finding {
 /// Crates whose code runs in (or drives) the simulation.
 pub const SIM_CRATES: &[&str] = &[
     "simnet", "orb", "obs", "naming", "winner", "ft", "optim", "core", "store", "monitor",
+    "explore",
 ];
 
 /// All rule IDs, in report order.

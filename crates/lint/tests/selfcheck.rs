@@ -72,15 +72,15 @@ fn call_graph_covers_the_workspace() {
     // functions or call sites are genuinely added or removed.
     assert_eq!(
         (g.nodes.len(), g.edges.len(), g.remote_sites.len()),
-        (1035, 3452, 146),
+        (1128, 3717, 147),
         "call-graph inventory changed — confirm the F pass still sees every site:\n{:?}",
         g.crate_counts()
     );
     // Every policed crate contributes nodes and outgoing edges.
     let counts = g.crate_counts();
     for krate in [
-        "bench", "core", "ft", "monitor", "naming", "obs", "optim", "orb", "store", "tests",
-        "winner",
+        "bench", "core", "explore", "ft", "monitor", "naming", "obs", "optim", "orb", "store",
+        "tests", "winner",
     ] {
         let (n, e) = counts.get(krate).copied().unwrap_or((0, 0));
         assert!(n > 0 && e > 0, "crate {krate} vanished from the graph");
@@ -142,15 +142,93 @@ fn lock_graph_covers_the_shared_use_sites() {
         report.lock_sites,
         report.lock_classes
     );
-    // Pinned coverage: the graph currently sees 28 non-test `Shared`
-    // acquisition sites across 7 lock classes in the policed crates. A
-    // raw-string `.lock()` count is no substitute (tests drive hundreds
-    // of `Arc<Mutex>` harness cells the graph rightly ignores), so the
-    // golden numbers document coverage; update them when `Shared` use
-    // sites are genuinely added or removed.
+    // Pinned coverage: the graph currently sees 43 non-test `Shared`
+    // acquisition sites across 13 lock classes in the policed crates
+    // (the explore cells' choice logs, result cells, and register added
+    // six classes). A raw-string `.lock()` count is no substitute (tests
+    // drive hundreds of `Arc<Mutex>` harness cells the graph rightly
+    // ignores), so the golden numbers document coverage; update them
+    // when `Shared` use sites are genuinely added or removed.
     assert_eq!(
         (report.lock_sites, report.lock_classes),
-        (28, 7),
+        (43, 13),
         "Shared acquisition inventory changed — confirm the lock graph still sees every new site"
+    );
+}
+
+#[test]
+fn kernel_tie_breaks_route_through_the_schedule_policy() {
+    // The explorer's soundness rests on the kernel exposing *every*
+    // nondeterminism point through `SchedulePolicy`: an event-queue pop
+    // outside `Kernel::next_event`, or a runnable-queue pop outside
+    // `Kernel::next_runnable`, would be a tie broken behind the
+    // explorer's back. Pin the routing: the queue-draining expressions
+    // appear only inside those two functions, and each of them consults
+    // the installed policy.
+    let root = workspace_root();
+    let simnet_src = root.join("crates/simnet/src");
+    let mut saw_next_event = false;
+    let mut saw_next_runnable = false;
+    for entry in std::fs::read_dir(&simnet_src).expect("list simnet/src") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|x| x != "rs") {
+            continue;
+        }
+        let rel = format!(
+            "crates/simnet/src/{}",
+            path.file_name().expect("file name").to_string_lossy()
+        );
+        if ldft_lint::analysis::is_test_path(&rel) {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("read simnet source");
+        let analysis = ldft_lint::analysis::FileAnalysis::new(&rel, Some("simnet"), &src);
+        for (i, line) in src.lines().enumerate() {
+            let n = i + 1;
+            if analysis.is_test_line(n) {
+                continue;
+            }
+            let code = line.split("//").next().unwrap_or(line);
+            let enclosing = || {
+                analysis
+                    .enclosing_fn(n)
+                    .map(|f| f.name.clone())
+                    .unwrap_or_default()
+            };
+            if code.contains(".events.pop(") {
+                assert_eq!(
+                    enclosing(),
+                    "next_event",
+                    "{rel}:{n}: event-queue pop outside Kernel::next_event bypasses SchedulePolicy"
+                );
+                saw_next_event = true;
+            }
+            if code.contains(".runnable.pop_front(") || code.contains(".runnable.remove(") {
+                assert_eq!(
+                    enclosing(),
+                    "next_runnable",
+                    "{rel}:{n}: runnable-queue pop outside Kernel::next_runnable bypasses SchedulePolicy"
+                );
+                saw_next_runnable = true;
+            }
+        }
+        // Both seams must actually consult the installed policy.
+        for seam in ["next_event", "next_runnable"] {
+            if let Some(span) = analysis.fn_spans.iter().find(|f| f.name == seam) {
+                let body: String = src
+                    .lines()
+                    .skip(span.start - 1)
+                    .take(span.end - span.start + 1)
+                    .collect();
+                assert!(
+                    body.contains(".choose(") && body.contains("policy"),
+                    "{rel}: Kernel::{seam} no longer consults the schedule policy"
+                );
+            }
+        }
+    }
+    assert!(
+        saw_next_event && saw_next_runnable,
+        "tie-break seams not found — did the kernel's queue fields move?"
     );
 }

@@ -240,6 +240,7 @@ pub struct Kernel {
     tracer: Option<Tracer>,
     event_hook: Option<EventHook>,
     profile_hook: Option<ProfileHook>,
+    policy: Option<Box<dyn SchedulePolicy>>,
     peaks: Peaks,
 }
 
@@ -339,6 +340,66 @@ pub enum ProfileMark {
 /// whole simulator).
 pub type ProfileHook = Box<dyn FnMut(ProfileMark)>;
 
+/// Which kind of nondeterminism point a [`SchedulePolicy`] is resolving.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChoiceKind {
+    /// Two or more events share the head timestamp of the event queue;
+    /// the policy picks which executes first (insertion order otherwise).
+    EventTie,
+    /// Two or more processes hold a pending resume; the policy picks
+    /// which the scheduler runs next (FIFO otherwise).
+    RunnableTie,
+}
+
+/// One candidate at a scheduling choice point, described by the entities
+/// its execution can touch. This is the *footprint* the `ldft-explore`
+/// independence relation is computed from, so the fields are deliberately
+/// conservative: `wakes` is true whenever executing the candidate might
+/// resume a process or push a new event (including the RST bounced off a
+/// closed port), and `global` marks events whose effect is not confined
+/// to one process/host (fault injection).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChoiceCandidate {
+    /// Stable event-kind label (`start`, `timer`, `deliver`, `cpu_check`,
+    /// `fault`, `run`).
+    pub label: &'static str,
+    /// The process this candidate targets (delivery destination, timer
+    /// owner, started/run process), if resolvable.
+    pub pid: Option<Pid>,
+    /// The host the target lives on.
+    pub host: Option<HostId>,
+    /// For deliveries: the sending process (the RST destination when the
+    /// target port turns out closed).
+    pub from: Option<Pid>,
+    /// For deliveries: the sending host.
+    pub from_host: Option<HostId>,
+    /// Executing this candidate may resume a process or schedule a new
+    /// event (conservatively true when the kernel cannot prove otherwise).
+    pub wakes: bool,
+    /// The effect is global (fault injection): dependent on everything.
+    pub global: bool,
+    /// Executing this candidate may draw from the kernel's seeded network
+    /// RNG (a delivery crossing a degraded link with a drop probability).
+    /// Two draws never commute: swapping them shifts the RNG stream.
+    pub draws_rng: bool,
+}
+
+/// A hook resolving the kernel's scheduling nondeterminism points. The
+/// kernel consults the installed policy whenever more than one candidate
+/// is admissible — same-timestamp event-queue ties and runnable-queue
+/// order — passing the candidates **in default order** (insertion /
+/// FIFO), so a policy that always returns `0` reproduces the un-hooked
+/// kernel byte for byte. Out-of-range returns are clamped.
+///
+/// This is the seam `ldft-explore` drives to enumerate alternative
+/// schedules; `ldft-lint`'s selfcheck pins that every kernel tie-break
+/// site routes through [`Kernel::next_event`]/[`Kernel::next_runnable`]
+/// so new nondeterminism points cannot bypass it.
+pub trait SchedulePolicy {
+    /// Pick the index of the candidate to execute next.
+    fn choose(&mut self, kind: ChoiceKind, now: SimTime, candidates: &[ChoiceCandidate]) -> usize;
+}
+
 /// Per-process virtual-time CPU attribution, one entry per process that
 /// ever held the CPU.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -429,6 +490,7 @@ impl Kernel {
             tracer: None,
             event_hook: None,
             profile_hook: None,
+            policy: None,
             peaks: Peaks::default(),
         }
     }
@@ -532,6 +594,20 @@ impl Kernel {
         self.profile_hook = Some(Box::new(f));
     }
 
+    /// Install a [`SchedulePolicy`] resolving the kernel's scheduling
+    /// nondeterminism points (same-timestamp event ties and runnable-queue
+    /// order). At most one policy is installed; a second call replaces the
+    /// first. With no policy — or a policy that always picks index 0 — the
+    /// kernel behaves exactly as before the hook existed.
+    pub fn set_schedule_policy(&mut self, p: impl SchedulePolicy + 'static) {
+        self.policy = Some(Box::new(p));
+    }
+
+    /// Remove any installed [`SchedulePolicy`], restoring default order.
+    pub fn clear_schedule_policy(&mut self) {
+        self.policy = None;
+    }
+
     /// Snapshot the deterministic run profile: per-process virtual CPU
     /// attribution and the kernel queue-depth peaks seen so far.
     pub fn profile(&self) -> KernelProfile {
@@ -630,7 +706,7 @@ impl Kernel {
                     break;
                 }
             }
-            let Some(Reverse(ev)) = self.events.pop() else {
+            let Some(ev) = self.next_event() else {
                 break;
             };
             debug_assert!(ev.time >= self.now, "event in the past");
@@ -653,6 +729,179 @@ impl Kernel {
             }
         }
         self.now
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling choice points
+    //
+    // These two functions are the ONLY places the kernel pops the event
+    // queue or the runnable queue (the lint selfcheck pins this), so an
+    // installed SchedulePolicy sees every nondeterminism point. With no
+    // policy both reduce to the historical pop: heap order for events,
+    // FIFO for runnables — and tied candidates the policy did not pick
+    // are re-pushed with their original (time, seq) keys, so choosing
+    // index 0 is byte-identical to having no policy at all.
+    // ------------------------------------------------------------------
+
+    /// Pop the next event, letting the installed policy resolve
+    /// same-timestamp ties. Returns `None` when the queue is empty.
+    fn next_event(&mut self) -> Option<Event> {
+        let Reverse(head) = self.events.pop()?;
+        if self.policy.is_none() {
+            return Some(head);
+        }
+        let mut tied = vec![head];
+        while let Some(Reverse(peek)) = self.events.peek() {
+            if peek.time != tied[0].time {
+                break;
+            }
+            let Some(Reverse(e)) = self.events.pop() else {
+                break;
+            };
+            tied.push(e);
+        }
+        let idx = if tied.len() > 1 {
+            let cands: Vec<ChoiceCandidate> =
+                tied.iter().map(|e| self.event_candidate(e)).collect();
+            let now = self.now;
+            match self.policy.take() {
+                Some(mut p) => {
+                    let i = p
+                        .choose(ChoiceKind::EventTie, now, &cands)
+                        .min(tied.len() - 1);
+                    self.policy = Some(p);
+                    i
+                }
+                None => 0,
+            }
+        } else {
+            0
+        };
+        let chosen = tied.remove(idx);
+        for e in tied {
+            self.events.push(Reverse(e));
+        }
+        Some(chosen)
+    }
+
+    /// Pop the next runnable process, letting the installed policy pick
+    /// among all queued processes. Returns `None` when the queue is empty.
+    fn next_runnable(&mut self) -> Option<Pid> {
+        if self.policy.is_none() || self.runnable.len() <= 1 {
+            return self.runnable.pop_front();
+        }
+        let cands: Vec<ChoiceCandidate> = self
+            .runnable
+            .iter()
+            .map(|&pid| ChoiceCandidate {
+                label: "run",
+                pid: Some(pid),
+                host: self.procs.get(pid.0 as usize).map(|p| p.host),
+                from: None,
+                from_host: None,
+                wakes: true,
+                global: false,
+                draws_rng: false,
+            })
+            .collect();
+        let now = self.now;
+        let idx = match self.policy.take() {
+            Some(mut p) => {
+                let i = p
+                    .choose(ChoiceKind::RunnableTie, now, &cands)
+                    .min(self.runnable.len() - 1);
+                self.policy = Some(p);
+                i
+            }
+            None => 0,
+        };
+        self.runnable.remove(idx)
+    }
+
+    /// Conservative execution footprint of a queued event, for the
+    /// independence relation (see [`ChoiceCandidate`] field docs).
+    fn event_candidate(&self, ev: &Event) -> ChoiceCandidate {
+        let mut c = ChoiceCandidate {
+            label: Kernel::event_op(&ev.kind)
+                .strip_prefix("event.")
+                .unwrap_or("event"),
+            pid: None,
+            host: None,
+            from: None,
+            from_host: None,
+            wakes: false,
+            global: false,
+            draws_rng: false,
+        };
+        match &ev.kind {
+            EventKind::Start(pid) => {
+                c.pid = Some(*pid);
+                if let Some(p) = self.procs.get(pid.0 as usize) {
+                    c.host = Some(p.host);
+                    c.wakes = p.status == Status::NotStarted
+                        && self.hosts.get(p.host.0 as usize).is_some_and(|h| h.up);
+                }
+            }
+            EventKind::Timer { pid, epoch } => {
+                c.pid = Some(*pid);
+                if let Some(p) = self.procs.get(pid.0 as usize) {
+                    c.host = Some(p.host);
+                    c.wakes = p.timer_epoch == *epoch && matches!(p.status, Status::Blocked(_));
+                }
+            }
+            EventKind::Deliver(msg) => {
+                c.from = Some(msg.from);
+                c.from_host = Some(msg.from_host);
+                match msg.to {
+                    Addr::Endpoint(h, port) => {
+                        c.host = Some(h);
+                        c.draws_rng = msg.from_host != h
+                            && self
+                                .degraded
+                                .get(&pair(msg.from_host, h))
+                                .is_some_and(|&(_, d)| d > 0);
+                        match self.port_map.get(&(h, port)) {
+                            Some(&pid) => {
+                                c.pid = Some(pid);
+                                c.wakes = self
+                                    .procs
+                                    .get(pid.0 as usize)
+                                    .is_some_and(|p| p.status == Status::Blocked(Block::Recv));
+                            }
+                            None => {
+                                // Closed port: executing this bounces an RST
+                                // (a new event) back at the sender.
+                                c.wakes = true;
+                            }
+                        }
+                    }
+                    Addr::Pid(pid) => {
+                        c.pid = Some(pid);
+                        if let Some(p) = self.procs.get(pid.0 as usize) {
+                            c.host = Some(p.host);
+                            c.wakes = p.status == Status::Blocked(Block::Recv);
+                            c.draws_rng = msg.from_host != p.host
+                                && self
+                                    .degraded
+                                    .get(&pair(msg.from_host, p.host))
+                                    .is_some_and(|&(_, d)| d > 0);
+                        }
+                    }
+                }
+            }
+            EventKind::CpuCheck { host, epoch } => {
+                c.host = Some(*host);
+                c.wakes = self
+                    .hosts
+                    .get(host.0 as usize)
+                    .is_some_and(|h| h.up && h.cpu_epoch == *epoch);
+            }
+            EventKind::Fault(_) => {
+                c.wakes = true;
+                c.global = true;
+            }
+        }
+        c
     }
 
     // ------------------------------------------------------------------
@@ -1126,7 +1375,7 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     fn drain_runnable(&mut self) {
-        while let Some(pid) = self.runnable.pop_front() {
+        while let Some(pid) = self.next_runnable() {
             self.run_process(pid);
             if self.panicked.is_some() {
                 return;

@@ -854,3 +854,173 @@ fn profile_marks_pair_up_and_never_nest() {
         assert!(ops.contains(expected), "missing op {expected}: {ops:?}");
     }
 }
+
+// ---------------------------------------------------------------------
+// SchedulePolicy choice points
+// ---------------------------------------------------------------------
+
+/// Test policy: records every choice it is asked to make, and optionally
+/// flips all-deliver event ties and runnable ties to the last candidate.
+struct TestPolicy {
+    choices: Cell<Vec<(crate::ChoiceKind, usize)>>,
+    flip_delivers: bool,
+    flip_runs: bool,
+}
+
+impl crate::SchedulePolicy for TestPolicy {
+    fn choose(
+        &mut self,
+        kind: crate::ChoiceKind,
+        _now: SimTime,
+        cands: &[crate::ChoiceCandidate],
+    ) -> usize {
+        self.choices.lock().push((kind, cands.len()));
+        match kind {
+            crate::ChoiceKind::EventTie
+                if self.flip_delivers && cands.iter().all(|c| c.label == "deliver") =>
+            {
+                cands.len() - 1
+            }
+            crate::ChoiceKind::RunnableTie if self.flip_runs => cands.len() - 1,
+            _ => 0,
+        }
+    }
+}
+
+/// `(time, rng draw)` samples plus the `(time, line)` kernel trace.
+type PolicyRunTrace = (Vec<(f64, u64)>, Vec<(f64, String)>);
+
+/// The determinism scenario from `determinism_same_seed_same_trace`, with
+/// an optional always-pick-0 policy installed.
+fn policy_reference_run(seed: u64, with_policy: bool) -> PolicyRunTrace {
+    let mut sim = Kernel::with_seed(seed);
+    let trace = cell::<Vec<(f64, String)>>();
+    {
+        let trace = trace.clone();
+        sim.set_tracer(move |t, line| trace.lock().push((t.as_secs_f64(), line.to_string())));
+    }
+    if with_policy {
+        sim.set_schedule_policy(TestPolicy {
+            choices: cell(),
+            flip_delivers: false,
+            flip_runs: false,
+        });
+    }
+    let hosts = sim.add_hosts(4);
+    let out = cell::<Vec<(f64, u64)>>();
+    for (i, &h) in hosts.iter().enumerate() {
+        let o = out.clone();
+        let hosts = hosts.clone();
+        sim.spawn(h, format!("p{i}"), move |ctx| {
+            use rand::Rng;
+            for _ in 0..20 {
+                let work: f64 = ctx.rng().random_range(0.01..0.1);
+                ctx.compute(work).unwrap();
+                let peer = hosts[ctx.rng().random_range(0..hosts.len())];
+                ctx.send(Addr::Endpoint(peer, Port(1)), vec![0; 16])
+                    .unwrap();
+                let v: u64 = ctx.rng().random();
+                o.lock().push((ctx.now().as_secs_f64(), v));
+            }
+        });
+    }
+    sim.run_until_idle();
+    let vals = out.lock().clone();
+    let lines = trace.lock().clone();
+    (vals, lines)
+}
+
+#[test]
+fn schedule_policy_choose_zero_is_byte_identical_to_no_policy() {
+    let bare = policy_reference_run(7, false);
+    let hooked = policy_reference_run(7, true);
+    assert_eq!(bare, hooked);
+}
+
+#[test]
+fn schedule_policy_flips_cotemporal_delivery_order() {
+    fn run(flip: bool) -> (Vec<u8>, Vec<(crate::ChoiceKind, usize)>) {
+        let mut sim = Kernel::with_seed(3);
+        let choices = cell::<Vec<(crate::ChoiceKind, usize)>>();
+        sim.set_schedule_policy(TestPolicy {
+            choices: choices.clone(),
+            flip_delivers: flip,
+            flip_runs: false,
+        });
+        let a = sim.add_host(HostConfig::new("a"));
+        let b = sim.add_host(HostConfig::new("b"));
+        let got = cell::<Vec<u8>>();
+        let g = got.clone();
+        let sink = sim.spawn(a, "sink", move |ctx| {
+            for _ in 0..2 {
+                let m = ctx.recv().unwrap();
+                if let Some(d) = m.data() {
+                    g.lock().push(d[0]);
+                }
+            }
+        });
+        // Both senders live on host b and send at the same virtual time
+        // with identical payload sizes, so the two Deliver events carry
+        // the same timestamp — a genuine tie the policy resolves.
+        for tag in [1u8, 2u8] {
+            sim.spawn(b, format!("send{tag}"), move |ctx| {
+                ctx.sleep(SimDuration::from_millis(1)).unwrap();
+                ctx.send(Addr::Pid(sink), vec![tag]).unwrap();
+            });
+        }
+        sim.run_until_idle();
+        let order = got.lock().clone();
+        let ch = choices.lock().clone();
+        (order, ch)
+    }
+    let (default_order, choices) = run(false);
+    let (flipped_order, _) = run(true);
+    assert_eq!(default_order, vec![1, 2]);
+    assert_eq!(flipped_order, vec![2, 1]);
+    // The policy really was consulted on an event tie.
+    assert!(choices
+        .iter()
+        .any(|&(k, n)| k == crate::ChoiceKind::EventTie && n >= 2));
+}
+
+#[test]
+fn schedule_policy_flips_runnable_order() {
+    fn run(flip: bool) -> (Vec<String>, bool) {
+        let mut sim = Kernel::with_seed(5);
+        let choices = cell::<Vec<(crate::ChoiceKind, usize)>>();
+        sim.set_schedule_policy(TestPolicy {
+            choices: choices.clone(),
+            flip_delivers: false,
+            flip_runs: flip,
+        });
+        let a = sim.add_host(HostConfig::new("a"));
+        let ran = cell::<Vec<String>>();
+        // Two identical compute jobs on one host finish at the same
+        // CpuCheck, so both processes land in the runnable queue at once.
+        for name in ["first", "second"] {
+            let r = ran.clone();
+            sim.spawn(a, name, move |ctx| {
+                ctx.compute(0.05).unwrap();
+                r.lock().push(name.to_string());
+            });
+        }
+        sim.run_until_idle();
+        let order = ran.lock().clone();
+        let saw_tie = choices
+            .lock()
+            .iter()
+            .any(|&(k, n)| k == crate::ChoiceKind::RunnableTie && n >= 2);
+        (order, saw_tie)
+    }
+    let (default_order, saw_tie) = run(false);
+    assert!(saw_tie, "expected a runnable tie in this scenario");
+    let (flipped_order, _) = run(true);
+    assert_eq!(
+        default_order,
+        vec!["first".to_string(), "second".to_string()]
+    );
+    assert_eq!(
+        flipped_order,
+        vec!["second".to_string(), "first".to_string()]
+    );
+}

@@ -53,8 +53,9 @@ mod time;
 pub use cpu::{HostConfig, HostSnapshot};
 pub use ids::{Addr, HostId, Pid, Port};
 pub use kernel::{
-    EventHook, Fault, Kernel, KernelConfig, KernelEvent, KernelProfile, KernelStats, NetConfig,
-    ProcCpu, ProfileHook, ProfileMark, Tracer,
+    ChoiceCandidate, ChoiceKind, EventHook, Fault, Kernel, KernelConfig, KernelEvent,
+    KernelProfile, KernelStats, NetConfig, ProcCpu, ProfileHook, ProfileMark, SchedulePolicy,
+    Tracer,
 };
 pub use msg::{Msg, Payload};
 pub use process::{Ctx, Killed, ProcessBody, SimResult};
